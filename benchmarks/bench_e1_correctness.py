@@ -1,0 +1,123 @@
+"""E1 — Global-query correctness: decomposition returns merged-DB answers.
+
+Claim validated (paper §2): global SQL queries over integrated relations
+behave as if one merged database existed.  We check that (a) every optimizer
+returns identical answers and (b) the answers match an oracle computed by
+loading both campuses' data into ONE local engine and running the
+equivalent single-database query.
+"""
+
+from conftest import emit
+
+from repro.engine import LocalEngine
+from repro.storage import Catalog
+from repro.workloads import build_university_system
+
+#: (label, federated SQL, single-DB SQL over the merged table)
+QUERY_PAIRS = [
+    (
+        "count",
+        "SELECT COUNT(*) FROM student",
+        "SELECT COUNT(*) FROM merged_student",
+    ),
+    (
+        "filter",
+        "SELECT name FROM student WHERE gpa > 3.5 ORDER BY name",
+        "SELECT name FROM merged_student WHERE gpa > 3.5 ORDER BY name",
+    ),
+    (
+        "group",
+        "SELECT major, COUNT(*) FROM student GROUP BY major ORDER BY major",
+        "SELECT major, COUNT(*) FROM merged_student GROUP BY major ORDER BY major",
+    ),
+    (
+        "agg",
+        "SELECT campus, AVG(gpa) FROM student GROUP BY campus ORDER BY campus",
+        "SELECT campus, AVG(gpa) FROM merged_student GROUP BY campus ORDER BY campus",
+    ),
+    (
+        "topk",
+        "SELECT name, gpa FROM student ORDER BY gpa DESC, name LIMIT 10",
+        "SELECT name, gpa FROM merged_student ORDER BY gpa DESC, name LIMIT 10",
+    ),
+    (
+        "having",
+        "SELECT major FROM student GROUP BY major HAVING COUNT(*) > 20 "
+        "ORDER BY major",
+        "SELECT major FROM merged_student GROUP BY major HAVING COUNT(*) > 20 "
+        "ORDER BY major",
+    ),
+    (
+        "distinct",
+        "SELECT DISTINCT major FROM student ORDER BY major",
+        "SELECT DISTINCT major FROM merged_student ORDER BY major",
+    ),
+]
+
+
+def build_oracle_engine(system) -> LocalEngine:
+    """One local engine holding the union of both campuses' students."""
+    engine = LocalEngine(Catalog("merged"))
+    engine.execute(
+        "CREATE TABLE merged_student (sid INTEGER, name VARCHAR(40), "
+        "gpa FLOAT, major VARCHAR(10), campus VARCHAR(20))"
+    )
+    result = system.query(
+        "university", "SELECT sid, name, gpa, major, campus FROM student"
+    )
+    for row in result.rows:
+        values = [row[0], row[1], float(row[2]) if row[2] is not None else None,
+                  row[3], row[4]]
+        engine.execute(
+            "INSERT INTO merged_student VALUES (?, ?, ?, ?, ?)", values
+        )
+    return engine
+
+
+def normalise(rows):
+    return [tuple(_norm(v) for v in row) for row in rows]
+
+
+def _norm(value):
+    if isinstance(value, float):
+        return round(value, 6)
+    try:
+        return round(float(value), 6) if hasattr(value, "quantize") else value
+    except Exception:  # pragma: no cover
+        return value
+
+
+def test_e1_correctness(benchmark):
+    system = build_university_system(
+        students_per_campus=120, courses_per_campus=20, staff_count=30, seed=13
+    )
+    oracle = build_oracle_engine(system)
+
+    rows = []
+    all_ok = True
+    for label, fed_sql, local_sql in QUERY_PAIRS:
+        expected = normalise(oracle.execute(local_sql).rows)
+        verdicts = []
+        for optimizer in ("simple", "cost", "cost-nosemijoin"):
+            got = normalise(
+                system.query("university", fed_sql, optimizer=optimizer).rows
+            )
+            verdicts.append(got == expected)
+        ok = all(verdicts)
+        all_ok = all_ok and ok
+        rows.append((label, len(expected), "PASS" if ok else "FAIL"))
+
+    emit(
+        "E1",
+        "federated answers vs merged-database oracle (3 optimizers each)",
+        ["query", "rows", "verdict"],
+        rows,
+    )
+    assert all_ok
+
+    # Wall-clock: the full 7-query federated suite under the cost optimizer.
+    def run_suite():
+        for _, fed_sql, _ in QUERY_PAIRS:
+            system.query("university", fed_sql, optimizer="cost")
+
+    benchmark(run_suite)

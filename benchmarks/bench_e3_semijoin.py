@@ -1,0 +1,75 @@
+"""E3 — Semijoin-reduction ablation.
+
+Design choice ablated (DESIGN.md §5.1): shipping the small side's join keys
+to reduce the big side wins when few big-side rows match, and stops paying
+off as the match fraction rises (the classic distributed-join crossover).
+"""
+
+from conftest import emit
+
+from repro.workloads import build_two_site_join
+
+MATCH_FRACTIONS = [0.02, 0.1, 0.25, 0.5, 0.9]
+SQL = (
+    "SELECT l.k, r.val FROM lhs l JOIN rhs r ON l.k = r.k "
+    "WHERE l.flt < 0.15"
+)
+
+
+def test_e3_match_fraction_sweep(benchmark):
+    rows = []
+    for match in MATCH_FRACTIONS:
+        system = build_two_site_join(
+            300, 4000, match_fraction=match, payload_width=40, seed=31
+        )
+        plain = system.query("synth", SQL, optimizer="cost-nosemijoin")
+        semi = system.query("synth", SQL, optimizer="cost")
+        assert sorted(plain.rows) == sorted(semi.rows)
+        applied = any(f.semijoin is not None for f in semi.plan.fetches)
+        rows.append(
+            (
+                match,
+                "yes" if applied else "no",
+                plain.bytes_shipped,
+                semi.bytes_shipped,
+                plain.elapsed_s * 1000,
+                semi.elapsed_s * 1000,
+            )
+        )
+    emit(
+        "E3",
+        "semijoin ablation vs join match fraction (300 x 4000 rows)",
+        ["match", "semijoin", "nosemi_B", "semi_B", "nosemi_ms", "semi_ms"],
+        rows,
+    )
+    # Shape: at the lowest match fraction semijoin must save bytes.
+    lowest = rows[0]
+    assert lowest[3] < lowest[2]
+    # Savings shrink monotonically as the match fraction grows.
+    savings = [row[2] - row[3] for row in rows]
+    assert savings[0] == max(savings)
+
+    system = build_two_site_join(300, 2000, match_fraction=0.05, seed=32)
+    benchmark(lambda: system.query("synth", SQL, optimizer="cost"))
+
+
+def test_e3_semijoin_declined_when_unhelpful(benchmark):
+    """A reduction that cannot remove rows must be declined.
+
+    Without any predicate, the left side ships all 3000 distinct keys —
+    a superset of the right side's join keys, so reducing the right fetch
+    saves nothing and costs a 36KB IN-list; the model must say no to that
+    direction.
+    """
+    system = build_two_site_join(
+        3000, 3000, match_fraction=1.0, payload_width=4, seed=33
+    )
+    no_predicate_sql = "SELECT l.k, r.val FROM lhs l JOIN rhs r ON l.k = r.k"
+    plan = benchmark.pedantic(
+        lambda: system.processor("synth").plan(no_predicate_sql, "cost"),
+        rounds=3,
+        iterations=1,
+    )
+    right_fetches = [f for f in plan.fetches if f.export == "right_rel"]
+    assert right_fetches
+    assert all(f.semijoin is None for f in right_fetches)

@@ -1,0 +1,73 @@
+"""E8 — Federation scale-out: 1–8 component DBMSs.
+
+Claim validated (paper §1/§2): MYRIAD integrates *multiple* independently
+developed databases; fragment shipping is issued concurrently, so global
+latency grows sub-linearly in the site count while total bytes grow
+linearly.
+"""
+
+from conftest import emit
+
+from repro.workloads import build_partitioned_sites
+
+SITE_COUNTS = [1, 2, 4, 8]
+ROWS_PER_SITE = 400
+
+SQL_AGG = "SELECT grp, COUNT(*), AVG(val) FROM measurements GROUP BY grp ORDER BY grp"
+SQL_FILTER = "SELECT k FROM measurements WHERE val < 0.05"
+
+
+def test_e8_scaleout(benchmark):
+    rows = []
+    for site_count in SITE_COUNTS:
+        system = build_partitioned_sites(site_count, ROWS_PER_SITE, seed=81)
+        result = system.query("synth", SQL_AGG)
+        assert len(result.rows) == 16  # all groups present
+        total = system.query("synth", "SELECT COUNT(*) FROM measurements")
+        assert total.scalar() == site_count * ROWS_PER_SITE
+        rows.append(
+            (
+                site_count,
+                result.trace.message_count,
+                result.bytes_shipped,
+                result.elapsed_s * 1000,
+            )
+        )
+    emit(
+        "E8",
+        f"scale-out: global aggregate over {ROWS_PER_SITE} rows/site",
+        ["sites", "msgs", "bytes", "sim_ms"],
+        rows,
+    )
+    # Messages and bytes grow linearly with the site count...
+    assert rows[-1][1] == rows[0][1] * SITE_COUNTS[-1]
+    # ...but latency grows sub-linearly (parallel shipping).
+    latency_ratio = rows[-1][3] / rows[0][3]
+    assert latency_ratio < SITE_COUNTS[-1] / 2
+
+    system = build_partitioned_sites(4, ROWS_PER_SITE, seed=81)
+    benchmark(lambda: system.query("synth", SQL_AGG))
+
+
+def test_e8_selective_filter_pushdown_scales(benchmark):
+    """With pushdown, shipped bytes stay tiny regardless of site count."""
+    rows = []
+    for site_count in (2, 6):
+        system = build_partitioned_sites(site_count, ROWS_PER_SITE, seed=82)
+        simple = system.query("synth", SQL_FILTER, optimizer="simple")
+        cost = system.query("synth", SQL_FILTER, optimizer="cost")
+        assert sorted(simple.rows) == sorted(cost.rows)
+        rows.append(
+            (site_count, simple.bytes_shipped, cost.bytes_shipped)
+        )
+    emit(
+        "E8b",
+        "bytes shipped with/without pushdown as sites scale",
+        ["sites", "simple_bytes", "cost_bytes"],
+        rows,
+    )
+    for _, simple_bytes, cost_bytes in rows:
+        assert cost_bytes < simple_bytes / 5
+
+    system = build_partitioned_sites(4, ROWS_PER_SITE, seed=82)
+    benchmark(lambda: system.query("synth", SQL_FILTER, optimizer="cost"))

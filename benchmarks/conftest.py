@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every experiment Ex from DESIGN.md §4 has one ``bench_ex_*.py`` file here.
+Each file:
+
+- sweeps the experiment's parameters on the simulated system, collecting
+  *virtual* metrics (bytes shipped, messages, simulated seconds) that are
+  deterministic and machine-independent,
+- prints the result table (and appends it to ``benchmarks/results/``), and
+- wall-clock benchmarks one representative operation via pytest-benchmark.
+
+Run:  pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(experiment: str, title: str, header: list[str], rows: list[tuple]) -> str:
+    """Format, print, and persist one experiment table."""
+    widths = [len(h) for h in header]
+    rendered = [[_fmt(value) for value in row] for row in rows]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [f"# {experiment}: {title}"]
+    lines.append(" | ".join(h.rjust(w) for h, w in zip(header, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    text = "\n".join(lines)
+    print("\n" + text + "\n", flush=True)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / f"{experiment.lower()}.txt"
+    out.write_text(text + "\n")
+    return text
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,96 @@
+"""Global transactions: 2PC, rollback, and timeout-based deadlock resolution.
+
+Run:  python examples/global_transactions.py
+
+Builds a three-site banking federation and demonstrates the paper's
+transaction machinery:
+
+1. a cross-site transfer committed with two-phase commit,
+2. a global abort rolling back every branch,
+3. a *global deadlock* (two transactions holding locks at different sites,
+   each waiting for the other) resolved by MYRIAD's query-timeout policy,
+4. the wait-for-graph "oracle" confirming it was a genuine deadlock.
+"""
+
+import threading
+import time
+
+from repro.errors import TransactionAborted
+from repro.txn import WaitForGraphDetector
+from repro.workloads import build_bank_sites, total_balance
+
+
+def main() -> None:
+    bank = build_bank_sites(3, 4, query_timeout=2.0)
+    print(f"sites: {bank.site_names()}")
+    print(f"initial total balance: {total_balance(bank):.2f}")
+
+    # ------------------------------------------------------------- 2PC ---
+    print("\n== cross-site transfer under 2PC ==")
+    txn = bank.begin_transaction()
+    txn.execute("b0", "UPDATE account SET balance = balance - 250 WHERE acct = 0")
+    txn.execute("b1", "UPDATE account SET balance = balance + 250 WHERE acct = 4")
+    txn.commit()
+    print(f"  committed {txn.global_id}; 2PC messages: {txn.trace.message_count}")
+    print(f"  total balance: {total_balance(bank):.2f} (conserved)")
+
+    # ------------------------------------------------------------ abort ---
+    print("\n== global abort rolls back every branch ==")
+    txn = bank.begin_transaction()
+    txn.execute("b0", "UPDATE account SET balance = 0 WHERE acct = 1")
+    txn.execute("b2", "UPDATE account SET balance = 0 WHERE acct = 9")
+    txn.abort()
+    print(f"  aborted {txn.global_id}")
+    print(f"  total balance: {total_balance(bank):.2f} (unchanged)")
+
+    # -------------------------------------------------- global deadlock ---
+    print("\n== induced global deadlock, resolved by timeout ==")
+    t1 = bank.begin_transaction("G_ALPHA")
+    t2 = bank.begin_transaction("G_BETA")
+    t1.execute("b0", "UPDATE account SET balance = balance + 0 WHERE acct = 0")
+    t2.execute("b1", "UPDATE account SET balance = balance + 0 WHERE acct = 4")
+    print("  G_ALPHA holds locks at b0; G_BETA holds locks at b1")
+
+    detector = WaitForGraphDetector(bank.gateways)
+    outcomes = {}
+
+    def run(txn, site, label):
+        try:
+            txn.execute(
+                site,
+                "UPDATE account SET balance = balance + 0 WHERE acct = 0",
+                timeout=1.0,
+            )
+            txn.commit()
+            outcomes[label] = "committed"
+        except TransactionAborted as error:
+            outcomes[label] = f"aborted ({error.reason})"
+
+    threads = [
+        threading.Thread(target=run, args=(t1, "b1", "G_ALPHA")),
+        threading.Thread(target=run, args=(t2, "b0", "G_BETA")),
+    ]
+    for thread in threads:
+        thread.start()
+    time.sleep(0.3)
+    cycles = detector.find_cycles()
+    print(f"  oracle wait-for graph sees cycles: {cycles}")
+    for thread in threads:
+        thread.join()
+    for label, outcome in sorted(outcomes.items()):
+        print(f"  {label}: {outcome}")
+    for txn in (t1, t2):
+        try:
+            txn.abort()
+        except Exception:
+            pass
+    print(f"  total balance: {total_balance(bank):.2f} (still conserved)")
+    print(
+        f"  coordinator counters: commits={bank.transactions.commits}, "
+        f"aborts={bank.transactions.aborts}, "
+        f"timeout_aborts={bank.transactions.timeout_aborts}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Optimizer study: simple vs. cost-based vs. semijoin across workloads.
+
+Run:  python examples/optimizer_study.py
+
+Sweeps predicate selectivity and join match-fraction on a two-site
+federation and prints, for each optimizer, bytes shipped and simulated
+elapsed time — a miniature of benchmarks E2/E3.
+"""
+
+from repro.workloads import build_two_site_join
+
+
+def run(system, sql, optimizer):
+    result = system.query("synth", sql, optimizer=optimizer)
+    return len(result.rows), result.bytes_shipped, result.elapsed_s * 1000
+
+
+def main() -> None:
+    print("== selection pushdown: vary selectivity ==")
+    system = build_two_site_join(2000, 2000, match_fraction=0.5, seed=3)
+    print(f"{'selectivity':>12} | {'optimizer':>9} | {'rows':>5} | "
+          f"{'bytes':>8} | {'sim ms':>8}")
+    for selectivity in (0.01, 0.1, 0.5, 1.0):
+        sql = f"SELECT k, pad FROM lhs WHERE flt < {selectivity}"
+        for optimizer in ("simple", "cost"):
+            rows, shipped, ms = run(system, sql, optimizer)
+            print(
+                f"{selectivity:>12} | {optimizer:>9} | {rows:>5} | "
+                f"{shipped:>8} | {ms:>8.2f}"
+            )
+
+    print("\n== semijoin: vary join match fraction ==")
+    print(f"{'match':>6} | {'optimizer':>15} | {'rows':>5} | "
+          f"{'bytes':>8} | {'sim ms':>8}")
+    for match in (0.05, 0.25, 0.75):
+        system = build_two_site_join(400, 4000, match_fraction=match, seed=5)
+        sql = (
+            "SELECT l.k, r.val FROM lhs l JOIN rhs r ON l.k = r.k "
+            "WHERE l.flt < 0.2"
+        )
+        for optimizer in ("simple", "cost-nosemijoin", "cost"):
+            rows, shipped, ms = run(system, sql, optimizer)
+            print(
+                f"{match:>6} | {optimizer:>15} | {rows:>5} | "
+                f"{shipped:>8} | {ms:>8.2f}"
+            )
+
+    print("\nNote: 'cost' includes semijoin reduction when the model "
+          "predicts a win;\nthe crossover with 'cost-nosemijoin' moves with "
+          "the match fraction.")
+
+
+if __name__ == "__main__":
+    main()

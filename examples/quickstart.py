@@ -1,0 +1,112 @@
+"""Quickstart: build a two-site federation and run global queries.
+
+Run:  python examples/quickstart.py
+
+Builds an Oracle-dialect and a Postgres-dialect component database with
+differently-shaped employee tables, exports them, merges them into one
+integrated relation, and queries the federation — comparing the paper's
+simple optimization strategy against the cost-based one.
+"""
+
+from repro import MyriadSystem, union_merge
+
+
+def main() -> None:
+    system = MyriadSystem()
+
+    # --- two autonomous component DBMSs with different schemas/dialects ---
+    ora = system.add_oracle("hq")
+    pg = system.add_postgres("subsidiary")
+
+    ora.dbms.execute_script(
+        """
+        CREATE TABLE employees (
+            eno INTEGER PRIMARY KEY,
+            ename VARCHAR2(30),
+            salary NUMBER,
+            dept VARCHAR2(10)
+        );
+        INSERT INTO employees VALUES
+            (1, 'KING', 5000, 'EXEC'),
+            (2, 'BLAKE', 2850, 'SALES'),
+            (3, 'CLARK', 2450, 'ACCT'),
+            (4, 'JONES', 2975, 'RESEARCH');
+        """
+    )
+    pg.dbms.execute_script(
+        """
+        CREATE TABLE staff (
+            id INTEGER PRIMARY KEY,
+            full_name VARCHAR(30),
+            pay FLOAT,
+            unit VARCHAR(10)
+        );
+        INSERT INTO staff VALUES
+            (101, 'ADAMS', 1100, 'RESEARCH'),
+            (102, 'FORD', 3000, 'RESEARCH'),
+            (103, 'MILLER', 1300, 'ACCT');
+        """
+    )
+
+    # --- export schemas: each site decides what it shares, under which
+    # names (local autonomy: the federation never sees local tables) ------
+    ora.export_table(
+        "employees",
+        "emp",
+        {"empno": "eno", "name": "ename", "sal": "salary", "dept": "dept"},
+    )
+    pg.export_table(
+        "staff",
+        "emp",
+        {"empno": "id", "name": "full_name", "sal": "pay", "dept": "unit"},
+    )
+
+    # --- one federation with one integrated relation ---------------------
+    federation = system.create_federation("corp")
+    federation.add_relation(
+        union_merge(
+            "all_emp",
+            [
+                ("hq", "emp", ["empno", "name", "sal", "dept"]),
+                ("subsidiary", "emp", ["empno", "name", "sal", "dept"]),
+            ],
+            source_tag_column="site",
+        )
+    )
+
+    # --- global SQL -------------------------------------------------------
+    print("== everyone earning > 2500, enterprise-wide ==")
+    result = system.query(
+        "corp",
+        "SELECT name, sal, site FROM all_emp WHERE sal > 2500 ORDER BY sal DESC",
+    )
+    for row in result.rows:
+        print("  ", row)
+
+    print("\n== departments by headcount ==")
+    result = system.query(
+        "corp",
+        "SELECT dept, COUNT(*) AS n, AVG(sal) AS avg_sal FROM all_emp "
+        "GROUP BY dept ORDER BY n DESC, dept",
+    )
+    for row in result.rows:
+        print("  ", row)
+
+    # --- optimizer comparison (the paper's simple strategy vs cost-based) -
+    sql = "SELECT name FROM all_emp WHERE sal > 2900"
+    print(f"\n== optimizer comparison on: {sql} ==")
+    for optimizer in ("simple", "cost"):
+        res = system.query("corp", sql, optimizer=optimizer)
+        print(
+            f"  {optimizer:>7}: {len(res.rows)} rows, "
+            f"{res.bytes_shipped} bytes shipped, "
+            f"{res.trace.message_count} messages, "
+            f"{res.elapsed_s * 1000:.2f} ms simulated"
+        )
+
+    print("\n== the cost-based global plan ==")
+    print(system.explain("corp", sql, "cost"))
+
+
+if __name__ == "__main__":
+    main()

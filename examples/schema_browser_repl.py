@@ -1,0 +1,45 @@
+"""Drive the MYRIAD query interface (the paper's application tool) in script mode.
+
+Run:  python examples/schema_browser_repl.py
+
+Shows the DBA workflow the paper describes: browse component databases and
+export schemas, create a federation, define integrated relations, pose
+global queries, and run a global transaction — all through the same
+interface an interactive user gets from ``myriad-repl``.
+"""
+
+from repro.tools import QueryInterface
+from repro.workloads import build_university_system
+
+SCRIPT = r"""
+\components
+\federations
+\exports duluth
+\describe staff_directory
+SELECT campus, COUNT(*) AS students, AVG(gpa) AS avg_gpa FROM student GROUP BY campus ORDER BY campus
+\define cs_honors AS SELECT name, gpa, campus FROM student WHERE major = 'CS' AND gpa >= 3.5
+SELECT * FROM cs_honors ORDER BY gpa DESC LIMIT 5
+\explain cost SELECT name FROM cs_honors
+BEGIN
+\at twin_cities UPDATE tc_student SET gpa = 4.0 WHERE sid = 1
+SELECT gpa FROM student WHERE sid = 1 AND campus = 'twin_cities'
+COMMIT
+\optimizer simple
+SELECT COUNT(*) FROM enrollment
+\drop relation cs_honors
+\relations
+"""
+
+
+def main() -> None:
+    interface = QueryInterface(build_university_system(seed=11))
+    for line in SCRIPT.strip().splitlines():
+        print(f"myriad> {line}")
+        output = interface.run_line(line)
+        if output:
+            print(output)
+        print()
+
+
+if __name__ == "__main__":
+    main()

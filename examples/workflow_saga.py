@@ -1,0 +1,147 @@
+"""A workflow on top of MYRIAD (the paper's §3 future work), saga-style.
+
+Run:  python examples/workflow_saga.py
+
+A procurement process spanning three autonomous databases: reserve budget
+at headquarters, allocate stock at the warehouse, record the order at the
+sales office.  Each step is one 2PC-committed global transaction with a
+semantic compensation; when a later step fails, earlier steps are undone in
+reverse order — no locks are held between steps.
+"""
+
+from repro import MyriadSystem
+from repro.errors import TransactionAborted
+from repro.workflow import WorkflowEngine, WorkflowError, WorkflowStep
+
+
+def build_company() -> MyriadSystem:
+    system = MyriadSystem()
+    hq = system.add_oracle("hq")
+    warehouse = system.add_postgres("warehouse")
+    sales = system.add_postgres("sales")
+
+    hq.dbms.execute_script(
+        """
+        CREATE TABLE budget (dept VARCHAR2(12) PRIMARY KEY, remaining NUMBER);
+        INSERT INTO budget VALUES ('procurement', 10000);
+        """
+    )
+    warehouse.dbms.execute_script(
+        """
+        CREATE TABLE stock (item VARCHAR(12) PRIMARY KEY, qty INTEGER);
+        INSERT INTO stock VALUES ('widget', 40);
+        """
+    )
+    sales.dbms.execute_script(
+        """
+        CREATE TABLE orders (oid INTEGER PRIMARY KEY, item VARCHAR(12),
+                             qty INTEGER, amount FLOAT);
+        """
+    )
+    for gateway, table in ((hq, "budget"), (warehouse, "stock"), (sales, "orders")):
+        gateway.export_table(table, table)
+    return system
+
+
+def make_steps(order_id, item, qty, amount):
+    def reserve_budget(txn, ctx):
+        remaining = float(
+            txn.execute(
+                "hq",
+                "SELECT remaining FROM budget WHERE dept = 'procurement'",
+            ).scalar()
+        )
+        if remaining < amount:
+            raise TransactionAborted("insufficient budget")
+        txn.execute(
+            "hq",
+            f"UPDATE budget SET remaining = remaining - {amount} "
+            "WHERE dept = 'procurement'",
+        )
+
+    def release_budget(txn, ctx):
+        txn.execute(
+            "hq",
+            f"UPDATE budget SET remaining = remaining + {amount} "
+            "WHERE dept = 'procurement'",
+        )
+
+    def allocate_stock(txn, ctx):
+        available = txn.execute(
+            "warehouse", f"SELECT qty FROM stock WHERE item = '{item}'"
+        ).scalar()
+        if available < qty:
+            raise TransactionAborted("out of stock")
+        txn.execute(
+            "warehouse",
+            f"UPDATE stock SET qty = qty - {qty} WHERE item = '{item}'",
+        )
+
+    def return_stock(txn, ctx):
+        txn.execute(
+            "warehouse",
+            f"UPDATE stock SET qty = qty + {qty} WHERE item = '{item}'",
+        )
+
+    def record_order(txn, ctx):
+        txn.execute(
+            "sales",
+            f"INSERT INTO orders VALUES ({order_id}, '{item}', {qty}, {amount})",
+        )
+
+    def cancel_order(txn, ctx):
+        txn.execute("sales", f"DELETE FROM orders WHERE oid = {order_id}")
+
+    return [
+        WorkflowStep("reserve_budget", reserve_budget, release_budget),
+        WorkflowStep("allocate_stock", allocate_stock, return_stock),
+        WorkflowStep("record_order", record_order, cancel_order),
+    ]
+
+
+def snapshot(system):
+    budget = system.gateway("hq").execute_query(
+        "SELECT remaining FROM budget"
+    ).rows[0][0]
+    stock = system.gateway("warehouse").execute_query(
+        "SELECT qty FROM stock"
+    ).rows[0][0]
+    orders = system.gateway("sales").execute_query(
+        "SELECT COUNT(*) FROM orders"
+    ).rows[0][0]
+    return f"budget={budget}, stock={stock}, orders={orders}"
+
+
+def main() -> None:
+    system = build_company()
+    engine = WorkflowEngine(system)
+    print("initial:", snapshot(system))
+
+    print("\n== order #1: 10 widgets for 4000 (succeeds) ==")
+    run = engine.run(make_steps(1, "widget", 10, 4000.0))
+    print("  status:", run.status.value, "| steps:", run.completed_steps)
+    print("  state:", snapshot(system))
+
+    print("\n== order #2: 50 widgets for 5000 (fails at stock, compensates) ==")
+    try:
+        engine.run(make_steps(2, "widget", 50, 5000.0))
+    except WorkflowError as error:
+        print("  workflow error:", error)
+    print("  state:", snapshot(system), " <- budget released, no order")
+
+    print("\n== order #3: 5 widgets for 9000 (fails at budget immediately) ==")
+    try:
+        engine.run(make_steps(3, "widget", 5, 9000.0))
+    except WorkflowError as error:
+        print("  workflow error:", error)
+    print("  state:", snapshot(system))
+
+    print(
+        f"\nengine counters: committed={engine.committed}, "
+        f"compensated={engine.compensated}, stuck={engine.stuck}"
+    )
+    print("durable trail of order #2:", engine.history("W5"))
+
+
+if __name__ == "__main__":
+    main()

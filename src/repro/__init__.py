@@ -1,0 +1,45 @@
+"""repro — a full reproduction of the MYRIAD federated database prototype.
+
+MYRIAD (U. Minnesota, SIGMOD 1994) integrates autonomous component DBMSs
+into federations of integrated relations, processes global SQL queries via
+gateways, and runs serializable global transactions with two-phase commit
+and timeout-based global deadlock resolution.
+
+Public entry points:
+
+- :class:`~repro.myriad.MyriadSystem` — build a federation end to end
+- :mod:`repro.workloads` — ready-made example federations and generators
+- :mod:`repro.tools` — the schema-browsing / query REPL
+"""
+
+from repro.errors import (
+    DeadlockError,
+    FederationError,
+    GatewayError,
+    GatewayTimeout,
+    LockTimeoutError,
+    MyriadError,
+    TransactionAborted,
+    TwoPhaseCommitError,
+)
+from repro.myriad import MyriadSystem
+from repro.schema import Federation, join_merge, union_merge, view_relation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MyriadSystem",
+    "Federation",
+    "join_merge",
+    "union_merge",
+    "view_relation",
+    "MyriadError",
+    "FederationError",
+    "GatewayError",
+    "GatewayTimeout",
+    "DeadlockError",
+    "LockTimeoutError",
+    "TransactionAborted",
+    "TwoPhaseCommitError",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Concurrency control: 2PL lock manager, WAL, local transactions."""
+
+from repro.concurrency.locks import LockManager, LockMode
+from repro.concurrency.transactions import (
+    LocalTransaction,
+    LocalTransactionManager,
+    TxnMutator,
+    TxnState,
+)
+from repro.concurrency.wal import LogRecord, LogRecordType, WriteAheadLog
+
+__all__ = [
+    "LockManager",
+    "LockMode",
+    "LocalTransaction",
+    "LocalTransactionManager",
+    "TxnMutator",
+    "TxnState",
+    "LogRecord",
+    "LogRecordType",
+    "WriteAheadLog",
+]

@@ -1,0 +1,243 @@
+"""Strict two-phase-locking lock manager.
+
+Table-granularity S/X locks with upgrade, FIFO-biased waiting, an optional
+local wait-for-graph deadlock detector, and bounded waits that raise
+:class:`~repro.errors.LockTimeoutError` — the primitive MYRIAD's gateways use
+to signal a suspected *global* deadlock up to the federation layer.
+
+The lock manager also exposes its wait-for edges so the federation-level
+"oracle" global deadlock detector (benchmark baseline) can union the graphs
+of every component DBMS.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import DeadlockError, LockTimeoutError
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+def _compatible(held: LockMode, requested: LockMode) -> bool:
+    return held is LockMode.SHARED and requested is LockMode.SHARED
+
+
+@dataclass
+class _LockState:
+    """Holders and waiters of one resource."""
+
+    holders: dict[object, LockMode] = field(default_factory=dict)
+    waiters: list[tuple[object, LockMode]] = field(default_factory=list)
+
+
+class LockManager:
+    """One lock manager per component DBMS (per the paper: local 2PL).
+
+    ``owner`` identifiers are opaque (transaction ids).  All methods are
+    thread-safe; waiting happens on a single condition variable, which is
+    plenty at the scale of the experiments.
+    """
+
+    def __init__(self, detect_local_deadlocks: bool = True):
+        self._lock = threading.Lock()
+        self._condition = threading.Condition(self._lock)
+        self._resources: dict[str, _LockState] = {}
+        self._held_by_owner: dict[object, set[str]] = {}
+        self._cancelled: set[object] = set()
+        self.detect_local_deadlocks = detect_local_deadlocks
+        # Counters for experiments.
+        self.acquisitions = 0
+        self.waits = 0
+        self.timeouts = 0
+        self.local_deadlocks = 0
+
+    # ------------------------------------------------------------------
+    # Acquisition / release
+    # ------------------------------------------------------------------
+
+    def acquire(
+        self,
+        owner: object,
+        resource: str,
+        mode: LockMode,
+        timeout: float | None = None,
+    ) -> None:
+        """Acquire (or upgrade) a lock, blocking up to ``timeout`` seconds.
+
+        Raises :class:`LockTimeoutError` on timeout and
+        :class:`DeadlockError` when the local wait-for graph shows that
+        waiting would close a cycle.
+        """
+        with self._condition:
+            state = self._resources.setdefault(resource, _LockState())
+
+            if self._try_grant(owner, state, mode):
+                self._note_grant(owner, resource)
+                return
+
+            if self.detect_local_deadlocks and self._would_deadlock(
+                owner, state
+            ):
+                self.local_deadlocks += 1
+                raise DeadlockError(
+                    f"local deadlock acquiring {mode.value} on {resource!r}"
+                )
+
+            entry = (owner, mode)
+            state.waiters.append(entry)
+            self.waits += 1
+            remaining = timeout
+            import time as _time
+
+            start = _time.monotonic()
+            try:
+                while True:
+                    if owner in self._cancelled:
+                        self._cancelled.discard(owner)
+                        raise DeadlockError(
+                            "lock wait cancelled: chosen as deadlock victim"
+                        )
+                    if self._try_grant(owner, state, mode, waiting=entry):
+                        state.waiters.remove(entry)
+                        self._note_grant(owner, resource)
+                        self._condition.notify_all()
+                        return
+                    if timeout is not None:
+                        remaining = timeout - (_time.monotonic() - start)
+                        if remaining <= 0:
+                            self.timeouts += 1
+                            raise LockTimeoutError(
+                                f"timed out waiting for {mode.value} on "
+                                f"{resource!r}"
+                            )
+                    if self.detect_local_deadlocks and self._would_deadlock(
+                        owner, state
+                    ):
+                        self.local_deadlocks += 1
+                        raise DeadlockError(
+                            f"local deadlock acquiring {mode.value} on "
+                            f"{resource!r}"
+                        )
+                    self._condition.wait(
+                        remaining if timeout is not None else 0.05
+                    )
+            except (LockTimeoutError, DeadlockError):
+                if entry in state.waiters:
+                    state.waiters.remove(entry)
+                self._condition.notify_all()
+                raise
+
+    def _try_grant(
+        self,
+        owner: object,
+        state: _LockState,
+        mode: LockMode,
+        waiting: tuple | None = None,
+    ) -> bool:
+        held = state.holders.get(owner)
+        if held is not None:
+            if held is mode or (
+                held is LockMode.EXCLUSIVE and mode is LockMode.SHARED
+            ):
+                return True
+            # Upgrade S → X: allowed when we are the only holder.
+            if len(state.holders) == 1:
+                state.holders[owner] = LockMode.EXCLUSIVE
+                return True
+            return False
+        others = [m for o, m in state.holders.items() if o != owner]
+        if any(not _compatible(m, mode) for m in others):
+            return False
+        # Fairness: a SHARED request should not jump an older EXCLUSIVE
+        # waiter (prevents writer starvation), unless it is that waiter.
+        if mode is LockMode.SHARED:
+            for waiter_entry in state.waiters:
+                if waiter_entry is waiting:
+                    break
+                if waiter_entry[1] is LockMode.EXCLUSIVE and waiter_entry[0] != owner:
+                    return False
+        state.holders[owner] = mode
+        self.acquisitions += 1
+        return True
+
+    def _note_grant(self, owner: object, resource: str) -> None:
+        self._held_by_owner.setdefault(owner, set()).add(resource)
+
+    def cancel_waits(self, owner: object) -> None:
+        """Make any in-progress lock wait of ``owner`` raise DeadlockError.
+
+        Used by global deadlock-detection policies to kill a victim that is
+        blocked inside a component DBMS.  No-op if the owner is not waiting
+        (the flag is cleared on its next wait check).
+        """
+        with self._condition:
+            self._cancelled.add(owner)
+            self._condition.notify_all()
+
+    def release_all(self, owner: object) -> None:
+        """Strict 2PL: drop every lock at commit/abort time."""
+        with self._condition:
+            self._cancelled.discard(owner)
+            resources = self._held_by_owner.pop(owner, set())
+            for resource in resources:
+                state = self._resources.get(resource)
+                if state is not None:
+                    state.holders.pop(owner, None)
+                    if not state.holders and not state.waiters:
+                        del self._resources[resource]
+            self._condition.notify_all()
+
+    # ------------------------------------------------------------------
+    # Introspection (deadlock detection, experiments)
+    # ------------------------------------------------------------------
+
+    def holds(self, owner: object, resource: str) -> LockMode | None:
+        with self._lock:
+            state = self._resources.get(resource)
+            if state is None:
+                return None
+            return state.holders.get(owner)
+
+    def wait_for_edges(self) -> list[tuple[object, object]]:
+        """Edges (waiter → holder) of the current local wait-for graph."""
+        with self._lock:
+            return self._edges_locked()
+
+    def _edges_locked(self) -> list[tuple[object, object]]:
+        edges: list[tuple[object, object]] = []
+        for state in self._resources.values():
+            for waiter, mode in state.waiters:
+                for holder, held_mode in state.holders.items():
+                    if holder == waiter:
+                        continue
+                    if mode is LockMode.EXCLUSIVE or held_mode is LockMode.EXCLUSIVE:
+                        edges.append((waiter, holder))
+        return edges
+
+    def _would_deadlock(self, owner: object, state: _LockState) -> bool:
+        """Would ``owner`` waiting on ``state`` close a local cycle?"""
+        edges = self._edges_locked()
+        for holder, mode in state.holders.items():
+            if holder != owner:
+                edges.append((owner, holder))
+        graph: dict[object, set[object]] = {}
+        for source, target in edges:
+            graph.setdefault(source, set()).add(target)
+        # DFS from owner looking for a path back to owner.
+        stack = list(graph.get(owner, ()))
+        seen: set[object] = set()
+        while stack:
+            node = stack.pop()
+            if node == owner:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(graph.get(node, ()))
+        return False

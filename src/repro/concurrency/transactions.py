@@ -1,0 +1,227 @@
+"""Local transactions: strict 2PL + undo logging + 2PC participant states.
+
+Each component DBMS owns one :class:`LocalTransactionManager`.  Transactions
+acquire table locks through a :class:`TxnMutator` (the engine's mutation
+hook), record undo information, and can either commit locally or enter the
+PREPARED state on behalf of a global (federated) transaction.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass, field
+
+from repro.concurrency.locks import LockManager, LockMode
+from repro.concurrency.wal import LogRecordType, WriteAheadLog
+from repro.engine.executor import Mutator
+from repro.errors import TransactionError
+from repro.storage.schema import Row
+from repro.storage.table import Table
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "active"
+    PREPARED = "prepared"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class _UndoEntry:
+    kind: str  # 'insert' | 'delete' | 'update'
+    table: Table
+    rid: int
+    old_row: Row | None = None
+
+
+@dataclass
+class LocalTransaction:
+    txn_id: object
+    state: TxnState = TxnState.ACTIVE
+    undo: list[_UndoEntry] = field(default_factory=list)
+    #: Set when this local transaction is a branch of a global transaction.
+    global_id: object | None = None
+
+    def require_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionError(
+                f"transaction {self.txn_id} is {self.state.value}, not active"
+            )
+
+
+class LocalTransactionManager:
+    """Begin/commit/abort plus the 2PC participant protocol for one DBMS."""
+
+    def __init__(
+        self,
+        lock_manager: LockManager | None = None,
+        wal: WriteAheadLog | None = None,
+        lock_timeout: float | None = None,
+    ):
+        self.locks = lock_manager or LockManager()
+        self.wal = wal or WriteAheadLog()
+        self.lock_timeout = lock_timeout
+        self._transactions: dict[object, LocalTransaction] = {}
+        self._mutex = threading.Lock()
+        self._counter = 0
+        # Experiment counters
+        self.commits = 0
+        self.aborts = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def begin(
+        self, txn_id: object | None = None, global_id: object | None = None
+    ) -> LocalTransaction:
+        with self._mutex:
+            if txn_id is None:
+                self._counter += 1
+                txn_id = f"local-{self._counter}"
+            if txn_id in self._transactions:
+                raise TransactionError(f"transaction {txn_id} already exists")
+            txn = LocalTransaction(txn_id, global_id=global_id)
+            self._transactions[txn_id] = txn
+        self.wal.append(LogRecordType.BEGIN, txn_id)
+        return txn
+
+    def get(self, txn_id: object) -> LocalTransaction:
+        try:
+            return self._transactions[txn_id]
+        except KeyError:
+            raise TransactionError(f"unknown transaction {txn_id}") from None
+
+    def commit(self, txn: LocalTransaction) -> None:
+        """One-phase (local-only) commit."""
+        if txn.state is TxnState.PREPARED:
+            self._finish_commit(txn)
+            return
+        txn.require_active()
+        self._finish_commit(txn)
+
+    def _finish_commit(self, txn: LocalTransaction) -> None:
+        self.wal.append(LogRecordType.COMMIT, txn.txn_id, flush=True)
+        txn.state = TxnState.COMMITTED
+        txn.undo.clear()
+        self.locks.release_all(txn.txn_id)
+        with self._mutex:
+            self._transactions.pop(txn.txn_id, None)
+        self.commits += 1
+
+    def abort(self, txn: LocalTransaction) -> None:
+        if txn.state in (TxnState.COMMITTED, TxnState.ABORTED):
+            return
+        self._rollback_changes(txn)
+        self.wal.append(LogRecordType.ABORT, txn.txn_id, flush=True)
+        txn.state = TxnState.ABORTED
+        self.locks.release_all(txn.txn_id)
+        with self._mutex:
+            self._transactions.pop(txn.txn_id, None)
+        self.aborts += 1
+
+    def _rollback_changes(self, txn: LocalTransaction) -> None:
+        for entry in reversed(txn.undo):
+            if entry.kind == "insert":
+                if entry.rid in entry.table.rows:
+                    entry.table.delete(entry.rid)
+            elif entry.kind == "delete":
+                entry.table.restore(entry.rid, entry.old_row)
+            elif entry.kind == "update":
+                entry.table.update(entry.rid, entry.old_row)
+        txn.undo.clear()
+
+    # ------------------------------------------------------------------
+    # Two-phase-commit participant interface (used by the gateways)
+    # ------------------------------------------------------------------
+
+    def prepare(self, txn: LocalTransaction) -> bool:
+        """Phase 1: vote.  Returns True (YES) after forcing the log."""
+        txn.require_active()
+        self.wal.append(
+            LogRecordType.PREPARE, txn.txn_id, (txn.global_id,), flush=True
+        )
+        txn.state = TxnState.PREPARED
+        return True
+
+    def commit_prepared(self, txn: LocalTransaction) -> None:
+        if txn.state is not TxnState.PREPARED:
+            raise TransactionError(
+                f"transaction {txn.txn_id} not prepared (state {txn.state.value})"
+            )
+        self._finish_commit(txn)
+
+    def abort_prepared(self, txn: LocalTransaction) -> None:
+        if txn.state is not TxnState.PREPARED:
+            raise TransactionError(
+                f"transaction {txn.txn_id} not prepared (state {txn.state.value})"
+            )
+        txn.state = TxnState.ACTIVE  # allow undo path
+        self.abort(txn)
+
+    def active_transactions(self) -> list[LocalTransaction]:
+        with self._mutex:
+            return list(self._transactions.values())
+
+
+class TxnMutator(Mutator):
+    """Engine mutation hook that adds strict-2PL locking and undo logging."""
+
+    def __init__(
+        self,
+        manager: LocalTransactionManager,
+        txn: LocalTransaction,
+        lock_timeout: float | None = None,
+    ):
+        self.manager = manager
+        self.txn = txn
+        self.lock_timeout = (
+            lock_timeout if lock_timeout is not None else manager.lock_timeout
+        )
+
+    # -- lock hooks -------------------------------------------------------
+
+    def read_lock(self, table: Table) -> None:
+        self.txn.require_active()
+        self.manager.locks.acquire(
+            self.txn.txn_id, table.name.lower(), LockMode.SHARED, self.lock_timeout
+        )
+
+    def write_lock(self, table: Table) -> None:
+        self.txn.require_active()
+        self.manager.locks.acquire(
+            self.txn.txn_id,
+            table.name.lower(),
+            LockMode.EXCLUSIVE,
+            self.lock_timeout,
+        )
+
+    # -- mutations with undo logging ---------------------------------------
+
+    def insert(self, table: Table, row: Row) -> int:
+        self.write_lock(table)
+        rid = table.insert(row)
+        self.txn.undo.append(_UndoEntry("insert", table, rid))
+        self.manager.wal.append(
+            LogRecordType.INSERT, self.txn.txn_id, (table.name, rid)
+        )
+        return rid
+
+    def delete(self, table: Table, rid: int) -> Row:
+        self.write_lock(table)
+        old_row = table.delete(rid)
+        self.txn.undo.append(_UndoEntry("delete", table, rid, old_row))
+        self.manager.wal.append(
+            LogRecordType.DELETE, self.txn.txn_id, (table.name, rid)
+        )
+        return old_row
+
+    def update(self, table: Table, rid: int, new_row: Row):
+        self.write_lock(table)
+        old_row, new = table.update(rid, new_row)
+        self.txn.undo.append(_UndoEntry("update", table, rid, old_row))
+        self.manager.wal.append(
+            LogRecordType.UPDATE, self.txn.txn_id, (table.name, rid)
+        )
+        return old_row, new

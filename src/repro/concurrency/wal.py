@@ -1,0 +1,96 @@
+"""Write-ahead log for one component DBMS (and for the 2PC coordinator).
+
+An append-only record list with monotonically increasing LSNs.  The
+interesting records for the federation layer are the 2PC ones: PREPARE,
+COMMIT, ABORT — recovery uses them to decide the fate of in-doubt
+transactions after a (simulated) crash.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class LogRecordType(enum.Enum):
+    BEGIN = "BEGIN"
+    INSERT = "INSERT"
+    DELETE = "DELETE"
+    UPDATE = "UPDATE"
+    PREPARE = "PREPARE"
+    COMMIT = "COMMIT"
+    ABORT = "ABORT"
+    # Coordinator-side records
+    COORD_BEGIN_2PC = "COORD_BEGIN_2PC"
+    COORD_COMMIT = "COORD_COMMIT"
+    COORD_ABORT = "COORD_ABORT"
+    COORD_END = "COORD_END"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    lsn: int
+    record_type: LogRecordType
+    txn_id: object
+    payload: tuple = ()
+
+
+@dataclass
+class WriteAheadLog:
+    """In-memory WAL with crash/recovery helpers for the tests."""
+
+    records: list[LogRecord] = field(default_factory=list)
+    flushed_lsn: int = -1
+    _next_lsn: int = 0
+
+    def append(
+        self,
+        record_type: LogRecordType,
+        txn_id: object,
+        payload: tuple = (),
+        flush: bool = False,
+    ) -> LogRecord:
+        record = LogRecord(self._next_lsn, record_type, txn_id, payload)
+        self._next_lsn += 1
+        self.records.append(record)
+        if flush:
+            self.flush()
+        return record
+
+    def flush(self) -> None:
+        """Force the log to 'stable storage' (advance the flushed horizon)."""
+        self.flushed_lsn = self._next_lsn - 1
+
+    def durable_records(self) -> list[LogRecord]:
+        """Records that survive a crash: only those at or below flushed_lsn."""
+        return [r for r in self.records if r.lsn <= self.flushed_lsn]
+
+    def simulate_crash(self) -> None:
+        """Drop unflushed records, as a crash would."""
+        self.records = self.durable_records()
+
+    # -- recovery analysis -------------------------------------------------
+
+    def in_doubt_transactions(self) -> set[object]:
+        """Transactions PREPAREd but with no durable COMMIT/ABORT record."""
+        prepared: set[object] = set()
+        finished: set[object] = set()
+        for record in self.durable_records():
+            if record.record_type is LogRecordType.PREPARE:
+                prepared.add(record.txn_id)
+            elif record.record_type in (
+                LogRecordType.COMMIT,
+                LogRecordType.ABORT,
+            ):
+                finished.add(record.txn_id)
+        return prepared - finished
+
+    def coordinator_decisions(self) -> dict[object, str]:
+        """txn_id → 'commit' | 'abort' from durable coordinator records."""
+        decisions: dict[object, str] = {}
+        for record in self.durable_records():
+            if record.record_type is LogRecordType.COORD_COMMIT:
+                decisions[record.txn_id] = "commit"
+            elif record.record_type is LogRecordType.COORD_ABORT:
+                decisions[record.txn_id] = "abort"
+        return decisions

@@ -1,0 +1,31 @@
+"""Local SQL execution engine: expressions, operators, planner, executor."""
+
+from repro.engine.executor import (
+    ExecutionReport,
+    LocalEngine,
+    Mutator,
+    ResultSet,
+)
+from repro.engine.expressions import (
+    BUILTIN_FUNCTIONS,
+    DEFAULT_NOW,
+    EvalEnv,
+    ExpressionEvaluator,
+    OutputColumn,
+    Scope,
+)
+from repro.engine.planner import LocalPlanner
+
+__all__ = [
+    "ExecutionReport",
+    "LocalEngine",
+    "Mutator",
+    "ResultSet",
+    "BUILTIN_FUNCTIONS",
+    "DEFAULT_NOW",
+    "EvalEnv",
+    "ExpressionEvaluator",
+    "OutputColumn",
+    "Scope",
+    "LocalPlanner",
+]

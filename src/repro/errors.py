@@ -1,0 +1,134 @@
+"""Exception hierarchy shared by every MYRIAD subsystem.
+
+Every error raised by the library derives from :class:`MyriadError`, so
+applications can catch one type at the top level.  The hierarchy mirrors the
+layering of the system: SQL front end, storage/engine, concurrency, gateway,
+federation, and global transaction management.
+"""
+
+from __future__ import annotations
+
+
+class MyriadError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+# --------------------------------------------------------------------------
+# SQL front end
+# --------------------------------------------------------------------------
+
+
+class SQLError(MyriadError):
+    """Base class for errors in the SQL front end."""
+
+
+class LexerError(SQLError):
+    """Raised when the input text cannot be tokenised."""
+
+    def __init__(self, message: str, position: int, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.position = position
+        self.line = line
+        self.column = column
+
+
+class ParseError(SQLError):
+    """Raised when the token stream does not form a valid statement."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+# --------------------------------------------------------------------------
+# Catalog / storage / execution
+# --------------------------------------------------------------------------
+
+
+class CatalogError(MyriadError):
+    """Unknown table/column/index, duplicate definitions, etc."""
+
+
+class TypeError_(MyriadError):
+    """SQL type error (incompatible operands, bad cast).
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    Exposed publicly as ``SQLTypeError``.
+    """
+
+
+SQLTypeError = TypeError_
+
+
+class IntegrityError(MyriadError):
+    """Constraint violation: primary key duplicate, NOT NULL, etc."""
+
+
+class ExecutionError(MyriadError):
+    """Runtime failure while executing a (local or global) plan."""
+
+
+# --------------------------------------------------------------------------
+# Concurrency / transactions
+# --------------------------------------------------------------------------
+
+
+class TransactionError(MyriadError):
+    """Base class for transaction-related failures."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was aborted (deadlock victim, timeout, or explicit)."""
+
+    def __init__(self, message: str = "transaction aborted", *, reason: str = ""):
+        super().__init__(message)
+        self.reason = reason or message
+
+
+class DeadlockError(TransactionAborted):
+    """A (local) deadlock was detected and this transaction chosen as victim."""
+
+    def __init__(self, message: str = "deadlock detected"):
+        super().__init__(message, reason="deadlock")
+
+
+class LockTimeoutError(TransactionAborted):
+    """A lock/query wait exceeded its timeout (MYRIAD's global-deadlock signal)."""
+
+    def __init__(self, message: str = "lock wait timeout"):
+        super().__init__(message, reason="timeout")
+
+
+class TwoPhaseCommitError(TransactionError):
+    """A failure during the two-phase commit protocol."""
+
+
+# --------------------------------------------------------------------------
+# Federation layer
+# --------------------------------------------------------------------------
+
+
+class FederationError(MyriadError):
+    """Errors in federation/schema-integration definitions."""
+
+
+class GatewayError(MyriadError):
+    """Errors raised by a gateway (translation failure, export violation)."""
+
+
+class GatewayTimeout(GatewayError):
+    """A local query did not return within its timeout period.
+
+    Per the paper, the federation layer interprets this as a (potential)
+    global deadlock and aborts the entire global transaction.
+    """
+
+    def __init__(self, message: str = "gateway query timeout", *, site: str = ""):
+        super().__init__(message)
+        self.site = site
+
+
+class NetworkError(MyriadError):
+    """Simulated-network failures (unknown endpoint, partition)."""

@@ -1,0 +1,14 @@
+"""Gateways: dialect translation, export schemas, timeouts, 2PC proxying."""
+
+from repro.gateway.exports import ExportRelation, ExportSchema
+from repro.gateway.gateway import FEDERATION_SITE, LOCAL_ROW_COST_S, Gateway
+from repro.gateway.translate import rewrite_exports
+
+__all__ = [
+    "ExportRelation",
+    "ExportSchema",
+    "FEDERATION_SITE",
+    "LOCAL_ROW_COST_S",
+    "Gateway",
+    "rewrite_exports",
+]

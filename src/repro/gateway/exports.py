@@ -1,0 +1,133 @@
+"""Export schemas: what a component DBMS exposes to federations.
+
+Local autonomy means a component DBMS never exposes raw tables — it exports
+*export relations*: a named view of one local table with column projection,
+renaming, and an optional row-restriction predicate.  Everything above the
+gateway (schema integration, global queries) sees only export relations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import GatewayError
+from repro.sql import ast, parse_expression
+from repro.storage.schema import Column, TableSchema
+
+
+@dataclass
+class ExportRelation:
+    """One exported view of a local table.
+
+    ``columns`` maps export-column name → local-column name, in export
+    order.  ``predicate`` (SQL text over *local* column names) restricts the
+    exported rows.
+    """
+
+    name: str
+    local_table: str
+    columns: dict[str, str]
+    predicate: str | None = None
+
+    def local_column(self, export_column: str) -> str:
+        for export_name, local_name in self.columns.items():
+            if export_name.lower() == export_column.lower():
+                return local_name
+        raise GatewayError(
+            f"export relation {self.name!r} has no column {export_column!r}"
+        )
+
+    def as_query(self) -> ast.Select:
+        """The export view as a SELECT over the local table."""
+        items = [
+            ast.SelectItem(ast.ColumnRef(local_name, self.local_table), export_name)
+            for export_name, local_name in self.columns.items()
+        ]
+        where = parse_expression(self.predicate) if self.predicate else None
+        return ast.Select(
+            items=items,
+            from_clause=[ast.TableName(self.local_table)],
+            where=where,
+        )
+
+
+@dataclass
+class ExportSchema:
+    """All export relations offered by one component DBMS."""
+
+    site: str
+    relations: dict[str, ExportRelation] = field(default_factory=dict)
+
+    def add(self, relation: ExportRelation) -> None:
+        key = relation.name.lower()
+        if key in self.relations:
+            raise GatewayError(
+                f"export relation {relation.name!r} already defined at "
+                f"{self.site!r}"
+            )
+        self.relations[key] = relation
+
+    def export_table(
+        self,
+        local_schema: TableSchema,
+        export_name: str | None = None,
+        columns: list[str] | dict[str, str] | None = None,
+        predicate: str | None = None,
+    ) -> ExportRelation:
+        """Convenience: build and register an export of a local table."""
+        if columns is None:
+            mapping = {name: name for name in local_schema.column_names}
+        elif isinstance(columns, dict):
+            mapping = dict(columns)
+        else:
+            mapping = {name: name for name in columns}
+        for local_name in mapping.values():
+            local_schema.column_index(local_name)  # validate
+        relation = ExportRelation(
+            export_name or local_schema.name,
+            local_schema.name,
+            mapping,
+            predicate,
+        )
+        self.add(relation)
+        return relation
+
+    def get(self, name: str) -> ExportRelation:
+        try:
+            return self.relations[name.lower()]
+        except KeyError:
+            raise GatewayError(
+                f"site {self.site!r} exports no relation {name!r}"
+            ) from None
+
+    def has(self, name: str) -> bool:
+        return name.lower() in self.relations
+
+    def names(self) -> list[str]:
+        return sorted(relation.name for relation in self.relations.values())
+
+    def export_schema_of(
+        self, name: str, local_schema: TableSchema
+    ) -> TableSchema:
+        """Canonical schema of an export relation (types from local columns)."""
+        relation = self.get(name)
+        columns = [
+            Column(
+                export_name,
+                local_schema.column(local_name).datatype,
+                local_schema.column(local_name).nullable,
+            )
+            for export_name, local_name in relation.columns.items()
+        ]
+        # The primary key survives export only if every key column is exposed.
+        local_to_export = {
+            local.lower(): export for export, local in relation.columns.items()
+        }
+        primary_key = []
+        for key_column in local_schema.primary_key:
+            exported = local_to_export.get(key_column.lower())
+            if exported is None:
+                primary_key = []
+                break
+            primary_key.append(exported)
+        return TableSchema(relation.name, columns, primary_key)

@@ -1,0 +1,398 @@
+"""The MYRIAD gateway: the federation's ambassador at one component DBMS.
+
+Responsibilities (as in the paper):
+
+- expose the component's *export relations* and their statistics
+- accept global SQL fragments, translate them to the local dialect, run them
+  through a local session, and ship results back (every hop accounted on the
+  simulated network)
+- attach a *timeout* to each local query: if the local DBMS cannot finish in
+  time (in this model: blocks on a lock that long), raise
+  :class:`~repro.errors.GatewayTimeout`, which the global transaction manager
+  interprets as a potential global deadlock and aborts the whole global
+  transaction
+- act as the 2PC participant proxy for global transactions (begin / prepare /
+  commit / abort of the local branch)
+"""
+
+from __future__ import annotations
+
+from decimal import Decimal
+
+from repro.engine import ResultSet
+from repro.errors import GatewayError, GatewayTimeout, LockTimeoutError
+from repro.gateway.exports import ExportRelation, ExportSchema
+from repro.gateway.translate import rewrite_exports
+from repro.localdb.dbms import LocalDBMS, Session
+from repro.net import MessageTrace, Network, estimate_rows_bytes
+from repro.sql import ast, to_sql
+from repro.storage.stats import TableStats, analyze_rows
+
+#: Virtual per-row processing cost at a component site (SPARC-era: ~50k
+#: rows/s through the executor).
+LOCAL_ROW_COST_S = 2e-5
+
+#: Site name used for the federation server in message accounting.
+FEDERATION_SITE = "federation"
+
+
+class Gateway:
+    """Gateway process in front of one component DBMS."""
+
+    def __init__(
+        self,
+        dbms: LocalDBMS,
+        network: Network,
+        site: str | None = None,
+        default_timeout: float | None = None,
+    ):
+        self.dbms = dbms
+        self.network = network
+        self.site = site or dbms.name
+        self.default_timeout = default_timeout
+        self.exports = ExportSchema(self.site)
+        network.add_site(self.site)
+        network.add_site(FEDERATION_SITE)
+        self._txn_sessions: dict[object, Session] = {}
+        self._stats_cache: dict[str, TableStats] = {}
+        # Experiment counters
+        self.queries_executed = 0
+        self.timeouts = 0
+        # Fault-injection hooks (testing/benchmarks): vote NO on the next N
+        # prepares / swallow the next N commit decisions (simulating a
+        # participant crash between phases).
+        self.fail_next_prepares = 0
+        self.drop_next_commits = 0
+
+    # ------------------------------------------------------------------
+    # Export management
+    # ------------------------------------------------------------------
+
+    def export_table(
+        self,
+        local_table: str,
+        export_name: str | None = None,
+        columns: list[str] | dict[str, str] | None = None,
+        predicate: str | None = None,
+    ) -> ExportRelation:
+        """Expose a local table (or a projection/restriction of it)."""
+        schema = self.dbms.table_schema(local_table)
+        relation = self.exports.export_table(
+            schema, export_name, columns, predicate
+        )
+        self._stats_cache.pop(relation.name.lower(), None)
+        return relation
+
+    def export_names(self) -> list[str]:
+        return self.exports.names()
+
+    def export_relation_schema(self, name: str):
+        relation = self.exports.get(name)
+        local_schema = self.dbms.table_schema(relation.local_table)
+        return self.exports.export_schema_of(name, local_schema)
+
+    def export_stats(self, name: str, refresh: bool = False) -> TableStats:
+        """Statistics of an export view (computed by running the view)."""
+        key = name.lower()
+        if not refresh and key in self._stats_cache:
+            return self._stats_cache[key]
+        relation = self.exports.get(name)
+        result = self.dbms.execute(relation.as_query())
+        stats = analyze_rows(relation.name, result.columns, result.rows)
+        self._stats_cache[key] = stats
+        return stats
+
+    def invalidate_stats(self) -> None:
+        self._stats_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Query shipping
+    # ------------------------------------------------------------------
+
+    def execute_query(
+        self,
+        query: ast.Query | str,
+        trace: MessageTrace | None = None,
+        from_site: str = FEDERATION_SITE,
+        timeout: float | None = None,
+        global_id: object | None = None,
+    ) -> ResultSet:
+        """Translate, run locally, and ship back one query fragment."""
+        if isinstance(query, str):
+            from repro.sql import parse_query
+
+            query = parse_query(query)
+        local_query = rewrite_exports(query, self.exports)
+        sql_text = to_sql(local_query, self.dbms.dialect)
+
+        self.network.send(
+            from_site, self.site, len(sql_text.encode()), "query", trace
+        )
+        session = self._session_for(global_id)
+        result = self._run_local(session, sql_text, timeout)
+        if trace is not None:
+            trace.add_compute(
+                self.dbms.engine.last_report.rows_scanned * LOCAL_ROW_COST_S
+            )
+        self.network.send(
+            self.site,
+            from_site,
+            estimate_rows_bytes(result.rows),
+            "result",
+            trace,
+        )
+        self.queries_executed += 1
+        return ResultSet(result.columns, _normalize_rows(result.rows))
+
+    def execute_update(
+        self,
+        statement: ast.Statement | str,
+        global_id: object,
+        trace: MessageTrace | None = None,
+        from_site: str = FEDERATION_SITE,
+        timeout: float | None = None,
+    ) -> int:
+        """Run a DML fragment inside a global transaction's local branch."""
+        if isinstance(statement, str):
+            from repro.sql import parse_statement
+
+            statement = parse_statement(statement)
+        if isinstance(statement, (ast.Select, ast.SetOperation)):
+            raise GatewayError("execute_update expects a DML statement")
+        local_stmt = _rewrite_dml(statement, self.exports)
+        sql_text = to_sql(local_stmt, self.dbms.dialect)
+        self.network.send(
+            from_site, self.site, len(sql_text.encode()), "dml", trace
+        )
+        session = self._session_for(global_id)
+        result = self._run_local(session, sql_text, timeout)
+        self.network.send(self.site, from_site, 8, "ack", trace)
+        self._stats_cache.clear()
+        if isinstance(result, ResultSet):  # pragma: no cover - defensive
+            return len(result)
+        return result
+
+    def _run_local(
+        self, session: Session, sql_text: str, timeout: float | None
+    ):
+        effective = timeout if timeout is not None else self.default_timeout
+        previous = session.lock_timeout
+        session.lock_timeout = effective
+        try:
+            return session.execute(sql_text)
+        except LockTimeoutError as error:
+            # Paper semantics: no answer within the timeout period ⇒ assume
+            # the global transaction is deadlocked.
+            self.timeouts += 1
+            raise GatewayTimeout(
+                f"site {self.site!r}: local query exceeded its timeout "
+                f"({effective}s): {error}",
+                site=self.site,
+            ) from error
+        finally:
+            session.lock_timeout = previous
+
+    def _session_for(self, global_id: object | None) -> Session:
+        if global_id is None:
+            return self.dbms.connect()
+        try:
+            return self._txn_sessions[global_id]
+        except KeyError:
+            raise GatewayError(
+                f"no local branch for global transaction {global_id!r} at "
+                f"{self.site!r}; call begin() first"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Global-transaction branch management (2PC participant proxy)
+    # ------------------------------------------------------------------
+
+    def begin(
+        self,
+        global_id: object,
+        trace: MessageTrace | None = None,
+        from_site: str = FEDERATION_SITE,
+    ) -> None:
+        if global_id in self._txn_sessions:
+            raise GatewayError(
+                f"global transaction {global_id!r} already has a branch here"
+            )
+        self.network.send(from_site, self.site, 32, "begin", trace)
+        session = self.dbms.connect()
+        session.begin(global_id=global_id)
+        self._txn_sessions[global_id] = session
+        self.network.send(self.site, from_site, 8, "ack", trace)
+
+    def has_branch(self, global_id: object) -> bool:
+        return global_id in self._txn_sessions
+
+    def cancel_branch_waits(self, global_id: object) -> None:
+        """Cancel any lock wait of this global transaction's local branch.
+
+        Used by the federation's active deadlock-detection policy to kill a
+        chosen victim that is blocked inside this component DBMS.
+        """
+        session = self._txn_sessions.get(global_id)
+        if session is not None and session.txn is not None:
+            self.dbms.transactions.locks.cancel_waits(session.txn.txn_id)
+
+    def prepared_branches(self) -> list[object]:
+        """Global ids whose local branch is sitting in the PREPARED state."""
+        return [
+            global_id
+            for global_id, session in self._txn_sessions.items()
+            if session.txn is not None and session.txn.state.name == "PREPARED"
+        ]
+
+    def prepare(
+        self,
+        global_id: object,
+        trace: MessageTrace | None = None,
+        from_site: str = FEDERATION_SITE,
+    ) -> bool:
+        session = self._session_for(global_id)
+        self.network.send(from_site, self.site, 32, "prepare", trace)
+        if self.fail_next_prepares > 0:
+            self.fail_next_prepares -= 1
+            # Participant votes NO: its branch aborts locally right away.
+            self.network.send(self.site, from_site, 8, "vote", trace)
+            session.rollback()
+            self._txn_sessions.pop(global_id, None)
+            return False
+        vote = session.prepare()
+        self.network.send(self.site, from_site, 8, "vote", trace)
+        return vote
+
+    def commit(
+        self,
+        global_id: object,
+        trace: MessageTrace | None = None,
+        from_site: str = FEDERATION_SITE,
+    ) -> None:
+        if self.drop_next_commits > 0:
+            # Simulated message loss / participant crash: the branch stays
+            # prepared (in doubt) until recovery resolves it.
+            self.drop_next_commits -= 1
+            self.network.send(from_site, self.site, 32, "commit", trace)
+            return
+        session = self._txn_sessions.pop(global_id, None)
+        if session is None:
+            return
+        self.network.send(from_site, self.site, 32, "commit", trace)
+        if session.txn is not None and session.txn.state.name == "PREPARED":
+            session.commit_prepared()
+        else:
+            session.commit()
+        self.network.send(self.site, from_site, 8, "ack", trace)
+        self._stats_cache.clear()
+
+    def abort(
+        self,
+        global_id: object,
+        trace: MessageTrace | None = None,
+        from_site: str = FEDERATION_SITE,
+    ) -> None:
+        session = self._txn_sessions.pop(global_id, None)
+        if session is None:
+            return
+        self.network.send(from_site, self.site, 32, "abort", trace)
+        if session.txn is not None and session.txn.state.name == "PREPARED":
+            session.rollback_prepared()
+        else:
+            session.rollback()
+        self.network.send(self.site, from_site, 8, "ack", trace)
+
+    # ------------------------------------------------------------------
+    # Introspection for the deadlock-oracle baseline
+    # ------------------------------------------------------------------
+
+    def wait_for_edges(self) -> list[tuple[object, object]]:
+        """Local wait-for edges in terms of *global* transaction ids.
+
+        Local-only transactions appear under their local ids; branches of
+        global transactions are mapped to their global ids so the federation
+        can stitch a global wait-for graph (the oracle detector baseline).
+        """
+        local_to_global: dict[object, object] = {}
+        for txn in self.dbms.transactions.active_transactions():
+            if txn.global_id is not None:
+                local_to_global[txn.txn_id] = txn.global_id
+        edges = []
+        for waiter, holder in self.dbms.transactions.locks.wait_for_edges():
+            edges.append(
+                (
+                    local_to_global.get(waiter, waiter),
+                    local_to_global.get(holder, holder),
+                )
+            )
+        return edges
+
+
+def _rewrite_dml(statement: ast.Statement, exports: ExportSchema) -> ast.Statement:
+    """Map export-relation names in DML to local tables.
+
+    Updatable exports must expose the table 1:1 per column mapping; the
+    rewrite renames the target table and the referenced columns.
+    """
+    if isinstance(statement, ast.Insert):
+        if not exports.has(statement.table):
+            return statement
+        relation = exports.get(statement.table)
+        columns = statement.columns or list(relation.columns.keys())
+        local_columns = [relation.local_column(c) for c in columns]
+        return ast.Insert(
+            relation.local_table, local_columns, statement.rows, statement.query
+        )
+    if isinstance(statement, ast.Update):
+        if not exports.has(statement.table):
+            return statement
+        relation = exports.get(statement.table)
+        assignments = [
+            (relation.local_column(c), _map_expr(v, relation))
+            for c, v in statement.assignments
+        ]
+        where = (
+            _map_expr(statement.where, relation)
+            if statement.where is not None
+            else None
+        )
+        return ast.Update(relation.local_table, assignments, where)
+    if isinstance(statement, ast.Delete):
+        if not exports.has(statement.table):
+            return statement
+        relation = exports.get(statement.table)
+        where = (
+            _map_expr(statement.where, relation)
+            if statement.where is not None
+            else None
+        )
+        return ast.Delete(relation.local_table, where)
+    return statement
+
+
+def _map_expr(expr: ast.Expression, relation: ExportRelation) -> ast.Expression:
+    def replace(node: ast.Expression) -> ast.Expression:
+        if isinstance(node, ast.ColumnRef) and node.table is None:
+            try:
+                return ast.ColumnRef(relation.local_column(node.name))
+            except GatewayError:
+                return node
+        return node
+
+    return ast.transform_expression(expr, replace)
+
+
+def _normalize_rows(rows: list[tuple]) -> list[tuple]:
+    """Canonicalise dialect-specific value types (Decimal → int/float)."""
+    out = []
+    for row in rows:
+        out.append(tuple(_normalize_value(v) for v in row))
+    return out
+
+
+def _normalize_value(value: object) -> object:
+    if isinstance(value, Decimal):
+        if value == value.to_integral_value():
+            return int(value)
+        return float(value)
+    return value

@@ -1,0 +1,7 @@
+"""Component DBMS simulators (the paper's Oracle and Postgres back ends)."""
+
+from repro.localdb.dbms import LocalDBMS, Session
+from repro.localdb.oracle import OracleDBMS
+from repro.localdb.postgres import PostgresDBMS
+
+__all__ = ["LocalDBMS", "Session", "OracleDBMS", "PostgresDBMS"]

@@ -1,0 +1,95 @@
+"""Oracle-flavoured component DBMS.
+
+Models the Oracle v7 semantics that matter to a federation layer:
+
+- the empty string is NULL (stored values and literals alike)
+- no ``LIMIT``: row limiting arrives as a ``ROWNUM <= n`` predicate, which
+  this DBMS recognises and converts back into a limit
+- ``SYSDATE`` instead of ``NOW()`` (handled by the shared function table)
+- no BOOLEAN type: the dialect maps it to NUMBER(1); TRUE/FALSE literals
+  arrive as 1/0 from the gateway printer
+"""
+
+from __future__ import annotations
+
+from repro.localdb.dbms import LocalDBMS
+from repro.sql import ORACLE_DIALECT, ast
+
+
+class OracleDBMS(LocalDBMS):
+    """Component DBMS speaking the Oracle dialect."""
+
+    dialect = ORACLE_DIALECT
+
+    def adapt_statement(self, statement: ast.Statement) -> ast.Statement:
+        statement = _nullify_empty_strings(statement)
+        if isinstance(statement, ast.Select):
+            statement = _rownum_to_limit(statement)
+        elif isinstance(statement, ast.SetOperation):
+            statement.left = self.adapt_statement(statement.left)
+            statement.right = self.adapt_statement(statement.right)
+        return statement
+
+    def adapt_stored_value(self, value: object) -> object:
+        if value == "":
+            return None
+        return value
+
+
+def _nullify_empty_strings(statement: ast.Statement) -> ast.Statement:
+    """Replace every ``''`` literal with NULL (Oracle semantics)."""
+    from repro.engine.executor import _transform_statement_expressions
+
+    def replace(expr: ast.Expression) -> ast.Expression:
+        if isinstance(expr, ast.Literal) and expr.value == "" and isinstance(
+            expr.value, str
+        ):
+            return ast.Literal(None)
+        return expr
+
+    return _transform_statement_expressions(statement, replace)
+
+
+def _rownum_to_limit(select: ast.Select) -> ast.Select:
+    """Recognise ``ROWNUM <= n`` / ``ROWNUM < n`` conjuncts as LIMIT."""
+    conjuncts = ast.split_conjuncts(select.where)
+    kept: list[ast.Expression] = []
+    limit = select.limit
+    for conjunct in conjuncts:
+        bound = _rownum_bound(conjunct)
+        if bound is not None:
+            limit = bound if limit is None else min(limit, bound)
+        else:
+            kept.append(conjunct)
+    if limit != select.limit:
+        select.where = ast.conjoin(kept)
+        select.limit = limit
+    # Derived tables may carry their own ROWNUM predicates.
+    for ref in select.from_clause:
+        _adapt_ref(ref)
+    return select
+
+
+def _adapt_ref(ref: ast.TableRef) -> None:
+    if isinstance(ref, ast.SubqueryRef) and isinstance(ref.query, ast.Select):
+        _rownum_to_limit(ref.query)
+    elif isinstance(ref, ast.Join):
+        _adapt_ref(ref.left)
+        _adapt_ref(ref.right)
+
+
+def _rownum_bound(expr: ast.Expression) -> int | None:
+    if not isinstance(expr, ast.BinaryOp):
+        return None
+    if expr.op not in ("<", "<="):
+        return None
+    left, right = expr.left, expr.right
+    if (
+        isinstance(left, ast.ColumnRef)
+        and left.table is None
+        and left.name.upper() == "ROWNUM"
+        and isinstance(right, ast.Literal)
+        and isinstance(right.value, int)
+    ):
+        return right.value if expr.op == "<=" else right.value - 1
+    return None

@@ -1,0 +1,18 @@
+"""Postgres-flavoured component DBMS.
+
+Postgres semantics are close to the global MYRIAD dialect: the empty string
+is distinct from NULL, LIMIT/OFFSET work natively, TRUE/FALSE literals and
+BOOLEAN columns exist, and ``NOW()`` is the clock function.  The subclass
+mostly pins the dialect used by the gateway printer.
+"""
+
+from __future__ import annotations
+
+from repro.localdb.dbms import LocalDBMS
+from repro.sql import POSTGRES_DIALECT
+
+
+class PostgresDBMS(LocalDBMS):
+    """Component DBMS speaking the Postgres dialect."""
+
+    dialect = POSTGRES_DIALECT

@@ -1,0 +1,182 @@
+"""MyriadSystem — the top-level facade tying every subsystem together.
+
+A :class:`MyriadSystem` owns the simulated network, the component DBMSs and
+their gateways, any number of federations, and the global transaction
+manager.  It is the API a downstream user starts from::
+
+    from repro import MyriadSystem
+
+    system = MyriadSystem()
+    ora = system.add_oracle("ora")
+    pg = system.add_postgres("pg")
+    ... create tables, export them ...
+    fed = system.create_federation("corp")
+    fed.add_relation(union_merge(...))
+    result = system.query("corp", "SELECT ... FROM all_emp ...")
+"""
+
+from __future__ import annotations
+
+from repro.errors import FederationError
+from repro.gateway import Gateway
+from repro.localdb import LocalDBMS, OracleDBMS, PostgresDBMS
+from repro.net import Network
+from repro.query import GlobalQueryProcessor, GlobalResult
+from repro.schema import Federation
+from repro.txn import GlobalTransaction, GlobalTransactionManager
+
+
+class MyriadSystem:
+    """One MYRIAD installation: components, gateways, federations, GTM."""
+
+    def __init__(
+        self,
+        network: Network | None = None,
+        query_timeout: float | None = 5.0,
+        default_optimizer: str = "cost",
+    ):
+        self.network = network or Network()
+        self.components: dict[str, LocalDBMS] = {}
+        self.gateways: dict[str, Gateway] = {}
+        self.federations: dict[str, Federation] = {}
+        self.default_optimizer = default_optimizer
+        self.transactions = GlobalTransactionManager(
+            self.gateways, query_timeout=query_timeout
+        )
+        self._processors: dict[str, GlobalQueryProcessor] = {}
+
+    # ------------------------------------------------------------------
+    # Component management
+    # ------------------------------------------------------------------
+
+    def add_component(
+        self, dbms: LocalDBMS, site: str | None = None
+    ) -> Gateway:
+        """Register an existing component DBMS and build its gateway."""
+        site = site or dbms.name
+        if site in self.gateways:
+            raise FederationError(f"site {site!r} already registered")
+        gateway = Gateway(dbms, self.network, site)
+        self.components[site] = dbms
+        self.gateways[site] = gateway
+        return gateway
+
+    def add_oracle(self, name: str, **kwargs) -> Gateway:
+        """Create and register an Oracle-dialect component DBMS."""
+        return self.add_component(OracleDBMS(name, **kwargs))
+
+    def add_postgres(self, name: str, **kwargs) -> Gateway:
+        """Create and register a Postgres-dialect component DBMS."""
+        return self.add_component(PostgresDBMS(name, **kwargs))
+
+    def component(self, site: str) -> LocalDBMS:
+        try:
+            return self.components[site]
+        except KeyError:
+            raise FederationError(f"unknown site {site!r}") from None
+
+    def gateway(self, site: str) -> Gateway:
+        try:
+            return self.gateways[site]
+        except KeyError:
+            raise FederationError(f"unknown site {site!r}") from None
+
+    def site_names(self) -> list[str]:
+        return sorted(self.gateways)
+
+    # ------------------------------------------------------------------
+    # Federations
+    # ------------------------------------------------------------------
+
+    def create_federation(self, name: str) -> Federation:
+        if name.lower() in self.federations:
+            raise FederationError(f"federation {name!r} already exists")
+        federation = Federation(name, self.gateways)
+        self.federations[name.lower()] = federation
+        return federation
+
+    def federation(self, name: str) -> Federation:
+        try:
+            return self.federations[name.lower()]
+        except KeyError:
+            raise FederationError(f"unknown federation {name!r}") from None
+
+    def drop_federation(self, name: str) -> None:
+        if name.lower() not in self.federations:
+            raise FederationError(f"unknown federation {name!r}")
+        del self.federations[name.lower()]
+        self._processors.pop(name.lower(), None)
+
+    def federation_names(self) -> list[str]:
+        return sorted(f.name for f in self.federations.values())
+
+    # ------------------------------------------------------------------
+    # Query processing
+    # ------------------------------------------------------------------
+
+    def processor(self, federation_name: str) -> GlobalQueryProcessor:
+        key = federation_name.lower()
+        if key not in self._processors:
+            self._processors[key] = GlobalQueryProcessor(
+                self.federation(federation_name),
+                self.network,
+                default_optimizer=self.default_optimizer,
+            )
+        return self._processors[key]
+
+    def query(
+        self,
+        federation_name: str,
+        sql: str,
+        optimizer: str | None = None,
+        timeout: float | None = None,
+    ) -> GlobalResult:
+        """Run a global SELECT against one federation (autocommit read)."""
+        return self.processor(federation_name).execute(
+            sql, optimizer=optimizer, timeout=timeout
+        )
+
+    def explain(
+        self, federation_name: str, sql: str, optimizer: str | None = None
+    ) -> str:
+        return self.processor(federation_name).explain(sql, optimizer)
+
+    # ------------------------------------------------------------------
+    # Global transactions
+    # ------------------------------------------------------------------
+
+    def begin_transaction(
+        self, global_id: str | None = None
+    ) -> GlobalTransaction:
+        return self.transactions.begin(global_id)
+
+    def transactional_query(
+        self,
+        txn: GlobalTransaction,
+        federation_name: str,
+        sql: str,
+        optimizer: str | None = None,
+    ) -> GlobalResult:
+        """Federation SELECT under a global transaction (locks held)."""
+        return self.transactions.run_global_query(
+            txn, self.processor(federation_name), sql, optimizer
+        )
+
+    def transactional_update(
+        self, txn: GlobalTransaction, federation_name: str, sql: str
+    ) -> int:
+        """DML against an updatable integrated relation, under ``txn``."""
+        return self.transactions.execute_federated(
+            txn, self.federation(federation_name), sql
+        )
+
+    def update(self, federation_name: str, sql: str) -> int:
+        """Autocommit DML against an updatable integrated relation."""
+        txn = self.begin_transaction()
+        try:
+            count = self.transactional_update(txn, federation_name, sql)
+        except Exception:
+            txn.abort()
+            raise
+        txn.commit()
+        return count

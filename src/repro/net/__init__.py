@@ -1,0 +1,23 @@
+"""Simulated network: message accounting with virtual latency/bandwidth."""
+
+from repro.net.sim import (
+    DEFAULT_BANDWIDTH_BYTES_PER_S,
+    DEFAULT_LATENCY_S,
+    LinkProfile,
+    MessageRecord,
+    MessageTrace,
+    Network,
+    estimate_rows_bytes,
+    estimate_value_bytes,
+)
+
+__all__ = [
+    "DEFAULT_BANDWIDTH_BYTES_PER_S",
+    "DEFAULT_LATENCY_S",
+    "LinkProfile",
+    "MessageRecord",
+    "MessageTrace",
+    "Network",
+    "estimate_rows_bytes",
+    "estimate_value_bytes",
+]

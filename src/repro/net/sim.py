@@ -1,0 +1,225 @@
+"""Simulated network substrate.
+
+The real MYRIAD ran on SPARCstations connected by 10 Mbit/s Ethernet and
+exchanged messages over BSD sockets.  This module substitutes a deterministic
+model that preserves what the experiments measure:
+
+- every message is *accounted*: count, payload bytes, purpose
+- each message has a *virtual cost* = latency + bytes/bandwidth
+- a :class:`MessageTrace` accumulates virtual elapsed time for one global
+  operation, with ``parallel()`` sections taking the max over branches (the
+  federation layer ships independent subqueries concurrently)
+
+No wall-clock sleeping happens; benchmarks read virtual seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import NetworkError
+
+#: 10BASE-T Ethernet of the era: 10 Mbit/s ≈ 1.25 MB/s on the wire.
+DEFAULT_BANDWIDTH_BYTES_PER_S = 1.25e6
+#: Small-LAN round-trip budget per message.
+DEFAULT_LATENCY_S = 0.002
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Latency/bandwidth of one (directed) link."""
+
+    latency_s: float = DEFAULT_LATENCY_S
+    bandwidth_bytes_per_s: float = DEFAULT_BANDWIDTH_BYTES_PER_S
+
+    def cost(self, payload_bytes: int) -> float:
+        return self.latency_s + payload_bytes / self.bandwidth_bytes_per_s
+
+
+@dataclass
+class MessageRecord:
+    """One accounted message."""
+
+    source: str
+    destination: str
+    payload_bytes: int
+    purpose: str
+    cost_s: float
+
+
+class MessageTrace:
+    """Accounting for one global operation (query or transaction).
+
+    Supports nested parallel sections: within ``parallel()``, per-branch
+    elapsed times are tracked separately and the section contributes the
+    maximum branch time to the enclosing sequence — modelling concurrent
+    subquery shipping.
+    """
+
+    def __init__(self):
+        self.records: list[MessageRecord] = []
+        self.elapsed_s = 0.0
+        self._parallel_stack: list[dict[str, float]] = []
+        self._branch_stack: list[str] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def add(self, record: MessageRecord) -> None:
+        self.records.append(record)
+        if self._parallel_stack and self._branch_stack:
+            branches = self._parallel_stack[-1]
+            branch = self._branch_stack[-1]
+            branches[branch] = branches.get(branch, 0.0) + record.cost_s
+        else:
+            self.elapsed_s += record.cost_s
+
+    def add_compute(self, seconds: float) -> None:
+        """Account local (site) processing time into the same timeline."""
+        if self._parallel_stack and self._branch_stack:
+            branches = self._parallel_stack[-1]
+            branch = self._branch_stack[-1]
+            branches[branch] = branches.get(branch, 0.0) + seconds
+        else:
+            self.elapsed_s += seconds
+
+    # -- parallel sections ---------------------------------------------------
+
+    def begin_parallel(self) -> None:
+        self._parallel_stack.append({})
+
+    def branch(self, name: str) -> "_BranchContext":
+        return _BranchContext(self, name)
+
+    def end_parallel(self) -> None:
+        branches = self._parallel_stack.pop()
+        longest = max(branches.values(), default=0.0)
+        if self._parallel_stack and self._branch_stack:
+            outer = self._parallel_stack[-1]
+            branch = self._branch_stack[-1]
+            outer[branch] = outer.get(branch, 0.0) + longest
+        else:
+            self.elapsed_s += longest
+
+    # -- summary -----------------------------------------------------------
+
+    @property
+    def message_count(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(record.payload_bytes for record in self.records)
+
+    def bytes_by_purpose(self) -> dict[str, int]:
+        summary: dict[str, int] = {}
+        for record in self.records:
+            summary[record.purpose] = (
+                summary.get(record.purpose, 0) + record.payload_bytes
+            )
+        return summary
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MessageTrace(messages={self.message_count}, "
+            f"bytes={self.total_bytes}, elapsed={self.elapsed_s * 1000:.2f}ms)"
+        )
+
+
+class _BranchContext:
+    def __init__(self, trace: MessageTrace, name: str):
+        self.trace = trace
+        self.name = name
+
+    def __enter__(self):
+        self.trace._branch_stack.append(self.name)
+        return self
+
+    def __exit__(self, *exc_info):
+        self.trace._branch_stack.pop()
+        return False
+
+
+class Network:
+    """Registry of sites and link profiles with message accounting."""
+
+    def __init__(self, default_link: LinkProfile | None = None):
+        self.default_link = default_link or LinkProfile()
+        self._sites: set[str] = set()
+        self._links: dict[tuple[str, str], LinkProfile] = {}
+        # Cumulative counters (all traces).
+        self.total_messages = 0
+        self.total_bytes = 0
+
+    # -- topology ----------------------------------------------------------
+
+    def add_site(self, name: str) -> None:
+        self._sites.add(name)
+
+    def has_site(self, name: str) -> bool:
+        return name in self._sites
+
+    def set_link(self, source: str, destination: str, profile: LinkProfile) -> None:
+        """Override the profile for a directed link (both sites must exist)."""
+        for site in (source, destination):
+            if site not in self._sites:
+                raise NetworkError(f"unknown site {site!r}")
+        self._links[(source, destination)] = profile
+
+    def link(self, source: str, destination: str) -> LinkProfile:
+        return self._links.get((source, destination), self.default_link)
+
+    # -- messaging -----------------------------------------------------------
+
+    def send(
+        self,
+        source: str,
+        destination: str,
+        payload_bytes: int,
+        purpose: str,
+        trace: MessageTrace | None = None,
+    ) -> float:
+        """Account one message; returns its virtual cost in seconds."""
+        if source not in self._sites:
+            raise NetworkError(f"unknown source site {source!r}")
+        if destination not in self._sites:
+            raise NetworkError(f"unknown destination site {destination!r}")
+        if source == destination:
+            return 0.0  # local calls are free
+        cost = self.link(source, destination).cost(payload_bytes)
+        self.total_messages += 1
+        self.total_bytes += payload_bytes
+        if trace is not None:
+            trace.add(
+                MessageRecord(source, destination, payload_bytes, purpose, cost)
+            )
+        return cost
+
+
+# ---------------------------------------------------------------------------
+# Payload sizing
+# ---------------------------------------------------------------------------
+
+
+def estimate_value_bytes(value: object) -> int:
+    """Wire-size estimate of one value (same model as storage stats)."""
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, str):
+        return len(value) + 4
+    return 16
+
+
+def estimate_rows_bytes(rows: list[tuple]) -> int:
+    """Wire-size estimate of a rowset (plus per-row framing)."""
+    total = 0
+    for row in rows:
+        total += 8  # framing
+        for value in row:
+            total += estimate_value_bytes(value)
+    return total

@@ -1,0 +1,28 @@
+"""Global query processing: localization, optimization, execution."""
+
+from repro.query.cost import CostModel, FragmentEstimate
+from repro.query.executor import GlobalExecutor, GlobalResult
+from repro.query.localizer import (
+    Fetch,
+    GlobalPlan,
+    JoinEdge,
+    Localizer,
+    SemiJoinSpec,
+)
+from repro.query.optimizer import CostBasedOptimizer, SimpleOptimizer
+from repro.query.processor import GlobalQueryProcessor
+
+__all__ = [
+    "CostModel",
+    "FragmentEstimate",
+    "GlobalExecutor",
+    "GlobalResult",
+    "Fetch",
+    "GlobalPlan",
+    "JoinEdge",
+    "Localizer",
+    "SemiJoinSpec",
+    "CostBasedOptimizer",
+    "SimpleOptimizer",
+    "GlobalQueryProcessor",
+]

@@ -1,0 +1,420 @@
+"""Aggregate pushdown: partial aggregation at component sites.
+
+The most valuable rewrite a "full-fledged" distributed optimizer adds on
+top of selection/projection pushdown: for an aggregate query over a
+union-merged integrated relation, compute *partial* aggregates inside each
+union branch (which localization can then ship whole to the branch's site)
+and *combine* them at the federation:
+
+    SELECT g, COUNT(*), SUM(x), AVG(x) FROM <union-all view> GROUP BY g
+
+becomes
+
+    SELECT g, SUM(p_cnt), SUM(p_sum),
+           CASE WHEN SUM(p_avg_cnt) = 0 THEN NULL
+                ELSE SUM(p_avg_sum) / SUM(p_avg_cnt) END
+    FROM (
+        SELECT g, COUNT(*) AS p_cnt, SUM(x) AS p_sum,
+               SUM(x) AS p_avg_sum, COUNT(x) AS p_avg_cnt
+        FROM <branch 1 body> GROUP BY g
+        UNION ALL
+        ... per branch ...
+    ) AS <binding> GROUP BY g
+
+Decompositions: COUNT → SUM of partial COUNTs, SUM → SUM, MIN → MIN,
+MAX → MAX, AVG → SUM/COUNT pair.  DISTINCT aggregates are not decomposable
+and disable the rewrite.
+
+When a branch body is itself a simple projection of one export relation,
+the partial aggregation is *flattened* into the branch (single block over
+the export), making it eligible for whole-block shipping in the localizer —
+that is where the traffic reduction comes from.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.sql import ast
+
+_counter = itertools.count(1)
+
+
+def push_aggregates(query: ast.Query) -> ast.Query:
+    """Apply the rewrite wherever the pattern matches (recursively)."""
+    if isinstance(query, ast.SetOperation):
+        query.left = push_aggregates(query.left)
+        query.right = push_aggregates(query.right)
+        return query
+    select = query
+    # Recurse into derived tables first.
+    for ref in select.from_clause:
+        _recurse_ref(ref)
+    rewritten = _try_rewrite(select)
+    if rewritten is not None:
+        return rewritten
+    topn = _try_push_topn(select)
+    return topn if topn is not None else select
+
+
+def _try_push_topn(select: ast.Select) -> ast.Select | None:
+    """Top-N pushdown: ORDER BY + LIMIT over a UNION ALL view.
+
+    ``SELECT ... FROM v ORDER BY k LIMIT n`` with ``v`` a UNION ALL of
+    simple blocks: each branch only needs to return its own top n+offset
+    rows — the global top-N is a subset of the per-branch top-Ns.  The
+    outer ORDER BY/LIMIT still runs at the federation to merge.
+    """
+    if select.limit is None or not select.order_by:
+        return None
+    if select.where is not None or select.distinct or select.group_by:
+        return None
+    if select.having is not None:
+        return None
+    if len(select.from_clause) != 1:
+        return None
+    ref = select.from_clause[0]
+    if not isinstance(ref, ast.SubqueryRef):
+        return None
+    if any(
+        ast.contains_aggregate(item.expression) for item in select.items
+    ):
+        return None
+    branches = _union_all_branches(ref.query)
+    if branches is None or len(branches) < 2:
+        return None
+    view_columns = {c.lower() for c in _output_names(branches[0])}
+    if not view_columns:
+        return None
+
+    # Order keys must be plain view-column references (mapped per branch).
+    keys: list[tuple[str, bool]] = []
+    for order in select.order_by:
+        expr = order.expression
+        if not isinstance(expr, ast.ColumnRef):
+            return None
+        if expr.name.lower() not in view_columns:
+            return None
+        keys.append((expr.name, order.ascending))
+
+    per_branch_limit = select.limit + (select.offset or 0)
+    for branch in branches:
+        mapping = {
+            item.output_name.lower(): item.expression
+            for item in branch.items
+        }
+        branch_keys = []
+        for name, ascending in keys:
+            target = mapping.get(name.lower())
+            if target is None:
+                return None
+            branch_keys.append(ast.OrderItem(target, ascending))
+        branch.order_by = branch_keys
+        branch.limit = per_branch_limit
+    return select
+
+
+def _recurse_ref(ref: ast.TableRef) -> None:
+    if isinstance(ref, ast.SubqueryRef):
+        ref.query = push_aggregates(ref.query)
+    elif isinstance(ref, ast.Join):
+        _recurse_ref(ref.left)
+        _recurse_ref(ref.right)
+
+
+# ---------------------------------------------------------------------------
+# Pattern matching
+# ---------------------------------------------------------------------------
+
+
+def _try_rewrite(select: ast.Select) -> ast.Select | None:
+    # Shape: aggregate block over exactly one derived table, no residual
+    # WHERE (push_selections runs first), no DISTINCT.
+    if select.where is not None or select.distinct:
+        return None
+    if len(select.from_clause) != 1:
+        return None
+    ref = select.from_clause[0]
+    if not isinstance(ref, ast.SubqueryRef):
+        return None
+    branches = _union_all_branches(ref.query)
+    if branches is None or len(branches) < 1:
+        return None
+    view_columns = _output_names(branches[0])
+    if not view_columns:
+        return None
+
+    # Group keys must be plain references to view columns.
+    group_columns: list[str] = []
+    for group in select.group_by:
+        if not isinstance(group, ast.ColumnRef):
+            return None
+        if group.name.lower() not in (c.lower() for c in view_columns):
+            return None
+        group_columns.append(group.name)
+
+    # Collect aggregate calls from items / having / order by.
+    aggregates: list[ast.FunctionCall] = []
+
+    def collect(expr: ast.Expression) -> bool:
+        """Returns False if an un-pushable construct is found."""
+        for node in ast.walk_expressions(expr):
+            if isinstance(
+                node, (ast.InSubquery, ast.Exists, ast.ScalarSubquery)
+            ):
+                return False
+            if isinstance(node, ast.FunctionCall) and node.is_aggregate:
+                if node.distinct:
+                    return False
+                if node.name.upper() not in (
+                    "COUNT", "SUM", "AVG", "MIN", "MAX"
+                ):
+                    return False
+                if node not in aggregates:
+                    aggregates.append(node)
+        return True
+
+    for item in select.items:
+        if isinstance(item.expression, ast.Star):
+            return None
+        if not collect(item.expression):
+            return None
+    if select.having is not None and not collect(select.having):
+        return None
+    for order in select.order_by:
+        if not collect(order.expression):
+            return None
+    if not aggregates:
+        return None  # not an aggregate block
+
+    # Non-aggregate column references must all be group keys.
+    group_lower = {g.lower() for g in group_columns}
+    for expr in _non_aggregate_parts(select):
+        for node in ast.walk_expressions(expr):
+            if isinstance(node, ast.ColumnRef):
+                if node.name.lower() not in group_lower and (
+                    node.table is None
+                    or node.table.lower() == ref.alias.lower()
+                ):
+                    # references a non-grouped view column outside an
+                    # aggregate: invalid SQL anyway; bail out
+                    if node.name.lower() in (
+                        c.lower() for c in view_columns
+                    ):
+                        return None
+    return _build_rewrite(select, ref, branches, group_columns, aggregates)
+
+
+def _non_aggregate_parts(select: ast.Select):
+    """Expression fragments outside aggregate calls (approximation: whole
+    expressions; aggregate args are inspected by the group-key check too,
+    which is fine because args may reference any view column)."""
+
+    def strip_aggs(expr: ast.Expression) -> ast.Expression:
+        def replace(node: ast.Expression) -> ast.Expression:
+            if isinstance(node, ast.FunctionCall) and node.is_aggregate:
+                return ast.Literal(None)
+            return node
+
+        return ast.transform_expression(expr, replace)
+
+    for item in select.items:
+        yield strip_aggs(item.expression)
+    if select.having is not None:
+        yield strip_aggs(select.having)
+    for order in select.order_by:
+        yield strip_aggs(order.expression)
+
+
+def _union_all_branches(query: ast.Query) -> list[ast.Select] | None:
+    """Flatten a UNION ALL tree into branch blocks; None if not pure."""
+    if isinstance(query, ast.Select):
+        if query.group_by or query.having is not None or query.distinct:
+            return None
+        if query.limit is not None or query.offset is not None:
+            return None
+        if any(
+            ast.contains_aggregate(item.expression) for item in query.items
+        ):
+            return None
+        return [query]
+    if isinstance(query, ast.SetOperation):
+        if query.kind is not ast.SetOpKind.UNION_ALL:
+            return None
+        if query.order_by or query.limit is not None:
+            return None
+        left = _union_all_branches(query.left)
+        right = _union_all_branches(query.right)
+        if left is None or right is None:
+            return None
+        return left + right
+    return None
+
+
+def _output_names(select: ast.Select) -> list[str]:
+    names = []
+    for item in select.items:
+        if isinstance(item.expression, ast.Star):
+            return []
+        names.append(item.output_name)
+    return names
+
+
+# ---------------------------------------------------------------------------
+# Rewrite construction
+# ---------------------------------------------------------------------------
+
+
+def _build_rewrite(
+    select: ast.Select,
+    ref: ast.SubqueryRef,
+    branches: list[ast.Select],
+    group_columns: list[str],
+    aggregates: list[ast.FunctionCall],
+) -> ast.Select:
+    tag = next(_counter)
+    group_out = [f"__gp{tag}_{i}" for i in range(len(group_columns))]
+
+    # Per-aggregate partial columns + combined expression templates.
+    partial_specs: list[tuple[str, ast.FunctionCall]] = []  # (name, partial)
+    combined: dict[int, ast.Expression] = {}
+    for position, call in enumerate(aggregates):
+        name = call.name.upper()
+        if name == "AVG":
+            sum_name = f"__pa{tag}_{position}s"
+            count_name = f"__pa{tag}_{position}c"
+            partial_specs.append(
+                (sum_name, ast.FunctionCall("SUM", list(call.args)))
+            )
+            partial_specs.append(
+                (count_name, ast.FunctionCall("COUNT", list(call.args)))
+            )
+            # Cast keeps the combined AVG a float, matching native AVG
+            # (integer SUM/COUNT pairs would otherwise divide exactly).
+            total = ast.Cast(
+                ast.FunctionCall("SUM", [ast.ColumnRef(sum_name)]), "FLOAT"
+            )
+            count = ast.FunctionCall("SUM", [ast.ColumnRef(count_name)])
+            combined[position] = ast.Case(
+                None,
+                [
+                    (
+                        ast.BinaryOp(
+                            "=",
+                            ast.FunctionCall(
+                                "COALESCE", [count, ast.Literal(0)]
+                            ),
+                            ast.Literal(0),
+                        ),
+                        ast.Literal(None),
+                    )
+                ],
+                ast.BinaryOp("/", total, count),
+            )
+        else:
+            partial_name = f"__pa{tag}_{position}"
+            partial_specs.append((partial_name, call))
+            outer_fn = "SUM" if name in ("COUNT", "SUM") else name
+            combined[position] = ast.FunctionCall(
+                outer_fn, [ast.ColumnRef(partial_name)]
+            )
+
+    # Build each branch's partial-aggregation block.
+    new_branches: list[ast.Select] = []
+    for branch in branches:
+        new_branches.append(
+            _partial_branch(branch, group_columns, group_out, partial_specs)
+        )
+    view: ast.Query = new_branches[0]
+    for branch in new_branches[1:]:
+        view = ast.SetOperation(ast.SetOpKind.UNION_ALL, view, branch)
+
+    # Outer block: combine partials; rewrite original expressions.
+    def rewrite(expr: ast.Expression) -> ast.Expression:
+        def replace(node: ast.Expression) -> ast.Expression:
+            if isinstance(node, ast.FunctionCall) and node.is_aggregate:
+                return combined[aggregates.index(node)]
+            if isinstance(node, ast.ColumnRef):
+                for position, column in enumerate(group_columns):
+                    if node.name.lower() == column.lower() and (
+                        node.table is None
+                        or node.table.lower() == ref.alias.lower()
+                    ):
+                        return ast.ColumnRef(group_out[position], ref.alias)
+                return node
+            return node
+
+        return ast.transform_expression(expr, replace)
+
+    items = [
+        ast.SelectItem(rewrite(item.expression), item.alias or item.output_name)
+        for item in select.items
+    ]
+    having = rewrite(select.having) if select.having is not None else None
+    order_by = [
+        ast.OrderItem(rewrite(order.expression), order.ascending)
+        for order in select.order_by
+    ]
+    return ast.Select(
+        items=items,
+        from_clause=[ast.SubqueryRef(view, ref.alias)],
+        group_by=[
+            ast.ColumnRef(name, ref.alias) for name in group_out
+        ],
+        having=having,
+        order_by=order_by,
+        limit=select.limit,
+        offset=select.offset,
+    )
+
+
+def _partial_branch(
+    branch: ast.Select,
+    group_columns: list[str],
+    group_out: list[str],
+    partial_specs: list[tuple[str, ast.FunctionCall]],
+) -> ast.Select:
+    """One branch's partial-aggregate block, flattened when possible.
+
+    Branch items map view columns → branch expressions; the partial block
+    groups by the mapped group expressions and computes the partial
+    aggregates over mapped argument expressions, directly on the branch's
+    FROM/WHERE (valid because the branch is a simple projection block).
+    """
+    mapping = {
+        item.output_name.lower(): item.expression for item in branch.items
+    }
+
+    def mapped(expr: ast.Expression) -> ast.Expression:
+        def replace(node: ast.Expression) -> ast.Expression:
+            if isinstance(node, ast.ColumnRef):
+                target = mapping.get(node.name.lower())
+                if target is not None:
+                    return target
+            return node
+
+        return ast.transform_expression(expr, replace)
+
+    group_exprs = [
+        mapped(ast.ColumnRef(column)) for column in group_columns
+    ]
+    items = [
+        ast.SelectItem(expr, name)
+        for expr, name in zip(group_exprs, group_out)
+    ]
+    for partial_name, call in partial_specs:
+        if call.args and not isinstance(call.args[0], ast.Star):
+            args: list[ast.Expression] = [mapped(call.args[0])]
+        else:
+            args = list(call.args)
+        items.append(
+            ast.SelectItem(
+                ast.FunctionCall(call.name, args), partial_name
+            )
+        )
+    return ast.Select(
+        items=items,
+        from_clause=list(branch.from_clause),
+        where=branch.where,
+        group_by=list(group_exprs),
+    )

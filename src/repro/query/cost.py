@@ -1,0 +1,236 @@
+"""Distributed cost model for the global (full-fledged) optimizer.
+
+Costs are virtual seconds on the simulated network plus virtual local
+processing, mirroring exactly what :class:`repro.net.MessageTrace` measures
+at execution time — so estimated and measured costs are directly comparable
+in the benchmarks.
+
+Selectivity estimation uses the per-export statistics served by gateways
+(System-R defaults when statistics cannot answer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gateway import LOCAL_ROW_COST_S, Gateway
+from repro.net import Network
+from repro.sql import ast
+from repro.storage.stats import (
+    DEFAULT_EQ_SELECTIVITY,
+    DEFAULT_LIKE_SELECTIVITY,
+    DEFAULT_RANGE_SELECTIVITY,
+    TableStats,
+)
+
+
+@dataclass
+class FragmentEstimate:
+    """Estimated result of shipping one export fragment."""
+
+    rows: float
+    row_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        return self.rows * self.row_bytes
+
+
+class CostModel:
+    """Estimates fragment sizes and transfer costs for plan choices."""
+
+    def __init__(self, gateways: dict[str, Gateway], network: Network):
+        self.gateways = gateways
+        self.network = network
+
+    # ------------------------------------------------------------------
+    # Statistics access
+    # ------------------------------------------------------------------
+
+    def export_stats(self, site: str, export: str) -> TableStats:
+        return self.gateways[site].export_stats(export)
+
+    # ------------------------------------------------------------------
+    # Selectivity
+    # ------------------------------------------------------------------
+
+    def predicate_selectivity(
+        self, stats: TableStats, predicate: ast.Expression | None
+    ) -> float:
+        """Combined selectivity of a (conjunctive) predicate."""
+        if predicate is None:
+            return 1.0
+        selectivity = 1.0
+        for conjunct in ast.split_conjuncts(predicate):
+            selectivity *= self._conjunct_selectivity(stats, conjunct)
+        return max(min(selectivity, 1.0), 1e-6)
+
+    def _conjunct_selectivity(
+        self, stats: TableStats, conjunct: ast.Expression
+    ) -> float:
+        if isinstance(conjunct, ast.BinaryOp):
+            if conjunct.op == "OR":
+                left = self._conjunct_selectivity(stats, conjunct.left)
+                right = self._conjunct_selectivity(stats, conjunct.right)
+                return min(1.0, left + right - left * right)
+            column, op, value = _comparison_parts(conjunct)
+            if column is not None:
+                column_stats = stats.column(column)
+                if op == "=":
+                    if column_stats is not None:
+                        return column_stats.eq_selectivity(stats.row_count)
+                    return DEFAULT_EQ_SELECTIVITY
+                if op == "<>":
+                    if column_stats is not None:
+                        return 1.0 - column_stats.eq_selectivity(stats.row_count)
+                    return 1.0 - DEFAULT_EQ_SELECTIVITY
+                if op in ("<", "<=", ">", ">="):
+                    if column_stats is not None:
+                        return column_stats.range_selectivity(
+                            op, value, stats.row_count
+                        )
+                    return DEFAULT_RANGE_SELECTIVITY
+            if conjunct.op in ("LIKE",):
+                return DEFAULT_LIKE_SELECTIVITY
+            if conjunct.op in ("NOT LIKE",):
+                return 1.0 - DEFAULT_LIKE_SELECTIVITY
+        if isinstance(conjunct, ast.Between):
+            return DEFAULT_RANGE_SELECTIVITY
+        if isinstance(conjunct, ast.InList):
+            return min(
+                1.0, DEFAULT_EQ_SELECTIVITY * max(len(conjunct.items), 1)
+            )
+        if isinstance(conjunct, ast.IsNull):
+            return 0.1 if not conjunct.negated else 0.9
+        return 0.5  # unknown predicate shapes
+
+    # ------------------------------------------------------------------
+    # Fragment estimation
+    # ------------------------------------------------------------------
+
+    def estimate_fragment(
+        self,
+        site: str,
+        export: str,
+        columns: list[str] | None,
+        predicate: ast.Expression | None,
+    ) -> FragmentEstimate:
+        stats = self.export_stats(site, export)
+        rows = stats.row_count * self.predicate_selectivity(stats, predicate)
+        if columns is None:
+            row_bytes = stats.avg_row_bytes
+        else:
+            # Approximate per-column width split evenly unless we can do
+            # better from per-column stats.
+            total_columns = max(len(stats.columns), 1)
+            row_bytes = stats.avg_row_bytes * len(columns) / total_columns
+        return FragmentEstimate(rows=rows, row_bytes=max(row_bytes, 1.0))
+
+    # ------------------------------------------------------------------
+    # Cost of shipping / processing
+    # ------------------------------------------------------------------
+
+    def transfer_cost(self, site: str, payload_bytes: float) -> float:
+        """Virtual seconds to ship ``payload_bytes`` site → federation."""
+        from repro.gateway.gateway import FEDERATION_SITE
+
+        link = self.network.link(site, FEDERATION_SITE)
+        return link.latency_s + payload_bytes / link.bandwidth_bytes_per_s
+
+    def fetch_cost(
+        self,
+        site: str,
+        export: str,
+        columns: list[str] | None,
+        predicate: ast.Expression | None,
+        extra_request_bytes: float = 0.0,
+    ) -> float:
+        """Estimated virtual cost of one fragment fetch (request + work + reply)."""
+        stats = self.export_stats(site, export)
+        estimate = self.estimate_fragment(site, export, columns, predicate)
+        request = self.transfer_cost(site, 100.0 + extra_request_bytes)
+        local_work = stats.row_count * LOCAL_ROW_COST_S
+        reply = self.transfer_cost(site, estimate.total_bytes)
+        return request + local_work + reply
+
+    # ------------------------------------------------------------------
+    # Semijoin benefit analysis
+    # ------------------------------------------------------------------
+
+    def semijoin_benefit(
+        self,
+        source_site: str,
+        source_export: str,
+        source_predicate: ast.Expression | None,
+        source_column: str,
+        target_site: str,
+        target_export: str,
+        target_predicate: ast.Expression | None,
+        target_columns: list[str] | None,
+        target_column: str,
+    ) -> float:
+        """Net virtual-seconds saved by semijoin-reducing the target fetch.
+
+        Positive ⇒ ship the source's join keys to the target site and fetch
+        only matching target rows.  Uses the textbook containment assumption
+        for join-key reduction.
+        """
+        source_stats = self.export_stats(source_site, source_export)
+        target_stats = self.export_stats(target_site, target_export)
+
+        source_selectivity = self.predicate_selectivity(
+            source_stats, source_predicate
+        )
+        source_column_stats = source_stats.column(source_column)
+        source_distinct = (
+            source_column_stats.distinct if source_column_stats else 0
+        ) or max(source_stats.row_count, 1)
+        # Keys surviving the source predicate (distinct-preserving scaling).
+        shipped_keys = max(1.0, source_distinct * source_selectivity)
+
+        target_column_stats = target_stats.column(target_column)
+        target_distinct = (
+            target_column_stats.distinct if target_column_stats else 0
+        ) or max(target_stats.row_count, 1)
+        reduction = min(1.0, shipped_keys / max(target_distinct, 1))
+
+        target_estimate = self.estimate_fragment(
+            target_site, target_export, target_columns, target_predicate
+        )
+        saved_bytes = target_estimate.total_bytes * (1.0 - reduction)
+        saved = self.transfer_cost(target_site, saved_bytes) - self.transfer_cost(
+            target_site, 0.0
+        )
+
+        # Cost: the IN-list rides on the request message (keys as literals).
+        key_bytes = shipped_keys * 12.0
+        extra_request = (
+            self.transfer_cost(target_site, key_bytes)
+            - self.transfer_cost(target_site, 0.0)
+        )
+        # Plus the serialisation: the target fetch must wait for the source.
+        source_estimate = self.estimate_fragment(
+            source_site, source_export, [source_column], source_predicate
+        )
+        serialisation_penalty = self.transfer_cost(
+            source_site, source_estimate.total_bytes * 0.0
+        )  # latency-only ordering penalty
+        return saved - extra_request - serialisation_penalty
+
+
+def _comparison_parts(
+    expr: ast.BinaryOp,
+) -> tuple[str | None, str, object]:
+    """Extract (column, op, literal) from a comparison, side-insensitive."""
+    flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>"}
+    if expr.op not in flipped:
+        return None, expr.op, None
+    if isinstance(expr.left, ast.ColumnRef) and isinstance(
+        expr.right, ast.Literal
+    ):
+        return expr.left.name, expr.op, expr.right.value
+    if isinstance(expr.right, ast.ColumnRef) and isinstance(
+        expr.left, ast.Literal
+    ):
+        return expr.right.name, flipped[expr.op], expr.left.value
+    return None, expr.op, None

@@ -1,0 +1,235 @@
+"""Global query execution at the federation site.
+
+Executes a :class:`~repro.query.localizer.GlobalPlan`:
+
+1. ship fragment queries to gateways — independent fetches in parallel
+   (accounted as parallel sections on the message trace), semijoin-dependent
+   fetches after their key source,
+2. materialise fragments as temporary tables in a per-query federation-site
+   catalog,
+3. evaluate the residual query there with the federation's integration
+   functions registered,
+4. return rows plus the full traffic/timing accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine import LocalEngine, ResultSet
+from repro.errors import ExecutionError, FederationError
+from repro.gateway import LOCAL_ROW_COST_S, Gateway
+from repro.net import MessageTrace
+from repro.query.localizer import Fetch, GlobalPlan
+from repro.schema.federation import Federation
+from repro.storage import Catalog, Column, TableSchema
+from repro.storage.types import FLOAT, INTEGER, DataType, TypeKind
+
+
+def _canonical_type(datatype: DataType) -> DataType:
+    """Fragment columns use federation-canonical types.
+
+    Dialect-specific exact numerics (Oracle NUMBER → Decimal) become FLOAT
+    at the federation site, matching the value normalisation gateways apply
+    to shipped rows.
+    """
+    if datatype.kind is TypeKind.DECIMAL:
+        # NUMBER(p) with no scale is an integer; anything else is FLOAT.
+        if len(datatype.params) == 1 or (
+            len(datatype.params) == 2 and datatype.params[1] == 0
+        ):
+            return INTEGER
+        return FLOAT
+    return datatype
+
+
+@dataclass
+class GlobalResult:
+    """Result of one global query: rows + plan + accounting."""
+
+    columns: list[str]
+    rows: list[tuple]
+    plan: GlobalPlan
+    trace: MessageTrace
+    fetched_rows: int = 0
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def to_dicts(self) -> list[dict[str, object]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def scalar(self) -> object:
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ExecutionError(
+                f"expected 1x1 result, got {len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+    def column(self, name: str) -> list[object]:
+        try:
+            position = [c.lower() for c in self.columns].index(name.lower())
+        except ValueError:
+            raise ExecutionError(f"no column {name!r} in result") from None
+        return [row[position] for row in self.rows]
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.trace.elapsed_s
+
+    @property
+    def bytes_shipped(self) -> int:
+        return self.trace.total_bytes
+
+
+@dataclass
+class _Stage:
+    fetches: list[Fetch] = field(default_factory=list)
+
+
+class GlobalExecutor:
+    """Runs GlobalPlans for one federation."""
+
+    def __init__(self, federation: Federation):
+        self.federation = federation
+
+    @property
+    def gateways(self) -> dict[str, Gateway]:
+        return self.federation.gateways
+
+    def execute(
+        self,
+        plan: GlobalPlan,
+        trace: MessageTrace | None = None,
+        timeout: float | None = None,
+        global_id: object | None = None,
+    ) -> GlobalResult:
+        trace = trace or MessageTrace()
+        catalog = Catalog(f"federation:{self.federation.name}")
+        engine = LocalEngine(
+            catalog, functions=self.federation.functions.as_dict()
+        )
+
+        fetch_results: dict[int, ResultSet] = {}
+        fetched_rows = 0
+        for stage in self._stages(plan):
+            trace.begin_parallel()
+            for fetch in stage.fetches:
+                with trace.branch(f"{fetch.site}:{fetch.binding}"):
+                    result = self._run_fetch(
+                        fetch, fetch_results, trace, timeout, global_id
+                    )
+                fetch_results[fetch.index] = result
+                fetched_rows += len(result.rows)
+            trace.end_parallel()
+            for fetch in stage.fetches:
+                self._register_fragment(
+                    catalog, fetch, fetch_results[fetch.index]
+                )
+
+        result = engine.execute_query(plan.query)
+        trace.add_compute(engine.last_report.rows_scanned * LOCAL_ROW_COST_S)
+        return GlobalResult(
+            columns=result.columns,
+            rows=result.rows,
+            plan=plan,
+            trace=trace,
+            fetched_rows=fetched_rows,
+        )
+
+    # ------------------------------------------------------------------
+    # Fetch scheduling
+    # ------------------------------------------------------------------
+
+    def _stages(self, plan: GlobalPlan) -> list[_Stage]:
+        """Topological stages: semijoin sources before their targets."""
+        remaining = {fetch.index: fetch for fetch in plan.fetches}
+        done: set[int] = set()
+        stages: list[_Stage] = []
+        while remaining:
+            stage = _Stage()
+            for index, fetch in list(remaining.items()):
+                dependency = (
+                    fetch.semijoin.source_index
+                    if fetch.semijoin is not None
+                    else None
+                )
+                if dependency is None or dependency in done:
+                    stage.fetches.append(fetch)
+            if not stage.fetches:
+                raise FederationError(
+                    "cyclic semijoin dependencies in global plan"
+                )
+            for fetch in stage.fetches:
+                del remaining[fetch.index]
+                done.add(fetch.index)
+            stages.append(stage)
+        return stages
+
+    def _run_fetch(
+        self,
+        fetch: Fetch,
+        fetch_results: dict[int, ResultSet],
+        trace: MessageTrace,
+        timeout: float | None,
+        global_id: object | None,
+    ) -> ResultSet:
+        gateway = self.gateways[fetch.site]
+        in_list: list[object] | None = None
+        if fetch.semijoin is not None:
+            source = fetch_results[fetch.semijoin.source_index]
+            key_values = source.column(fetch.semijoin.source_column)
+            seen: set[object] = set()
+            in_list = []
+            for value in key_values:
+                if value is None or value in seen:
+                    continue
+                seen.add(value)
+                in_list.append(value)
+        shipped = fetch.shipped_query(in_list)
+        return gateway.execute_query(
+            shipped, trace=trace, timeout=timeout, global_id=global_id
+        )
+
+    def _register_fragment(
+        self, catalog: Catalog, fetch: Fetch, result: ResultSet
+    ) -> None:
+        if fetch.whole_query is not None:
+            # Shipped whole blocks (aggregates etc.): output types are only
+            # known dynamically — register pass-through columns.
+            from repro.storage.types import ANY
+
+            schema = TableSchema(
+                fetch.temp_name,
+                [Column(name, ANY) for name in result.columns],
+            )
+            table = catalog.create_table(schema)
+            for row in result.rows:
+                table.insert(row)
+            return
+        gateway = self.gateways[fetch.site]
+        export_schema = gateway.export_relation_schema(fetch.export)
+        columns = [
+            Column(
+                name,
+                _canonical_type(export_schema.column(name).datatype),
+                nullable=True,
+            )
+            for name in fetch.columns
+        ]
+        # Keep the primary key when fully shipped: the federation planner
+        # can then use index lookups on the fragment.
+        shipped = {c.lower() for c in fetch.columns}
+        primary_key = (
+            list(export_schema.primary_key)
+            if export_schema.primary_key
+            and all(k.lower() in shipped for k in export_schema.primary_key)
+            else []
+        )
+        schema = TableSchema(fetch.temp_name, columns, primary_key)
+        table = catalog.create_table(schema)
+        for row in result.rows:
+            table.insert(row)

@@ -1,0 +1,6 @@
+"""Global query optimizers: the paper's simple strategy and the cost-based one."""
+
+from repro.query.optimizer.costbased import CostBasedOptimizer
+from repro.query.optimizer.simple import SimpleOptimizer
+
+__all__ = ["CostBasedOptimizer", "SimpleOptimizer"]

@@ -1,0 +1,161 @@
+"""The full-fledged (cost-based) global optimizer.
+
+On top of the pushdown the :class:`~repro.query.localizer.Localizer` already
+performs, this optimizer:
+
+1. estimates every fragment's shipped size from gateway statistics,
+2. considers **semijoin reductions** along each inter-site equi-join edge
+   (ship the smaller side's join keys with the bigger side's fragment query,
+   fetching only matching rows) and applies those with positive net benefit,
+3. annotates the plan with its estimated virtual cost, so benchmarks can
+   compare estimate vs. measurement.
+
+Semijoin selection is greedy by descending benefit with the constraints that
+each fetch is reduced at most once and dependencies stay acyclic.
+"""
+
+from __future__ import annotations
+
+from repro.gateway import Gateway
+from repro.net import Network
+from repro.query.cost import CostModel
+from repro.query.localizer import Fetch, GlobalPlan, Localizer, SemiJoinSpec
+from repro.query.rewrite import prune_projections, push_selections
+from repro.sql import ast
+
+
+class CostBasedOptimizer:
+    """Pushdown + semijoin selection driven by the cost model."""
+
+    name = "cost"
+
+    def __init__(
+        self,
+        gateways: dict[str, Gateway],
+        network: Network,
+        enable_semijoin: bool = True,
+        enable_aggregate_pushdown: bool = True,
+    ):
+        self.gateways = gateways
+        self.localizer = Localizer(gateways)
+        self.cost_model = CostModel(gateways, network)
+        self.enable_semijoin = enable_semijoin
+        self.enable_aggregate_pushdown = enable_aggregate_pushdown
+
+    def plan(self, expanded: ast.Query) -> GlobalPlan:
+        expanded = push_selections(expanded)
+        expanded = prune_projections(expanded)
+        if self.enable_aggregate_pushdown:
+            from repro.query.aggpush import push_aggregates
+
+            expanded = push_aggregates(expanded)
+        plan = self.localizer.localize(expanded, pushdown=True)
+        plan.strategy = self.name
+        if self.enable_semijoin:
+            self._apply_semijoins(plan)
+        plan.estimated_cost_s = self._estimate_plan_cost(plan)
+        return plan
+
+    # ------------------------------------------------------------------
+    # Semijoin selection
+    # ------------------------------------------------------------------
+
+    def _apply_semijoins(self, plan: GlobalPlan) -> None:
+        candidates: list[tuple[float, int, int, str, str]] = []
+        for edge in plan.join_edges:
+            left = plan.fetches[edge.left_fetch]
+            right = plan.fetches[edge.right_fetch]
+            if left.site == right.site:
+                continue  # same gateway; nothing to save
+            for source, target, source_column, target_column in (
+                (left, right, edge.left_column, edge.right_column),
+                (right, left, edge.right_column, edge.left_column),
+            ):
+                if target.protected:
+                    continue  # outer-join padding side: reduction unsound
+                benefit = self.cost_model.semijoin_benefit(
+                    source.site,
+                    source.export,
+                    source.predicate,
+                    source_column,
+                    target.site,
+                    target.export,
+                    target.predicate,
+                    target.columns,
+                    target_column,
+                )
+                if benefit > 0:
+                    candidates.append(
+                        (
+                            benefit,
+                            source.index,
+                            target.index,
+                            source_column,
+                            target_column,
+                        )
+                    )
+
+        candidates.sort(reverse=True)
+        reduced: set[int] = set()
+        for benefit, source_index, target_index, source_col, target_col in (
+            candidates
+        ):
+            if target_index in reduced:
+                continue
+            if self._would_cycle(plan, source_index, target_index):
+                continue
+            target = plan.fetches[target_index]
+            source = plan.fetches[source_index]
+            # The source fetch must actually ship the join-key column.
+            if source_col.lower() not in (c.lower() for c in source.columns):
+                source.columns.append(source_col)
+            target.semijoin = SemiJoinSpec(source_index, source_col, target_col)
+            reduced.add(target_index)
+            plan.notes.append(
+                f"semijoin: reduce fetch #{target_index} by keys of "
+                f"#{source_index}.{source_col} "
+                f"(est. benefit {benefit * 1000:.2f}ms)"
+            )
+
+    def _would_cycle(
+        self, plan: GlobalPlan, source_index: int, target_index: int
+    ) -> bool:
+        """Adding target←source: does source (transitively) depend on target?"""
+        current = source_index
+        seen = set()
+        while True:
+            if current == target_index:
+                return True
+            if current in seen:
+                return True  # defensive: existing cycle
+            seen.add(current)
+            semijoin = plan.fetches[current].semijoin
+            if semijoin is None:
+                return False
+            current = semijoin.source_index
+
+    # ------------------------------------------------------------------
+    # Plan cost estimate
+    # ------------------------------------------------------------------
+
+    def _estimate_plan_cost(self, plan: GlobalPlan) -> float:
+        """Virtual elapsed seconds: parallel fetch stages + federation work."""
+
+        def chain_cost(fetch: Fetch) -> float:
+            cost = self.cost_model.fetch_cost(
+                fetch.site, fetch.export, fetch.columns, fetch.predicate
+            )
+            if fetch.semijoin is not None:
+                cost += chain_cost(plan.fetches[fetch.semijoin.source_index])
+            return cost
+
+        elapsed = max((chain_cost(f) for f in plan.fetches), default=0.0)
+        total_rows = sum(
+            self.cost_model.estimate_fragment(
+                f.site, f.export, f.columns, f.predicate
+            ).rows
+            for f in plan.fetches
+        )
+        from repro.gateway import LOCAL_ROW_COST_S
+
+        return elapsed + total_rows * LOCAL_ROW_COST_S

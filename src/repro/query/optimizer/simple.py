@@ -1,0 +1,32 @@
+"""The paper's "simple query optimization strategy".
+
+MYRIAD's first implementation evaluated global queries naively: ship every
+referenced export relation to the federation site in full and evaluate the
+whole query there.  No selection/projection pushdown, no semijoins — the
+baseline that motivates the full-fledged optimizer.
+"""
+
+from __future__ import annotations
+
+from repro.gateway import Gateway
+from repro.query.localizer import GlobalPlan, Localizer
+from repro.sql import ast
+
+
+class SimpleOptimizer:
+    """Ship-everything localization."""
+
+    name = "simple"
+
+    def __init__(self, gateways: dict[str, Gateway]):
+        self.gateways = gateways
+        self.localizer = Localizer(gateways)
+
+    def plan(self, expanded: ast.Query) -> GlobalPlan:
+        plan = self.localizer.localize(expanded, pushdown=False)
+        plan.strategy = self.name
+        plan.notes.append(
+            "ship-all: every export relation fetched in full, "
+            "all processing at the federation site"
+        )
+        return plan

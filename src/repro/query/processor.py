@@ -1,0 +1,84 @@
+"""The global query processor: parse → expand → optimize → execute.
+
+One :class:`GlobalQueryProcessor` serves one federation.  The optimizer
+choice is per-call, so benchmarks can run the same query under the paper's
+simple strategy and the full-fledged cost-based one.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FederationError
+from repro.net import MessageTrace, Network
+from repro.query.executor import GlobalExecutor, GlobalResult
+from repro.query.localizer import GlobalPlan
+from repro.query.optimizer import CostBasedOptimizer, SimpleOptimizer
+from repro.schema.federation import Federation
+from repro.sql import ast, parse_statement
+
+
+class GlobalQueryProcessor:
+    """Query-processing front door of one federation."""
+
+    def __init__(
+        self,
+        federation: Federation,
+        network: Network,
+        default_optimizer: str = "cost",
+    ):
+        self.federation = federation
+        self.network = network
+        self.optimizers = {
+            "simple": SimpleOptimizer(federation.gateways),
+            "cost": CostBasedOptimizer(federation.gateways, network),
+            "cost-nosemijoin": CostBasedOptimizer(
+                federation.gateways, network, enable_semijoin=False
+            ),
+            "cost-noaggpush": CostBasedOptimizer(
+                federation.gateways,
+                network,
+                enable_aggregate_pushdown=False,
+            ),
+        }
+        if default_optimizer not in self.optimizers:
+            raise FederationError(f"unknown optimizer {default_optimizer!r}")
+        self.default_optimizer = default_optimizer
+        self.executor = GlobalExecutor(federation)
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    def parse(self, sql: str) -> ast.Query:
+        statement = parse_statement(sql)
+        if not isinstance(statement, (ast.Select, ast.SetOperation)):
+            raise FederationError(
+                "the global query processor accepts SELECT queries; "
+                "use MyriadSystem.global_transaction for updates"
+            )
+        return statement
+
+    def plan(self, sql: str | ast.Query, optimizer: str | None = None) -> GlobalPlan:
+        query = self.parse(sql) if isinstance(sql, str) else sql
+        expanded = self.federation.expand(query)
+        chosen = self.optimizers[optimizer or self.default_optimizer]
+        return chosen.plan(expanded)
+
+    def explain(self, sql: str, optimizer: str | None = None) -> str:
+        return self.plan(sql, optimizer).describe()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        sql: str | ast.Query,
+        optimizer: str | None = None,
+        trace: MessageTrace | None = None,
+        timeout: float | None = None,
+        global_id: object | None = None,
+    ) -> GlobalResult:
+        plan = self.plan(sql, optimizer)
+        return self.executor.execute(
+            plan, trace=trace, timeout=timeout, global_id=global_id
+        )

@@ -1,0 +1,426 @@
+"""Algebraic rewrites used by the cost-based optimizer.
+
+Two classic view-aware transformations applied before localization:
+
+- :func:`push_selections` — move WHERE conjuncts that reference a single
+  derived table into that derived table's body (through set operations,
+  mapping column names through each branch's projection).  Selection
+  commutes with union/intersect/except and with duplicate elimination, so
+  the rewrite is exact; blocks with GROUP BY, aggregates or LIMIT are left
+  alone.
+- :func:`prune_projections` — drop derived-table output columns the outer
+  query never references (safe for plain SELECT bodies and UNION ALL;
+  duplicate-eliminating bodies are left alone because projection changes
+  their cardinality).
+
+Together they let single-relation predicates and narrow projections reach
+the export relations inside integrated-relation views, which is where the
+full-fledged optimizer's advantage over the paper's simple strategy comes
+from.
+"""
+
+from __future__ import annotations
+
+from repro.sql import ast
+
+
+# ---------------------------------------------------------------------------
+# Selection pushdown through derived tables
+# ---------------------------------------------------------------------------
+
+
+def push_selections(query: ast.Query) -> ast.Query:
+    """Recursively push single-derived-table conjuncts into view bodies."""
+    if isinstance(query, ast.SetOperation):
+        query.left = push_selections(query.left)
+        query.right = push_selections(query.right)
+        return query
+    return _push_in_select(query)
+
+
+def _push_in_select(select: ast.Select) -> ast.Select:
+    # First recurse into FROM items so nested views are already optimised.
+    for ref in select.from_clause:
+        _recurse_ref(ref)
+
+    if select.where is None:
+        return select
+
+    derived = _derived_tables(select.from_clause)
+    if not derived:
+        return select
+    binding_columns = {
+        alias.lower(): _output_names(ref.query) for alias, ref in derived.items()
+    }
+    # Include other bindings so unqualified refs resolve unambiguously.
+    for ref in _all_named_refs(select.from_clause):
+        binding_columns.setdefault(ref.binding.lower(), [])
+
+    kept: list[ast.Expression] = []
+    for conjunct in ast.split_conjuncts(select.where):
+        owner = _owner_binding(conjunct, binding_columns)
+        if owner is not None and owner in derived:
+            target = derived[owner]
+            pushed = _push_conjunct_into(target.query, conjunct, owner)
+            if pushed:
+                continue
+        kept.append(conjunct)
+    select.where = ast.conjoin(kept)
+    return select
+
+
+def _recurse_ref(ref: ast.TableRef) -> None:
+    if isinstance(ref, ast.SubqueryRef):
+        ref.query = push_selections(ref.query)
+    elif isinstance(ref, ast.Join):
+        _recurse_ref(ref.left)
+        _recurse_ref(ref.right)
+
+
+def _derived_tables(
+    from_clause: list[ast.TableRef],
+) -> dict[str, ast.SubqueryRef]:
+    found: dict[str, ast.SubqueryRef] = {}
+
+    def scan(ref: ast.TableRef) -> None:
+        if isinstance(ref, ast.SubqueryRef):
+            found[ref.alias.lower()] = ref
+        elif isinstance(ref, ast.Join):
+            # Only INNER/CROSS joins allow pushing selections into either
+            # side without changing outer-join padding.
+            scan_join(ref)
+
+    def scan_join(join: ast.Join) -> None:
+        if join.join_type in (ast.JoinType.INNER, ast.JoinType.CROSS):
+            scan(join.left)
+            scan(join.right)
+        elif join.join_type is ast.JoinType.LEFT:
+            scan(join.left)  # left side is safe
+        elif join.join_type is ast.JoinType.RIGHT:
+            scan(join.right)
+
+    for ref in from_clause:
+        scan(ref)
+    return found
+
+
+def _all_named_refs(from_clause: list[ast.TableRef]) -> list[ast.TableRef]:
+    result: list = []
+
+    def scan(ref: ast.TableRef) -> None:
+        if isinstance(ref, (ast.TableName, ast.SubqueryRef)):
+            result.append(ref)
+        elif isinstance(ref, ast.Join):
+            scan(ref.left)
+            scan(ref.right)
+
+    for ref in from_clause:
+        scan(ref)
+    return result
+
+
+def _output_names(query: ast.Query) -> list[str]:
+    while isinstance(query, ast.SetOperation):
+        query = query.left
+    names = []
+    for item in query.items:
+        if isinstance(item.expression, ast.Star):
+            return []
+        names.append(item.output_name)
+    return names
+
+
+def _owner_binding(
+    conjunct: ast.Expression, binding_columns: dict[str, list[str]]
+) -> str | None:
+    owner: str | None = None
+    for node in ast.walk_expressions(conjunct):
+        if isinstance(
+            node,
+            (ast.InSubquery, ast.Exists, ast.ScalarSubquery, ast.Parameter),
+        ):
+            return None
+        if isinstance(node, ast.FunctionCall) and node.is_aggregate:
+            return None
+        if isinstance(node, ast.Star):
+            return None
+        if isinstance(node, ast.ColumnRef):
+            if node.table is not None:
+                key = node.table.lower()
+                if key not in binding_columns:
+                    return None
+            else:
+                owners = [
+                    binding
+                    for binding, columns in binding_columns.items()
+                    if node.name.lower() in (c.lower() for c in columns)
+                ]
+                if len(owners) != 1:
+                    return None
+                key = owners[0]
+            if owner is None:
+                owner = key
+            elif owner != key:
+                return None
+    return owner
+
+
+def _push_conjunct_into(
+    query: ast.Query, conjunct: ast.Expression, binding: str
+) -> bool:
+    """Push one conjunct into a view body.  Returns True on success."""
+    if not _can_push_into(query, conjunct, binding):
+        return False
+    _do_push_into(query, conjunct, binding)
+    return True
+
+
+def _can_push_into(
+    query: ast.Query, conjunct: ast.Expression, binding: str
+) -> bool:
+    """Dry-run acceptability check (no mutation)."""
+    if isinstance(query, ast.SetOperation):
+        # Selection commutes with every set operation; both sides must accept.
+        return _can_push_into(query.left, conjunct, binding) and _can_push_into(
+            query.right, conjunct, binding
+        )
+    select = query
+    if select.group_by or select.having is not None:
+        return False
+    if select.limit is not None or select.offset is not None:
+        return False
+    if any(ast.contains_aggregate(item.expression) for item in select.items):
+        return False
+    mapping: set[str] = set()
+    for item in select.items:
+        if isinstance(item.expression, ast.Star):
+            return False
+        mapping.add(item.output_name.lower())
+    for node in ast.walk_expressions(conjunct):
+        if isinstance(node, ast.ColumnRef):
+            if node.table is None or node.table.lower() == binding.lower():
+                if node.name.lower() not in mapping:
+                    return False
+    return True
+
+
+def _do_push_into(
+    query: ast.Query, conjunct: ast.Expression, binding: str
+) -> None:
+    if isinstance(query, ast.SetOperation):
+        _do_push_into(query.left, conjunct, binding)
+        _do_push_into(query.right, conjunct, binding)
+        return
+    select = query
+    mapping: dict[str, ast.Expression] = {}
+    for item in select.items:
+        mapping[item.output_name.lower()] = item.expression
+
+    failed = False
+
+    def replace(node: ast.Expression) -> ast.Expression:
+        nonlocal failed
+        if isinstance(node, ast.ColumnRef):
+            if node.table is None or node.table.lower() == binding.lower():
+                target = mapping.get(node.name.lower())
+                if target is None:
+                    failed = True
+                    return node
+                return target
+        return node
+
+    mapped = ast.transform_expression(conjunct, replace)
+    select.where = ast.conjoin(
+        [p for p in (select.where, mapped) if p is not None]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Projection pruning through derived tables
+# ---------------------------------------------------------------------------
+
+
+def prune_projections(query: ast.Query) -> ast.Query:
+    """Drop derived-table columns never used by the enclosing block."""
+    if isinstance(query, ast.SetOperation):
+        prune_projections(query.left)
+        prune_projections(query.right)
+        return query
+    select = query
+
+    derived = _derived_tables_all(select.from_clause)
+    if derived:
+        used = _used_columns(select)
+        if used is not None:
+            for alias, ref in derived.items():
+                needed = used.get(alias, None)
+                if needed is None:
+                    continue
+                _prune_query(ref.query, needed)
+    # Recurse after pruning so inner blocks see the narrowed projections.
+    for ref in select.from_clause:
+        _prune_recurse_ref(ref)
+    return select
+
+
+def _derived_tables_all(
+    from_clause: list[ast.TableRef],
+) -> dict[str, ast.SubqueryRef]:
+    found: dict[str, ast.SubqueryRef] = {}
+
+    def scan(ref: ast.TableRef) -> None:
+        if isinstance(ref, ast.SubqueryRef):
+            found[ref.alias.lower()] = ref
+        elif isinstance(ref, ast.Join):
+            scan(ref.left)
+            scan(ref.right)
+
+    for ref in from_clause:
+        scan(ref)
+    return found
+
+
+def _prune_recurse_ref(ref: ast.TableRef) -> None:
+    if isinstance(ref, ast.SubqueryRef):
+        prune_projections(ref.query)
+    elif isinstance(ref, ast.Join):
+        _prune_recurse_ref(ref.left)
+        _prune_recurse_ref(ref.right)
+
+
+def _used_columns(select: ast.Select) -> dict[str, set[str]] | None:
+    """alias → columns referenced; None when '*' blocks the analysis."""
+    binding_columns: dict[str, list[str]] = {}
+
+    def note_binding(ref: ast.TableRef) -> None:
+        if isinstance(ref, ast.SubqueryRef):
+            binding_columns[ref.alias.lower()] = _output_names(ref.query)
+        elif isinstance(ref, ast.TableName):
+            binding_columns[ref.binding.lower()] = []
+        elif isinstance(ref, ast.Join):
+            note_binding(ref.left)
+            note_binding(ref.right)
+
+    for ref in select.from_clause:
+        note_binding(ref)
+
+    used: dict[str, set[str]] = {alias: set() for alias in binding_columns}
+    blocked = False
+
+    def note(node: ast.Expression) -> None:
+        nonlocal blocked
+        if isinstance(node, ast.Star):
+            blocked = True
+            return
+        if isinstance(node, ast.ColumnRef):
+            if node.table is not None:
+                key = node.table.lower()
+                if key in used:
+                    used[key].add(node.name.lower())
+            else:
+                owners = [
+                    alias
+                    for alias, columns in binding_columns.items()
+                    if node.name.lower() in (c.lower() for c in columns)
+                ]
+                if owners:
+                    for owner in owners:
+                        used[owner].add(node.name.lower())
+                else:
+                    # Could belong to a base table here or an outer block:
+                    # mark every binding conservatively.
+                    for key in used:
+                        used[key].add(node.name.lower())
+
+    def walk_expr(expr: ast.Expression) -> None:
+        for node in ast.walk_expressions(expr):
+            note(node)
+            if isinstance(node, (ast.InSubquery, ast.ScalarSubquery)):
+                _mark_all(node.query)
+            elif isinstance(node, ast.Exists):
+                _mark_all(node.query)
+
+    def _mark_all(query: ast.Query) -> None:
+        # Subqueries may reference outer bindings; be conservative.
+        nonlocal blocked
+        blocked = True
+
+    for item in select.items:
+        walk_expr(item.expression)
+    if select.where is not None:
+        walk_expr(select.where)
+    for group in select.group_by:
+        walk_expr(group)
+    if select.having is not None:
+        walk_expr(select.having)
+    for order in select.order_by:
+        walk_expr(order.expression)
+
+    def walk_join_conditions(ref: ast.TableRef) -> None:
+        if isinstance(ref, ast.Join):
+            walk_join_conditions(ref.left)
+            walk_join_conditions(ref.right)
+            if ref.condition is not None:
+                walk_expr(ref.condition)
+            for column in ref.using:
+                for key in used:
+                    used[key].add(column.lower())
+
+    for ref in select.from_clause:
+        walk_join_conditions(ref)
+
+    if blocked:
+        return None
+    return used
+
+
+def _prune_query(query: ast.Query, needed: set[str]) -> None:
+    """Restrict a view body's output columns to ``needed`` (by name)."""
+    if isinstance(query, ast.SetOperation):
+        if query.kind is not ast.SetOpKind.UNION_ALL:
+            return  # duplicate-eliminating ops depend on all columns
+        positions = _positions_for(query, needed)
+        if positions is None:
+            return
+        _prune_positions(query, positions)
+        return
+    select = query
+    if select.distinct:
+        return
+    keep = [
+        item
+        for item in select.items
+        if isinstance(item.expression, ast.Star)
+        or item.output_name.lower() in needed
+    ]
+    if not keep:
+        keep = select.items[:1]
+    select.items = keep
+
+
+def _positions_for(query: ast.Query, needed: set[str]) -> list[int] | None:
+    head = query
+    while isinstance(head, ast.SetOperation):
+        head = head.left
+    positions = []
+    for position, item in enumerate(head.items):
+        if isinstance(item.expression, ast.Star):
+            return None
+        if item.output_name.lower() in needed:
+            positions.append(position)
+    if not positions:
+        positions = [0]
+    return positions
+
+
+def _prune_positions(query: ast.Query, positions: list[int]) -> None:
+    if isinstance(query, ast.SetOperation):
+        _prune_positions(query.left, positions)
+        _prune_positions(query.right, positions)
+        return
+    select = query
+    if select.distinct:
+        return  # shouldn't happen under UNION ALL guard, but stay safe
+    if any(isinstance(i.expression, ast.Star) for i in select.items):
+        return
+    select.items = [select.items[p] for p in positions]

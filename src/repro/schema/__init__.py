@@ -1,0 +1,47 @@
+"""Schema integration: integration functions, integrated relations, federations."""
+
+from repro.schema.federation import Federation
+from repro.schema.functions import (
+    STANDARD_RESOLVERS,
+    FunctionRegistry,
+    all_agree,
+    numeric_average,
+    numeric_max,
+    numeric_min,
+    prefer_first,
+    prefer_last,
+    standard_registry,
+)
+from repro.schema.integration import (
+    IntegratedRelation,
+    SourceColumn,
+    join_merge,
+    union_merge,
+    view_relation,
+)
+from repro.schema.updates import (
+    UpdatableSource,
+    resolve_updatable,
+    rewrite_dml,
+)
+
+__all__ = [
+    "Federation",
+    "STANDARD_RESOLVERS",
+    "FunctionRegistry",
+    "all_agree",
+    "numeric_average",
+    "numeric_max",
+    "numeric_min",
+    "prefer_first",
+    "prefer_last",
+    "standard_registry",
+    "IntegratedRelation",
+    "SourceColumn",
+    "join_merge",
+    "union_merge",
+    "view_relation",
+    "UpdatableSource",
+    "resolve_updatable",
+    "rewrite_dml",
+]

@@ -1,0 +1,192 @@
+"""Federations: named integrated schemas over a set of gateways.
+
+MYRIAD supports *multiple federations*: each federation owns its integrated
+relations and integration functions, while gateways/export schemas are shared
+infrastructure.  The federation object also performs view expansion — turning
+a global query over integrated relations into one over export relations —
+which is the first step of global query processing.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FederationError
+from repro.gateway import Gateway
+from repro.schema.functions import FunctionRegistry, standard_registry
+from repro.schema.integration import IntegratedRelation
+from repro.sql import ast, parse_query
+
+
+class Federation:
+    """One federation: integrated relations + integration functions."""
+
+    def __init__(self, name: str, gateways: dict[str, Gateway]):
+        self.name = name
+        self.gateways = gateways
+        self.functions: FunctionRegistry = standard_registry()
+        self.relations: dict[str, IntegratedRelation] = {}
+
+    # ------------------------------------------------------------------
+    # Schema management (what the paper's query interface lets DBAs do)
+    # ------------------------------------------------------------------
+
+    def add_relation(self, relation: IntegratedRelation) -> IntegratedRelation:
+        key = relation.name.lower()
+        if key in self.relations:
+            raise FederationError(
+                f"integrated relation {relation.name!r} already exists in "
+                f"federation {self.name!r}"
+            )
+        self._validate_sources(relation)
+        self.relations[key] = relation
+        return relation
+
+    def define_relation(self, name: str, sql: str) -> IntegratedRelation:
+        """Define an integrated relation from a SQL view definition."""
+        relation = IntegratedRelation(name, parse_query(sql))
+        return self.add_relation(relation)
+
+    def drop_relation(self, name: str) -> None:
+        if name.lower() not in self.relations:
+            raise FederationError(
+                f"no integrated relation {name!r} in federation {self.name!r}"
+            )
+        del self.relations[name.lower()]
+
+    def replace_relation(self, relation: IntegratedRelation) -> IntegratedRelation:
+        self.relations.pop(relation.name.lower(), None)
+        return self.add_relation(relation)
+
+    def get_relation(self, name: str) -> IntegratedRelation:
+        try:
+            return self.relations[name.lower()]
+        except KeyError:
+            raise FederationError(
+                f"no integrated relation {name!r} in federation {self.name!r}"
+            ) from None
+
+    def has_relation(self, name: str) -> bool:
+        return name.lower() in self.relations
+
+    def relation_names(self) -> list[str]:
+        return sorted(r.name for r in self.relations.values())
+
+    def register_function(self, name: str, fn) -> None:
+        """Register a user-defined integration function."""
+        self.functions.register(name, fn)
+
+    def _validate_sources(self, relation: IntegratedRelation) -> None:
+        for site, export in relation.sources():
+            gateway = self.gateways.get(site)
+            if gateway is None:
+                raise FederationError(
+                    f"integrated relation {relation.name!r} references "
+                    f"unknown site {site!r}"
+                )
+            if not gateway.exports.has(export):
+                raise FederationError(
+                    f"integrated relation {relation.name!r} references "
+                    f"{site}.{export}, but that site exports no such relation"
+                )
+
+    # ------------------------------------------------------------------
+    # View expansion
+    # ------------------------------------------------------------------
+
+    def expand(self, query: ast.Query) -> ast.Query:
+        """Replace integrated-relation references with their view bodies.
+
+        Expansion is recursive (views over views) with cycle detection.
+        The result references only export relations (``site.export`` names)
+        and derived tables.
+        """
+        return self._expand_query(query, frozenset())
+
+    def _expand_query(
+        self, query: ast.Query, expanding: frozenset[str]
+    ) -> ast.Query:
+        if isinstance(query, ast.SetOperation):
+            return ast.SetOperation(
+                query.kind,
+                self._expand_query(query.left, expanding),
+                self._expand_query(query.right, expanding),
+                list(query.order_by),
+                query.limit,
+                query.offset,
+            )
+        return ast.Select(
+            items=[
+                ast.SelectItem(self._expand_expr(i.expression, expanding), i.alias)
+                for i in query.items
+            ],
+            from_clause=[
+                self._expand_ref(r, expanding) for r in query.from_clause
+            ],
+            where=self._expand_expr(query.where, expanding)
+            if query.where is not None
+            else None,
+            group_by=[self._expand_expr(g, expanding) for g in query.group_by],
+            having=self._expand_expr(query.having, expanding)
+            if query.having is not None
+            else None,
+            order_by=[
+                ast.OrderItem(
+                    self._expand_expr(o.expression, expanding), o.ascending
+                )
+                for o in query.order_by
+            ],
+            limit=query.limit,
+            offset=query.offset,
+            distinct=query.distinct,
+        )
+
+    def _expand_ref(
+        self, ref: ast.TableRef, expanding: frozenset[str]
+    ) -> ast.TableRef:
+        if isinstance(ref, ast.TableName):
+            key = ref.name.lower()
+            if "." not in ref.name and key in self.relations:
+                if key in expanding:
+                    raise FederationError(
+                        f"cyclic integrated-relation definition at {ref.name!r}"
+                    )
+                view = self.relations[key].view
+                expanded = self._expand_query(view, expanding | {key})
+                return ast.SubqueryRef(expanded, ref.binding)
+            return ref
+        if isinstance(ref, ast.SubqueryRef):
+            return ast.SubqueryRef(
+                self._expand_query(ref.query, expanding), ref.alias
+            )
+        if isinstance(ref, ast.Join):
+            return ast.Join(
+                self._expand_ref(ref.left, expanding),
+                self._expand_ref(ref.right, expanding),
+                ref.join_type,
+                self._expand_expr(ref.condition, expanding)
+                if ref.condition is not None
+                else None,
+                list(ref.using),
+            )
+        return ref
+
+    def _expand_expr(
+        self, expr: ast.Expression, expanding: frozenset[str]
+    ) -> ast.Expression:
+        def replace(node: ast.Expression) -> ast.Expression:
+            if isinstance(node, ast.InSubquery):
+                return ast.InSubquery(
+                    node.operand,
+                    self._expand_query(node.query, expanding),
+                    node.negated,
+                )
+            if isinstance(node, ast.Exists):
+                return ast.Exists(
+                    self._expand_query(node.query, expanding), node.negated
+                )
+            if isinstance(node, ast.ScalarSubquery):
+                return ast.ScalarSubquery(
+                    self._expand_query(node.query, expanding)
+                )
+            return node
+
+        return ast.transform_expression(expr, replace)

@@ -1,0 +1,120 @@
+"""User-defined integration functions and conflict resolvers.
+
+The paper: *"relations from these databases are merged into integrated
+relations using relational operations as well as user-defined integration
+functions."*  An integration function is a named scalar function registered
+with a federation and usable in integrated-relation definitions and global
+queries — unit conversion, code mapping, name normalisation, and conflict
+resolution between sources reporting different values for the same attribute.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import FederationError
+
+
+class FunctionRegistry:
+    """Named scalar functions available inside one federation."""
+
+    def __init__(self):
+        self._functions: dict[str, Callable] = {}
+
+    def register(self, name: str, fn: Callable) -> None:
+        key = name.upper()
+        if key in self._functions:
+            raise FederationError(f"integration function {name!r} already defined")
+        self._functions[key] = fn
+
+    def get(self, name: str) -> Callable:
+        try:
+            return self._functions[name.upper()]
+        except KeyError:
+            raise FederationError(f"unknown integration function {name!r}") from None
+
+    def has(self, name: str) -> bool:
+        return name.upper() in self._functions
+
+    def names(self) -> list[str]:
+        return sorted(self._functions)
+
+    def as_dict(self) -> dict[str, Callable]:
+        return dict(self._functions)
+
+
+# ---------------------------------------------------------------------------
+# Stock conflict-resolution functions
+# ---------------------------------------------------------------------------
+#
+# These resolve attribute conflicts when the same entity appears in several
+# component databases (vertical/overlap integration): given the candidate
+# values from each source, produce the integrated value.
+
+
+def prefer_first(*values: object) -> object:
+    """First non-NULL value, in source priority order (like COALESCE)."""
+    for value in values:
+        if value is not None:
+            return value
+    return None
+
+
+def prefer_last(*values: object) -> object:
+    """Last non-NULL value."""
+    result = None
+    for value in values:
+        if value is not None:
+            result = value
+    return result
+
+
+def numeric_average(*values: object) -> object:
+    """Average of the non-NULL numeric candidates."""
+    numbers = [v for v in values if v is not None]
+    if not numbers:
+        return None
+    return sum(numbers) / len(numbers)
+
+
+def numeric_max(*values: object) -> object:
+    numbers = [v for v in values if v is not None]
+    return max(numbers) if numbers else None
+
+
+def numeric_min(*values: object) -> object:
+    numbers = [v for v in values if v is not None]
+    return min(numbers) if numbers else None
+
+
+def all_agree(*values: object) -> object:
+    """The common value if every non-NULL source agrees, else NULL.
+
+    The conservative resolver: disagreements surface as NULL so DBAs can
+    find them with ``WHERE x IS NULL``.
+    """
+    present = [v for v in values if v is not None]
+    if not present:
+        return None
+    first = present[0]
+    if all(v == first for v in present[1:]):
+        return first
+    return None
+
+
+STANDARD_RESOLVERS: dict[str, Callable] = {
+    "PREFER_FIRST": prefer_first,
+    "PREFER_LAST": prefer_last,
+    "AVG_CONFLICT": numeric_average,
+    "MAX_CONFLICT": numeric_max,
+    "MIN_CONFLICT": numeric_min,
+    "ALL_AGREE": all_agree,
+}
+
+
+def standard_registry() -> FunctionRegistry:
+    """A registry preloaded with the stock conflict resolvers."""
+    registry = FunctionRegistry()
+    for name, fn in STANDARD_RESOLVERS.items():
+        registry.register(name, fn)
+    return registry

@@ -1,0 +1,259 @@
+"""Integrated relations: views over export relations.
+
+A federation's schema is a set of *integrated relations*, each derived from
+export relations via relational operations and user-defined integration
+functions (the paper, §1).  An integrated relation is stored as a SQL view
+whose FROM items name export relations with a site qualifier —
+``ora_site.employees`` — or other integrated relations.
+
+Two classic merge shapes get first-class builders:
+
+- :func:`union_merge` — *horizontal* integration: the same kind of entity
+  lives in several databases (e.g. employees of two subsidiaries); the
+  integrated relation is the (outer) union, optionally tagged with a source
+  column.
+- :func:`join_merge` — *vertical/overlap* integration: the same entities
+  appear in several databases with different (or conflicting) attributes;
+  the integrated relation is a full outer join on the shared key with a
+  conflict resolver per overlapping attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FederationError
+from repro.sql import ast, parse_query
+from repro.sql.printer import SQLPrinter
+
+
+@dataclass
+class SourceColumn:
+    """Where an integrated column comes from (for lineage/browsing)."""
+
+    site: str
+    export: str
+    column: str
+
+
+@dataclass
+class IntegratedRelation:
+    """One integrated relation: a named view over export relations."""
+
+    name: str
+    view: ast.Query
+    #: Optional documentation of per-column lineage (builders fill this).
+    lineage: dict[str, list[SourceColumn]] = field(default_factory=dict)
+
+    @property
+    def column_names(self) -> list[str]:
+        """Output column names, if statically derivable."""
+        query = self.view
+        while isinstance(query, ast.SetOperation):
+            query = query.left
+        names = []
+        for item in query.items:
+            if isinstance(item.expression, ast.Star):
+                raise FederationError(
+                    f"integrated relation {self.name!r} uses '*'; "
+                    "define explicit columns"
+                )
+            names.append(item.output_name)
+        return names
+
+    def sources(self) -> list[tuple[str, str]]:
+        """All (site, export_relation) pairs referenced by the view."""
+        found: list[tuple[str, str]] = []
+
+        def visit_query(query: ast.Query) -> None:
+            if isinstance(query, ast.SetOperation):
+                visit_query(query.left)
+                visit_query(query.right)
+                return
+            for ref in query.from_clause:
+                visit_ref(ref)
+
+        def visit_ref(ref: ast.TableRef) -> None:
+            if isinstance(ref, ast.TableName):
+                if "." in ref.name:
+                    site, _, export = ref.name.partition(".")
+                    pair = (site, export)
+                    if pair not in found:
+                        found.append(pair)
+            elif isinstance(ref, ast.SubqueryRef):
+                visit_query(ref.query)
+            elif isinstance(ref, ast.Join):
+                visit_ref(ref.left)
+                visit_ref(ref.right)
+
+        visit_query(self.view)
+        return found
+
+    def definition_sql(self) -> str:
+        """The view definition as SQL text (for the schema browser)."""
+        return SQLPrinter().print_query(self.view)
+
+
+# ---------------------------------------------------------------------------
+# Merge builders
+# ---------------------------------------------------------------------------
+
+
+def _source_name(site: str, export: str) -> str:
+    return f"{site}.{export}"
+
+
+def union_merge(
+    name: str,
+    sources: list[tuple[str, str, list[str] | dict[str, str]]],
+    distinct: bool = False,
+    source_tag_column: str | None = None,
+) -> IntegratedRelation:
+    """Horizontal merge: UNION [ALL] of per-source projections.
+
+    ``sources`` entries are ``(site, export, columns)`` where ``columns`` is
+    either a list of column names common to all sources or a mapping from
+    integrated-column name → that source's column name.  With
+    ``source_tag_column`` every row carries the site name it came from.
+    """
+    if not sources:
+        raise FederationError("union_merge needs at least one source")
+
+    blocks: list[ast.Select] = []
+    lineage: dict[str, list[SourceColumn]] = {}
+    expected: list[str] | None = None
+    for site, export, columns in sources:
+        if isinstance(columns, dict):
+            mapping = dict(columns)
+        else:
+            mapping = {column: column for column in columns}
+        names = list(mapping.keys())
+        if expected is None:
+            expected = names
+        elif [n.lower() for n in names] != [n.lower() for n in expected]:
+            raise FederationError(
+                f"union_merge source {site}.{export} columns {names} do not "
+                f"match {expected}"
+            )
+        items = [
+            ast.SelectItem(ast.ColumnRef(source_column), integrated)
+            for integrated, source_column in mapping.items()
+        ]
+        if source_tag_column is not None:
+            items.append(ast.SelectItem(ast.Literal(site), source_tag_column))
+        blocks.append(
+            ast.Select(
+                items=items,
+                from_clause=[ast.TableName(_source_name(site, export))],
+            )
+        )
+        for integrated, source_column in mapping.items():
+            lineage.setdefault(integrated, []).append(
+                SourceColumn(site, export, source_column)
+            )
+
+    view: ast.Query = blocks[0]
+    kind = ast.SetOpKind.UNION if distinct else ast.SetOpKind.UNION_ALL
+    for block in blocks[1:]:
+        view = ast.SetOperation(kind, view, block)
+    return IntegratedRelation(name, view, lineage)
+
+
+def join_merge(
+    name: str,
+    left: tuple[str, str],
+    right: tuple[str, str],
+    on: list[tuple[str, str]],
+    attributes: dict[str, object],
+    join_type: ast.JoinType = ast.JoinType.FULL,
+) -> IntegratedRelation:
+    """Vertical/overlap merge: outer join on a shared key.
+
+    ``attributes`` maps each integrated column to one of:
+
+    - ``("left", column)`` — taken from the left source
+    - ``("right", column)`` — taken from the right source
+    - ``("key", position)`` — the join key (COALESCE of both sides so outer
+      rows keep their key); ``position`` indexes into ``on``
+    - ``("resolve", function_name, left_column, right_column)`` — a
+      user-defined integration function applied to both candidates
+    """
+    left_site, left_export = left
+    right_site, right_export = right
+    left_binding, right_binding = "l", "r"
+
+    condition = ast.conjoin(
+        [
+            ast.BinaryOp(
+                "=",
+                ast.ColumnRef(lcol, left_binding),
+                ast.ColumnRef(rcol, right_binding),
+            )
+            for lcol, rcol in on
+        ]
+    )
+    join = ast.Join(
+        ast.TableName(_source_name(left_site, left_export), left_binding),
+        ast.TableName(_source_name(right_site, right_export), right_binding),
+        join_type,
+        condition,
+    )
+
+    items: list[ast.SelectItem] = []
+    lineage: dict[str, list[SourceColumn]] = {}
+    for integrated, spec in attributes.items():
+        if not isinstance(spec, tuple) or not spec:
+            raise FederationError(
+                f"bad attribute spec for {integrated!r}: {spec!r}"
+            )
+        kind = spec[0]
+        if kind == "left":
+            expr: ast.Expression = ast.ColumnRef(spec[1], left_binding)
+            lineage[integrated] = [
+                SourceColumn(left_site, left_export, spec[1])
+            ]
+        elif kind == "right":
+            expr = ast.ColumnRef(spec[1], right_binding)
+            lineage[integrated] = [
+                SourceColumn(right_site, right_export, spec[1])
+            ]
+        elif kind == "key":
+            position = spec[1] if len(spec) > 1 else 0
+            lcol, rcol = on[position]
+            expr = ast.FunctionCall(
+                "COALESCE",
+                [
+                    ast.ColumnRef(lcol, left_binding),
+                    ast.ColumnRef(rcol, right_binding),
+                ],
+            )
+            lineage[integrated] = [
+                SourceColumn(left_site, left_export, lcol),
+                SourceColumn(right_site, right_export, rcol),
+            ]
+        elif kind == "resolve":
+            _, function_name, lcol, rcol = spec
+            expr = ast.FunctionCall(
+                function_name.upper(),
+                [
+                    ast.ColumnRef(lcol, left_binding),
+                    ast.ColumnRef(rcol, right_binding),
+                ],
+            )
+            lineage[integrated] = [
+                SourceColumn(left_site, left_export, lcol),
+                SourceColumn(right_site, right_export, rcol),
+            ]
+        else:
+            raise FederationError(
+                f"unknown attribute spec kind {kind!r} for {integrated!r}"
+            )
+        items.append(ast.SelectItem(expr, integrated))
+
+    view = ast.Select(items=items, from_clause=[join])
+    return IntegratedRelation(name, view, lineage)
+
+
+def view_relation(name: str, sql: str) -> IntegratedRelation:
+    """Free-form integrated relation from a SQL view definition."""
+    return IntegratedRelation(name, parse_query(sql))

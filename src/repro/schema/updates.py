@@ -1,0 +1,173 @@
+"""Updatable integrated relations: routing federation-level DML to sources.
+
+MYRIAD's query interface lets users pose *transactions* against the
+federation.  DML against an integrated relation is supported when the
+relation is **updatable**: its view is a single SELECT over exactly one
+export relation whose output columns are plain column references (no
+integration functions, joins, unions, or aggregation).  The DML is rewritten
+into the export relation's namespace (and the view's row predicate is
+conjoined, so updates cannot escape the view).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FederationError
+from repro.schema.integration import IntegratedRelation
+from repro.sql import ast
+
+
+@dataclass(frozen=True)
+class UpdatableSource:
+    """Where an updatable integrated relation's rows live."""
+
+    site: str
+    export: str
+    #: integrated column (lower) → export column
+    column_map: dict[str, str]
+    #: the view's row predicate over *export* columns, if any
+    predicate: ast.Expression | None
+
+
+def resolve_updatable(relation: IntegratedRelation) -> UpdatableSource:
+    """Analyse a view; raise FederationError if it is not updatable."""
+    view = relation.view
+    if not isinstance(view, ast.Select):
+        raise FederationError(
+            f"integrated relation {relation.name!r} is not updatable: "
+            "set operations cannot be updated through"
+        )
+    if (
+        view.group_by
+        or view.having is not None
+        or view.distinct
+        or view.limit is not None
+        or view.offset is not None
+    ):
+        raise FederationError(
+            f"integrated relation {relation.name!r} is not updatable: "
+            "aggregation/DISTINCT/LIMIT in the definition"
+        )
+    if len(view.from_clause) != 1 or not isinstance(
+        view.from_clause[0], ast.TableName
+    ):
+        raise FederationError(
+            f"integrated relation {relation.name!r} is not updatable: "
+            "the definition must read exactly one export relation"
+        )
+    source = view.from_clause[0]
+    if "." not in source.name:
+        raise FederationError(
+            f"integrated relation {relation.name!r} is not updatable: "
+            "the source must be a site-qualified export relation"
+        )
+    site, _, export = source.name.partition(".")
+    binding = source.binding.lower()
+
+    column_map: dict[str, str] = {}
+    for item in view.items:
+        expr = item.expression
+        if not isinstance(expr, ast.ColumnRef):
+            raise FederationError(
+                f"integrated relation {relation.name!r} is not updatable: "
+                f"column {item.output_name!r} is computed"
+            )
+        if expr.table is not None and expr.table.lower() != binding:
+            raise FederationError(
+                f"integrated relation {relation.name!r} is not updatable: "
+                f"column {item.output_name!r} comes from another binding"
+            )
+        column_map[item.output_name.lower()] = expr.name
+
+    predicate = None
+    if view.where is not None:
+        predicate = _strip_qualifiers(view.where, binding)
+    return UpdatableSource(site, export, column_map, predicate)
+
+
+def rewrite_dml(
+    statement: ast.Statement, relation_name: str, source: UpdatableSource
+) -> ast.Statement:
+    """Rewrite DML over an integrated relation into its export namespace."""
+    if isinstance(statement, ast.Insert):
+        columns = statement.columns or list(source.column_map.keys())
+        mapped = [_map_column(source, c, relation_name) for c in columns]
+        if statement.query is not None:
+            raise FederationError(
+                "INSERT ... SELECT through an integrated relation is not "
+                "supported; insert rows explicitly"
+            )
+        return ast.Insert(source.export, mapped, statement.rows)
+    if isinstance(statement, ast.Update):
+        assignments = [
+            (
+                _map_column(source, column, relation_name),
+                _map_expr(source, value, relation_name),
+            )
+            for column, value in statement.assignments
+        ]
+        where = _combine_where(source, statement.where, relation_name)
+        return ast.Update(source.export, assignments, where)
+    if isinstance(statement, ast.Delete):
+        where = _combine_where(source, statement.where, relation_name)
+        return ast.Delete(source.export, where)
+    raise FederationError(
+        f"unsupported federated DML {type(statement).__name__}"
+    )
+
+
+def _combine_where(
+    source: UpdatableSource,
+    where: ast.Expression | None,
+    relation_name: str,
+) -> ast.Expression | None:
+    mapped = (
+        _map_expr(source, where, relation_name) if where is not None else None
+    )
+    parts = [p for p in (mapped, source.predicate) if p is not None]
+    return ast.conjoin(parts)
+
+
+def _map_column(
+    source: UpdatableSource, column: str, relation_name: str
+) -> str:
+    mapped = source.column_map.get(column.lower())
+    if mapped is None:
+        raise FederationError(
+            f"integrated relation {relation_name!r} has no column {column!r}"
+        )
+    return mapped
+
+
+def _map_expr(
+    source: UpdatableSource, expr: ast.Expression, relation_name: str
+) -> ast.Expression:
+    def replace(node: ast.Expression) -> ast.Expression:
+        if isinstance(node, ast.ColumnRef):
+            if node.table is not None and node.table.lower() != (
+                relation_name.lower()
+            ):
+                raise FederationError(
+                    f"federated DML may only reference {relation_name!r}"
+                )
+            return ast.ColumnRef(
+                _map_column(source, node.name, relation_name)
+            )
+        if isinstance(node, (ast.InSubquery, ast.Exists, ast.ScalarSubquery)):
+            raise FederationError(
+                "subqueries are not supported in federated DML"
+            )
+        return node
+
+    return ast.transform_expression(expr, replace)
+
+
+def _strip_qualifiers(expr: ast.Expression, binding: str) -> ast.Expression:
+    def replace(node: ast.Expression) -> ast.Expression:
+        if isinstance(node, ast.ColumnRef) and node.table is not None:
+            if node.table.lower() == binding:
+                return ast.ColumnRef(node.name)
+        return node
+
+    return ast.transform_expression(expr, replace)

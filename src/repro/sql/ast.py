@@ -1,0 +1,554 @@
+"""Abstract syntax tree for the MYRIAD SQL dialect.
+
+The same AST is used at every level of the system: the federation layer
+parses global SQL into it, the query processor rewrites it (view expansion,
+predicate pushdown, localization), gateways render it back to dialect-specific
+SQL text, and local DBMSs execute it.
+
+Nodes are plain mutable dataclasses with structural equality, which makes
+rewrite passes straightforward.  Traversal helpers (:func:`walk_expressions`,
+:func:`transform_expression`, :func:`split_conjuncts`, ...) live at the bottom
+of the module.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+
+
+class Node:
+    """Base class for all AST nodes (statements, table refs, expressions)."""
+
+    __slots__ = ()
+
+
+# ===========================================================================
+# Expressions
+# ===========================================================================
+
+
+class Expression(Node):
+    """Base class for scalar expressions and predicates."""
+
+    __slots__ = ()
+
+
+@dataclass(eq=True)
+class Literal(Expression):
+    """A constant: number, string, boolean, date string, or NULL (value=None)."""
+
+    value: object
+
+    def __hash__(self) -> int:
+        return hash((Literal, self.value))
+
+
+NULL = Literal(None)
+TRUE = Literal(True)
+FALSE = Literal(False)
+
+
+@dataclass(eq=True)
+class ColumnRef(Expression):
+    """A (possibly qualified) column reference: ``t.c`` or ``c``."""
+
+    name: str
+    table: str | None = None
+
+    def __hash__(self) -> int:
+        return hash((ColumnRef, self.table, self.name))
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(eq=True)
+class Star(Expression):
+    """``*`` or ``t.*`` in a projection list or inside COUNT(*)."""
+
+    table: str | None = None
+
+    def __hash__(self) -> int:
+        return hash((Star, self.table))
+
+
+@dataclass(eq=True)
+class Parameter(Expression):
+    """A ``?`` positional parameter (0-based index)."""
+
+    index: int
+
+    def __hash__(self) -> int:
+        return hash((Parameter, self.index))
+
+
+@dataclass(eq=True)
+class UnaryOp(Expression):
+    """``NOT x``, ``-x``, ``+x``."""
+
+    op: str
+    operand: Expression
+
+    def __hash__(self) -> int:
+        return hash((UnaryOp, self.op, self.operand))
+
+
+@dataclass(eq=True)
+class BinaryOp(Expression):
+    """Binary operators: arithmetic, comparison, AND/OR, ``||``, LIKE."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __hash__(self) -> int:
+        return hash((BinaryOp, self.op, self.left, self.right))
+
+
+@dataclass(eq=True)
+class IsNull(Expression):
+    """``x IS [NOT] NULL``."""
+
+    operand: Expression
+    negated: bool = False
+
+    def __hash__(self) -> int:
+        return hash((IsNull, self.operand, self.negated))
+
+
+@dataclass(eq=True)
+class Between(Expression):
+    """``x [NOT] BETWEEN low AND high``."""
+
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+    def __hash__(self) -> int:
+        return hash((Between, self.operand, self.low, self.high, self.negated))
+
+
+@dataclass(eq=True)
+class InList(Expression):
+    """``x [NOT] IN (v1, v2, ...)``."""
+
+    operand: Expression
+    items: list[Expression]
+    negated: bool = False
+
+    def __hash__(self) -> int:
+        return hash((InList, self.operand, tuple(self.items), self.negated))
+
+
+@dataclass(eq=True)
+class InSubquery(Expression):
+    """``x [NOT] IN (SELECT ...)``."""
+
+    operand: Expression
+    query: "Query"
+    negated: bool = False
+
+    def __hash__(self) -> int:
+        return hash((InSubquery, self.operand, id(self.query), self.negated))
+
+
+@dataclass(eq=True)
+class Exists(Expression):
+    """``[NOT] EXISTS (SELECT ...)``."""
+
+    query: "Query"
+    negated: bool = False
+
+    def __hash__(self) -> int:
+        return hash((Exists, id(self.query), self.negated))
+
+
+@dataclass(eq=True)
+class ScalarSubquery(Expression):
+    """A subquery used as a scalar value: ``(SELECT MAX(x) FROM t)``."""
+
+    query: "Query"
+
+    def __hash__(self) -> int:
+        return hash((ScalarSubquery, id(self.query)))
+
+
+#: Names the engine treats as aggregate functions.
+AGGREGATE_FUNCTIONS = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+
+@dataclass(eq=True)
+class FunctionCall(Expression):
+    """A function call; covers builtins, aggregates, and user-defined
+    integration functions registered with a federation."""
+
+    name: str
+    args: list[Expression] = field(default_factory=list)
+    distinct: bool = False  # COUNT(DISTINCT x)
+
+    def __hash__(self) -> int:
+        return hash((FunctionCall, self.name, tuple(self.args), self.distinct))
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.name.upper() in AGGREGATE_FUNCTIONS
+
+
+@dataclass(eq=True)
+class Case(Expression):
+    """``CASE [operand] WHEN ... THEN ... [ELSE ...] END``."""
+
+    operand: Expression | None
+    whens: list[tuple[Expression, Expression]]
+    default: Expression | None = None
+
+    def __hash__(self) -> int:
+        return hash((Case, self.operand, tuple(self.whens), self.default))
+
+
+@dataclass(eq=True)
+class Cast(Expression):
+    """``CAST(expr AS type)``."""
+
+    operand: Expression
+    type_name: str
+
+    def __hash__(self) -> int:
+        return hash((Cast, self.operand, self.type_name))
+
+
+# ===========================================================================
+# Table references
+# ===========================================================================
+
+
+class TableRef(Node):
+    """Base class for items in a FROM clause."""
+
+    __slots__ = ()
+
+
+@dataclass(eq=True)
+class TableName(TableRef):
+    """A named table (optionally aliased)."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        """The name this table is visible as inside the query."""
+        return self.alias or self.name
+
+
+@dataclass(eq=True)
+class SubqueryRef(TableRef):
+    """A derived table: ``(SELECT ...) alias``."""
+
+    query: "Query"
+    alias: str
+
+    @property
+    def binding(self) -> str:
+        return self.alias
+
+
+class JoinType(enum.Enum):
+    INNER = "INNER"
+    LEFT = "LEFT OUTER"
+    RIGHT = "RIGHT OUTER"
+    FULL = "FULL OUTER"
+    CROSS = "CROSS"
+
+
+@dataclass(eq=True)
+class Join(TableRef):
+    """An explicit join between two table references."""
+
+    left: TableRef
+    right: TableRef
+    join_type: JoinType = JoinType.INNER
+    condition: Expression | None = None
+    using: list[str] = field(default_factory=list)
+
+
+# ===========================================================================
+# Statements
+# ===========================================================================
+
+
+class Statement(Node):
+    """Base class for executable statements."""
+
+    __slots__ = ()
+
+
+@dataclass(eq=True)
+class SelectItem(Node):
+    """One projection: expression plus optional alias."""
+
+    expression: Expression
+    alias: str | None = None
+
+    @property
+    def output_name(self) -> str:
+        """Column name this item produces in the result."""
+        if self.alias:
+            return self.alias
+        if isinstance(self.expression, ColumnRef):
+            return self.expression.name
+        return "?column?"
+
+
+@dataclass(eq=True)
+class OrderItem(Node):
+    expression: Expression
+    ascending: bool = True
+
+
+@dataclass(eq=True)
+class Select(Statement):
+    """A SELECT query block."""
+
+    items: list[SelectItem]
+    from_clause: list[TableRef] = field(default_factory=list)
+    where: Expression | None = None
+    group_by: list[Expression] = field(default_factory=list)
+    having: Expression | None = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+    offset: int | None = None
+    distinct: bool = False
+
+
+class SetOpKind(enum.Enum):
+    UNION = "UNION"
+    UNION_ALL = "UNION ALL"
+    INTERSECT = "INTERSECT"
+    EXCEPT = "EXCEPT"
+
+
+@dataclass(eq=True)
+class SetOperation(Statement):
+    """UNION / UNION ALL / INTERSECT / EXCEPT of two query blocks."""
+
+    kind: SetOpKind
+    left: "Query"
+    right: "Query"
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+    offset: int | None = None
+
+
+#: A query is either a single block or a set operation over blocks.
+Query = Select | SetOperation
+
+
+@dataclass(eq=True)
+class Insert(Statement):
+    table: str
+    columns: list[str] = field(default_factory=list)
+    rows: list[list[Expression]] = field(default_factory=list)
+    query: Query | None = None  # INSERT ... SELECT
+
+
+@dataclass(eq=True)
+class Update(Statement):
+    table: str
+    assignments: list[tuple[str, Expression]] = field(default_factory=list)
+    where: Expression | None = None
+    alias: str | None = None
+
+
+@dataclass(eq=True)
+class Delete(Statement):
+    table: str
+    where: Expression | None = None
+    alias: str | None = None
+
+
+@dataclass(eq=True)
+class ColumnDef(Node):
+    """One column in a CREATE TABLE."""
+
+    name: str
+    type_name: str
+    type_params: tuple[int, ...] = ()
+    not_null: bool = False
+    primary_key: bool = False
+    unique: bool = False
+    default: Expression | None = None
+
+
+@dataclass(eq=True)
+class CreateTable(Statement):
+    name: str
+    columns: list[ColumnDef] = field(default_factory=list)
+    primary_key: list[str] = field(default_factory=list)
+    if_not_exists: bool = False
+
+
+@dataclass(eq=True)
+class DropTable(Statement):
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(eq=True)
+class CreateIndex(Statement):
+    name: str
+    table: str
+    columns: list[str] = field(default_factory=list)
+    unique: bool = False
+
+
+@dataclass(eq=True)
+class BeginTransaction(Statement):
+    pass
+
+
+@dataclass(eq=True)
+class CommitTransaction(Statement):
+    pass
+
+
+@dataclass(eq=True)
+class RollbackTransaction(Statement):
+    pass
+
+
+# ===========================================================================
+# Traversal helpers
+# ===========================================================================
+
+
+def child_expressions(expr: Expression) -> Iterator[Expression]:
+    """Yield the direct sub-expressions of ``expr`` (not subquery internals)."""
+    if isinstance(expr, UnaryOp):
+        yield expr.operand
+    elif isinstance(expr, BinaryOp):
+        yield expr.left
+        yield expr.right
+    elif isinstance(expr, IsNull):
+        yield expr.operand
+    elif isinstance(expr, Between):
+        yield expr.operand
+        yield expr.low
+        yield expr.high
+    elif isinstance(expr, InList):
+        yield expr.operand
+        yield from expr.items
+    elif isinstance(expr, InSubquery):
+        yield expr.operand
+    elif isinstance(expr, FunctionCall):
+        yield from expr.args
+    elif isinstance(expr, Case):
+        if expr.operand is not None:
+            yield expr.operand
+        for condition, result in expr.whens:
+            yield condition
+            yield result
+        if expr.default is not None:
+            yield expr.default
+    elif isinstance(expr, Cast):
+        yield expr.operand
+
+
+def walk_expressions(expr: Expression) -> Iterator[Expression]:
+    """Yield ``expr`` and every nested sub-expression, pre-order."""
+    yield expr
+    for child in child_expressions(expr):
+        yield from walk_expressions(child)
+
+
+def transform_expression(
+    expr: Expression, fn: Callable[[Expression], Expression]
+) -> Expression:
+    """Rebuild ``expr`` bottom-up, applying ``fn`` to every node.
+
+    ``fn`` receives each node after its children have been transformed and
+    returns a (possibly new) node.  Subquery bodies are not entered.
+    """
+    if isinstance(expr, UnaryOp):
+        expr = UnaryOp(expr.op, transform_expression(expr.operand, fn))
+    elif isinstance(expr, BinaryOp):
+        expr = BinaryOp(
+            expr.op,
+            transform_expression(expr.left, fn),
+            transform_expression(expr.right, fn),
+        )
+    elif isinstance(expr, IsNull):
+        expr = IsNull(transform_expression(expr.operand, fn), expr.negated)
+    elif isinstance(expr, Between):
+        expr = Between(
+            transform_expression(expr.operand, fn),
+            transform_expression(expr.low, fn),
+            transform_expression(expr.high, fn),
+            expr.negated,
+        )
+    elif isinstance(expr, InList):
+        expr = InList(
+            transform_expression(expr.operand, fn),
+            [transform_expression(item, fn) for item in expr.items],
+            expr.negated,
+        )
+    elif isinstance(expr, InSubquery):
+        expr = InSubquery(
+            transform_expression(expr.operand, fn), expr.query, expr.negated
+        )
+    elif isinstance(expr, FunctionCall):
+        expr = FunctionCall(
+            expr.name,
+            [transform_expression(arg, fn) for arg in expr.args],
+            expr.distinct,
+        )
+    elif isinstance(expr, Case):
+        expr = Case(
+            transform_expression(expr.operand, fn) if expr.operand else None,
+            [
+                (transform_expression(c, fn), transform_expression(r, fn))
+                for c, r in expr.whens
+            ],
+            transform_expression(expr.default, fn) if expr.default else None,
+        )
+    elif isinstance(expr, Cast):
+        expr = Cast(transform_expression(expr.operand, fn), expr.type_name)
+    return fn(expr)
+
+
+def column_refs(expr: Expression) -> list[ColumnRef]:
+    """All column references appearing in ``expr`` (excluding subqueries)."""
+    return [node for node in walk_expressions(expr) if isinstance(node, ColumnRef)]
+
+
+def referenced_tables(expr: Expression) -> set[str]:
+    """Table qualifiers mentioned by column references in ``expr``."""
+    return {ref.table for ref in column_refs(expr) if ref.table}
+
+
+def contains_aggregate(expr: Expression) -> bool:
+    """True if any nested function call is an aggregate."""
+    return any(
+        isinstance(node, FunctionCall) and node.is_aggregate
+        for node in walk_expressions(expr)
+    )
+
+
+def split_conjuncts(expr: Expression | None) -> list[Expression]:
+    """Split a predicate on top-level ANDs: ``a AND (b AND c)`` → [a, b, c]."""
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(predicates: list[Expression]) -> Expression | None:
+    """Combine predicates with AND; returns None for an empty list."""
+    result: Expression | None = None
+    for predicate in predicates:
+        result = predicate if result is None else BinaryOp("AND", result, predicate)
+    return result

@@ -1,0 +1,103 @@
+"""SQL dialect descriptions.
+
+A :class:`Dialect` captures the differences between the global MYRIAD SQL
+dialect and the component-DBMS dialects (Oracle-style and Postgres-style)
+that matter to gateway translation:
+
+- type-name mapping (``VARCHAR`` vs ``VARCHAR2`` vs ``TEXT``, ...)
+- row-limiting syntax (``LIMIT n`` vs ``ROWNUM <= n``)
+- boolean literal support (Oracle pre-23c has no BOOLEAN: booleans ship as 0/1)
+- string-concatenation spelling
+- empty-string semantics (Oracle treats ``''`` as NULL)
+- current-date function name (``NOW()`` vs ``SYSDATE``)
+
+Dialects are declarative; the actual rendering lives in
+:mod:`repro.sql.printer` and semantic quirks are enforced by
+:mod:`repro.localdb`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Dialect:
+    """Declarative description of one SQL dialect."""
+
+    name: str
+    #: Map from canonical (global) type names to this dialect's spelling.
+    type_map: dict[str, str] = field(default_factory=dict)
+    #: True if the dialect supports ``LIMIT n [OFFSET m]``.
+    supports_limit: bool = True
+    #: True if row limiting must be expressed as a ``ROWNUM <= n`` predicate.
+    uses_rownum: bool = False
+    #: True if TRUE/FALSE literals exist; otherwise booleans render as 1/0.
+    supports_boolean_literals: bool = True
+    #: True if the empty string is distinct from NULL.
+    empty_string_is_null: bool = False
+    #: Function-name translations applied when rendering calls.
+    function_map: dict[str, str] = field(default_factory=dict)
+    #: True if FULL OUTER JOIN is directly supported.
+    supports_full_outer_join: bool = True
+
+    def map_type(self, canonical: str) -> str:
+        """Translate a canonical type name into this dialect's spelling."""
+        return self.type_map.get(canonical.upper(), canonical.upper())
+
+    def map_function(self, name: str) -> str:
+        return self.function_map.get(name.upper(), name.upper())
+
+
+#: The federation-level dialect: what global users write.
+GLOBAL_DIALECT = Dialect(name="myriad")
+
+#: Oracle-v7-flavoured dialect for the Oracle gateway.
+ORACLE_DIALECT = Dialect(
+    name="oracle",
+    type_map={
+        "INTEGER": "NUMBER(38)",
+        "INT": "NUMBER(38)",
+        "SMALLINT": "NUMBER(5)",
+        "FLOAT": "NUMBER",
+        "DOUBLE": "NUMBER",
+        "DECIMAL": "NUMBER",
+        "NUMERIC": "NUMBER",
+        "VARCHAR": "VARCHAR2",
+        "TEXT": "VARCHAR2(4000)",
+        "BOOLEAN": "NUMBER(1)",
+    },
+    supports_limit=False,
+    uses_rownum=True,
+    supports_boolean_literals=False,
+    empty_string_is_null=True,
+    function_map={"NOW": "SYSDATE", "CURRENT_DATE": "SYSDATE"},
+    supports_full_outer_join=False,
+)
+
+#: Postgres-flavoured dialect for the Postgres gateway.
+POSTGRES_DIALECT = Dialect(
+    name="postgres",
+    type_map={
+        "NUMBER": "NUMERIC",
+        "VARCHAR2": "VARCHAR",
+    },
+    supports_limit=True,
+    uses_rownum=False,
+    supports_boolean_literals=True,
+    empty_string_is_null=False,
+    function_map={"SYSDATE": "NOW"},
+)
+
+DIALECTS: dict[str, Dialect] = {
+    dialect.name: dialect
+    for dialect in (GLOBAL_DIALECT, ORACLE_DIALECT, POSTGRES_DIALECT)
+}
+
+
+def get_dialect(name: str) -> Dialect:
+    """Look up a registered dialect by name."""
+    try:
+        return DIALECTS[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown SQL dialect: {name!r}") from None

@@ -1,0 +1,778 @@
+"""Recursive-descent parser for the MYRIAD SQL dialect.
+
+Produces :mod:`repro.sql.ast` nodes.  The grammar covers the subset MYRIAD
+needs end-to-end: SELECT blocks with explicit/implicit joins, subqueries
+(derived tables, IN/EXISTS/scalar), aggregation, set operations, DML
+(INSERT/UPDATE/DELETE), DDL (CREATE/DROP TABLE, CREATE INDEX), and
+transaction-control statements.
+
+Usage::
+
+    from repro.sql import parse_statement, parse_query
+    stmt = parse_statement("SELECT name FROM emp WHERE sal > 1000")
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import Token, TokenType
+
+_COMPARISON_OPS = frozenset({"=", "<>", "!=", "<", ">", "<=", ">="})
+_TYPE_KEYWORDS = frozenset(
+    {
+        "INT",
+        "INTEGER",
+        "SMALLINT",
+        "FLOAT",
+        "DOUBLE",
+        "NUMBER",
+        "NUMERIC",
+        "DECIMAL",
+        "CHAR",
+        "VARCHAR",
+        "VARCHAR2",
+        "TEXT",
+        "DATE",
+        "TIMESTAMP",
+        "BOOLEAN",
+    }
+)
+
+
+class Parser:
+    """Parses one or more SQL statements from a token stream."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.pos = 0
+        self._parameter_count = 0
+
+    # ------------------------------------------------------------------
+    # Token-stream helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def _error(self, message: str) -> ParseError:
+        token = self.current
+        found = token.value or "<end of input>"
+        return ParseError(f"{message}, found {found!r}", token.line, token.column)
+
+    def _at_keyword(self, *keywords: str) -> bool:
+        token = self.current
+        return token.type is TokenType.KEYWORD and token.value in keywords
+
+    def _accept_keyword(self, *keywords: str) -> str | None:
+        if self._at_keyword(*keywords):
+            return self._advance().value
+        return None
+
+    def _expect_keyword(self, keyword: str) -> None:
+        if not self._accept_keyword(keyword):
+            raise self._error(f"expected {keyword}")
+
+    def _at_punct(self, value: str) -> bool:
+        return self.current.matches(TokenType.PUNCTUATION, value)
+
+    def _accept_punct(self, value: str) -> bool:
+        if self._at_punct(value):
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, value: str) -> None:
+        if not self._accept_punct(value):
+            raise self._error(f"expected {value!r}")
+
+    def _at_operator(self, *values: str) -> bool:
+        token = self.current
+        return token.type is TokenType.OPERATOR and token.value in values
+
+    def _accept_operator(self, *values: str) -> str | None:
+        if self._at_operator(*values):
+            return self._advance().value
+        return None
+
+    def _expect_identifier(self, what: str = "identifier") -> str:
+        token = self.current
+        if token.type in (TokenType.IDENTIFIER, TokenType.QUOTED_IDENTIFIER):
+            self._advance()
+            return token.value
+        # Allow non-reserved-looking keywords (type names etc.) as identifiers
+        if token.type is TokenType.KEYWORD and token.value in _TYPE_KEYWORDS:
+            self._advance()
+            return token.value
+        raise self._error(f"expected {what}")
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def parse_statement(self) -> ast.Statement:
+        """Parse exactly one statement (optionally ';'-terminated)."""
+        statement = self._parse_statement()
+        self._accept_punct(";")
+        if self.current.type is not TokenType.EOF:
+            raise self._error("unexpected input after statement")
+        return statement
+
+    def parse_script(self) -> list[ast.Statement]:
+        """Parse a ';'-separated sequence of statements."""
+        statements: list[ast.Statement] = []
+        while self.current.type is not TokenType.EOF:
+            statements.append(self._parse_statement())
+            while self._accept_punct(";"):
+                pass
+        return statements
+
+    def _parse_statement(self) -> ast.Statement:
+        if self._at_keyword("SELECT") or self._at_punct("("):
+            return self._parse_query()
+        if self._at_keyword("INSERT"):
+            return self._parse_insert()
+        if self._at_keyword("UPDATE"):
+            return self._parse_update()
+        if self._at_keyword("DELETE"):
+            return self._parse_delete()
+        if self._at_keyword("CREATE"):
+            return self._parse_create()
+        if self._at_keyword("DROP"):
+            return self._parse_drop()
+        if self._accept_keyword("BEGIN"):
+            self._accept_keyword("TRANSACTION", "WORK")
+            return ast.BeginTransaction()
+        if self._accept_keyword("COMMIT"):
+            self._accept_keyword("TRANSACTION", "WORK")
+            return ast.CommitTransaction()
+        if self._accept_keyword("ROLLBACK"):
+            self._accept_keyword("TRANSACTION", "WORK")
+            return ast.RollbackTransaction()
+        raise self._error("expected a statement")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _parse_query(self) -> ast.Query:
+        """Parse a query with optional set operations and trailing clauses."""
+        query = self._parse_query_term()
+        while True:
+            kind: ast.SetOpKind | None = None
+            if self._accept_keyword("UNION"):
+                if self._accept_keyword("ALL"):
+                    kind = ast.SetOpKind.UNION_ALL
+                else:
+                    kind = ast.SetOpKind.UNION
+            elif self._accept_keyword("INTERSECT"):
+                kind = ast.SetOpKind.INTERSECT
+            elif self._accept_keyword("EXCEPT"):
+                kind = ast.SetOpKind.EXCEPT
+            if kind is None:
+                break
+            parenthesised = self._at_punct("(")
+            right = self._parse_query_term()
+            query = ast.SetOperation(kind, query, right)
+            # A trailing ORDER BY/LIMIT belongs to the whole set operation,
+            # but an unparenthesised right-hand SELECT block will already
+            # have consumed it; hoist it up.
+            if isinstance(right, ast.Select) and not parenthesised:
+                query.order_by = right.order_by
+                query.limit = right.limit
+                query.offset = right.offset
+                right.order_by = []
+                right.limit = None
+                right.offset = None
+        if isinstance(query, ast.SetOperation):
+            more_order = self._parse_order_by()
+            if more_order:
+                query.order_by = more_order
+            limit, offset = self._parse_limit_offset()
+            if limit is not None:
+                query.limit = limit
+            if offset is not None:
+                query.offset = offset
+        return query
+
+    def _parse_query_term(self) -> ast.Query:
+        if self._accept_punct("("):
+            query = self._parse_query()
+            self._expect_punct(")")
+            return query
+        return self._parse_select_block()
+
+    def _parse_select_block(self) -> ast.Select:
+        self._expect_keyword("SELECT")
+        distinct = False
+        if self._accept_keyword("DISTINCT"):
+            distinct = True
+        else:
+            self._accept_keyword("ALL")
+
+        items = [self._parse_select_item()]
+        while self._accept_punct(","):
+            items.append(self._parse_select_item())
+
+        from_clause: list[ast.TableRef] = []
+        if self._accept_keyword("FROM"):
+            from_clause.append(self._parse_table_ref())
+            while self._accept_punct(","):
+                from_clause.append(self._parse_table_ref())
+
+        where = self._parse_expression() if self._accept_keyword("WHERE") else None
+
+        group_by: list[ast.Expression] = []
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by.append(self._parse_expression())
+            while self._accept_punct(","):
+                group_by.append(self._parse_expression())
+
+        having = self._parse_expression() if self._accept_keyword("HAVING") else None
+        order_by = self._parse_order_by()
+        limit, offset = self._parse_limit_offset()
+
+        return ast.Select(
+            items=items,
+            from_clause=from_clause,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+        )
+
+    def _parse_order_by(self) -> list[ast.OrderItem]:
+        if not self._accept_keyword("ORDER"):
+            return []
+        self._expect_keyword("BY")
+        items = [self._parse_order_item()]
+        while self._accept_punct(","):
+            items.append(self._parse_order_item())
+        return items
+
+    def _parse_order_item(self) -> ast.OrderItem:
+        expression = self._parse_expression()
+        ascending = True
+        if self._accept_keyword("DESC"):
+            ascending = False
+        else:
+            self._accept_keyword("ASC")
+        return ast.OrderItem(expression, ascending)
+
+    def _parse_limit_offset(self) -> tuple[int | None, int | None]:
+        limit = offset = None
+        if self._accept_keyword("LIMIT"):
+            limit = self._parse_integer("LIMIT value")
+        if self._accept_keyword("OFFSET"):
+            offset = self._parse_integer("OFFSET value")
+        return limit, offset
+
+    def _parse_integer(self, what: str) -> int:
+        token = self.current
+        if token.type is not TokenType.INTEGER:
+            raise self._error(f"expected integer {what}")
+        self._advance()
+        return int(token.value)
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        if self._accept_operator("*"):
+            return ast.SelectItem(ast.Star())
+        # t.* — identifier '.' '*'
+        if (
+            self.current.type in (TokenType.IDENTIFIER, TokenType.QUOTED_IDENTIFIER)
+            and self._peek(1).matches(TokenType.PUNCTUATION, ".")
+            and self._peek(2).matches(TokenType.OPERATOR, "*")
+        ):
+            table = self._advance().value
+            self._advance()  # .
+            self._advance()  # *
+            return ast.SelectItem(ast.Star(table))
+        expression = self._parse_expression()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier("alias")
+        elif self.current.type in (TokenType.IDENTIFIER, TokenType.QUOTED_IDENTIFIER):
+            alias = self._advance().value
+        return ast.SelectItem(expression, alias)
+
+    # ------------------------------------------------------------------
+    # Table references
+    # ------------------------------------------------------------------
+
+    def _parse_table_ref(self) -> ast.TableRef:
+        ref = self._parse_table_primary()
+        while True:
+            join_type = self._parse_join_type()
+            if join_type is None:
+                return ref
+            right = self._parse_table_primary()
+            condition: ast.Expression | None = None
+            using: list[str] = []
+            if join_type is not ast.JoinType.CROSS:
+                if self._accept_keyword("ON"):
+                    condition = self._parse_expression()
+                elif self._accept_keyword("USING"):
+                    self._expect_punct("(")
+                    using.append(self._expect_identifier("column name"))
+                    while self._accept_punct(","):
+                        using.append(self._expect_identifier("column name"))
+                    self._expect_punct(")")
+                else:
+                    raise self._error("expected ON or USING after JOIN")
+            ref = ast.Join(ref, right, join_type, condition, using)
+
+    def _parse_join_type(self) -> ast.JoinType | None:
+        if self._accept_keyword("CROSS"):
+            self._expect_keyword("JOIN")
+            return ast.JoinType.CROSS
+        if self._accept_keyword("INNER"):
+            self._expect_keyword("JOIN")
+            return ast.JoinType.INNER
+        if self._accept_keyword("LEFT"):
+            self._accept_keyword("OUTER")
+            self._expect_keyword("JOIN")
+            return ast.JoinType.LEFT
+        if self._accept_keyword("RIGHT"):
+            self._accept_keyword("OUTER")
+            self._expect_keyword("JOIN")
+            return ast.JoinType.RIGHT
+        if self._accept_keyword("FULL"):
+            self._accept_keyword("OUTER")
+            self._expect_keyword("JOIN")
+            return ast.JoinType.FULL
+        if self._accept_keyword("JOIN"):
+            return ast.JoinType.INNER
+        return None
+
+    def _parse_table_primary(self) -> ast.TableRef:
+        if self._accept_punct("("):
+            # Either a derived table or a parenthesised join
+            if self._at_keyword("SELECT") or self._at_punct("("):
+                query = self._parse_query()
+                self._expect_punct(")")
+                self._accept_keyword("AS")
+                alias = self._expect_identifier("derived-table alias")
+                return ast.SubqueryRef(query, alias)
+            ref = self._parse_table_ref()
+            self._expect_punct(")")
+            return ref
+        name = self._expect_identifier("table name")
+        # Allow schema-qualified names: db.table
+        if self._at_punct(".") and self._peek(1).type in (
+            TokenType.IDENTIFIER,
+            TokenType.QUOTED_IDENTIFIER,
+        ):
+            self._advance()
+            name = f"{name}.{self._advance().value}"
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier("alias")
+        elif self.current.type in (TokenType.IDENTIFIER, TokenType.QUOTED_IDENTIFIER):
+            alias = self._advance().value
+        return ast.TableName(name, alias)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expression:
+        left = self._parse_and()
+        while self._accept_keyword("OR"):
+            left = ast.BinaryOp("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.Expression:
+        left = self._parse_not()
+        while self._accept_keyword("AND"):
+            left = ast.BinaryOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> ast.Expression:
+        if self._accept_keyword("NOT"):
+            return ast.UnaryOp("NOT", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> ast.Expression:
+        left = self._parse_additive()
+
+        negated = bool(self._accept_keyword("NOT"))
+
+        if self._accept_keyword("BETWEEN"):
+            low = self._parse_additive()
+            self._expect_keyword("AND")
+            high = self._parse_additive()
+            return ast.Between(left, low, high, negated)
+
+        if self._accept_keyword("LIKE"):
+            pattern = self._parse_additive()
+            op = "NOT LIKE" if negated else "LIKE"
+            return ast.BinaryOp(op, left, pattern)
+
+        if self._accept_keyword("IN"):
+            self._expect_punct("(")
+            if self._at_keyword("SELECT"):
+                query = self._parse_query()
+                self._expect_punct(")")
+                return ast.InSubquery(left, query, negated)
+            items = [self._parse_expression()]
+            while self._accept_punct(","):
+                items.append(self._parse_expression())
+            self._expect_punct(")")
+            return ast.InList(left, items, negated)
+
+        if negated:
+            raise self._error("expected BETWEEN, LIKE or IN after NOT")
+
+        if self._accept_keyword("IS"):
+            is_negated = bool(self._accept_keyword("NOT"))
+            self._expect_keyword("NULL")
+            return ast.IsNull(left, is_negated)
+
+        op = self._accept_operator(*_COMPARISON_OPS)
+        if op is not None:
+            if op == "!=":
+                op = "<>"
+            right = self._parse_additive()
+            return ast.BinaryOp(op, left, right)
+        return left
+
+    def _parse_additive(self) -> ast.Expression:
+        left = self._parse_multiplicative()
+        while True:
+            op = self._accept_operator("+", "-", "||")
+            if op is None:
+                return left
+            left = ast.BinaryOp(op, left, self._parse_multiplicative())
+
+    def _parse_multiplicative(self) -> ast.Expression:
+        left = self._parse_unary()
+        while True:
+            op = self._accept_operator("*", "/", "%")
+            if op is None:
+                return left
+            left = ast.BinaryOp(op, left, self._parse_unary())
+
+    def _parse_unary(self) -> ast.Expression:
+        op = self._accept_operator("-", "+")
+        if op is not None:
+            return ast.UnaryOp(op, self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expression:
+        token = self.current
+
+        if token.type is TokenType.INTEGER:
+            self._advance()
+            return ast.Literal(int(token.value))
+        if token.type is TokenType.FLOAT:
+            self._advance()
+            return ast.Literal(float(token.value))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.Literal(token.value)
+        if token.type is TokenType.PARAMETER:
+            self._advance()
+            parameter = ast.Parameter(self._parameter_count)
+            self._parameter_count += 1
+            return parameter
+
+        if token.type is TokenType.KEYWORD:
+            if self._accept_keyword("NULL"):
+                return ast.Literal(None)
+            if self._accept_keyword("TRUE"):
+                return ast.Literal(True)
+            if self._accept_keyword("FALSE"):
+                return ast.Literal(False)
+            if self._accept_keyword("DATE"):
+                if self.current.type is TokenType.STRING:
+                    return ast.Cast(ast.Literal(self._advance().value), "DATE")
+                return ast.ColumnRef("DATE")
+            if self._accept_keyword("CASE"):
+                return self._parse_case()
+            if self._accept_keyword("CAST"):
+                self._expect_punct("(")
+                operand = self._parse_expression()
+                self._expect_keyword("AS")
+                type_name, params = self._parse_type_name()
+                self._expect_punct(")")
+                full = type_name
+                if params:
+                    full = f"{type_name}({','.join(str(p) for p in params)})"
+                return ast.Cast(operand, full)
+            if self._accept_keyword("EXISTS"):
+                self._expect_punct("(")
+                query = self._parse_query()
+                self._expect_punct(")")
+                return ast.Exists(query)
+            if self._accept_keyword("ROWNUM"):
+                return ast.ColumnRef("ROWNUM")
+
+        if self._accept_punct("("):
+            if self._at_keyword("SELECT"):
+                query = self._parse_query()
+                self._expect_punct(")")
+                return ast.ScalarSubquery(query)
+            expression = self._parse_expression()
+            self._expect_punct(")")
+            return expression
+
+        if token.type in (TokenType.IDENTIFIER, TokenType.QUOTED_IDENTIFIER):
+            return self._parse_identifier_expression()
+
+        raise self._error("expected an expression")
+
+    def _parse_identifier_expression(self) -> ast.Expression:
+        name = self._advance().value
+
+        if self._at_punct("("):
+            return self._parse_function_call(name)
+
+        if self._at_punct("."):
+            nxt = self._peek(1)
+            if nxt.matches(TokenType.OPERATOR, "*"):
+                self._advance()
+                self._advance()
+                return ast.Star(name)
+            if nxt.type in (TokenType.IDENTIFIER, TokenType.QUOTED_IDENTIFIER):
+                self._advance()
+                column = self._advance().value
+                return ast.ColumnRef(column, table=name)
+
+        return ast.ColumnRef(name)
+
+    def _parse_function_call(self, name: str) -> ast.Expression:
+        self._expect_punct("(")
+        distinct = bool(self._accept_keyword("DISTINCT"))
+        args: list[ast.Expression] = []
+        if not self._at_punct(")"):
+            if self._accept_operator("*"):
+                args.append(ast.Star())
+            else:
+                args.append(self._parse_expression())
+                while self._accept_punct(","):
+                    args.append(self._parse_expression())
+        self._expect_punct(")")
+        return ast.FunctionCall(name.upper(), args, distinct)
+
+    def _parse_case(self) -> ast.Expression:
+        operand: ast.Expression | None = None
+        if not self._at_keyword("WHEN"):
+            operand = self._parse_expression()
+        whens: list[tuple[ast.Expression, ast.Expression]] = []
+        while self._accept_keyword("WHEN"):
+            condition = self._parse_expression()
+            self._expect_keyword("THEN")
+            result = self._parse_expression()
+            whens.append((condition, result))
+        if not whens:
+            raise self._error("CASE requires at least one WHEN clause")
+        default = self._parse_expression() if self._accept_keyword("ELSE") else None
+        self._expect_keyword("END")
+        return ast.Case(operand, whens, default)
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+
+    def _parse_insert(self) -> ast.Insert:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._expect_identifier("table name")
+        columns: list[str] = []
+        if self._accept_punct("("):
+            columns.append(self._expect_identifier("column name"))
+            while self._accept_punct(","):
+                columns.append(self._expect_identifier("column name"))
+            self._expect_punct(")")
+        if self._accept_keyword("VALUES"):
+            rows = [self._parse_value_row()]
+            while self._accept_punct(","):
+                rows.append(self._parse_value_row())
+            return ast.Insert(table, columns, rows)
+        if self._at_keyword("SELECT") or self._at_punct("("):
+            return ast.Insert(table, columns, [], self._parse_query())
+        raise self._error("expected VALUES or SELECT in INSERT")
+
+    def _parse_value_row(self) -> list[ast.Expression]:
+        self._expect_punct("(")
+        row = [self._parse_expression()]
+        while self._accept_punct(","):
+            row.append(self._parse_expression())
+        self._expect_punct(")")
+        return row
+
+    def _parse_update(self) -> ast.Update:
+        self._expect_keyword("UPDATE")
+        table = self._expect_identifier("table name")
+        alias = None
+        if self.current.type in (TokenType.IDENTIFIER, TokenType.QUOTED_IDENTIFIER):
+            alias = self._advance().value
+        self._expect_keyword("SET")
+        assignments = [self._parse_assignment()]
+        while self._accept_punct(","):
+            assignments.append(self._parse_assignment())
+        where = self._parse_expression() if self._accept_keyword("WHERE") else None
+        return ast.Update(table, assignments, where, alias)
+
+    def _parse_assignment(self) -> tuple[str, ast.Expression]:
+        column = self._expect_identifier("column name")
+        if not self._accept_operator("="):
+            raise self._error("expected '=' in assignment")
+        return column, self._parse_expression()
+
+    def _parse_delete(self) -> ast.Delete:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._expect_identifier("table name")
+        alias = None
+        if self.current.type in (TokenType.IDENTIFIER, TokenType.QUOTED_IDENTIFIER):
+            alias = self._advance().value
+        where = self._parse_expression() if self._accept_keyword("WHERE") else None
+        return ast.Delete(table, where, alias)
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+
+    def _parse_create(self) -> ast.Statement:
+        self._expect_keyword("CREATE")
+        unique = bool(self._accept_keyword("UNIQUE"))
+        if self._accept_keyword("INDEX"):
+            name = self._expect_identifier("index name")
+            self._expect_keyword("ON")
+            table = self._expect_identifier("table name")
+            self._expect_punct("(")
+            columns = [self._expect_identifier("column name")]
+            while self._accept_punct(","):
+                columns.append(self._expect_identifier("column name"))
+            self._expect_punct(")")
+            return ast.CreateIndex(name, table, columns, unique)
+        if unique:
+            raise self._error("expected INDEX after CREATE UNIQUE")
+        self._expect_keyword("TABLE")
+        if_not_exists = False
+        if self._accept_keyword("IF"):
+            self._expect_keyword("NOT")
+            self._expect_keyword("EXISTS")
+            if_not_exists = True
+        name = self._expect_identifier("table name")
+        self._expect_punct("(")
+        columns: list[ast.ColumnDef] = []
+        primary_key: list[str] = []
+        while True:
+            if self._accept_keyword("PRIMARY"):
+                self._expect_keyword("KEY")
+                self._expect_punct("(")
+                primary_key.append(self._expect_identifier("column name"))
+                while self._accept_punct(","):
+                    primary_key.append(self._expect_identifier("column name"))
+                self._expect_punct(")")
+            else:
+                columns.append(self._parse_column_def())
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(")")
+        return ast.CreateTable(name, columns, primary_key, if_not_exists)
+
+    def _parse_column_def(self) -> ast.ColumnDef:
+        name = self._expect_identifier("column name")
+        type_name, params = self._parse_type_name()
+        column = ast.ColumnDef(name, type_name, tuple(params))
+        while True:
+            if self._accept_keyword("NOT"):
+                self._expect_keyword("NULL")
+                column.not_null = True
+            elif self._accept_keyword("NULL"):
+                pass
+            elif self._accept_keyword("PRIMARY"):
+                self._expect_keyword("KEY")
+                column.primary_key = True
+                column.not_null = True
+            elif self._accept_keyword("UNIQUE"):
+                column.unique = True
+            elif self._accept_keyword("DEFAULT"):
+                column.default = self._parse_expression()
+            else:
+                return column
+
+    def _parse_type_name(self) -> tuple[str, list[int]]:
+        token = self.current
+        if token.type is TokenType.KEYWORD and token.value in _TYPE_KEYWORDS:
+            self._advance()
+            type_name = token.value
+            if type_name == "DOUBLE":
+                self._accept_keyword("PRECISION")
+        elif token.type is TokenType.IDENTIFIER:
+            self._advance()
+            type_name = token.value.upper()
+        else:
+            raise self._error("expected a type name")
+        params: list[int] = []
+        if self._accept_punct("("):
+            params.append(self._parse_integer("type parameter"))
+            while self._accept_punct(","):
+                params.append(self._parse_integer("type parameter"))
+            self._expect_punct(")")
+        return type_name, params
+
+    def _parse_drop(self) -> ast.DropTable:
+        self._expect_keyword("DROP")
+        self._expect_keyword("TABLE")
+        if_exists = False
+        if self._accept_keyword("IF"):
+            self._expect_keyword("EXISTS")
+            if_exists = True
+        name = self._expect_identifier("table name")
+        return ast.DropTable(name, if_exists)
+
+
+# ---------------------------------------------------------------------------
+# Module-level convenience functions
+# ---------------------------------------------------------------------------
+
+
+def parse_statement(text: str) -> ast.Statement:
+    """Parse a single SQL statement."""
+    return Parser(text).parse_statement()
+
+
+def parse_query(text: str) -> ast.Query:
+    """Parse a single SELECT/set-operation query, rejecting other statements."""
+    statement = parse_statement(text)
+    if not isinstance(statement, (ast.Select, ast.SetOperation)):
+        raise ParseError("expected a query")
+    return statement
+
+
+def parse_script(text: str) -> list[ast.Statement]:
+    """Parse a ';'-separated SQL script into a list of statements."""
+    return Parser(text).parse_script()
+
+
+def parse_expression(text: str) -> ast.Expression:
+    """Parse a standalone scalar expression (used for integration mappings)."""
+    parser = Parser(text)
+    expression = parser._parse_expression()
+    if parser.current.type is not TokenType.EOF:
+        raise parser._error("unexpected input after expression")
+    return expression

@@ -1,0 +1,425 @@
+"""Render :mod:`repro.sql.ast` nodes back to SQL text.
+
+The printer is dialect-aware: gateways use it to translate the rewritten
+global query fragments into the SQL understood by each component DBMS
+(see :data:`repro.sql.dialect.ORACLE_DIALECT` /
+:data:`repro.sql.dialect.POSTGRES_DIALECT`).
+
+Round-trip property: for the global dialect,
+``parse_statement(to_sql(stmt)) == stmt`` structurally (modulo redundant
+parentheses), which the test suite checks with hypothesis.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SQLError
+from repro.sql import ast
+from repro.sql.dialect import GLOBAL_DIALECT, Dialect
+
+#: Binding strength used to decide where parentheses are required.
+_PRECEDENCE = {
+    "OR": 1,
+    "AND": 2,
+    "=": 4,
+    "<>": 4,
+    "<": 4,
+    ">": 4,
+    "<=": 4,
+    ">=": 4,
+    "LIKE": 4,
+    "NOT LIKE": 4,
+    "+": 5,
+    "-": 5,
+    "||": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+
+
+class SQLPrinter:
+    """Stateless AST → SQL-text renderer for one dialect."""
+
+    def __init__(self, dialect: Dialect = GLOBAL_DIALECT):
+        self.dialect = dialect
+
+    # -- statements ---------------------------------------------------
+
+    def print_statement(self, statement: ast.Statement) -> str:
+        if isinstance(statement, ast.Select):
+            return self.print_select(statement)
+        if isinstance(statement, ast.SetOperation):
+            return self.print_set_operation(statement)
+        if isinstance(statement, ast.Insert):
+            return self._print_insert(statement)
+        if isinstance(statement, ast.Update):
+            return self._print_update(statement)
+        if isinstance(statement, ast.Delete):
+            return self._print_delete(statement)
+        if isinstance(statement, ast.CreateTable):
+            return self._print_create_table(statement)
+        if isinstance(statement, ast.DropTable):
+            clause = "IF EXISTS " if statement.if_exists else ""
+            return f"DROP TABLE {clause}{self._ident(statement.name)}"
+        if isinstance(statement, ast.CreateIndex):
+            unique = "UNIQUE " if statement.unique else ""
+            columns = ", ".join(self._ident(c) for c in statement.columns)
+            return (
+                f"CREATE {unique}INDEX {self._ident(statement.name)} "
+                f"ON {self._ident(statement.table)} ({columns})"
+            )
+        if isinstance(statement, ast.BeginTransaction):
+            return "BEGIN"
+        if isinstance(statement, ast.CommitTransaction):
+            return "COMMIT"
+        if isinstance(statement, ast.RollbackTransaction):
+            return "ROLLBACK"
+        raise SQLError(f"cannot print statement {type(statement).__name__}")
+
+    def print_query(self, query: ast.Query) -> str:
+        if isinstance(query, ast.Select):
+            return self.print_select(query)
+        return self.print_set_operation(query)
+
+    def print_select(self, select: ast.Select) -> str:
+        limit, offset, select = self._adapt_limit(select)
+        parts = ["SELECT"]
+        if select.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(self._print_select_item(i) for i in select.items))
+        if select.from_clause:
+            parts.append("FROM")
+            parts.append(
+                ", ".join(self._print_table_ref(t) for t in select.from_clause)
+            )
+        if select.where is not None:
+            parts.append("WHERE")
+            parts.append(self.print_expression(select.where))
+        if select.group_by:
+            parts.append("GROUP BY")
+            parts.append(", ".join(self.print_expression(g) for g in select.group_by))
+        if select.having is not None:
+            parts.append("HAVING")
+            parts.append(self.print_expression(select.having))
+        if select.order_by:
+            parts.append("ORDER BY")
+            parts.append(", ".join(self._print_order_item(o) for o in select.order_by))
+        if limit is not None:
+            parts.append(f"LIMIT {limit}")
+        if offset is not None:
+            parts.append(f"OFFSET {offset}")
+        return " ".join(parts)
+
+    def _adapt_limit(
+        self, select: ast.Select
+    ) -> tuple[int | None, int | None, ast.Select]:
+        """Handle dialects without LIMIT by rewriting to a ROWNUM predicate.
+
+        Oracle evaluates ROWNUM *before* ORDER BY, so an ordered+limited
+        query must be wrapped in a derived table (the classic top-N idiom):
+        ``SELECT * FROM (SELECT ... ORDER BY ...) WHERE ROWNUM <= n``.
+        """
+        if select.limit is None or self.dialect.supports_limit:
+            return select.limit, select.offset, select
+        if not self.dialect.uses_rownum:
+            raise SQLError(
+                f"dialect {self.dialect.name} supports neither LIMIT nor ROWNUM"
+            )
+        rownum_bound = select.limit + (select.offset or 0)
+        predicate: ast.Expression = ast.BinaryOp(
+            "<=", ast.ColumnRef("ROWNUM"), ast.Literal(rownum_bound)
+        )
+        if select.order_by or select.group_by or select.having is not None:
+            inner = ast.Select(
+                items=select.items,
+                from_clause=select.from_clause,
+                where=select.where,
+                group_by=select.group_by,
+                having=select.having,
+                order_by=select.order_by,
+                distinct=select.distinct,
+            )
+            rewritten = ast.Select(
+                items=[ast.SelectItem(ast.Star())],
+                from_clause=[ast.SubqueryRef(inner, "__topn")],
+                where=predicate,
+            )
+            return None, None, rewritten
+        rewritten = ast.Select(
+            items=select.items,
+            from_clause=select.from_clause,
+            where=ast.conjoin([p for p in (select.where, predicate) if p is not None]),
+            group_by=select.group_by,
+            having=select.having,
+            order_by=select.order_by,
+            distinct=select.distinct,
+        )
+        return None, None, rewritten
+
+    def print_set_operation(self, op: ast.SetOperation) -> str:
+        left = self._print_query_term(op.left)
+        right = self._print_query_term(op.right)
+        text = f"{left} {op.kind.value} {right}"
+        if op.order_by:
+            text += " ORDER BY " + ", ".join(
+                self._print_order_item(o) for o in op.order_by
+            )
+        if op.limit is not None:
+            text += f" LIMIT {op.limit}"
+        if op.offset is not None:
+            text += f" OFFSET {op.offset}"
+        return text
+
+    def _print_query_term(self, query: ast.Query) -> str:
+        if isinstance(query, ast.SetOperation):
+            return f"({self.print_set_operation(query)})"
+        # Parenthesise SELECT terms that carry their own ORDER BY/LIMIT
+        if query.order_by or query.limit is not None:
+            return f"({self.print_select(query)})"
+        return self.print_select(query)
+
+    def _print_select_item(self, item: ast.SelectItem) -> str:
+        text = self.print_expression(item.expression)
+        if item.alias:
+            text += f" AS {self._ident(item.alias)}"
+        return text
+
+    def _print_order_item(self, item: ast.OrderItem) -> str:
+        direction = "ASC" if item.ascending else "DESC"
+        return f"{self.print_expression(item.expression)} {direction}"
+
+    # -- table refs -----------------------------------------------------
+
+    def _print_table_ref(self, ref: ast.TableRef) -> str:
+        if isinstance(ref, ast.TableName):
+            text = self._ident(ref.name)
+            if ref.alias:
+                text += f" AS {self._ident(ref.alias)}"
+            return text
+        if isinstance(ref, ast.SubqueryRef):
+            return f"({self.print_query(ref.query)}) AS {self._ident(ref.alias)}"
+        if isinstance(ref, ast.Join):
+            return self._print_join(ref)
+        raise SQLError(f"cannot print table ref {type(ref).__name__}")
+
+    def _print_join(self, join: ast.Join) -> str:
+        if (
+            join.join_type is ast.JoinType.FULL
+            and not self.dialect.supports_full_outer_join
+        ):
+            raise SQLError(
+                f"dialect {self.dialect.name} does not support FULL OUTER JOIN; "
+                "the gateway must decompose it"
+            )
+        left = self._print_table_ref(join.left)
+        right = self._print_table_ref(join.right)
+        if isinstance(join.right, ast.Join):
+            right = f"({right})"
+        keyword = {
+            ast.JoinType.INNER: "JOIN",
+            ast.JoinType.LEFT: "LEFT JOIN",
+            ast.JoinType.RIGHT: "RIGHT JOIN",
+            ast.JoinType.FULL: "FULL JOIN",
+            ast.JoinType.CROSS: "CROSS JOIN",
+        }[join.join_type]
+        text = f"{left} {keyword} {right}"
+        if join.condition is not None:
+            text += f" ON {self.print_expression(join.condition)}"
+        elif join.using:
+            columns = ", ".join(self._ident(c) for c in join.using)
+            text += f" USING ({columns})"
+        return text
+
+    # -- expressions ----------------------------------------------------
+
+    def print_expression(self, expr: ast.Expression, parent_prec: int = 0) -> str:
+        if isinstance(expr, ast.Literal):
+            return self._print_literal(expr.value)
+        if isinstance(expr, ast.ColumnRef):
+            if expr.table:
+                return f"{self._ident(expr.table)}.{self._ident(expr.name)}"
+            return self._ident(expr.name)
+        if isinstance(expr, ast.Star):
+            return f"{self._ident(expr.table)}.*" if expr.table else "*"
+        if isinstance(expr, ast.Parameter):
+            return "?"
+        if isinstance(expr, ast.UnaryOp):
+            if expr.op == "NOT":
+                inner = self.print_expression(expr.operand, 3)
+                text = f"NOT {inner}"
+                return f"({text})" if parent_prec > 3 else text
+            return f"{expr.op}{self.print_expression(expr.operand, 7)}"
+        if isinstance(expr, ast.BinaryOp):
+            return self._print_binary(expr, parent_prec)
+        if isinstance(expr, ast.IsNull):
+            negation = " NOT" if expr.negated else ""
+            inner = self.print_expression(expr.operand, 5)
+            text = f"{inner} IS{negation} NULL"
+            return f"({text})" if parent_prec > 3 else text
+        if isinstance(expr, ast.Between):
+            negation = "NOT " if expr.negated else ""
+            text = (
+                f"{self.print_expression(expr.operand, 5)} {negation}BETWEEN "
+                f"{self.print_expression(expr.low, 5)} AND "
+                f"{self.print_expression(expr.high, 5)}"
+            )
+            return f"({text})" if parent_prec > 3 else text
+        if isinstance(expr, ast.InList):
+            negation = "NOT " if expr.negated else ""
+            items = ", ".join(self.print_expression(i) for i in expr.items)
+            text = f"{self.print_expression(expr.operand, 5)} {negation}IN ({items})"
+            return f"({text})" if parent_prec > 3 else text
+        if isinstance(expr, ast.InSubquery):
+            negation = "NOT " if expr.negated else ""
+            text = (
+                f"{self.print_expression(expr.operand, 5)} {negation}IN "
+                f"({self.print_query(expr.query)})"
+            )
+            return f"({text})" if parent_prec > 3 else text
+        if isinstance(expr, ast.Exists):
+            negation = "NOT " if expr.negated else ""
+            return f"{negation}EXISTS ({self.print_query(expr.query)})"
+        if isinstance(expr, ast.ScalarSubquery):
+            return f"({self.print_query(expr.query)})"
+        if isinstance(expr, ast.FunctionCall):
+            return self._print_function(expr)
+        if isinstance(expr, ast.Case):
+            return self._print_case(expr)
+        if isinstance(expr, ast.Cast):
+            target = self.dialect.map_type(expr.type_name)
+            return f"CAST({self.print_expression(expr.operand)} AS {target})"
+        raise SQLError(f"cannot print expression {type(expr).__name__}")
+
+    def _print_binary(self, expr: ast.BinaryOp, parent_prec: int) -> str:
+        precedence = _PRECEDENCE.get(expr.op, 4)
+        # Comparisons are non-associative in the grammar: both operands of
+        # "=" must bind tighter, or "a = b = c" comes out unparseable.
+        non_associative = precedence == 4
+        left = self.print_expression(
+            expr.left, precedence + 1 if non_associative else precedence
+        )
+        right = self.print_expression(expr.right, precedence + 1)
+        text = f"{left} {expr.op} {right}"
+        if precedence < parent_prec:
+            return f"({text})"
+        return text
+
+    def _print_function(self, expr: ast.FunctionCall) -> str:
+        name = self.dialect.map_function(expr.name)
+        if not expr.args and name in ("SYSDATE",):
+            return name  # Oracle SYSDATE is parenless
+        distinct = "DISTINCT " if expr.distinct else ""
+        args = ", ".join(self.print_expression(a) for a in expr.args)
+        return f"{name}({distinct}{args})"
+
+    def _print_case(self, expr: ast.Case) -> str:
+        parts = ["CASE"]
+        if expr.operand is not None:
+            parts.append(self.print_expression(expr.operand))
+        for condition, result in expr.whens:
+            parts.append(
+                f"WHEN {self.print_expression(condition)} "
+                f"THEN {self.print_expression(result)}"
+            )
+        if expr.default is not None:
+            parts.append(f"ELSE {self.print_expression(expr.default)}")
+        parts.append("END")
+        return " ".join(parts)
+
+    def _print_literal(self, value: object) -> str:
+        if value is None:
+            return "NULL"
+        if isinstance(value, bool):
+            if self.dialect.supports_boolean_literals:
+                return "TRUE" if value else "FALSE"
+            return "1" if value else "0"
+        if isinstance(value, (int, float)):
+            return repr(value)
+        if isinstance(value, str):
+            escaped = value.replace("'", "''")
+            return f"'{escaped}'"
+        # dates and timestamps print via ISO format strings
+        return f"'{value}'"
+
+    # -- DML / DDL ------------------------------------------------------
+
+    def _print_insert(self, statement: ast.Insert) -> str:
+        text = f"INSERT INTO {self._ident(statement.table)}"
+        if statement.columns:
+            columns = ", ".join(self._ident(c) for c in statement.columns)
+            text += f" ({columns})"
+        if statement.query is not None:
+            return f"{text} {self.print_query(statement.query)}"
+        rows = ", ".join(
+            "(" + ", ".join(self.print_expression(v) for v in row) + ")"
+            for row in statement.rows
+        )
+        return f"{text} VALUES {rows}"
+
+    def _print_update(self, statement: ast.Update) -> str:
+        assignments = ", ".join(
+            f"{self._ident(col)} = {self.print_expression(value)}"
+            for col, value in statement.assignments
+        )
+        text = f"UPDATE {self._ident(statement.table)}"
+        if statement.alias:
+            text += f" {self._ident(statement.alias)}"
+        text += f" SET {assignments}"
+        if statement.where is not None:
+            text += f" WHERE {self.print_expression(statement.where)}"
+        return text
+
+    def _print_delete(self, statement: ast.Delete) -> str:
+        text = f"DELETE FROM {self._ident(statement.table)}"
+        if statement.alias:
+            text += f" {self._ident(statement.alias)}"
+        if statement.where is not None:
+            text += f" WHERE {self.print_expression(statement.where)}"
+        return text
+
+    def _print_create_table(self, statement: ast.CreateTable) -> str:
+        pieces: list[str] = []
+        for column in statement.columns:
+            type_name = column.type_name
+            if column.type_params:
+                type_name += "(" + ",".join(str(p) for p in column.type_params) + ")"
+            else:
+                type_name = self.dialect.map_type(type_name)
+            text = f"{self._ident(column.name)} {type_name}"
+            if column.primary_key:
+                text += " PRIMARY KEY"
+            elif column.not_null:
+                text += " NOT NULL"
+            if column.unique:
+                text += " UNIQUE"
+            if column.default is not None:
+                text += f" DEFAULT {self.print_expression(column.default)}"
+            pieces.append(text)
+        if statement.primary_key:
+            key = ", ".join(self._ident(c) for c in statement.primary_key)
+            pieces.append(f"PRIMARY KEY ({key})")
+        clause = "IF NOT EXISTS " if statement.if_not_exists else ""
+        body = ", ".join(pieces)
+        return f"CREATE TABLE {clause}{self._ident(statement.name)} ({body})"
+
+    # -- identifiers ------------------------------------------------------
+
+    _PLAIN_IDENT_CHARS = frozenset(
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_$#."
+    )
+
+    def _ident(self, name: str) -> str:
+        if name and all(c in self._PLAIN_IDENT_CHARS for c in name):
+            return name
+        escaped = name.replace('"', '""')
+        return f'"{escaped}"'
+
+
+def to_sql(node: ast.Statement, dialect: Dialect = GLOBAL_DIALECT) -> str:
+    """Render a statement to SQL text in the given dialect."""
+    return SQLPrinter(dialect).print_statement(node)
+
+
+def expression_to_sql(expr: ast.Expression, dialect: Dialect = GLOBAL_DIALECT) -> str:
+    """Render a scalar expression to SQL text in the given dialect."""
+    return SQLPrinter(dialect).print_expression(expr)

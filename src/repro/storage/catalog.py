@@ -1,0 +1,83 @@
+"""Per-database catalog: tables, indexes, and cached statistics."""
+
+from __future__ import annotations
+
+from repro.errors import CatalogError
+from repro.storage.schema import TableSchema
+from repro.storage.stats import TableStats, analyze_table
+from repro.storage.table import Table
+
+
+class Catalog:
+    """The system catalog of one component database.
+
+    Table names are case-insensitive.  Statistics are computed lazily and
+    invalidated on DDL; DML invalidation is the caller's choice via
+    :meth:`invalidate_stats` (mirrors ANALYZE in real systems).
+    """
+
+    def __init__(self, database_name: str = "db"):
+        self.database_name = database_name
+        self._tables: dict[str, Table] = {}
+        self._stats: dict[str, TableStats] = {}
+
+    # -- tables ----------------------------------------------------------
+
+    def table_names(self) -> list[str]:
+        return sorted(table.schema.name for table in self._tables.values())
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def create_table(self, schema: TableSchema, if_not_exists: bool = False) -> Table:
+        key = schema.name.lower()
+        if key in self._tables:
+            if if_not_exists:
+                return self._tables[key]
+            raise CatalogError(
+                f"table {schema.name!r} already exists in {self.database_name!r}"
+            )
+        table = Table(schema)
+        self._tables[key] = table
+        return table
+
+    def get_table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"no table {name!r} in database {self.database_name!r}"
+            ) from None
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            if if_exists:
+                return
+            raise CatalogError(
+                f"no table {name!r} in database {self.database_name!r}"
+            )
+        del self._tables[key]
+        self._stats.pop(key, None)
+
+    # -- statistics --------------------------------------------------------
+
+    def stats(self, name: str, refresh: bool = False) -> TableStats:
+        """Statistics for a table, computing and caching on first use."""
+        key = name.lower()
+        table = self.get_table(name)
+        if refresh or key not in self._stats:
+            self._stats[key] = analyze_table(table)
+        return self._stats[key]
+
+    def invalidate_stats(self, name: str | None = None) -> None:
+        """Forget cached statistics (for one table, or all)."""
+        if name is None:
+            self._stats.clear()
+        else:
+            self._stats.pop(name.lower(), None)
+
+    def analyze_all(self) -> None:
+        """Recompute statistics for every table (ANALYZE equivalent)."""
+        for key, table in self._tables.items():
+            self._stats[key] = analyze_table(table)

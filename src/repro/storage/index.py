@@ -1,0 +1,148 @@
+"""Secondary indexes: hash (equality) and ordered (range).
+
+Indexes map a key tuple (values of the indexed columns) to the set of RIDs
+holding that key.  The ordered index keeps keys in a sorted list maintained
+with ``bisect`` and supports range scans, standing in for the B-tree a disk
+system would use.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterator
+
+from repro.errors import IntegrityError
+from repro.storage.types import null_first_key
+
+Key = tuple[object, ...]
+
+
+def _sort_key(key: Key) -> tuple:
+    return tuple(null_first_key(value) for value in key)
+
+
+class Index:
+    """Base class: maintains key → {rid} plus uniqueness enforcement."""
+
+    def __init__(self, name: str, table: str, columns: list[str], unique: bool = False):
+        self.name = name
+        self.table = table
+        self.columns = list(columns)
+        self.unique = unique
+        self._entries: dict[Key, set[int]] = {}
+
+    def __len__(self) -> int:
+        return sum(len(rids) for rids in self._entries.values())
+
+    @property
+    def distinct_keys(self) -> int:
+        return len(self._entries)
+
+    def insert(self, key: Key, rid: int) -> None:
+        rids = self._entries.get(key)
+        if rids is None:
+            self._entries[key] = {rid}
+            self._key_added(key)
+            return
+        if self.unique and not _key_has_null(key):
+            raise IntegrityError(
+                f"unique index {self.name!r} violation on key {key!r}"
+            )
+        rids.add(rid)
+
+    def delete(self, key: Key, rid: int) -> None:
+        rids = self._entries.get(key)
+        if rids is None or rid not in rids:
+            return
+        rids.discard(rid)
+        if not rids:
+            del self._entries[key]
+            self._key_removed(key)
+
+    def lookup(self, key: Key) -> set[int]:
+        """RIDs whose indexed columns equal ``key`` exactly."""
+        return set(self._entries.get(key, ()))
+
+    def contains_key(self, key: Key) -> bool:
+        return key in self._entries
+
+    def _key_added(self, key: Key) -> None:  # pragma: no cover - hook
+        pass
+
+    def _key_removed(self, key: Key) -> None:  # pragma: no cover - hook
+        pass
+
+
+def _key_has_null(key: Key) -> bool:
+    return any(value is None for value in key)
+
+
+class HashIndex(Index):
+    """Pure equality index — the dict in the base class is all it needs."""
+
+
+class OrderedIndex(Index):
+    """Equality plus range lookups over a sorted key list."""
+
+    def __init__(self, name: str, table: str, columns: list[str], unique: bool = False):
+        super().__init__(name, table, columns, unique)
+        self._sorted_keys: list[tuple[tuple, Key]] = []  # (sortable, key)
+
+    def _key_added(self, key: Key) -> None:
+        item = (_sort_key(key), key)
+        bisect.insort(self._sorted_keys, item)
+
+    def _key_removed(self, key: Key) -> None:
+        item = (_sort_key(key), key)
+        position = bisect.bisect_left(self._sorted_keys, item)
+        if (
+            position < len(self._sorted_keys)
+            and self._sorted_keys[position][1] == key
+        ):
+            self._sorted_keys.pop(position)
+
+    def range_scan(
+        self,
+        low: Key | None = None,
+        high: Key | None = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Iterator[tuple[Key, set[int]]]:
+        """Yield (key, rids) for keys in [low, high], skipping NULL keys.
+
+        ``None`` bounds are open.  Keys containing NULL never match a range
+        (SQL comparison semantics).
+        """
+        if low is None:
+            start = 0
+        else:
+            sort_low = _sort_key(low)
+            if low_inclusive:
+                start = bisect.bisect_left(self._sorted_keys, (sort_low, low))
+            else:
+                start = bisect.bisect_right(self._sorted_keys, (sort_low, (_INFINITY,)))
+        for position in range(start, len(self._sorted_keys)):
+            sortable, key = self._sorted_keys[position]
+            if high is not None:
+                sort_high = _sort_key(high)
+                if high_inclusive:
+                    if sortable[: len(sort_high)] > sort_high:
+                        return
+                elif sortable[: len(sort_high)] >= sort_high:
+                    return
+            if _key_has_null(key):
+                continue
+            yield key, set(self._entries[key])
+
+
+class _Infinity:
+    """Sorts after every other value; used for exclusive lower bounds."""
+
+    def __lt__(self, other: object) -> bool:
+        return False
+
+    def __gt__(self, other: object) -> bool:
+        return True
+
+
+_INFINITY = _Infinity()

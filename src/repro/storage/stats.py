@@ -1,0 +1,171 @@
+"""Table statistics used by the local planner and the global cost model.
+
+MYRIAD's "full-fledged" optimizer needs per-relation cardinalities and
+per-column selectivity estimates.  We compute classic System-R-style
+statistics: row count, per-column distinct counts, min/max, null fraction,
+and an equi-width histogram for numeric columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.schema import TableSchema
+from repro.storage.table import Table
+
+#: Default selectivities when statistics cannot answer (System R constants).
+DEFAULT_EQ_SELECTIVITY = 0.1
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+DEFAULT_LIKE_SELECTIVITY = 0.25
+
+
+@dataclass
+class ColumnStats:
+    """Statistics for one column."""
+
+    name: str
+    distinct: int = 0
+    null_count: int = 0
+    minimum: object = None
+    maximum: object = None
+    histogram: list[int] = field(default_factory=list)  # equi-width buckets
+    histogram_bounds: tuple[float, float] | None = None
+
+    def null_fraction(self, row_count: int) -> float:
+        if row_count == 0:
+            return 0.0
+        return self.null_count / row_count
+
+    def eq_selectivity(self, row_count: int) -> float:
+        """Estimated fraction of rows matching ``col = const``."""
+        if row_count == 0:
+            return 0.0
+        if self.distinct <= 0:
+            return DEFAULT_EQ_SELECTIVITY
+        return max(1.0 / self.distinct, 1.0 / max(row_count, 1))
+
+    def range_selectivity(self, op: str, value: object, row_count: int) -> float:
+        """Estimated fraction matching ``col <op> value`` for </<=/>/>=."""
+        if row_count == 0:
+            return 0.0
+        if (
+            self.histogram
+            and self.histogram_bounds
+            and isinstance(value, (int, float))
+        ):
+            low, high = self.histogram_bounds
+            if high <= low:
+                return DEFAULT_RANGE_SELECTIVITY
+            total = sum(self.histogram)
+            if total == 0:
+                return DEFAULT_RANGE_SELECTIVITY
+            width = (high - low) / len(self.histogram)
+            below = 0.0
+            for bucket_index, count in enumerate(self.histogram):
+                bucket_low = low + bucket_index * width
+                bucket_high = bucket_low + width
+                if bucket_high <= value:
+                    below += count
+                elif bucket_low < value:
+                    fraction = (value - bucket_low) / width
+                    below += count * fraction
+            fraction_below = below / total
+            if op in ("<", "<="):
+                return min(max(fraction_below, 0.0), 1.0)
+            return min(max(1.0 - fraction_below, 0.0), 1.0)
+        return DEFAULT_RANGE_SELECTIVITY
+
+
+@dataclass
+class TableStats:
+    """Statistics for one relation."""
+
+    table_name: str
+    row_count: int = 0
+    avg_row_bytes: float = 64.0
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStats | None:
+        return self.columns.get(name.lower())
+
+
+_HISTOGRAM_BUCKETS = 16
+
+
+def _estimate_value_bytes(value: object) -> int:
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, str):
+        return len(value) + 4
+    return 16
+
+
+def analyze_table(table: Table) -> TableStats:
+    """Compute full statistics by scanning a table once."""
+    schema: TableSchema = table.schema
+    return analyze_rows(
+        schema.name,
+        schema.column_names,
+        [row for _, row in table.scan()],
+    )
+
+
+def analyze_rows(
+    table_name: str, column_names: list[str], rows: list[tuple]
+) -> TableStats:
+    """Statistics over an arbitrary rowset (e.g. an export view)."""
+    stats = TableStats(table_name=table_name, row_count=len(rows))
+
+    values_by_column: list[list[object]] = [[] for _ in column_names]
+    total_bytes = 0
+    for row in rows:
+        for position, value in enumerate(row):
+            values_by_column[position].append(value)
+            total_bytes += _estimate_value_bytes(value)
+    if rows:
+        stats.avg_row_bytes = total_bytes / len(rows)
+
+    for position, name in enumerate(column_names):
+        values = values_by_column[position]
+        non_null = [v for v in values if v is not None]
+        column_stats = ColumnStats(
+            name=name,
+            distinct=len(set(map(_hashable, non_null))),
+            null_count=len(values) - len(non_null),
+        )
+        if non_null:
+            try:
+                column_stats.minimum = min(non_null)
+                column_stats.maximum = max(non_null)
+            except TypeError:  # mixed un-comparable types; skip min/max
+                pass
+            numeric = [
+                float(v) for v in non_null if isinstance(v, (int, float)) and
+                not isinstance(v, bool)
+            ]
+            if len(numeric) >= 2:
+                low, high = min(numeric), max(numeric)
+                if high > low:
+                    histogram = [0] * _HISTOGRAM_BUCKETS
+                    width = (high - low) / _HISTOGRAM_BUCKETS
+                    for value in numeric:
+                        bucket = min(
+                            int((value - low) / width), _HISTOGRAM_BUCKETS - 1
+                        )
+                        histogram[bucket] += 1
+                    column_stats.histogram = histogram
+                    column_stats.histogram_bounds = (low, high)
+        stats.columns[name.lower()] = column_stats
+    return stats
+
+
+def _hashable(value: object) -> object:
+    if isinstance(value, (list, dict, set)):  # pragma: no cover - defensive
+        return str(value)
+    return value

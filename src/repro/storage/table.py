@@ -1,0 +1,191 @@
+"""Heap tables: row storage with RIDs, constraint checks, index maintenance."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import CatalogError, IntegrityError
+from repro.storage.index import HashIndex, Index, OrderedIndex
+from repro.storage.schema import Row, TableSchema
+
+
+class Table:
+    """An in-memory heap of rows addressed by integer RIDs.
+
+    Responsibilities:
+
+    - assign RIDs and store rows (tuples positionally matching the schema)
+    - enforce the primary key (via an implicit unique index) and NOT NULL
+    - keep secondary indexes in sync on every mutation
+
+    Concurrency control is *not* handled here — the lock manager in
+    :mod:`repro.concurrency` serialises access above this layer, which is
+    how the real MYRIAD relied on each component DBMS's own 2PL.
+    """
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self.rows: dict[int, Row] = {}
+        self.next_rid = 1
+        self.indexes: dict[str, Index] = {}
+        if schema.primary_key:
+            self.create_index(
+                f"__pk_{schema.name}", schema.primary_key, unique=True, ordered=True
+            )
+
+    # -- basic properties -------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # -- scanning ---------------------------------------------------------
+
+    def scan(self) -> Iterator[tuple[int, Row]]:
+        """Yield (rid, row) pairs in insertion order."""
+        yield from list(self.rows.items())
+
+    def get(self, rid: int) -> Row:
+        try:
+            return self.rows[rid]
+        except KeyError:
+            raise IntegrityError(f"no row with rid {rid} in {self.name!r}") from None
+
+    def fetch_by_key(self, key: Row) -> tuple[int, Row] | None:
+        """Primary-key point lookup; None if absent or table has no PK."""
+        if not self.schema.primary_key:
+            return None
+        index = self.indexes.get(f"__pk_{self.schema.name}")
+        if index is None:  # pragma: no cover - PK index always exists
+            return None
+        rids = index.lookup(tuple(key))
+        if not rids:
+            return None
+        rid = next(iter(rids))
+        return rid, self.rows[rid]
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, values: list[object] | Row) -> int:
+        """Validate and insert one row; returns its RID."""
+        row = self.schema.validate_row(values)
+        key = self.schema.key_of(row)
+        if key is not None and any(value is None for value in key):
+            raise IntegrityError(
+                f"primary key of {self.name!r} cannot contain NULL"
+            )
+        rid = self.next_rid
+        self.next_rid += 1
+        # Insert into indexes first so unique violations abort cleanly.
+        inserted: list[Index] = []
+        try:
+            for index in self.indexes.values():
+                index.insert(self._index_key(index, row), rid)
+                inserted.append(index)
+        except IntegrityError:
+            for index in inserted:
+                index.delete(self._index_key(index, row), rid)
+            raise
+        self.rows[rid] = row
+        return rid
+
+    def delete(self, rid: int) -> Row:
+        """Remove a row by RID; returns the old row (for undo logging)."""
+        row = self.get(rid)
+        for index in self.indexes.values():
+            index.delete(self._index_key(index, row), rid)
+        del self.rows[rid]
+        return row
+
+    def update(self, rid: int, new_values: list[object] | Row) -> tuple[Row, Row]:
+        """Replace the row at ``rid``; returns (old_row, new_row)."""
+        old_row = self.get(rid)
+        new_row = self.schema.validate_row(new_values)
+        key = self.schema.key_of(new_row)
+        if key is not None and any(value is None for value in key):
+            raise IntegrityError(
+                f"primary key of {self.name!r} cannot contain NULL"
+            )
+        for index in self.indexes.values():
+            index.delete(self._index_key(index, old_row), rid)
+        try:
+            inserted: list[Index] = []
+            try:
+                for index in self.indexes.values():
+                    index.insert(self._index_key(index, new_row), rid)
+                    inserted.append(index)
+            except IntegrityError:
+                for index in inserted:
+                    index.delete(self._index_key(index, new_row), rid)
+                raise
+        except IntegrityError:
+            for index in self.indexes.values():  # restore old entries
+                index.insert(self._index_key(index, old_row), rid)
+            raise
+        self.rows[rid] = new_row
+        return old_row, new_row
+
+    def restore(self, rid: int, row: Row) -> None:
+        """Re-insert a row under a specific RID (transaction undo path)."""
+        if rid in self.rows:
+            raise IntegrityError(f"rid {rid} already present in {self.name!r}")
+        for index in self.indexes.values():
+            index.insert(self._index_key(index, row), rid)
+        self.rows[rid] = row
+        self.next_rid = max(self.next_rid, rid + 1)
+
+    def truncate(self) -> None:
+        """Remove all rows (keeps schema and empty indexes)."""
+        self.rows.clear()
+        for name, index in list(self.indexes.items()):
+            klass = type(index)
+            self.indexes[name] = klass(
+                index.name, index.table, index.columns, index.unique
+            )
+
+    # -- indexes -----------------------------------------------------------
+
+    def create_index(
+        self,
+        name: str,
+        columns: list[str],
+        unique: bool = False,
+        ordered: bool = True,
+    ) -> Index:
+        """Build a new index over existing rows."""
+        if name in self.indexes:
+            raise CatalogError(f"index {name!r} already exists on {self.name!r}")
+        for column in columns:
+            self.schema.column_index(column)  # validate
+        klass = OrderedIndex if ordered else HashIndex
+        index = klass(name, self.name, columns, unique)
+        positions = [self.schema.column_index(c) for c in columns]
+        for rid, row in self.rows.items():
+            index.insert(tuple(row[p] for p in positions), rid)
+        self.indexes[name] = index
+        return index
+
+    def drop_index(self, name: str) -> None:
+        if name not in self.indexes:
+            raise CatalogError(f"no index {name!r} on table {self.name!r}")
+        del self.indexes[name]
+
+    def find_index(self, columns: list[str]) -> Index | None:
+        """An index whose key is a prefix-match of ``columns``, if any."""
+        wanted = [c.lower() for c in columns]
+        for index in self.indexes.values():
+            have = [c.lower() for c in index.columns]
+            if have == wanted:
+                return index
+        return None
+
+    def _index_key(self, index: Index, row: Row) -> tuple:
+        positions = [self.schema.column_index(c) for c in index.columns]
+        return tuple(row[p] for p in positions)

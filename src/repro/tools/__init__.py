@@ -1,0 +1,6 @@
+"""Application tools: schema browser and the query-interface REPL."""
+
+from repro.tools import browser
+from repro.tools.repl import QueryInterface
+
+__all__ = ["browser", "QueryInterface"]

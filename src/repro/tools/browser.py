@@ -1,0 +1,134 @@
+"""Schema browser: textual views of components, exports, and federations.
+
+Backs the query interface's browse commands.  All functions return plain
+strings so the REPL, tests, and docs can use them alike.
+"""
+
+from __future__ import annotations
+
+from repro.myriad import MyriadSystem
+
+
+def list_components(system: MyriadSystem) -> str:
+    """One line per component DBMS: site, dialect, tables."""
+    lines = ["Component DBMSs:"]
+    for site in system.site_names():
+        dbms = system.component(site)
+        tables = ", ".join(dbms.table_names()) or "(no tables)"
+        lines.append(f"  {site} [{dbms.dialect.name}]: {tables}")
+    return "\n".join(lines)
+
+
+def list_exports(system: MyriadSystem, site: str) -> str:
+    """Export relations of one site, with column mappings."""
+    gateway = system.gateway(site)
+    lines = [f"Exports of {site}:"]
+    if not gateway.export_names():
+        lines.append("  (none)")
+    for name in gateway.export_names():
+        relation = gateway.exports.get(name)
+        mapping = ", ".join(
+            f"{export}<-{local}" if export != local else export
+            for export, local in relation.columns.items()
+        )
+        predicate = (
+            f" WHERE {relation.predicate}" if relation.predicate else ""
+        )
+        lines.append(
+            f"  {name} = {relation.local_table}({mapping}){predicate}"
+        )
+    return "\n".join(lines)
+
+
+def list_federations(system: MyriadSystem) -> str:
+    lines = ["Federations:"]
+    if not system.federation_names():
+        lines.append("  (none)")
+    for name in system.federation_names():
+        federation = system.federation(name)
+        relations = ", ".join(federation.relation_names()) or "(empty)"
+        lines.append(f"  {name}: {relations}")
+    return "\n".join(lines)
+
+
+def describe_relation(
+    system: MyriadSystem, federation_name: str, relation_name: str
+) -> str:
+    """An integrated relation: columns, sources, lineage, definition."""
+    federation = system.federation(federation_name)
+    relation = federation.get_relation(relation_name)
+    lines = [f"Integrated relation {relation.name} (federation {federation.name})"]
+    try:
+        columns = ", ".join(relation.column_names)
+        lines.append(f"  columns: {columns}")
+    except Exception:  # star projections: columns not statically known
+        lines.append("  columns: (dynamic)")
+    sources = relation.sources()
+    if sources:
+        lines.append(
+            "  sources: "
+            + ", ".join(f"{site}.{export}" for site, export in sources)
+        )
+    for column, origins in relation.lineage.items():
+        origin_text = ", ".join(
+            f"{o.site}.{o.export}.{o.column}" for o in origins
+        )
+        lines.append(f"  lineage {column}: {origin_text}")
+    lines.append(f"  definition: {relation.definition_sql()}")
+    return "\n".join(lines)
+
+
+def describe_export(system: MyriadSystem, site: str, export: str) -> str:
+    """Schema and statistics of one export relation."""
+    gateway = system.gateway(site)
+    schema = gateway.export_relation_schema(export)
+    stats = gateway.export_stats(export)
+    lines = [f"Export {site}.{export}:"]
+    for column in schema.columns:
+        column_stats = stats.column(column.name)
+        extra = ""
+        if column_stats is not None:
+            extra = (
+                f"  [distinct={column_stats.distinct}, "
+                f"nulls={column_stats.null_count}]"
+            )
+        lines.append(f"  {column.name} {column.datatype}{extra}")
+    if schema.primary_key:
+        lines.append(f"  PRIMARY KEY ({', '.join(schema.primary_key)})")
+    lines.append(f"  rows: {stats.row_count}")
+    return "\n".join(lines)
+
+
+def format_result(columns: list[str], rows: list[tuple], limit: int = 50) -> str:
+    """A small fixed-width table for REPL output."""
+    shown = rows[:limit]
+    cells = [[_render(value) for value in row] for row in shown]
+    widths = [len(c) for c in columns]
+    for row in cells:
+        for position, text in enumerate(row):
+            widths[position] = max(widths[position], len(text))
+    header = " | ".join(
+        name.ljust(widths[position]) for position, name in enumerate(columns)
+    )
+    rule = "-+-".join("-" * width for width in widths)
+    lines = [header, rule]
+    for row in cells:
+        lines.append(
+            " | ".join(
+                text.ljust(widths[position])
+                for position, text in enumerate(row)
+            )
+        )
+    if len(rows) > limit:
+        lines.append(f"... ({len(rows)} rows total)")
+    else:
+        lines.append(f"({len(rows)} row{'s' if len(rows) != 1 else ''})")
+    return "\n".join(lines)
+
+
+def _render(value: object) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

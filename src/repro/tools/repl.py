@@ -1,0 +1,276 @@
+r"""The MYRIAD query interface: a scriptable REPL.
+
+The paper's application-tool layer: federation users and DBAs browse, modify
+and create federated schemas and pose queries and transactions.  Commands:
+
+- ``\components`` — list component DBMSs
+- ``\exports <site>`` — list a site's export relations
+- ``\export <site> <local_table> [AS <name>]`` — export a local table
+- ``\federations`` — list federations
+- ``\create federation <name>`` / ``\use <federation>``
+- ``\relations`` — integrated relations of the current federation
+- ``\describe <relation>`` — columns, sources, lineage, definition
+- ``\define <name> AS <select-sql>`` — create an integrated relation
+- ``\drop relation <name>`` — remove an integrated relation
+- ``\stats <site> <export>`` — export relation schema + statistics
+- ``\explain [simple|cost] <sql>`` — show the global plan
+- ``\optimizer <simple|cost|cost-nosemijoin>`` — set the default optimizer
+- ``\at <site> <sql>`` — run a statement on a site inside the current
+  global transaction
+- ``BEGIN`` / ``COMMIT`` / ``ROLLBACK`` — global transaction control
+- anything else — a global SELECT against the current federation
+
+The class is fully scriptable (``run_line`` returns the output string), so
+tests and demos drive it without a terminal.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.errors import MyriadError
+from repro.myriad import MyriadSystem
+from repro.tools import browser
+from repro.txn import GlobalTransaction
+
+
+class QueryInterface:
+    """Interactive/scriptable front end over a MyriadSystem."""
+
+    def __init__(self, system: MyriadSystem, federation: str | None = None):
+        self.system = system
+        names = system.federation_names()
+        self.current_federation: str | None = federation or (
+            names[0] if names else None
+        )
+        self.txn: GlobalTransaction | None = None
+        self.optimizer: str | None = None
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def run_line(self, line: str) -> str:
+        """Execute one command/query; returns printable output."""
+        line = line.strip().rstrip(";")
+        if not line:
+            return ""
+        try:
+            if line.startswith("\\"):
+                return self._command(line[1:])
+            upper = line.upper()
+            if upper in ("BEGIN", "BEGIN TRANSACTION", "BEGIN WORK"):
+                return self._begin()
+            if upper in ("COMMIT", "COMMIT TRANSACTION", "COMMIT WORK"):
+                return self._commit()
+            if upper in ("ROLLBACK", "ROLLBACK TRANSACTION", "ABORT"):
+                return self._rollback()
+            first_word = upper.split(None, 1)[0] if upper else ""
+            if first_word in ("INSERT", "UPDATE", "DELETE"):
+                return self._dml(line)
+            return self._query(line)
+        except MyriadError as error:
+            return f"error: {error}"
+
+    def run_script(self, text: str) -> list[str]:
+        """Run many lines; returns the per-line outputs."""
+        return [self.run_line(line) for line in text.splitlines() if line.strip()]
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+
+    def _command(self, body: str) -> str:
+        parts = body.split(None, 1)
+        verb = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+
+        if verb == "components":
+            return browser.list_components(self.system)
+        if verb == "exports":
+            if not rest:
+                return "usage: \\exports <site>"
+            return browser.list_exports(self.system, rest.strip())
+        if verb == "export":
+            return self._export(rest)
+        if verb == "federations":
+            return browser.list_federations(self.system)
+        if verb == "create":
+            words = rest.split()
+            if len(words) == 2 and words[0].lower() == "federation":
+                self.system.create_federation(words[1])
+                self.current_federation = words[1]
+                return f"federation {words[1]} created (now current)"
+            return "usage: \\create federation <name>"
+        if verb == "use":
+            federation = self.system.federation(rest.strip())
+            self.current_federation = federation.name
+            return f"using federation {federation.name}"
+        if verb == "relations":
+            federation = self._require_federation()
+            names = federation.relation_names()
+            return "integrated relations: " + (", ".join(names) or "(none)")
+        if verb == "describe":
+            return browser.describe_relation(
+                self.system, self._require_federation().name, rest.strip()
+            )
+        if verb == "define":
+            return self._define(rest)
+        if verb == "drop":
+            words = rest.split()
+            if len(words) == 2 and words[0].lower() == "relation":
+                self._require_federation().drop_relation(words[1])
+                return f"relation {words[1]} dropped"
+            return "usage: \\drop relation <name>"
+        if verb == "explain":
+            return self._explain(rest)
+        if verb == "optimizer":
+            choice = rest.strip().lower()
+            processor = self.system.processor(self._require_federation().name)
+            if choice not in processor.optimizers:
+                return (
+                    "usage: \\optimizer "
+                    + "|".join(sorted(processor.optimizers))
+                )
+            self.optimizer = choice
+            return f"default optimizer: {choice}"
+        if verb == "at":
+            return self._at(rest)
+        if verb == "stats":
+            words = rest.split()
+            if len(words) != 2:
+                return "usage: \\stats <site> <export>"
+            return browser.describe_export(self.system, words[0], words[1])
+        if verb in ("help", "?"):
+            return __doc__ or ""
+        return f"unknown command \\{verb} (try \\help)"
+
+    def _export(self, rest: str) -> str:
+        words = rest.split()
+        if len(words) not in (2, 4) or (
+            len(words) == 4 and words[2].upper() != "AS"
+        ):
+            return "usage: \\export <site> <local_table> [AS <name>]"
+        site, local_table = words[0], words[1]
+        export_name = words[3] if len(words) == 4 else None
+        gateway = self.system.gateway(site)
+        relation = gateway.export_table(local_table, export_name)
+        return f"exported {site}.{relation.name} (from {local_table})"
+
+    def _define(self, rest: str) -> str:
+        name, _, sql = rest.partition(" AS ")
+        if not sql:
+            name, _, sql = rest.partition(" as ")
+        if not sql:
+            return "usage: \\define <name> AS <select-sql>"
+        federation = self._require_federation()
+        federation.define_relation(name.strip(), sql.strip())
+        return f"integrated relation {name.strip()} defined"
+
+    def _explain(self, rest: str) -> str:
+        optimizer = self.optimizer
+        words = rest.split(None, 1)
+        if words and words[0].lower() in ("simple", "cost", "cost-nosemijoin"):
+            optimizer = words[0].lower()
+            rest = words[1] if len(words) > 1 else ""
+        if not rest.strip():
+            return "usage: \\explain [simple|cost|cost-nosemijoin] <sql>"
+        return self.system.explain(
+            self._require_federation().name, rest, optimizer
+        )
+
+    def _at(self, rest: str) -> str:
+        words = rest.split(None, 1)
+        if len(words) != 2:
+            return "usage: \\at <site> <sql>"
+        site, sql = words
+        if self.txn is None:
+            return "error: \\at requires an open global transaction (BEGIN)"
+        result = self.txn.execute(site, sql)
+        if hasattr(result, "columns"):
+            return browser.format_result(result.columns, result.rows)
+        return f"{result} row(s) affected at {site}"
+
+    # ------------------------------------------------------------------
+    # Transactions and queries
+    # ------------------------------------------------------------------
+
+    def _begin(self) -> str:
+        if self.txn is not None:
+            return "error: a global transaction is already open"
+        self.txn = self.system.begin_transaction()
+        return f"global transaction {self.txn.global_id} started"
+
+    def _commit(self) -> str:
+        if self.txn is None:
+            return "error: no open global transaction"
+        global_id = self.txn.global_id
+        try:
+            self.txn.commit()
+        finally:
+            self.txn = None
+        return f"global transaction {global_id} committed"
+
+    def _rollback(self) -> str:
+        if self.txn is None:
+            return "error: no open global transaction"
+        global_id = self.txn.global_id
+        self.txn.abort()
+        self.txn = None
+        return f"global transaction {global_id} aborted"
+
+    def _dml(self, sql: str) -> str:
+        """DML against an updatable integrated relation (autocommit or txn)."""
+        federation = self._require_federation()
+        if self.txn is not None:
+            count = self.system.transactional_update(
+                self.txn, federation.name, sql
+            )
+        else:
+            count = self.system.update(federation.name, sql)
+        return f"{count} row(s) affected"
+
+    def _query(self, sql: str) -> str:
+        federation = self._require_federation()
+        if self.txn is not None:
+            result = self.system.transactional_query(
+                self.txn, federation.name, sql, self.optimizer
+            )
+        else:
+            result = self.system.query(federation.name, sql, self.optimizer)
+        table = browser.format_result(result.columns, result.rows)
+        footer = (
+            f"[{result.trace.message_count} msgs, "
+            f"{result.trace.total_bytes} bytes, "
+            f"{result.trace.elapsed_s * 1000:.2f}ms simulated]"
+        )
+        return f"{table}\n{footer}"
+
+    def _require_federation(self):
+        if self.current_federation is None:
+            raise MyriadError(
+                "no federation selected (\\create federation <name> or \\use)"
+            )
+        return self.system.federation(self.current_federation)
+
+
+def main() -> int:  # pragma: no cover - interactive entry point
+    """Interactive loop over the demo university federation."""
+    from repro.workloads import build_university_system
+
+    print("MYRIAD query interface — demo university federation")
+    print("type \\help for commands, ctrl-D to exit")
+    interface = QueryInterface(build_university_system())
+    while True:
+        try:
+            line = input("myriad> ")
+        except EOFError:
+            print()
+            return 0
+        output = interface.run_line(line)
+        if output:
+            print(output)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Global transaction management: 2PC, timeouts, deadlock handling, recovery."""
+
+from repro.txn.coordinator import (
+    GlobalTransaction,
+    GlobalTransactionManager,
+    GlobalTxnState,
+)
+from repro.txn.deadlock import (
+    GlobalDeadlockMonitor,
+    TimeoutPolicy,
+    WaitForGraphDetector,
+)
+from repro.txn.recovery import RecoveryReport, recover_participant
+
+__all__ = [
+    "GlobalTransaction",
+    "GlobalTransactionManager",
+    "GlobalTxnState",
+    "GlobalDeadlockMonitor",
+    "TimeoutPolicy",
+    "WaitForGraphDetector",
+    "RecoveryReport",
+    "recover_participant",
+]

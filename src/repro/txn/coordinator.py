@@ -1,0 +1,343 @@
+"""Global transaction management: 2PC over gateways, timeout deadlock policy.
+
+Implements the paper's transaction subsystem:
+
+- the *general transaction model*: a global transaction touches any number
+  of component DBMSs through their gateways; each touched site becomes a
+  branch (participant)
+- **two-phase commit** over the participants, with presumed-abort logging at
+  the coordinator, to achieve serializable execution on top of the locals'
+  strict 2PL
+- **timeout-based global deadlock resolution**: every local query carries a
+  timeout; when a gateway reports :class:`~repro.errors.GatewayTimeout`, the
+  whole global transaction is assumed deadlocked and aborted
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+
+from repro.concurrency.wal import LogRecordType, WriteAheadLog
+from repro.engine import ResultSet
+from repro.errors import (
+    GatewayTimeout,
+    TransactionAborted,
+    TransactionError,
+    TwoPhaseCommitError,
+)
+from repro.gateway import Gateway
+from repro.net import MessageTrace
+from repro.sql import ast
+
+
+class GlobalTxnState(enum.Enum):
+    ACTIVE = "active"
+    PREPARING = "preparing"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class GlobalTransaction:
+    """One global transaction and its per-site branches."""
+
+    def __init__(self, global_id: str, manager: "GlobalTransactionManager"):
+        self.global_id = global_id
+        self.manager = manager
+        self.state = GlobalTxnState.ACTIVE
+        self.participants: list[str] = []  # sites with open branches
+        self.trace = MessageTrace()
+
+    # -- convenience pass-throughs ------------------------------------------
+
+    def execute(self, site: str, sql: str, timeout: float | None = None):
+        return self.manager.execute(self, site, sql, timeout)
+
+    def commit(self) -> None:
+        self.manager.commit(self)
+
+    def abort(self) -> None:
+        self.manager.abort(self)
+
+    def require_active(self) -> None:
+        if self.state is not GlobalTxnState.ACTIVE:
+            raise TransactionError(
+                f"global transaction {self.global_id} is {self.state.value}"
+            )
+
+    def __enter__(self) -> "GlobalTransaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None and self.state is GlobalTxnState.ACTIVE:
+            self.commit()
+        elif self.state is GlobalTxnState.ACTIVE:
+            self.abort()
+        return False
+
+
+class GlobalTransactionManager:
+    """The federation's transaction coordinator."""
+
+    def __init__(
+        self,
+        gateways: dict[str, Gateway],
+        query_timeout: float | None = 5.0,
+        wal: WriteAheadLog | None = None,
+    ):
+        self.gateways = gateways
+        #: The paper's timeout period attached to every local query.
+        self.query_timeout = query_timeout
+        self.wal = wal or WriteAheadLog()
+        self._counter = itertools.count(1)
+        self._mutex = threading.Lock()
+        self.active: dict[str, GlobalTransaction] = {}
+        # Experiment counters
+        self.commits = 0
+        self.aborts = 0
+        self.timeout_aborts = 0
+        self.vote_no_aborts = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def begin(self, global_id: str | None = None) -> GlobalTransaction:
+        with self._mutex:
+            if global_id is None:
+                global_id = f"G{next(self._counter)}"
+            if global_id in self.active:
+                raise TransactionError(
+                    f"global transaction {global_id} already active"
+                )
+            txn = GlobalTransaction(global_id, self)
+            self.active[global_id] = txn
+        return txn
+
+    def _branch(self, txn: GlobalTransaction, site: str) -> Gateway:
+        try:
+            gateway = self.gateways[site]
+        except KeyError:
+            raise TransactionError(f"unknown site {site!r}") from None
+        if site not in txn.participants:
+            gateway.begin(txn.global_id, txn.trace)
+            txn.participants.append(site)
+        return gateway
+
+    # ------------------------------------------------------------------
+    # Statement execution within a global transaction
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        txn: GlobalTransaction,
+        site: str,
+        sql: str | ast.Statement,
+        timeout: float | None = None,
+    ) -> ResultSet | int:
+        """Run one statement on one site's branch.
+
+        On :class:`GatewayTimeout` the entire global transaction is aborted
+        (the paper's global-deadlock assumption) and
+        :class:`TransactionAborted` is raised.
+        """
+        txn.require_active()
+        gateway = self._branch(txn, site)
+        effective = timeout if timeout is not None else self.query_timeout
+        parsed = sql
+        if isinstance(parsed, str):
+            from repro.sql import parse_statement
+
+            parsed = parse_statement(parsed)
+        try:
+            if isinstance(parsed, (ast.Select, ast.SetOperation)):
+                return gateway.execute_query(
+                    parsed,
+                    trace=txn.trace,
+                    timeout=effective,
+                    global_id=txn.global_id,
+                )
+            return gateway.execute_update(
+                parsed, txn.global_id, trace=txn.trace, timeout=effective
+            )
+        except GatewayTimeout:
+            self.timeout_aborts += 1
+            self.abort(txn)
+            raise TransactionAborted(
+                f"global transaction {txn.global_id} aborted: local query "
+                f"at {site!r} exceeded its timeout (assumed global deadlock)",
+                reason="timeout",
+            ) from None
+        except TransactionAborted:
+            # The local DBMS aborted the branch (e.g. local deadlock victim).
+            self.abort(txn)
+            raise
+
+    def run_global_query(
+        self,
+        txn: GlobalTransaction,
+        processor,
+        sql: str,
+        optimizer: str | None = None,
+        timeout: float | None = None,
+    ):
+        """Run a federation-level SELECT inside this global transaction.
+
+        Branches are opened at every site the plan touches, so the reads
+        acquire locks under the global transaction and stay serializable.
+        """
+        txn.require_active()
+        plan = processor.plan(sql, optimizer)
+        for fetch in plan.fetches:
+            self._branch(txn, fetch.site)
+        effective = timeout if timeout is not None else self.query_timeout
+        try:
+            return processor.executor.execute(
+                plan,
+                trace=txn.trace,
+                timeout=effective,
+                global_id=txn.global_id,
+            )
+        except GatewayTimeout:
+            self.timeout_aborts += 1
+            self.abort(txn)
+            raise TransactionAborted(
+                f"global transaction {txn.global_id} aborted: a fetch "
+                "exceeded its timeout (assumed global deadlock)",
+                reason="timeout",
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Two-phase commit
+    # ------------------------------------------------------------------
+
+    def commit(self, txn: GlobalTransaction) -> None:
+        """Commit via 2PC (one-phase optimisation for ≤1 participant)."""
+        txn.require_active()
+        participants = list(txn.participants)
+
+        if len(participants) <= 1:
+            # One-phase: no coordination needed.
+            for site in participants:
+                self.gateways[site].commit(txn.global_id, txn.trace)
+            self._finish(txn, GlobalTxnState.COMMITTED)
+            return
+
+        txn.state = GlobalTxnState.PREPARING
+        self.wal.append(
+            LogRecordType.COORD_BEGIN_2PC,
+            txn.global_id,
+            tuple(participants),
+            flush=True,
+        )
+
+        votes_ok = True
+        failed_site = None
+        for site in participants:
+            try:
+                vote = self.gateways[site].prepare(txn.global_id, txn.trace)
+            except (GatewayTimeout, TransactionError, TransactionAborted):
+                vote = False
+            if not vote:
+                votes_ok = False
+                failed_site = site
+                break
+
+        if not votes_ok:
+            self.wal.append(
+                LogRecordType.COORD_ABORT, txn.global_id, flush=True
+            )
+            self._abort_branches(txn)
+            self._finish(txn, GlobalTxnState.ABORTED)
+            self.vote_no_aborts += 1
+            raise TwoPhaseCommitError(
+                f"global transaction {txn.global_id} aborted: participant "
+                f"{failed_site!r} voted NO"
+            )
+
+        # Decision is now durable: presumed abort before this point,
+        # guaranteed commit after.
+        self.wal.append(LogRecordType.COORD_COMMIT, txn.global_id, flush=True)
+        for site in participants:
+            self.gateways[site].commit(txn.global_id, txn.trace)
+        self.wal.append(LogRecordType.COORD_END, txn.global_id)
+        self._finish(txn, GlobalTxnState.COMMITTED)
+
+    def abort(self, txn: GlobalTransaction) -> None:
+        if txn.state in (GlobalTxnState.COMMITTED, GlobalTxnState.ABORTED):
+            return
+        self.wal.append(LogRecordType.COORD_ABORT, txn.global_id, flush=True)
+        self._abort_branches(txn)
+        self._finish(txn, GlobalTxnState.ABORTED)
+
+    def _abort_branches(self, txn: GlobalTransaction) -> None:
+        for site in txn.participants:
+            try:
+                self.gateways[site].abort(txn.global_id, txn.trace)
+            except TransactionError:  # already gone; nothing to abort
+                pass
+
+    def execute_federated(
+        self,
+        txn: GlobalTransaction,
+        federation,
+        sql: str | ast.Statement,
+        timeout: float | None = None,
+    ) -> int:
+        """DML posed against an *integrated relation* of a federation.
+
+        The relation must be updatable (a plain projection of one export
+        relation — see :mod:`repro.schema.updates`); the statement is
+        rewritten into the export namespace and routed to the owning site's
+        branch of this global transaction.
+        """
+        from repro.schema.updates import resolve_updatable, rewrite_dml
+        from repro.sql import parse_statement
+
+        statement = parse_statement(sql) if isinstance(sql, str) else sql
+        if isinstance(statement, (ast.Select, ast.SetOperation)):
+            raise TransactionError(
+                "execute_federated handles DML; use run_global_query for reads"
+            )
+        table = getattr(statement, "table", None)
+        if table is None:
+            raise TransactionError("unsupported federated statement")
+        relation = federation.get_relation(table)
+        source = resolve_updatable(relation)
+        rewritten = rewrite_dml(statement, relation.name, source)
+        result = self.execute(txn, source.site, rewritten, timeout)
+        self.gateways[source.site].invalidate_stats()
+        return result
+
+    # ------------------------------------------------------------------
+    # Coordinator-driven recovery
+    # ------------------------------------------------------------------
+
+    def recover_in_doubt(self) -> list[tuple[object, str, str]]:
+        """Resolve branches left PREPARED by lost decision messages.
+
+        Re-reads the durable coordinator log: branches of transactions with
+        a COMMIT decision are committed, everything else is aborted
+        (presumed abort).  Returns (global_id, site, action) triples.
+        """
+        decisions = self.wal.coordinator_decisions()
+        actions: list[tuple[object, str, str]] = []
+        for site, gateway in self.gateways.items():
+            for global_id in gateway.prepared_branches():
+                decision = decisions.get(global_id, "abort")
+                if decision == "commit":
+                    gateway.commit(global_id)
+                else:
+                    gateway.abort(global_id)
+                actions.append((global_id, site, decision))
+        return actions
+
+    def _finish(self, txn: GlobalTransaction, state: GlobalTxnState) -> None:
+        txn.state = state
+        with self._mutex:
+            self.active.pop(txn.global_id, None)
+        if state is GlobalTxnState.COMMITTED:
+            self.commits += 1
+        else:
+            self.aborts += 1

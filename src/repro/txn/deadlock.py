@@ -1,0 +1,147 @@
+"""Global deadlock handling.
+
+MYRIAD's production mechanism is the *timeout*: it needs no inter-site
+communication, at the price of false aborts (slow-but-not-deadlocked
+transactions die) and detection latency (a real deadlock sits until the
+timeout fires).  This module also implements the *oracle*: a global
+wait-for-graph detector that unions every component's local wait-for edges —
+the baseline the benchmarks compare the timeout policy against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gateway import Gateway
+
+
+@dataclass(frozen=True)
+class TimeoutPolicy:
+    """The paper's policy: a timeout period per local query."""
+
+    timeout_s: float
+
+    def describe(self) -> str:
+        return (
+            f"timeout({self.timeout_s}s): abort the global transaction when "
+            "any local query exceeds the period"
+        )
+
+
+class WaitForGraphDetector:
+    """Oracle global deadlock detector over all component wait-for graphs.
+
+    A real FDBS could not do this without violating local autonomy (it
+    requires every component DBMS to expose its lock queues), which is
+    exactly why MYRIAD used timeouts.  We use it as the *ground truth* in
+    experiments: any cycle it reports is a genuine global deadlock, so
+    timeout aborts that do not correspond to a cycle are *false aborts*.
+    """
+
+    def __init__(self, gateways: dict[str, Gateway]):
+        self.gateways = gateways
+
+    def global_edges(self) -> list[tuple[object, object]]:
+        """Union of the per-site wait-for graphs (global txn ids)."""
+        edges: list[tuple[object, object]] = []
+        for gateway in self.gateways.values():
+            edges.extend(gateway.wait_for_edges())
+        return edges
+
+    def find_cycles(self) -> list[list[object]]:
+        """All simple cycles in the current global wait-for graph."""
+        graph: dict[object, set[object]] = {}
+        for source, target in self.global_edges():
+            graph.setdefault(source, set()).add(target)
+
+        cycles: list[list[object]] = []
+        seen_cycles: set[frozenset] = set()
+
+        def dfs(start: object, node: object, path: list[object]) -> None:
+            for neighbour in graph.get(node, ()):
+                if neighbour == start:
+                    key = frozenset(path)
+                    if key not in seen_cycles:
+                        seen_cycles.add(key)
+                        cycles.append(list(path))
+                elif neighbour not in path:
+                    dfs(start, neighbour, path + [neighbour])
+
+        for node in list(graph):
+            dfs(node, node, [node])
+        return cycles
+
+    def deadlocked_transactions(self) -> set[object]:
+        return {txn for cycle in self.find_cycles() for txn in cycle}
+
+    def choose_victims(self) -> list[object]:
+        """One victim per cycle (deterministic: max by string id = youngest
+        for our ``G<n>``-style identifiers of equal length, else lexicographic)."""
+        victims: list[object] = []
+        for cycle in self.find_cycles():
+            victim = max(cycle, key=_victim_order)
+            if victim not in victims:
+                victims.append(victim)
+        return victims
+
+
+def _victim_order(txn_id: object) -> tuple[int, str]:
+    text = str(txn_id)
+    return (len(text), text)
+
+
+class GlobalDeadlockMonitor:
+    """Active global deadlock detection — the policy MYRIAD *didn't* ship.
+
+    Periodically unions the component wait-for graphs, picks one victim per
+    cycle, and cancels that victim's blocked lock wait (which surfaces as a
+    :class:`~repro.errors.DeadlockError` and aborts the global transaction).
+    Requires components to expose their lock queues, i.e. it trades local
+    autonomy for precision; the benchmarks use it as the comparison point
+    for the paper's timeout policy.
+    """
+
+    def __init__(self, gateways: dict[str, "Gateway"], interval_s: float = 0.05):
+        self.detector = WaitForGraphDetector(gateways)
+        self.gateways = gateways
+        self.interval_s = interval_s
+        self.victims_killed = 0
+        self.cycles_seen = 0
+        self._stop = None  # threading.Event, created on start
+        self._thread = None
+
+    def check_once(self) -> list[object]:
+        """One detection round; returns the victims killed."""
+        victims = self.detector.choose_victims()
+        if victims:
+            self.cycles_seen += 1
+        killed = []
+        for victim in victims:
+            for gateway in self.gateways.values():
+                if gateway.has_branch(victim):
+                    gateway.cancel_branch_waits(victim)
+            self.victims_killed += 1
+            killed.append(victim)
+        return killed
+
+    def start(self) -> None:
+        import threading
+
+        if self._thread is not None:
+            return
+        self._stop = threading.Event()
+
+        def loop() -> None:
+            while not self._stop.is_set():
+                self.check_once()
+                self._stop.wait(self.interval_s)
+
+        self._thread = threading.Thread(target=loop, daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=2)
+        self._thread = None

@@ -1,0 +1,49 @@
+"""2PC recovery: resolving in-doubt branches after a coordinator crash.
+
+Presumed abort: a participant that PREPAREd but finds no durable
+``COORD_COMMIT`` record for its global transaction must abort it; a durable
+``COORD_COMMIT`` means commit.  The benchmarks/tests drive this by flushing
+logs at specific protocol points and "crashing" in between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.concurrency.wal import WriteAheadLog
+from repro.localdb.dbms import LocalDBMS
+
+
+@dataclass
+class RecoveryReport:
+    """What recovery did for one component DBMS."""
+
+    site: str
+    committed: list[object] = field(default_factory=list)
+    aborted: list[object] = field(default_factory=list)
+
+
+def recover_participant(
+    dbms: LocalDBMS, coordinator_wal: WriteAheadLog
+) -> RecoveryReport:
+    """Resolve a participant's in-doubt (prepared) transactions.
+
+    Consults the coordinator's durable decisions; absent a COMMIT decision,
+    presumed abort applies.
+    """
+    report = RecoveryReport(site=dbms.name)
+    decisions = coordinator_wal.coordinator_decisions()
+
+    manager = dbms.transactions
+    in_doubt_local = manager.wal.in_doubt_transactions()
+    for txn in list(manager.active_transactions()):
+        if txn.txn_id not in in_doubt_local:
+            continue
+        decision = decisions.get(txn.global_id, "abort")
+        if decision == "commit":
+            manager.commit_prepared(txn)
+            report.committed.append(txn.global_id)
+        else:
+            manager.abort_prepared(txn)
+            report.aborted.append(txn.global_id)
+    return report

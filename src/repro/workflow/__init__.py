@@ -1,0 +1,21 @@
+"""Workflow (saga) model on top of MYRIAD global transactions (§3 future work)."""
+
+from repro.workflow.saga import (
+    StepStatus,
+    WorkflowEngine,
+    WorkflowError,
+    WorkflowRun,
+    WorkflowStatus,
+    WorkflowStep,
+    recover_workflows,
+)
+
+__all__ = [
+    "StepStatus",
+    "WorkflowEngine",
+    "WorkflowError",
+    "WorkflowRun",
+    "WorkflowStatus",
+    "WorkflowStep",
+    "recover_workflows",
+]

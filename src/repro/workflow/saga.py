@@ -1,0 +1,244 @@
+"""A workflow model on top of MYRIAD — the paper's §3 future work.
+
+    "We will examine the possibilities of constructing a workflow model on
+    top of Myriad."
+
+This module implements the classic *saga* style of long-running workflow
+over a federated database: a workflow is a sequence of **steps**, each of
+which runs as its own (ACID, 2PC-committed) global transaction, paired with
+a **compensation** that semantically undoes it.  If step *k* fails, the
+compensations of steps *k-1 … 1* run in reverse order, each again as a
+global transaction.
+
+Unlike a single global transaction, a saga holds no locks between steps —
+the right trade-off for multi-site business processes that would otherwise
+pin locks across user think time.  The price is intermediate visibility;
+compensations must be semantic inverses, not physical undo.
+
+A :class:`WorkflowLog` records every state transition durably (same WAL
+abstraction the coordinators use), so a crashed workflow can be completed
+or compensated by :func:`recover_workflows`.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.concurrency.wal import WriteAheadLog
+from repro.errors import MyriadError, TransactionAborted, TwoPhaseCommitError
+from repro.myriad import MyriadSystem
+from repro.txn import GlobalTransaction
+
+
+class WorkflowError(MyriadError):
+    """A workflow failed and was (or could not be) compensated."""
+
+    def __init__(self, message: str, compensated: bool):
+        super().__init__(message)
+        self.compensated = compensated
+
+
+class StepStatus(enum.Enum):
+    PENDING = "pending"
+    DONE = "done"
+    FAILED = "failed"
+    COMPENSATED = "compensated"
+
+
+@dataclass
+class WorkflowStep:
+    """One step: a forward action and its semantic compensation.
+
+    Both callables receive an open :class:`GlobalTransaction` and the
+    workflow's shared ``context`` dict; the transaction is committed by the
+    engine after the callable returns (or aborted if it raises).
+    """
+
+    name: str
+    action: Callable[[GlobalTransaction, dict], None]
+    compensation: Callable[[GlobalTransaction, dict], None] | None = None
+
+
+class WorkflowStatus(enum.Enum):
+    RUNNING = "running"
+    COMMITTED = "committed"
+    COMPENSATING = "compensating"
+    COMPENSATED = "compensated"
+    STUCK = "stuck"  # a compensation failed; operator attention needed
+
+
+@dataclass
+class WorkflowRun:
+    """The durable record of one workflow execution."""
+
+    workflow_id: str
+    step_names: list[str]
+    status: WorkflowStatus = WorkflowStatus.RUNNING
+    completed_steps: list[str] = field(default_factory=list)
+    failed_step: str | None = None
+    context: dict = field(default_factory=dict)
+
+
+class WorkflowEngine:
+    """Runs saga workflows over one MyriadSystem."""
+
+    def __init__(self, system: MyriadSystem, log: WriteAheadLog | None = None):
+        self.system = system
+        self.log = log or WriteAheadLog()
+        self._counter = itertools.count(1)
+        self.runs: dict[str, WorkflowRun] = {}
+        # Counters for tests/monitoring.
+        self.committed = 0
+        self.compensated = 0
+        self.stuck = 0
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        steps: list[WorkflowStep],
+        context: dict | None = None,
+        workflow_id: str | None = None,
+        max_attempts_per_step: int = 1,
+    ) -> WorkflowRun:
+        """Execute a workflow; compensate completed steps on failure.
+
+        Raises :class:`WorkflowError` if any step ultimately fails (with
+        ``compensated`` telling whether rollback succeeded).
+        """
+        if workflow_id is None:
+            workflow_id = f"W{next(self._counter)}"
+        run = WorkflowRun(
+            workflow_id=workflow_id,
+            step_names=[step.name for step in steps],
+            context=dict(context or {}),
+        )
+        self.runs[workflow_id] = run
+        self._log(run, "begin")
+
+        for step in steps:
+            if self._execute_step(run, step, max_attempts_per_step):
+                run.completed_steps.append(step.name)
+                self._log(run, f"done:{step.name}")
+            else:
+                run.failed_step = step.name
+                self._log(run, f"failed:{step.name}")
+                self._compensate(run, steps)
+                if run.status is WorkflowStatus.COMPENSATED:
+                    self.compensated += 1
+                    raise WorkflowError(
+                        f"workflow {workflow_id} failed at step "
+                        f"{step.name!r}; all completed steps compensated",
+                        compensated=True,
+                    )
+                self.stuck += 1
+                raise WorkflowError(
+                    f"workflow {workflow_id} failed at step {step.name!r} "
+                    "and compensation also failed: operator intervention "
+                    "required",
+                    compensated=False,
+                )
+
+        run.status = WorkflowStatus.COMMITTED
+        self._log(run, "committed")
+        self.committed += 1
+        return run
+
+    def _execute_step(
+        self, run: WorkflowRun, step: WorkflowStep, attempts: int
+    ) -> bool:
+        for _ in range(max(attempts, 1)):
+            txn = self.system.begin_transaction(
+                f"{run.workflow_id}:{step.name}:{next(self._counter)}"
+            )
+            try:
+                step.action(txn, run.context)
+                txn.commit()
+                return True
+            except (TransactionAborted, TwoPhaseCommitError, MyriadError):
+                # The coordinator aborts on its own failures; user code may
+                # raise while the transaction is still active — clean up.
+                txn.abort()
+                continue
+            except Exception:
+                txn.abort()
+                raise
+        return False
+
+    def _compensate(self, run: WorkflowRun, steps: list[WorkflowStep]) -> None:
+        run.status = WorkflowStatus.COMPENSATING
+        self._log(run, "compensating")
+        by_name = {step.name: step for step in steps}
+        for name in reversed(run.completed_steps):
+            step = by_name[name]
+            if step.compensation is None:
+                continue
+            txn = self.system.begin_transaction(
+                f"{run.workflow_id}:undo:{name}:{next(self._counter)}"
+            )
+            try:
+                step.compensation(txn, run.context)
+                txn.commit()
+                self._log(run, f"compensated:{name}")
+            except Exception:
+                try:
+                    txn.abort()
+                except Exception:
+                    pass
+                run.status = WorkflowStatus.STUCK
+                self._log(run, "stuck")
+                return
+        run.status = WorkflowStatus.COMPENSATED
+        self._log(run, "compensated")
+
+    # ------------------------------------------------------------------
+    # Durable log
+    # ------------------------------------------------------------------
+
+    def _log(self, run: WorkflowRun, event: str) -> None:
+        from repro.concurrency.wal import LogRecordType
+
+        # Reuse the coordinator record shape: txn_id = workflow id.
+        self.log.append(
+            LogRecordType.COORD_BEGIN_2PC
+            if event == "begin"
+            else LogRecordType.COORD_END,
+            run.workflow_id,
+            (event,),
+            flush=True,
+        )
+
+    def history(self, workflow_id: str) -> list[str]:
+        """The durable event trail of one workflow."""
+        return [
+            record.payload[0]
+            for record in self.log.durable_records()
+            if record.txn_id == workflow_id and record.payload
+        ]
+
+
+def recover_workflows(
+    engine: WorkflowEngine, steps_by_name: dict[str, WorkflowStep]
+) -> list[str]:
+    """Compensate every workflow left RUNNING/COMPENSATING (crash recovery).
+
+    Returns the ids of the workflows that were rolled back.  Workflows whose
+    compensation fails remain STUCK.
+    """
+    recovered = []
+    for run in engine.runs.values():
+        if run.status in (WorkflowStatus.RUNNING, WorkflowStatus.COMPENSATING):
+            steps = [
+                steps_by_name[name]
+                for name in run.step_names
+                if name in steps_by_name
+            ]
+            engine._compensate(run, steps)
+            if run.status is WorkflowStatus.COMPENSATED:
+                recovered.append(run.workflow_id)
+    return recovered

@@ -1,0 +1,21 @@
+"""Workloads: the university example federation and synthetic generators."""
+
+from repro.workloads.contention import ContentionResult, run_contention
+from repro.workloads.synth import (
+    build_bank_sites,
+    build_partitioned_sites,
+    build_two_site_join,
+    total_balance,
+)
+from repro.workloads.university import build_university_system, gpa_from_percent
+
+__all__ = [
+    "ContentionResult",
+    "run_contention",
+    "build_bank_sites",
+    "build_partitioned_sites",
+    "build_two_site_join",
+    "total_balance",
+    "build_university_system",
+    "gpa_from_percent",
+]

@@ -1,0 +1,191 @@
+"""Contention workload driver for the deadlock/timeout experiments.
+
+Runs a mix of multi-site transfer transactions against a bank federation
+(:func:`repro.workloads.synth.build_bank_sites`) from several worker
+threads, inducing lock conflicts and *global* deadlocks (T1 holds site A and
+wants site B while T2 holds B and wants A — invisible to either local
+deadlock detector).
+
+Collects the statistics the paper's timeout mechanism trades off: commits,
+timeout aborts, local-deadlock aborts, and — via the wait-for-graph oracle —
+how many timeout aborts were *false* (no real global deadlock at the time).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import TransactionAborted, TwoPhaseCommitError
+from repro.myriad import MyriadSystem
+from repro.txn import WaitForGraphDetector
+
+
+@dataclass
+class ContentionResult:
+    """Outcome of one contention run."""
+
+    committed: int = 0
+    timeout_aborts: int = 0
+    deadlock_aborts: int = 0  # local detector victims
+    other_aborts: int = 0
+    false_timeout_aborts: int = 0
+    true_timeout_aborts: int = 0
+    wall_seconds: float = 0.0
+    oracle_cycles_seen: int = 0
+    per_txn_latency: list[float] = field(default_factory=list)
+
+    @property
+    def attempted(self) -> int:
+        return (
+            self.committed
+            + self.timeout_aborts
+            + self.deadlock_aborts
+            + self.other_aborts
+        )
+
+    @property
+    def throughput(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.committed / self.wall_seconds
+
+    @property
+    def false_abort_rate(self) -> float:
+        if self.timeout_aborts == 0:
+            return 0.0
+        return self.false_timeout_aborts / self.timeout_aborts
+
+
+def run_contention(
+    system: MyriadSystem,
+    site_count: int,
+    accounts_per_site: int,
+    workers: int = 4,
+    transactions_per_worker: int = 25,
+    hotspot_accounts: int = 2,
+    hotspot_probability: float = 0.8,
+    timeout_s: float = 0.25,
+    seed: int = 3,
+    think_time_s: float = 0.0,
+    policy: str = "timeout",
+) -> ContentionResult:
+    """Drive transfer transactions and classify every outcome.
+
+    Each transaction debits an account at one site and credits an account at
+    another (both UPDATEs under one global transaction, 2PC commit).  With a
+    small hotspot set and opposite site orders, global deadlocks occur.
+
+    ``policy`` selects the resolution mechanism:
+
+    - ``"timeout"`` — the paper's: each local query carries ``timeout_s``
+    - ``"wfg"`` — active global wait-for-graph detection
+      (:class:`repro.txn.GlobalDeadlockMonitor`); ``timeout_s`` then acts
+      only as a generous backstop (10x)
+    """
+    from repro.txn.deadlock import GlobalDeadlockMonitor
+
+    result = ContentionResult()
+    result_lock = threading.Lock()
+    oracle = WaitForGraphDetector(system.gateways)
+    monitor: GlobalDeadlockMonitor | None = None
+    if policy == "wfg":
+        monitor = GlobalDeadlockMonitor(
+            system.gateways, interval_s=min(timeout_s / 2, 0.05)
+        )
+        monitor.start()
+        effective_timeout = timeout_s * 10
+    elif policy == "timeout":
+        effective_timeout = timeout_s
+    else:
+        raise ValueError(f"unknown contention policy {policy!r}")
+    system.transactions.query_timeout = effective_timeout
+
+    stop_oracle = threading.Event()
+    deadlocked_at_some_point: set[object] = set()
+
+    def oracle_loop() -> None:
+        while not stop_oracle.is_set():
+            txns = oracle.deadlocked_transactions()
+            if txns:
+                with result_lock:
+                    deadlocked_at_some_point.update(txns)
+                    result.oracle_cycles_seen += 1
+            time.sleep(timeout_s / 4 if timeout_s > 0.02 else 0.005)
+
+    def pick_account(rng: random.Random, site_index: int) -> int:
+        base = site_index * accounts_per_site
+        if rng.random() < hotspot_probability:
+            return base + rng.randrange(max(hotspot_accounts, 1))
+        return base + rng.randrange(accounts_per_site)
+
+    def worker(worker_index: int) -> None:
+        rng = random.Random(seed * 1000 + worker_index)
+        for _ in range(transactions_per_worker):
+            from_site = rng.randrange(site_count)
+            to_site = (from_site + 1 + rng.randrange(site_count - 1)) % (
+                site_count
+            ) if site_count > 1 else from_site
+            amount = round(rng.uniform(1, 50), 2)
+            debit_account = pick_account(rng, from_site)
+            credit_account = pick_account(rng, to_site)
+
+            txn = system.begin_transaction()
+            started = time.monotonic()
+            try:
+                txn.execute(
+                    f"b{from_site}",
+                    f"UPDATE account SET balance = balance - {amount} "
+                    f"WHERE acct = {debit_account}",
+                    timeout=effective_timeout,
+                )
+                if think_time_s:
+                    time.sleep(think_time_s)
+                txn.execute(
+                    f"b{to_site}",
+                    f"UPDATE account SET balance = balance + {amount} "
+                    f"WHERE acct = {credit_account}",
+                    timeout=effective_timeout,
+                )
+                txn.commit()
+                with result_lock:
+                    result.committed += 1
+                    result.per_txn_latency.append(time.monotonic() - started)
+            except TransactionAborted as error:
+                with result_lock:
+                    if error.reason == "timeout":
+                        result.timeout_aborts += 1
+                        if txn.global_id in deadlocked_at_some_point:
+                            result.true_timeout_aborts += 1
+                        else:
+                            result.false_timeout_aborts += 1
+                    elif error.reason == "deadlock":
+                        result.deadlock_aborts += 1
+                    else:
+                        result.other_aborts += 1
+            except TwoPhaseCommitError:
+                with result_lock:
+                    result.other_aborts += 1
+
+    oracle_thread = threading.Thread(target=oracle_loop, daemon=True)
+    oracle_thread.start()
+    threads = [
+        threading.Thread(target=worker, args=(index,))
+        for index in range(workers)
+    ]
+    started = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    result.wall_seconds = time.monotonic() - started
+    stop_oracle.set()
+    oracle_thread.join(timeout=2)
+    if monitor is not None:
+        monitor.stop()
+        result.oracle_cycles_seen = max(
+            result.oracle_cycles_seen, monitor.cycles_seen
+        )
+    return result

@@ -1,0 +1,314 @@
+"""The university example federation.
+
+Recreates the flavour of the paper's demonstration databases: a university
+with two campuses running different DBMSs (an Oracle-style system at the
+Twin Cities campus, a Postgres-style one at Duluth), integrated into a
+single enterprise-wide schema:
+
+- ``student`` — horizontal union of both campuses' student tables, with a
+  campus tag and a user-defined integration function normalising GPA scales
+  (Twin Cities stores 0–4.0; Duluth stores percentages)
+- ``course`` — horizontal union of course catalogues
+- ``enrollment`` — horizontal union
+- ``staff_directory`` — a *join merge*: HR data lives at Twin Cities,
+  payroll at Duluth, keyed by a shared employee id, with conflict
+  resolution for the phone number both sides store
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.myriad import MyriadSystem
+from repro.schema import join_merge, union_merge
+
+_FIRST = [
+    "ALICE", "BOB", "CAROL", "DAVE", "ERIN", "FRANK", "GRACE", "HEIDI",
+    "IVAN", "JUDY", "KEN", "LAURA", "MALLORY", "NED", "OLIVE", "PEGGY",
+]
+_LAST = [
+    "ANDERSON", "JOHNSON", "OLSON", "PETERSON", "LARSON", "NELSON",
+    "CARLSON", "HANSON", "JENSEN", "SWANSON",
+]
+_SUBJECTS = ["CS", "EE", "MATH", "STAT", "PHYS", "CHEM", "BIO", "ECON"]
+
+
+def gpa_from_percent(percent: object) -> object:
+    """User-defined integration function: 0–100 scale → 0–4.0 scale."""
+    if percent is None:
+        return None
+    return round(float(percent) * 4.0 / 100.0, 2)
+
+
+def build_university_system(
+    students_per_campus: int = 120,
+    courses_per_campus: int = 24,
+    enrollments_per_student: int = 3,
+    staff_count: int = 40,
+    seed: int = 42,
+    query_timeout: float | None = 5.0,
+) -> MyriadSystem:
+    """Build and populate the two-campus university federation."""
+    rng = random.Random(seed)
+    system = MyriadSystem(query_timeout=query_timeout)
+
+    twin = system.add_oracle("twin_cities")
+    duluth = system.add_postgres("duluth")
+
+    # ------------------------------------------------------------------
+    # Twin Cities (Oracle dialect): 4.0-scale GPA, (sid, sname, gpa, major)
+    # ------------------------------------------------------------------
+    twin.dbms.execute_script(
+        """
+        CREATE TABLE tc_student (
+            sid INTEGER PRIMARY KEY,
+            sname VARCHAR2(40) NOT NULL,
+            gpa NUMBER,
+            major VARCHAR2(10)
+        );
+        CREATE TABLE tc_course (
+            cno VARCHAR2(10) PRIMARY KEY,
+            title VARCHAR2(60),
+            credits INTEGER
+        );
+        CREATE TABLE tc_enrollment (
+            sid INTEGER,
+            cno VARCHAR2(10),
+            grade NUMBER
+        );
+        CREATE TABLE hr_staff (
+            emp_id INTEGER PRIMARY KEY,
+            emp_name VARCHAR2(40),
+            title VARCHAR2(30),
+            office VARCHAR2(20),
+            phone VARCHAR2(16)
+        );
+        """
+    )
+
+    # ------------------------------------------------------------------
+    # Duluth (Postgres dialect): percent GPA, different column names
+    # ------------------------------------------------------------------
+    duluth.dbms.execute_script(
+        """
+        CREATE TABLE dul_students (
+            student_no INTEGER PRIMARY KEY,
+            full_name VARCHAR(40) NOT NULL,
+            grade_pct FLOAT,
+            dept VARCHAR(10)
+        );
+        CREATE TABLE dul_courses (
+            course_code VARCHAR(10) PRIMARY KEY,
+            course_title VARCHAR(60),
+            units INTEGER
+        );
+        CREATE TABLE dul_enrollment (
+            student_no INTEGER,
+            course_code VARCHAR(10),
+            score FLOAT
+        );
+        CREATE TABLE payroll_staff (
+            employee INTEGER PRIMARY KEY,
+            salary FLOAT,
+            phone_no VARCHAR(16)
+        );
+        """
+    )
+
+    # ------------------------------------------------------------------
+    # Data
+    # ------------------------------------------------------------------
+    def name() -> str:
+        return f"{rng.choice(_FIRST)} {rng.choice(_LAST)}"
+
+    tc = twin.dbms.connect()
+    tc.begin()
+    for sid in range(1, students_per_campus + 1):
+        tc.execute(
+            "INSERT INTO tc_student VALUES (?, ?, ?, ?)",
+            [sid, name(), round(rng.uniform(1.8, 4.0), 2), rng.choice(_SUBJECTS)],
+        )
+    tc_courses = []
+    for i in range(courses_per_campus):
+        cno = f"{rng.choice(_SUBJECTS)}{1000 + i}"
+        tc_courses.append(cno)
+        tc.execute(
+            "INSERT INTO tc_course VALUES (?, ?, ?)",
+            [cno, f"Topics in {cno}", rng.choice([3, 4])],
+        )
+    for sid in range(1, students_per_campus + 1):
+        for cno in rng.sample(tc_courses, min(enrollments_per_student, len(tc_courses))):
+            tc.execute(
+                "INSERT INTO tc_enrollment VALUES (?, ?, ?)",
+                [sid, cno, round(rng.uniform(1.0, 4.0), 1)],
+            )
+    for emp in range(1, staff_count + 1):
+        tc.execute(
+            "INSERT INTO hr_staff VALUES (?, ?, ?, ?, ?)",
+            [
+                emp,
+                name(),
+                rng.choice(["Professor", "Lecturer", "Staff", "Adjunct"]),
+                f"EE{rng.randint(100, 499)}",
+                f"612-555-{rng.randint(1000, 9999)}",
+            ],
+        )
+    tc.commit()
+
+    du = duluth.dbms.connect()
+    du.begin()
+    for sid in range(1, students_per_campus + 1):
+        du.execute(
+            "INSERT INTO dul_students VALUES (?, ?, ?, ?)",
+            [
+                10000 + sid,
+                name(),
+                round(rng.uniform(45.0, 100.0), 1),
+                rng.choice(_SUBJECTS),
+            ],
+        )
+    du_courses = []
+    for i in range(courses_per_campus):
+        code = f"D{rng.choice(_SUBJECTS)}{2000 + i}"
+        du_courses.append(code)
+        du.execute(
+            "INSERT INTO dul_courses VALUES (?, ?, ?)",
+            [code, f"Duluth {code}", rng.choice([3, 4])],
+        )
+    for sid in range(1, students_per_campus + 1):
+        for code in rng.sample(
+            du_courses, min(enrollments_per_student, len(du_courses))
+        ):
+            du.execute(
+                "INSERT INTO dul_enrollment VALUES (?, ?, ?)",
+                [10000 + sid, code, round(rng.uniform(40.0, 100.0), 1)],
+            )
+    # Payroll covers a subset of HR staff plus some Duluth-only employees;
+    # phone numbers sometimes disagree with HR (conflicts to resolve).
+    for emp in range(1, staff_count + 1):
+        if rng.random() < 0.8:
+            phone = (
+                f"612-555-{rng.randint(1000, 9999)}"
+                if rng.random() < 0.3
+                else None
+            )
+            du.execute(
+                "INSERT INTO payroll_staff VALUES (?, ?, ?)",
+                [emp, round(rng.uniform(40000, 140000), 2), phone],
+            )
+    for emp in range(staff_count + 1, staff_count + 6):
+        du.execute(
+            "INSERT INTO payroll_staff VALUES (?, ?, ?)",
+            [emp, round(rng.uniform(40000, 90000), 2),
+             f"218-555-{rng.randint(1000, 9999)}"],
+        )
+    du.commit()
+
+    # ------------------------------------------------------------------
+    # Export schemas (what each campus is willing to share)
+    # ------------------------------------------------------------------
+    twin.export_table(
+        "tc_student",
+        "student",
+        {"sid": "sid", "name": "sname", "gpa": "gpa", "major": "major"},
+    )
+    twin.export_table(
+        "tc_course",
+        "course",
+        {"cno": "cno", "title": "title", "credits": "credits"},
+    )
+    twin.export_table(
+        "tc_enrollment",
+        "enrollment",
+        {"sid": "sid", "cno": "cno", "grade": "grade"},
+    )
+    twin.export_table(
+        "hr_staff",
+        "staff_hr",
+        {
+            "emp_id": "emp_id",
+            "name": "emp_name",
+            "title": "title",
+            "office": "office",
+            "phone": "phone",
+        },
+    )
+
+    duluth.export_table(
+        "dul_students",
+        "student",
+        {
+            "sid": "student_no",
+            "name": "full_name",
+            "grade_pct": "grade_pct",
+            "major": "dept",
+        },
+    )
+    duluth.export_table(
+        "dul_courses",
+        "course",
+        {"cno": "course_code", "title": "course_title", "credits": "units"},
+    )
+    duluth.export_table(
+        "dul_enrollment",
+        "enrollment",
+        {"sid": "student_no", "cno": "course_code", "score": "score"},
+    )
+    duluth.export_table(
+        "payroll_staff",
+        "staff_payroll",
+        {"emp_id": "employee", "salary": "salary", "phone": "phone_no"},
+    )
+
+    # ------------------------------------------------------------------
+    # The federation and its integrated relations
+    # ------------------------------------------------------------------
+    fed = system.create_federation("university")
+    fed.register_function("GPA_FROM_PERCENT", gpa_from_percent)
+
+    # Horizontal merges with schema reconciliation.  Duluth GPAs go through
+    # the user-defined integration function.
+    fed.define_relation(
+        "student",
+        "SELECT sid, name, gpa, major, 'twin_cities' AS campus "
+        "FROM twin_cities.student "
+        "UNION ALL "
+        "SELECT sid, name, GPA_FROM_PERCENT(grade_pct) AS gpa, major, "
+        "'duluth' AS campus FROM duluth.student",
+    )
+    fed.add_relation(
+        union_merge(
+            "course",
+            [
+                ("twin_cities", "course", ["cno", "title", "credits"]),
+                ("duluth", "course", ["cno", "title", "credits"]),
+            ],
+            source_tag_column="campus",
+        )
+    )
+    fed.define_relation(
+        "enrollment",
+        "SELECT sid, cno, grade, 'twin_cities' AS campus "
+        "FROM twin_cities.enrollment "
+        "UNION ALL "
+        "SELECT sid, cno, GPA_FROM_PERCENT(score) AS grade, "
+        "'duluth' AS campus FROM duluth.enrollment",
+    )
+    # Vertical merge with conflict resolution: HR is authoritative for the
+    # phone when present, else payroll's value (PREFER_FIRST).
+    fed.add_relation(
+        join_merge(
+            "staff_directory",
+            left=("twin_cities", "staff_hr"),
+            right=("duluth", "staff_payroll"),
+            on=[("emp_id", "emp_id")],
+            attributes={
+                "emp_id": ("key", 0),
+                "name": ("left", "name"),
+                "title": ("left", "title"),
+                "salary": ("right", "salary"),
+                "phone": ("resolve", "PREFER_FIRST", "phone", "phone"),
+            },
+        )
+    )
+    return system

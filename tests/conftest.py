@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.engine import LocalEngine
+from repro.storage import Catalog
+
+EMP_ROWS = [
+    (7839, "KING", "PRESIDENT", None, 5000.0, None, 10),
+    (7698, "BLAKE", "MANAGER", 7839, 2850.0, None, 30),
+    (7782, "CLARK", "MANAGER", 7839, 2450.0, None, 10),
+    (7566, "JONES", "MANAGER", 7839, 2975.0, None, 20),
+    (7788, "SCOTT", "ANALYST", 7566, 3000.0, None, 20),
+    (7902, "FORD", "ANALYST", 7566, 3000.0, None, 20),
+    (7369, "SMITH", "CLERK", 7902, 800.0, None, 20),
+    (7499, "ALLEN", "SALESMAN", 7698, 1600.0, 300.0, 30),
+    (7521, "WARD", "SALESMAN", 7698, 1250.0, 500.0, 30),
+    (7654, "MARTIN", "SALESMAN", 7698, 1250.0, 1400.0, 30),
+    (7844, "TURNER", "SALESMAN", 7698, 1500.0, 0.0, 30),
+    (7876, "ADAMS", "CLERK", 7788, 1100.0, None, 20),
+    (7900, "JAMES", "CLERK", 7698, 950.0, None, 30),
+    (7934, "MILLER", "CLERK", 7782, 1300.0, None, 10),
+]
+
+DEPT_ROWS = [
+    (10, "ACCOUNTING", "NEW YORK"),
+    (20, "RESEARCH", "DALLAS"),
+    (30, "SALES", "CHICAGO"),
+    (40, "OPERATIONS", "BOSTON"),
+]
+
+
+@pytest.fixture
+def engine():
+    """A LocalEngine loaded with the classic EMP/DEPT dataset."""
+    catalog = Catalog("scott")
+    eng = LocalEngine(catalog)
+    eng.execute(
+        "CREATE TABLE emp (empno INTEGER PRIMARY KEY, ename VARCHAR(20), "
+        "job VARCHAR(20), mgr INTEGER, sal FLOAT, comm FLOAT, deptno INTEGER)"
+    )
+    eng.execute(
+        "CREATE TABLE dept (deptno INTEGER PRIMARY KEY, "
+        "dname VARCHAR(20), loc VARCHAR(20))"
+    )
+    for row in EMP_ROWS:
+        eng.execute(
+            "INSERT INTO emp VALUES (?, ?, ?, ?, ?, ?, ?)", list(row)
+        )
+    for row in DEPT_ROWS:
+        eng.execute("INSERT INTO dept VALUES (?, ?, ?)", list(row))
+    return eng
+
+
+@pytest.fixture(scope="module")
+def university():
+    """Module-scoped university federation (read-only tests!)."""
+    from repro.workloads import build_university_system
+
+    return build_university_system(
+        students_per_campus=60, courses_per_campus=12, staff_count=20, seed=5
+    )

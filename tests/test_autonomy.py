@@ -1,0 +1,162 @@
+"""Local-autonomy tests.
+
+The paper's first sentence: integrate databases "while preserving the local
+autonomy of the component DBMSs and applications."  These tests pin down
+what that means operationally:
+
+- local applications keep using their own schemas, names, and transactions,
+  oblivious to the federation
+- the federation sees *live* data (no copies): local commits are immediately
+  visible through integrated relations
+- export schemas are a hard boundary: unexported tables/columns/rows are
+  invisible to every federation
+- local and global transactions coexist under the component's own 2PL
+"""
+
+import pytest
+
+from repro.errors import FederationError, GatewayError
+from repro.myriad import MyriadSystem
+
+
+@pytest.fixture
+def system():
+    sys_ = MyriadSystem()
+    gateway = sys_.add_oracle("plant")
+    dbms = gateway.dbms
+    dbms.execute_script(
+        """
+        CREATE TABLE parts (
+            pno INTEGER PRIMARY KEY,
+            pname VARCHAR2(20),
+            qty NUMBER,
+            cost NUMBER,
+            secret_margin NUMBER
+        );
+        CREATE TABLE internal_audit (id INTEGER PRIMARY KEY, note VARCHAR2(40));
+        INSERT INTO parts VALUES (1, 'bolt', 500, 0.1, 0.4);
+        INSERT INTO parts VALUES (2, 'nut', 800, 0.05, 0.5);
+        INSERT INTO parts VALUES (3, 'gear', 30, 12.0, 0.2);
+        """
+    )
+    # Export only some columns, only in-stock rows; internal_audit not at all.
+    gateway.export_table(
+        "parts",
+        "catalog",
+        {"part_no": "pno", "name": "pname", "stock": "qty"},
+        predicate="qty > 0",
+    )
+    fed = sys_.create_federation("supply")
+    fed.define_relation(
+        "parts_view", "SELECT part_no, name, stock FROM plant.catalog"
+    )
+    return sys_
+
+
+class TestLiveness:
+    def test_local_commits_visible_immediately(self, system):
+        dbms = system.component("plant")
+        dbms.execute("INSERT INTO parts VALUES (4, 'cam', 10, 3.0, 0.3)")
+        result = system.query(
+            "supply", "SELECT name FROM parts_view WHERE part_no = 4"
+        )
+        assert result.rows == [("cam",)]
+
+    def test_local_apps_use_local_names(self, system):
+        """A local application never mentions export names."""
+        dbms = system.component("plant")
+        session = dbms.connect()
+        session.begin()
+        session.execute("UPDATE parts SET qty = qty - 5 WHERE pno = 1")
+        session.execute(
+            "INSERT INTO internal_audit VALUES (1, 'shipped 5 bolts')"
+        )
+        session.commit()
+        stock = system.query(
+            "supply", "SELECT stock FROM parts_view WHERE part_no = 1"
+        ).scalar()
+        assert stock == 495
+
+    def test_export_predicate_hides_rows_dynamically(self, system):
+        dbms = system.component("plant")
+        dbms.execute("UPDATE parts SET qty = 0 WHERE pno = 3")
+        names = system.query("supply", "SELECT name FROM parts_view").column(
+            "name"
+        )
+        assert "gear" not in names
+        # the local view still has it
+        assert dbms.execute(
+            "SELECT COUNT(*) FROM parts WHERE pno = 3"
+        ).scalar() == 1
+
+
+class TestBoundary:
+    def test_unexported_table_unreachable(self, system):
+        with pytest.raises(FederationError):
+            system.federation("supply").define_relation(
+                "leak", "SELECT note FROM plant.internal_audit"
+            )
+
+    def test_unexported_column_unreachable(self, system):
+        with pytest.raises(Exception):
+            system.query(
+                "supply",
+                "SELECT secret_margin FROM parts_view",
+            )
+        # even via a direct gateway query on the export
+        with pytest.raises(Exception):
+            system.gateway("plant").execute_query(
+                "SELECT secret_margin FROM catalog"
+            )
+
+    def test_gateway_rejects_unknown_export(self, system):
+        with pytest.raises(GatewayError):
+            system.gateway("plant").exports.get("parts")  # local name
+
+
+class TestCoexistence:
+    def test_local_txn_blocks_global_then_proceeds(self, system):
+        dbms = system.component("plant")
+        local = dbms.connect()
+        local.begin()
+        local.execute("UPDATE parts SET qty = qty + 1 WHERE pno = 1")
+
+        # The federation's read now times out (the local app holds 2PL locks).
+        from repro.errors import GatewayTimeout
+
+        with pytest.raises(GatewayTimeout):
+            system.gateway("plant").execute_query(
+                "SELECT * FROM catalog", timeout=0.05
+            )
+
+        local.commit()
+        result = system.query("supply", "SELECT COUNT(*) FROM parts_view")
+        assert result.scalar() >= 2
+
+    def test_global_txn_blocks_local_then_proceeds(self, system):
+        txn = system.begin_transaction()
+        txn.execute(
+            "plant", "UPDATE catalog SET stock = stock + 1 WHERE part_no = 1"
+        )
+
+        dbms = system.component("plant")
+        local = dbms.connect()
+        local.lock_timeout = 0.05
+        local.begin()
+        from repro.errors import LockTimeoutError
+
+        with pytest.raises(LockTimeoutError):
+            local.execute("UPDATE parts SET qty = 0 WHERE pno = 2")
+
+        txn.commit()
+        # local world continues unharmed
+        dbms.execute("UPDATE parts SET qty = 123 WHERE pno = 2")
+        assert dbms.execute(
+            "SELECT qty FROM parts WHERE pno = 2"
+        ).scalar() == 123
+
+    def test_component_counts_its_own_transactions(self, system):
+        dbms = system.component("plant")
+        before = dbms.transactions.commits
+        dbms.execute("INSERT INTO internal_audit VALUES (9, 'x')")
+        assert dbms.transactions.commits == before + 1

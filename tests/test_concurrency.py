@@ -1,0 +1,313 @@
+"""Lock manager, WAL, and local transaction tests."""
+
+import threading
+import time
+
+import pytest
+
+from repro.concurrency import (
+    LockManager,
+    LockMode,
+    LocalTransactionManager,
+    TxnMutator,
+    TxnState,
+)
+from repro.concurrency.wal import LogRecordType, WriteAheadLog
+from repro.errors import (
+    DeadlockError,
+    IntegrityError,
+    LockTimeoutError,
+    TransactionError,
+)
+from repro.storage import Column, INTEGER, Table, TableSchema, VARCHAR
+
+
+def make_table():
+    return Table(
+        TableSchema(
+            "t",
+            [Column("id", INTEGER, nullable=False), Column("v", VARCHAR)],
+            ["id"],
+        )
+    )
+
+
+class TestLockManager:
+    def test_shared_locks_compatible(self):
+        locks = LockManager()
+        locks.acquire("t1", "r", LockMode.SHARED)
+        locks.acquire("t2", "r", LockMode.SHARED)
+        assert locks.holds("t1", "r") is LockMode.SHARED
+        assert locks.holds("t2", "r") is LockMode.SHARED
+
+    def test_exclusive_blocks_shared(self):
+        locks = LockManager()
+        locks.acquire("t1", "r", LockMode.EXCLUSIVE)
+        with pytest.raises(LockTimeoutError):
+            locks.acquire("t2", "r", LockMode.SHARED, timeout=0.05)
+
+    def test_shared_blocks_exclusive(self):
+        locks = LockManager()
+        locks.acquire("t1", "r", LockMode.SHARED)
+        with pytest.raises(LockTimeoutError):
+            locks.acquire("t2", "r", LockMode.EXCLUSIVE, timeout=0.05)
+
+    def test_reentrant_acquire(self):
+        locks = LockManager()
+        locks.acquire("t1", "r", LockMode.SHARED)
+        locks.acquire("t1", "r", LockMode.SHARED)
+        locks.acquire("t1", "r", LockMode.EXCLUSIVE)  # upgrade, sole holder
+        assert locks.holds("t1", "r") is LockMode.EXCLUSIVE
+
+    def test_exclusive_covers_shared(self):
+        locks = LockManager()
+        locks.acquire("t1", "r", LockMode.EXCLUSIVE)
+        locks.acquire("t1", "r", LockMode.SHARED)  # no-op
+        assert locks.holds("t1", "r") is LockMode.EXCLUSIVE
+
+    def test_upgrade_blocked_by_other_reader(self):
+        locks = LockManager()
+        locks.acquire("t1", "r", LockMode.SHARED)
+        locks.acquire("t2", "r", LockMode.SHARED)
+        with pytest.raises(LockTimeoutError):
+            locks.acquire("t1", "r", LockMode.EXCLUSIVE, timeout=0.05)
+
+    def test_release_all_wakes_waiters(self):
+        locks = LockManager()
+        locks.acquire("t1", "r", LockMode.EXCLUSIVE)
+        acquired = threading.Event()
+
+        def waiter():
+            locks.acquire("t2", "r", LockMode.EXCLUSIVE, timeout=2)
+            acquired.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.05)
+        assert not acquired.is_set()
+        locks.release_all("t1")
+        thread.join(timeout=2)
+        assert acquired.is_set()
+
+    def test_wait_for_edges(self):
+        locks = LockManager(detect_local_deadlocks=False)
+        locks.acquire("t1", "r", LockMode.EXCLUSIVE)
+        done = threading.Event()
+
+        def waiter():
+            try:
+                locks.acquire("t2", "r", LockMode.EXCLUSIVE, timeout=0.5)
+            except LockTimeoutError:
+                pass
+            done.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.1)
+        assert ("t2", "t1") in locks.wait_for_edges()
+        done.wait(2)
+        thread.join()
+
+    def test_local_deadlock_detected(self):
+        locks = LockManager()
+        locks.acquire("t1", "a", LockMode.EXCLUSIVE)
+        locks.acquire("t2", "b", LockMode.EXCLUSIVE)
+        errors = []
+
+        def t1_wants_b():
+            try:
+                locks.acquire("t1", "b", LockMode.EXCLUSIVE, timeout=2)
+            except (DeadlockError, LockTimeoutError) as e:
+                errors.append(type(e).__name__)
+
+        thread = threading.Thread(target=t1_wants_b)
+        thread.start()
+        time.sleep(0.1)
+        with pytest.raises((DeadlockError, LockTimeoutError)):
+            locks.acquire("t2", "a", LockMode.EXCLUSIVE, timeout=2)
+        locks.release_all("t2")
+        thread.join(timeout=2)
+
+    def test_counters(self):
+        locks = LockManager()
+        locks.acquire("t1", "r", LockMode.SHARED)
+        assert locks.acquisitions >= 1
+        with pytest.raises(LockTimeoutError):
+            locks.acquire("t2", "r", LockMode.EXCLUSIVE, timeout=0.01)
+        assert locks.timeouts == 1
+
+
+class TestWAL:
+    def test_lsn_monotonic(self):
+        wal = WriteAheadLog()
+        first = wal.append(LogRecordType.BEGIN, "t1")
+        second = wal.append(LogRecordType.COMMIT, "t1")
+        assert second.lsn == first.lsn + 1
+
+    def test_flush_horizon(self):
+        wal = WriteAheadLog()
+        wal.append(LogRecordType.BEGIN, "t1")
+        wal.flush()
+        wal.append(LogRecordType.COMMIT, "t1")
+        assert len(wal.durable_records()) == 1
+        wal.simulate_crash()
+        assert len(wal.records) == 1
+
+    def test_in_doubt_detection(self):
+        wal = WriteAheadLog()
+        wal.append(LogRecordType.PREPARE, "t1", flush=True)
+        wal.append(LogRecordType.PREPARE, "t2", flush=True)
+        wal.append(LogRecordType.COMMIT, "t2", flush=True)
+        assert wal.in_doubt_transactions() == {"t1"}
+
+    def test_coordinator_decisions(self):
+        wal = WriteAheadLog()
+        wal.append(LogRecordType.COORD_COMMIT, "g1", flush=True)
+        wal.append(LogRecordType.COORD_ABORT, "g2", flush=True)
+        wal.append(LogRecordType.COORD_COMMIT, "g3")  # not flushed
+        wal.simulate_crash()
+        decisions = wal.coordinator_decisions()
+        assert decisions == {"g1": "commit", "g2": "abort"}
+
+
+class TestLocalTransactions:
+    def test_commit_keeps_changes(self):
+        manager = LocalTransactionManager()
+        table = make_table()
+        txn = manager.begin()
+        mutator = TxnMutator(manager, txn)
+        mutator.insert(table, (1, "a"))
+        manager.commit(txn)
+        assert len(table) == 1
+        assert txn.state is TxnState.COMMITTED
+
+    def test_abort_undoes_insert(self):
+        manager = LocalTransactionManager()
+        table = make_table()
+        txn = manager.begin()
+        TxnMutator(manager, txn).insert(table, (1, "a"))
+        manager.abort(txn)
+        assert len(table) == 0
+
+    def test_abort_undoes_delete(self):
+        manager = LocalTransactionManager()
+        table = make_table()
+        rid = table.insert((1, "a"))
+        txn = manager.begin()
+        TxnMutator(manager, txn).delete(table, rid)
+        manager.abort(txn)
+        assert table.get(rid) == (1, "a")
+
+    def test_abort_undoes_update(self):
+        manager = LocalTransactionManager()
+        table = make_table()
+        rid = table.insert((1, "a"))
+        txn = manager.begin()
+        TxnMutator(manager, txn).update(table, rid, (1, "b"))
+        manager.abort(txn)
+        assert table.get(rid) == (1, "a")
+
+    def test_abort_undoes_mixed_sequence_in_reverse(self):
+        manager = LocalTransactionManager()
+        table = make_table()
+        rid = table.insert((1, "a"))
+        txn = manager.begin()
+        mutator = TxnMutator(manager, txn)
+        mutator.update(table, rid, (1, "b"))
+        rid2 = mutator.insert(table, (2, "c"))
+        mutator.delete(table, rid)
+        manager.abort(txn)
+        assert table.get(rid) == (1, "a")
+        assert rid2 not in table.rows
+        assert len(table) == 1
+
+    def test_locks_released_on_commit(self):
+        manager = LocalTransactionManager()
+        table = make_table()
+        txn = manager.begin()
+        TxnMutator(manager, txn).insert(table, (1, "a"))
+        manager.commit(txn)
+        # another txn can immediately lock exclusively
+        txn2 = manager.begin()
+        TxnMutator(manager, txn2, lock_timeout=0.05).insert(table, (2, "b"))
+        manager.commit(txn2)
+
+    def test_cannot_mutate_after_commit(self):
+        manager = LocalTransactionManager()
+        table = make_table()
+        txn = manager.begin()
+        mutator = TxnMutator(manager, txn)
+        manager.commit(txn)
+        with pytest.raises(TransactionError):
+            mutator.insert(table, (1, "a"))
+
+    def test_double_begin_same_id(self):
+        manager = LocalTransactionManager()
+        manager.begin("x")
+        with pytest.raises(TransactionError):
+            manager.begin("x")
+
+    def test_abort_idempotent(self):
+        manager = LocalTransactionManager()
+        txn = manager.begin()
+        manager.abort(txn)
+        manager.abort(txn)  # no error
+        assert manager.aborts == 1
+
+    def test_failed_insert_not_logged_for_undo(self):
+        manager = LocalTransactionManager()
+        table = make_table()
+        table.insert((1, "a"))
+        txn = manager.begin()
+        mutator = TxnMutator(manager, txn)
+        with pytest.raises(IntegrityError):
+            mutator.insert(table, (1, "dup"))
+        mutator.insert(table, (2, "ok"))
+        manager.abort(txn)
+        assert len(table) == 1  # original row untouched
+
+
+class TestTwoPhaseParticipant:
+    def test_prepare_then_commit(self):
+        manager = LocalTransactionManager()
+        table = make_table()
+        txn = manager.begin(global_id="G9")
+        TxnMutator(manager, txn).insert(table, (1, "a"))
+        assert manager.prepare(txn) is True
+        assert txn.state is TxnState.PREPARED
+        manager.commit_prepared(txn)
+        assert len(table) == 1
+
+    def test_prepare_then_abort(self):
+        manager = LocalTransactionManager()
+        table = make_table()
+        txn = manager.begin(global_id="G9")
+        TxnMutator(manager, txn).insert(table, (1, "a"))
+        manager.prepare(txn)
+        manager.abort_prepared(txn)
+        assert len(table) == 0
+
+    def test_prepare_forces_log(self):
+        manager = LocalTransactionManager()
+        txn = manager.begin(global_id="G1")
+        manager.prepare(txn)
+        durable = manager.wal.durable_records()
+        assert any(
+            r.record_type is LogRecordType.PREPARE and r.payload == ("G1",)
+            for r in durable
+        )
+
+    def test_commit_prepared_requires_prepared_state(self):
+        manager = LocalTransactionManager()
+        txn = manager.begin()
+        with pytest.raises(TransactionError):
+            manager.commit_prepared(txn)
+
+    def test_cannot_mutate_while_prepared(self):
+        manager = LocalTransactionManager()
+        table = make_table()
+        txn = manager.begin(global_id="G1")
+        mutator = TxnMutator(manager, txn)
+        manager.prepare(txn)
+        with pytest.raises(TransactionError):
+            mutator.insert(table, (1, "a"))

@@ -1,0 +1,167 @@
+"""Unit tests for the global cost model and selectivity estimation."""
+
+import pytest
+
+from repro.myriad import MyriadSystem
+from repro.query.cost import CostModel
+from repro.sql import parse_expression
+
+
+@pytest.fixture
+def model():
+    system = MyriadSystem()
+    gateway = system.add_postgres("s")
+    gateway.dbms.execute(
+        "CREATE TABLE t (k INTEGER PRIMARY KEY, grp INTEGER, val FLOAT, "
+        "name VARCHAR(16))"
+    )
+    session = gateway.dbms.connect()
+    session.begin()
+    for i in range(200):
+        session.execute(
+            "INSERT INTO t VALUES (?, ?, ?, ?)",
+            [i, i % 10, float(i), f"n{i % 4}"],
+        )
+    session.commit()
+    gateway.export_table("t", "rel", ["k", "grp", "val", "name"])
+    return CostModel(system.gateways, system.network), system
+
+
+class TestSelectivity:
+    def test_no_predicate_is_one(self, model):
+        cost_model, _ = model
+        stats = cost_model.export_stats("s", "rel")
+        assert cost_model.predicate_selectivity(stats, None) == 1.0
+
+    def test_equality_uses_distinct_count(self, model):
+        cost_model, _ = model
+        stats = cost_model.export_stats("s", "rel")
+        sel = cost_model.predicate_selectivity(
+            stats, parse_expression("grp = 3")
+        )
+        assert sel == pytest.approx(0.1)
+
+    def test_pk_equality_is_one_row(self, model):
+        cost_model, _ = model
+        stats = cost_model.export_stats("s", "rel")
+        sel = cost_model.predicate_selectivity(stats, parse_expression("k = 3"))
+        assert sel == pytest.approx(1 / 200)
+
+    def test_range_uses_histogram(self, model):
+        cost_model, _ = model
+        stats = cost_model.export_stats("s", "rel")
+        sel = cost_model.predicate_selectivity(
+            stats, parse_expression("val < 50.0")
+        )
+        assert 0.15 < sel < 0.35
+
+    def test_conjunction_multiplies(self, model):
+        cost_model, _ = model
+        stats = cost_model.export_stats("s", "rel")
+        single = cost_model.predicate_selectivity(
+            stats, parse_expression("grp = 3")
+        )
+        double = cost_model.predicate_selectivity(
+            stats, parse_expression("grp = 3 AND name = 'n1'")
+        )
+        assert double == pytest.approx(single * 0.25, rel=0.01)
+
+    def test_disjunction_adds(self, model):
+        cost_model, _ = model
+        stats = cost_model.export_stats("s", "rel")
+        sel = cost_model.predicate_selectivity(
+            stats, parse_expression("grp = 1 OR grp = 2")
+        )
+        assert sel == pytest.approx(0.1 + 0.1 - 0.01)
+
+    def test_inequality_complements(self, model):
+        cost_model, _ = model
+        stats = cost_model.export_stats("s", "rel")
+        sel = cost_model.predicate_selectivity(
+            stats, parse_expression("grp <> 3")
+        )
+        assert sel == pytest.approx(0.9)
+
+    def test_never_zero_or_above_one(self, model):
+        cost_model, _ = model
+        stats = cost_model.export_stats("s", "rel")
+        tiny = cost_model.predicate_selectivity(
+            stats,
+            parse_expression("k = 1 AND k = 2 AND k = 3 AND k = 4 AND k = 5"),
+        )
+        assert tiny > 0
+        big = cost_model.predicate_selectivity(
+            stats, parse_expression("grp = 1 OR grp <> 1")
+        )
+        assert big <= 1.0
+
+
+class TestFragmentEstimates:
+    def test_rows_scale_with_predicate(self, model):
+        cost_model, _ = model
+        full = cost_model.estimate_fragment("s", "rel", None, None)
+        filtered = cost_model.estimate_fragment(
+            "s", "rel", None, parse_expression("grp = 3")
+        )
+        assert full.rows == 200
+        assert filtered.rows == pytest.approx(20)
+
+    def test_row_bytes_scale_with_columns(self, model):
+        cost_model, _ = model
+        wide = cost_model.estimate_fragment("s", "rel", None, None)
+        narrow = cost_model.estimate_fragment("s", "rel", ["k"], None)
+        assert narrow.row_bytes < wide.row_bytes
+        assert narrow.total_bytes < wide.total_bytes
+
+    def test_fetch_cost_monotone_in_size(self, model):
+        cost_model, _ = model
+        cheap = cost_model.fetch_cost(
+            "s", "rel", ["k"], parse_expression("grp = 3")
+        )
+        expensive = cost_model.fetch_cost("s", "rel", None, None)
+        assert cheap < expensive
+
+    def test_transfer_cost_includes_latency(self, model):
+        cost_model, _ = model
+        assert cost_model.transfer_cost("s", 0) > 0
+        assert cost_model.transfer_cost("s", 1_000_000) > (
+            cost_model.transfer_cost("s", 0)
+        )
+
+
+class TestSemijoinBenefit:
+    def test_positive_for_selective_source(self, model):
+        cost_model, system = model
+        gateway2 = system.add_oracle("s2")
+        gateway2.dbms.execute(
+            "CREATE TABLE big (k INTEGER PRIMARY KEY, pad VARCHAR2(64))"
+        )
+        session = gateway2.dbms.connect()
+        session.begin()
+        for i in range(2000):
+            session.execute(
+                "INSERT INTO big VALUES (?, ?)", [i, "x" * 64]
+            )
+        session.commit()
+        gateway2.export_table("big", "big", ["k", "pad"])
+
+        benefit = cost_model.semijoin_benefit(
+            "s",
+            "rel",
+            parse_expression("grp = 3"),
+            "k",
+            "s2",
+            "big",
+            None,
+            None,
+            "k",
+        )
+        assert benefit > 0
+
+    def test_negative_for_full_match(self, model):
+        cost_model, _ = model
+        # reducing rel by its own full key set cannot win
+        benefit = cost_model.semijoin_benefit(
+            "s", "rel", None, "k", "s", "rel", None, ["k"], "k"
+        )
+        assert benefit <= 0

@@ -1,0 +1,150 @@
+"""Local engine DML/DDL tests."""
+
+import pytest
+
+from repro.errors import CatalogError, ExecutionError, IntegrityError
+
+
+class TestInsert:
+    def test_insert_returns_count(self, engine):
+        count = engine.execute("INSERT INTO dept VALUES (50, 'HR', 'REMOTE')")
+        assert count == 1
+
+    def test_multi_row_insert(self, engine):
+        count = engine.execute(
+            "INSERT INTO dept VALUES (50, 'HR', 'X'), (60, 'IT', 'Y')"
+        )
+        assert count == 2
+
+    def test_insert_with_column_list_and_defaults(self, engine):
+        engine.execute(
+            "CREATE TABLE conf (k VARCHAR(10) PRIMARY KEY, v INTEGER DEFAULT 7)"
+        )
+        engine.execute("INSERT INTO conf (k) VALUES ('a')")
+        assert engine.execute("SELECT v FROM conf").scalar() == 7
+
+    def test_insert_select(self, engine):
+        engine.execute(
+            "CREATE TABLE rich (empno INTEGER, ename VARCHAR(20))"
+        )
+        count = engine.execute(
+            "INSERT INTO rich SELECT empno, ename FROM emp WHERE sal >= 3000"
+        )
+        assert count == 3
+        assert len(engine.execute("SELECT * FROM rich")) == 3
+
+    def test_insert_expression_values(self, engine):
+        engine.execute("INSERT INTO dept VALUES (8 * 10, UPPER('ops'), NULL)")
+        result = engine.execute("SELECT dname FROM dept WHERE deptno = 80")
+        assert result.rows == [("OPS",)]
+
+    def test_insert_pk_violation(self, engine):
+        with pytest.raises(IntegrityError):
+            engine.execute("INSERT INTO dept VALUES (10, 'DUP', 'X')")
+
+    def test_insert_arity_mismatch(self, engine):
+        with pytest.raises(ExecutionError):
+            engine.execute("INSERT INTO dept (deptno) VALUES (1, 2)")
+
+
+class TestUpdate:
+    def test_update_count_and_effect(self, engine):
+        count = engine.execute(
+            "UPDATE emp SET sal = sal * 2 WHERE deptno = 10"
+        )
+        assert count == 3
+        total = engine.execute(
+            "SELECT SUM(sal) FROM emp WHERE deptno = 10"
+        ).scalar()
+        assert total == pytest.approx((5000 + 2450 + 1300) * 2)
+
+    def test_update_all_rows(self, engine):
+        assert engine.execute("UPDATE emp SET comm = 0") == 14
+
+    def test_update_uses_old_values(self, engine):
+        engine.execute(
+            "UPDATE emp SET sal = comm, comm = sal WHERE ename = 'ALLEN'"
+        )
+        result = engine.execute(
+            "SELECT sal, comm FROM emp WHERE ename = 'ALLEN'"
+        )
+        assert result.rows == [(300.0, 1600.0)]
+
+    def test_update_with_subquery_predicate(self, engine):
+        count = engine.execute(
+            "UPDATE emp SET sal = 0 WHERE deptno IN "
+            "(SELECT deptno FROM dept WHERE loc = 'DALLAS')"
+        )
+        assert count == 5
+
+    def test_update_pk_violation_raises(self, engine):
+        with pytest.raises(IntegrityError):
+            engine.execute("UPDATE dept SET deptno = 10 WHERE deptno = 20")
+
+    def test_update_not_null_violation(self, engine):
+        with pytest.raises(IntegrityError):
+            engine.execute("UPDATE emp SET empno = NULL WHERE ename = 'KING'")
+
+
+class TestDelete:
+    def test_delete_with_predicate(self, engine):
+        count = engine.execute("DELETE FROM emp WHERE deptno = 30")
+        assert count == 6
+        assert engine.execute("SELECT COUNT(*) FROM emp").scalar() == 8
+
+    def test_delete_all(self, engine):
+        assert engine.execute("DELETE FROM emp") == 14
+        assert engine.execute("SELECT COUNT(*) FROM emp").scalar() == 0
+
+    def test_delete_nothing(self, engine):
+        assert engine.execute("DELETE FROM emp WHERE sal > 99999") == 0
+
+
+class TestDDL:
+    def test_create_and_drop(self, engine):
+        engine.execute("CREATE TABLE tmp (a INTEGER)")
+        engine.execute("INSERT INTO tmp VALUES (1)")
+        engine.execute("DROP TABLE tmp")
+        with pytest.raises(CatalogError):
+            engine.execute("SELECT * FROM tmp")
+
+    def test_create_duplicate(self, engine):
+        with pytest.raises(CatalogError):
+            engine.execute("CREATE TABLE emp (a INTEGER)")
+        engine.execute("CREATE TABLE IF NOT EXISTS emp (a INTEGER)")  # no-op
+
+    def test_drop_missing(self, engine):
+        with pytest.raises(CatalogError):
+            engine.execute("DROP TABLE nope")
+        engine.execute("DROP TABLE IF EXISTS nope")
+
+    def test_unique_column_constraint(self, engine):
+        engine.execute(
+            "CREATE TABLE u (id INTEGER PRIMARY KEY, email VARCHAR(40) UNIQUE)"
+        )
+        engine.execute("INSERT INTO u VALUES (1, 'a@x.com')")
+        with pytest.raises(IntegrityError):
+            engine.execute("INSERT INTO u VALUES (2, 'a@x.com')")
+
+    def test_create_index_enforces_unique(self, engine):
+        engine.execute("CREATE UNIQUE INDEX ename_u ON emp (ename)")
+        with pytest.raises(IntegrityError):
+            engine.execute(
+                "INSERT INTO emp VALUES (9999, 'KING', 'X', NULL, 1, NULL, 10)"
+            )
+
+    def test_create_index_on_missing_column(self, engine):
+        with pytest.raises(CatalogError):
+            engine.execute("CREATE INDEX bad ON emp (nope)")
+
+    def test_composite_primary_key(self, engine):
+        engine.execute(
+            "CREATE TABLE pairs (a INTEGER, b INTEGER, PRIMARY KEY (a, b))"
+        )
+        engine.execute("INSERT INTO pairs VALUES (1, 1), (1, 2)")
+        with pytest.raises(IntegrityError):
+            engine.execute("INSERT INTO pairs VALUES (1, 2)")
+
+    def test_txn_control_rejected_at_engine_level(self, engine):
+        with pytest.raises(ExecutionError):
+            engine.execute("BEGIN")

@@ -1,0 +1,41 @@
+"""Keep the examples runnable: execute each script's main() and sanity-check
+its output."""
+
+import contextlib
+import io
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["optimizer comparison", "GlobalPlan[cost]"]),
+    (
+        "university_federation.py",
+        ["dean's list", "staff directory", "GlobalPlan"],
+    ),
+    (
+        "global_transactions.py",
+        ["2PC", "conserved", "oracle wait-for graph sees cycles"],
+    ),
+    ("schema_browser_repl.py", ["myriad>", "global transaction"]),
+    ("optimizer_study.py", ["selection pushdown", "semijoin"]),
+    ("multi_federation.py", ["HR federation", "analytics federation"]),
+    (
+        "workflow_saga.py",
+        ["committed", "budget released", "compensated:reserve_budget"],
+    ),
+]
+
+
+@pytest.mark.parametrize("script,expected", CASES)
+def test_example_runs(script, expected):
+    path = EXAMPLES / script
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        runpy.run_path(str(path), run_name="__main__")
+    output = buffer.getvalue()
+    for snippet in expected:
+        assert snippet in output, f"{script}: missing {snippet!r}"

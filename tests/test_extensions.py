@@ -1,0 +1,272 @@
+"""Tests for the extension features: fault injection, recovery, federated
+DML, and the active global deadlock monitor."""
+
+import pytest
+
+from repro.errors import FederationError, TwoPhaseCommitError
+from repro.schema import resolve_updatable
+from repro.schema.integration import view_relation
+from repro.txn import GlobalDeadlockMonitor
+from repro.workloads import (
+    build_bank_sites,
+    build_university_system,
+    run_contention,
+    total_balance,
+)
+
+
+class TestVoteNoFaultInjection:
+    def test_participant_vote_no_aborts_everything(self):
+        bank = build_bank_sites(3, 4)
+        bank.gateways["b2"].fail_next_prepares = 1
+        txn = bank.begin_transaction()
+        for site in ("b0", "b1", "b2"):
+            txn.execute(site, "UPDATE account SET balance = 0 WHERE acct = 0")
+        with pytest.raises(TwoPhaseCommitError):
+            txn.commit()
+        assert total_balance(bank) == 12000.0
+        assert bank.transactions.vote_no_aborts == 1
+        assert bank.transactions.commits == 0
+
+    def test_fault_is_one_shot(self):
+        bank = build_bank_sites(2, 4)
+        bank.gateways["b1"].fail_next_prepares = 1
+        txn = bank.begin_transaction()
+        txn.execute("b0", "UPDATE account SET balance = balance - 1 WHERE acct = 0")
+        txn.execute("b1", "UPDATE account SET balance = balance + 1 WHERE acct = 4")
+        with pytest.raises(TwoPhaseCommitError):
+            txn.commit()
+        # The next transaction commits normally.
+        txn = bank.begin_transaction()
+        txn.execute("b0", "UPDATE account SET balance = balance - 1 WHERE acct = 0")
+        txn.execute("b1", "UPDATE account SET balance = balance + 1 WHERE acct = 4")
+        txn.commit()
+        assert bank.transactions.commits == 1
+
+
+class TestDroppedCommitRecovery:
+    def test_in_doubt_branch_committed_by_recovery(self):
+        bank = build_bank_sites(2, 4)
+        bank.gateways["b1"].drop_next_commits = 1
+        txn = bank.begin_transaction()
+        txn.execute("b0", "UPDATE account SET balance = balance - 50 WHERE acct = 0")
+        txn.execute("b1", "UPDATE account SET balance = balance + 50 WHERE acct = 4")
+        txn.commit()
+        # b1 never applied the commit; its branch is in doubt.
+        assert bank.gateways["b1"].prepared_branches() == [txn.global_id]
+        actions = bank.transactions.recover_in_doubt()
+        assert actions == [(txn.global_id, "b1", "commit")]
+        assert total_balance(bank) == 8000.0
+        # b1's credit is now visible
+        value = bank.query(
+            "bank", "SELECT balance FROM accounts WHERE acct = 4"
+        ).scalar()
+        assert value == 1050.0
+
+    def test_recovery_presumes_abort_without_decision(self):
+        bank = build_bank_sites(2, 4)
+        txn = bank.begin_transaction("G_LOST")
+        txn.execute("b0", "UPDATE account SET balance = 0 WHERE acct = 0")
+        txn.execute("b1", "UPDATE account SET balance = 0 WHERE acct = 4")
+        # Coordinator crashed mid-prepare: branches prepared, no decision.
+        for site in ("b0", "b1"):
+            bank.gateways[site].prepare("G_LOST")
+        actions = bank.transactions.recover_in_doubt()
+        assert sorted(a[2] for a in actions) == ["abort", "abort"]
+        assert total_balance(bank) == 8000.0
+
+    def test_recovery_idempotent(self):
+        bank = build_bank_sites(2, 4)
+        assert bank.transactions.recover_in_doubt() == []
+
+
+class TestFederatedDML:
+    @pytest.fixture
+    def system(self):
+        system = build_university_system(
+            students_per_campus=15, courses_per_campus=4, staff_count=5, seed=2
+        )
+        system.federation("university").define_relation(
+            "tc_students",
+            "SELECT sid, name, gpa, major FROM twin_cities.student",
+        )
+        return system
+
+    def test_update_routes_to_source(self, system):
+        count = system.update(
+            "university", "UPDATE tc_students SET gpa = 4.0 WHERE sid = 1"
+        )
+        assert count == 1
+        local = system.component("twin_cities").execute(
+            "SELECT gpa FROM tc_student WHERE sid = 1"
+        )
+        assert float(local.scalar()) == 4.0
+
+    def test_insert_and_delete(self, system):
+        assert (
+            system.update(
+                "university",
+                "INSERT INTO tc_students (sid, name, gpa, major) "
+                "VALUES (999, 'NEW KID', 3.0, 'CS')",
+            )
+            == 1
+        )
+        visible = system.query(
+            "university", "SELECT name FROM student WHERE sid = 999"
+        )
+        assert visible.rows == [("NEW KID",)]
+        assert (
+            system.update(
+                "university", "DELETE FROM tc_students WHERE sid = 999"
+            )
+            == 1
+        )
+
+    def test_update_under_global_txn_rolls_back(self, system):
+        txn = system.begin_transaction()
+        system.transactional_update(
+            txn, "university", "UPDATE tc_students SET gpa = 0.0"
+        )
+        txn.abort()
+        untouched = system.query(
+            "university",
+            "SELECT COUNT(*) FROM student WHERE campus = 'twin_cities' "
+            "AND gpa = 0.0",
+        ).scalar()
+        assert untouched == 0
+
+    def test_view_predicate_bounds_updates(self, system):
+        system.federation("university").define_relation(
+            "cs_students",
+            "SELECT sid, name, gpa FROM twin_cities.student WHERE major = 'CS'",
+        )
+        count = system.update(
+            "university", "UPDATE cs_students SET gpa = 1.0"
+        )
+        non_cs_hit = system.component("twin_cities").execute(
+            "SELECT COUNT(*) FROM tc_student WHERE major <> 'CS' AND gpa = 1.0"
+        ).scalar()
+        assert non_cs_hit == 0
+        cs_total = system.component("twin_cities").execute(
+            "SELECT COUNT(*) FROM tc_student WHERE major = 'CS'"
+        ).scalar()
+        assert count == cs_total
+
+    def test_non_updatable_relations_rejected(self, system):
+        with pytest.raises(FederationError):
+            system.update("university", "UPDATE student SET gpa = 0")
+        with pytest.raises(FederationError):
+            system.update("university", "UPDATE staff_directory SET salary = 0")
+
+    def test_resolve_updatable_analysis(self):
+        ok = view_relation("v", "SELECT a AS x, b FROM s.e WHERE a > 1")
+        source = resolve_updatable(ok)
+        assert source.site == "s" and source.export == "e"
+        assert source.column_map == {"x": "a", "b": "b"}
+        assert source.predicate is not None
+
+        for bad_sql in (
+            "SELECT a FROM s.e UNION ALL SELECT a FROM s.f",
+            "SELECT COUNT(*) AS n FROM s.e",
+            "SELECT a + 1 AS x FROM s.e",
+            "SELECT l.a FROM s.e l JOIN s.f r ON l.a = r.a",
+            "SELECT a FROM s.e GROUP BY a",
+            "SELECT a FROM s.e LIMIT 3",
+        ):
+            with pytest.raises(FederationError):
+                resolve_updatable(view_relation("v", bad_sql))
+
+    def test_repl_routes_dml(self, system):
+        from repro.tools import QueryInterface
+
+        ui = QueryInterface(system, federation="university")
+        out = ui.run_line("UPDATE tc_students SET gpa = 3.9 WHERE sid = 2")
+        assert "1 row(s) affected" in out
+        ui.run_line("BEGIN")
+        out = ui.run_line("UPDATE tc_students SET gpa = 3.8 WHERE sid = 2")
+        assert "1 row(s) affected" in out
+        ui.run_line("ROLLBACK")
+        value = system.query(
+            "university",
+            "SELECT gpa FROM student WHERE sid = 2 AND campus = 'twin_cities'",
+        ).scalar()
+        assert float(value) == 3.9
+
+
+class TestGlobalDeadlockMonitor:
+    def test_monitor_breaks_cycle(self):
+        import threading
+        import time
+
+        from repro.errors import TransactionAborted
+
+        bank = build_bank_sites(2, 2, query_timeout=5.0)
+        monitor = GlobalDeadlockMonitor(bank.gateways, interval_s=0.05)
+
+        t1 = bank.begin_transaction("G_M1")
+        t2 = bank.begin_transaction("G_M2")
+        t1.execute("b0", "UPDATE account SET balance = balance + 0 WHERE acct = 0")
+        t2.execute("b1", "UPDATE account SET balance = balance + 0 WHERE acct = 2")
+        outcomes = {}
+
+        def cross(txn, site, label):
+            try:
+                txn.execute(
+                    site, "UPDATE account SET balance = balance + 0",
+                    timeout=5.0,
+                )
+                txn.commit()
+                outcomes[label] = "committed"
+            except TransactionAborted as error:
+                outcomes[label] = error.reason
+
+        threads = [
+            threading.Thread(target=cross, args=(t1, "b1", "a")),
+            threading.Thread(target=cross, args=(t2, "b0", "b")),
+        ]
+        monitor.start()
+        started = time.monotonic()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        elapsed = time.monotonic() - started
+        monitor.stop()
+        for txn in (t1, t2):
+            try:
+                txn.abort()
+            except Exception:
+                pass
+        # The monitor must have broken the deadlock well before the 5s
+        # timeout backstop, with exactly one victim.
+        assert elapsed < 3.0
+        assert sorted(outcomes.values()) == ["committed", "deadlock"]
+        assert monitor.victims_killed >= 1
+        assert total_balance(bank) == 4000.0
+
+    def test_wfg_policy_in_contention_driver(self):
+        bank = build_bank_sites(2, 4)
+        result = run_contention(
+            bank, 2, 4,
+            workers=3,
+            transactions_per_worker=5,
+            timeout_s=0.2,
+            think_time_s=0.005,
+            policy="wfg",
+            seed=17,
+        )
+        assert result.attempted == 15
+        # Under WFG, timeouts are (nearly) absent: deadlocks die precisely.
+        assert result.timeout_aborts <= 2
+        assert total_balance(bank) == pytest.approx(8000.0)
+
+    def test_unknown_policy_rejected(self):
+        bank = build_bank_sites(2, 2)
+        with pytest.raises(ValueError):
+            run_contention(bank, 2, 2, policy="coin-flip")
+
+    def test_check_once_without_deadlock(self):
+        bank = build_bank_sites(2, 2)
+        monitor = GlobalDeadlockMonitor(bank.gateways)
+        assert monitor.check_once() == []
+        assert monitor.victims_killed == 0

@@ -1,0 +1,211 @@
+"""Property-based federation tests: optimizer equivalence on random queries,
+plus assorted cross-site coverage (set ops, 3-source merges, clocks)."""
+
+import datetime
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.myriad import MyriadSystem
+from repro.schema import union_merge
+
+
+def build_system():
+    sys_ = MyriadSystem()
+    a = sys_.add_postgres("a")
+    b = sys_.add_oracle("b")
+    a.dbms.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, g INTEGER, v FLOAT, "
+        "s VARCHAR(4))"
+    )
+    b.dbms.execute(
+        "CREATE TABLE u (id INTEGER PRIMARY KEY, g INTEGER, v NUMBER, "
+        "s VARCHAR2(4))"
+    )
+    labels = ["aa", "bb", "cc", None]
+    for owner, table, base in ((a, "t", 0), (b, "u", 500)):
+        session = owner.dbms.connect()
+        session.begin()
+        for i in range(40):
+            session.execute(
+                f"INSERT INTO {table} VALUES (?, ?, ?, ?)",
+                [base + i, i % 5, float(i % 11), labels[i % 4]],
+            )
+        session.commit()
+    a.export_table("t", "rel", ["id", "g", "v", "s"])
+    b.export_table("u", "rel", ["id", "g", "v", "s"])
+    fed = sys_.create_federation("f")
+    fed.add_relation(
+        union_merge(
+            "m",
+            [("a", "rel", ["id", "g", "v", "s"]),
+             ("b", "rel", ["id", "g", "v", "s"])],
+            source_tag_column="src",
+        )
+    )
+    return sys_
+
+
+SYSTEM = build_system()  # module-level: read-only under the property tests
+
+
+def norm(rows):
+    normalised = [
+        tuple(
+            round(float(v), 6)
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
+            else v
+            for v in row
+        )
+        for row in rows
+    ]
+    return sorted(
+        normalised,
+        key=lambda row: tuple((v is None, repr(v)) for v in row),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Random predicate grammar
+# ---------------------------------------------------------------------------
+
+comparisons = st.one_of(
+    st.tuples(
+        st.sampled_from(["g", "v", "id"]),
+        st.sampled_from(["=", "<", ">", "<=", ">=", "<>"]),
+        st.integers(-2, 12),
+    ).map(lambda t: f"{t[0]} {t[1]} {t[2]}"),
+    st.sampled_from(
+        [
+            "s IS NULL",
+            "s IS NOT NULL",
+            "s LIKE 'a%'",
+            "g IN (1, 3)",
+            "v BETWEEN 2 AND 7",
+            "src = 'a'",
+        ]
+    ),
+)
+
+
+@st.composite
+def predicates(draw, depth=2):
+    if depth == 0 or draw(st.booleans()):
+        return draw(comparisons)
+    connective = draw(st.sampled_from(["AND", "OR"]))
+    left = draw(predicates(depth=depth - 1))
+    right = draw(predicates(depth=depth - 1))
+    if draw(st.booleans()):
+        return f"NOT ({left}) {connective} ({right})"
+    return f"({left}) {connective} ({right})"
+
+
+class TestOptimizerEquivalenceProperty:
+    @given(predicates())
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_filter_queries_agree(self, predicate):
+        sql = f"SELECT id, g, v, s FROM m WHERE {predicate}"
+        reference = SYSTEM.query("f", sql, optimizer="simple")
+        for optimizer in ("cost", "cost-nosemijoin"):
+            result = SYSTEM.query("f", sql, optimizer=optimizer)
+            assert norm(result.rows) == norm(reference.rows), sql
+
+    @given(predicates(), st.sampled_from(["g", "s", "src"]))
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_aggregate_queries_agree(self, predicate, group):
+        sql = (
+            f"SELECT {group}, COUNT(*), SUM(v), AVG(v) FROM m "
+            f"WHERE {predicate} GROUP BY {group}"
+        )
+        reference = SYSTEM.query("f", sql, optimizer="simple")
+        result = SYSTEM.query("f", sql, optimizer="cost")
+        assert norm(result.rows) == norm(reference.rows), sql
+
+    @given(
+        st.sampled_from(["v", "id", "g"]),
+        st.booleans(),
+        st.integers(1, 10),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_topn_queries_agree(self, key, ascending, limit):
+        direction = "ASC" if ascending else "DESC"
+        sql = f"SELECT id FROM m ORDER BY {key} {direction}, id LIMIT {limit}"
+        reference = SYSTEM.query("f", sql, optimizer="simple")
+        result = SYSTEM.query("f", sql, optimizer="cost")
+        assert result.rows == reference.rows, sql
+
+
+class TestCrossSiteSetOps:
+    def test_intersect_across_sites(self):
+        result = SYSTEM.query(
+            "f",
+            "SELECT g FROM a.rel INTERSECT SELECT g FROM b.rel",
+        )
+        assert sorted(result.rows) == [(0,), (1,), (2,), (3,), (4,)]
+
+    def test_except_across_sites(self):
+        result = SYSTEM.query(
+            "f",
+            "SELECT id FROM a.rel EXCEPT SELECT id FROM b.rel",
+        )
+        assert len(result) == 40  # disjoint id ranges
+
+    def test_union_distinct_across_sites(self):
+        result = SYSTEM.query(
+            "f", "SELECT g FROM a.rel UNION SELECT g FROM b.rel"
+        )
+        assert len(result) == 5
+
+
+class TestThreeSourceMerge:
+    def test_union_merge_three_sources(self):
+        sys_ = MyriadSystem()
+        for name in ("x", "y", "z"):
+            gateway = sys_.add_postgres(name)
+            gateway.dbms.execute("CREATE TABLE t (k INTEGER PRIMARY KEY)")
+            gateway.dbms.execute(
+                f"INSERT INTO t VALUES ({ord(name)}), ({ord(name) + 100})"
+            )
+            gateway.export_table("t", "t")
+        fed = sys_.create_federation("f")
+        fed.add_relation(
+            union_merge(
+                "allk",
+                [(name, "t", ["k"]) for name in ("x", "y", "z")],
+                source_tag_column="site",
+            )
+        )
+        result = sys_.query("f", "SELECT COUNT(*) FROM allk")
+        assert result.scalar() == 6
+        per_site = sys_.query(
+            "f", "SELECT site, COUNT(*) FROM allk GROUP BY site ORDER BY site"
+        )
+        assert per_site.rows == [("x", 2), ("y", 2), ("z", 2)]
+
+
+class TestClockInjection:
+    def test_component_clock_drives_sysdate(self):
+        from repro.localdb import OracleDBMS
+
+        frozen = datetime.datetime(1994, 5, 27, 9, 0)
+        dbms = OracleDBMS("clocked", clock=lambda: frozen)
+        dbms.execute("CREATE TABLE t (d DATE)")
+        dbms.execute("INSERT INTO t VALUES (SYSDATE())")
+        value = dbms.execute("SELECT d FROM t").scalar()
+        assert value == frozen.date()
+
+    def test_default_clock_is_deterministic(self):
+        from repro.engine.expressions import DEFAULT_NOW
+        from repro.localdb import PostgresDBMS
+
+        dbms = PostgresDBMS("p")
+        result = dbms.execute("SELECT NOW()")
+        assert result.scalar() == DEFAULT_NOW

@@ -1,0 +1,252 @@
+"""Gateway tests: exports, translation, timeouts, DML mapping, 2PC proxy."""
+
+import pytest
+
+from repro.errors import GatewayError, GatewayTimeout
+from repro.gateway import Gateway
+from repro.localdb import OracleDBMS
+from repro.net import MessageTrace, Network
+
+
+@pytest.fixture
+def setup():
+    net = Network()
+    ora = OracleDBMS("ora", lock_timeout=1.0)
+    ora.execute(
+        "CREATE TABLE employees (eno INTEGER PRIMARY KEY, ename VARCHAR2(30), "
+        "salary NUMBER, dno INTEGER, notes VARCHAR2(40))"
+    )
+    ora.execute(
+        "INSERT INTO employees VALUES "
+        "(1, 'KING', 5000, 10, 'ceo'), (2, 'BLAKE', 2850, 30, NULL), "
+        "(3, 'CLARK', 2450, 10, 'x')"
+    )
+    gateway = Gateway(ora, net)
+    gateway.export_table(
+        "employees",
+        "emp",
+        {"empno": "eno", "name": "ename", "sal": "salary", "deptno": "dno"},
+    )
+    return net, ora, gateway
+
+
+class TestExports:
+    def test_unexported_columns_hidden(self, setup):
+        _, _, gateway = setup
+        schema = gateway.export_relation_schema("emp")
+        assert "notes" not in [c.lower() for c in schema.column_names]
+
+    def test_export_schema_preserves_pk(self, setup):
+        _, _, gateway = setup
+        assert gateway.export_relation_schema("emp").primary_key == ["empno"]
+
+    def test_pk_dropped_if_not_exported(self, setup):
+        _, _, gateway = setup
+        gateway.export_table("employees", "emp_nopk", {"name": "ename"})
+        assert gateway.export_relation_schema("emp_nopk").primary_key == []
+
+    def test_export_with_predicate(self, setup):
+        _, _, gateway = setup
+        gateway.export_table(
+            "employees", "rich", {"name": "ename"}, predicate="salary >= 2800"
+        )
+        result = gateway.execute_query("SELECT name FROM rich")
+        assert sorted(r[0] for r in result.rows) == ["BLAKE", "KING"]
+
+    def test_duplicate_export_name(self, setup):
+        _, _, gateway = setup
+        with pytest.raises(GatewayError):
+            gateway.export_table("employees", "emp")
+
+    def test_export_unknown_column(self, setup):
+        _, _, gateway = setup
+        with pytest.raises(Exception):
+            gateway.export_table("employees", "bad", {"x": "no_such"})
+
+    def test_querying_unexported_relation_fails(self, setup):
+        _, _, gateway = setup
+        # 'employees' itself is not exported, only 'emp'
+        with pytest.raises(Exception):
+            gateway.execute_query("SELECT * FROM employees_raw")
+
+    def test_export_names(self, setup):
+        _, _, gateway = setup
+        assert gateway.export_names() == ["emp"]
+
+
+class TestQueryShipping:
+    def test_column_renaming(self, setup):
+        _, _, gateway = setup
+        result = gateway.execute_query(
+            "SELECT empno, name FROM emp WHERE sal > 2900"
+        )
+        assert result.columns == ["empno", "name"]
+        assert result.rows == [(1, "KING")]
+
+    def test_traffic_accounting(self, setup):
+        _, _, gateway = setup
+        trace = MessageTrace()
+        gateway.execute_query("SELECT name FROM emp", trace=trace)
+        assert trace.message_count == 2  # query there, result back
+        assert trace.total_bytes > 0
+        assert trace.elapsed_s > 0
+
+    def test_value_normalisation(self, setup):
+        _, _, gateway = setup
+        result = gateway.execute_query("SELECT sal FROM emp WHERE empno = 1")
+        value = result.rows[0][0]
+        assert isinstance(value, int)  # Decimal 5000 → int
+
+    def test_limit_travels_through_oracle_dialect(self, setup):
+        _, _, gateway = setup
+        result = gateway.execute_query("SELECT name FROM emp LIMIT 2")
+        assert len(result) == 2
+
+    def test_aggregates_run_locally(self, setup):
+        _, _, gateway = setup
+        result = gateway.execute_query(
+            "SELECT deptno, COUNT(*) AS n FROM emp GROUP BY deptno"
+        )
+        assert dict(result.rows) == {10: 2, 30: 1}
+
+    def test_export_stats(self, setup):
+        _, _, gateway = setup
+        stats = gateway.export_stats("emp")
+        assert stats.row_count == 3
+        assert stats.column("deptno").distinct == 2
+        # stats use export column names, not local ones
+        assert stats.column("dno") is None
+
+    def test_export_stats_cached_until_dml(self, setup):
+        _, ora, gateway = setup
+        assert gateway.export_stats("emp").row_count == 3
+        ora.execute("INSERT INTO employees VALUES (9, 'NEW', 1, 10, NULL)")
+        assert gateway.export_stats("emp").row_count == 3  # cached
+        assert gateway.export_stats("emp", refresh=True).row_count == 4
+
+
+class TestTimeouts:
+    def test_timeout_becomes_gateway_timeout(self, setup):
+        _, ora, gateway = setup
+        blocker = ora.connect()
+        blocker.begin()
+        blocker.execute("UPDATE employees SET salary = 1 WHERE eno = 1")
+        with pytest.raises(GatewayTimeout) as exc:
+            gateway.execute_query("SELECT * FROM emp", timeout=0.05)
+        assert exc.value.site == "ora"
+        assert gateway.timeouts == 1
+        blocker.rollback()
+
+    def test_no_timeout_when_unblocked(self, setup):
+        _, _, gateway = setup
+        result = gateway.execute_query("SELECT * FROM emp", timeout=0.05)
+        assert len(result) == 3
+
+
+class TestTransactionBranches:
+    def test_begin_execute_commit(self, setup):
+        _, ora, gateway = setup
+        trace = MessageTrace()
+        gateway.begin("G1", trace)
+        count = gateway.execute_update(
+            "UPDATE emp SET sal = sal + 1 WHERE deptno = 10", "G1", trace
+        )
+        assert count == 2
+        assert gateway.prepare("G1", trace) is True
+        gateway.commit("G1", trace)
+        result = gateway.execute_query("SELECT sal FROM emp WHERE empno = 1")
+        assert result.rows[0][0] == 5001
+
+    def test_abort_branch_rolls_back(self, setup):
+        _, _, gateway = setup
+        gateway.begin("G1")
+        gateway.execute_update("DELETE FROM emp WHERE deptno = 10", "G1")
+        gateway.abort("G1")
+        assert len(gateway.execute_query("SELECT * FROM emp")) == 3
+
+    def test_update_through_column_mapping(self, setup):
+        _, ora, gateway = setup
+        gateway.begin("G1")
+        gateway.execute_update(
+            "UPDATE emp SET sal = 99 WHERE name = 'CLARK'", "G1"
+        )
+        gateway.commit("G1")
+        # verify against the LOCAL schema columns
+        value = ora.execute(
+            "SELECT salary FROM employees WHERE ename = 'CLARK'"
+        ).scalar()
+        assert float(value) == 99.0
+
+    def test_insert_through_export(self, setup):
+        _, ora, gateway = setup
+        gateway.begin("G1")
+        gateway.execute_update(
+            "INSERT INTO emp (empno, name, sal, deptno) VALUES (7, 'NEW', 1000, 30)",
+            "G1",
+        )
+        gateway.commit("G1")
+        assert (
+            ora.execute("SELECT ename FROM employees WHERE eno = 7").scalar()
+            == "NEW"
+        )
+
+    def test_unknown_branch_rejected(self, setup):
+        _, _, gateway = setup
+        with pytest.raises(GatewayError):
+            gateway.execute_update("DELETE FROM emp", "GHOST")
+
+    def test_duplicate_branch_rejected(self, setup):
+        _, _, gateway = setup
+        gateway.begin("G1")
+        with pytest.raises(GatewayError):
+            gateway.begin("G1")
+        gateway.abort("G1")
+
+    def test_abort_unknown_branch_is_noop(self, setup):
+        _, _, gateway = setup
+        gateway.abort("GHOST")
+        gateway.commit("GHOST")
+
+    def test_2pc_message_pattern(self, setup):
+        _, _, gateway = setup
+        trace = MessageTrace()
+        gateway.begin("G1", trace)
+        gateway.prepare("G1", trace)
+        gateway.commit("G1", trace)
+        purposes = [record.purpose for record in trace.records]
+        assert purposes == ["begin", "ack", "prepare", "vote", "commit", "ack"]
+
+
+class TestWaitForEdges:
+    def test_edges_use_global_ids(self, setup):
+        import threading
+        import time
+
+        _, ora, gateway = setup
+        gateway.begin("G_HOLDER")
+        gateway.execute_update(
+            "UPDATE emp SET sal = sal WHERE empno = 1", "G_HOLDER"
+        )
+
+        done = threading.Event()
+
+        def blocked_local():
+            session = ora.connect()
+            session.lock_timeout = 0.5
+            session.begin()
+            try:
+                session.execute("UPDATE employees SET salary = 2 WHERE eno = 2")
+            except Exception:
+                pass
+            finally:
+                session.rollback()
+                done.set()
+
+        thread = threading.Thread(target=blocked_local)
+        thread.start()
+        time.sleep(0.1)
+        edges = gateway.wait_for_edges()
+        assert any(holder == "G_HOLDER" for _, holder in edges)
+        done.wait(2)
+        thread.join()
+        gateway.abort("G_HOLDER")

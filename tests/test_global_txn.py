@@ -1,0 +1,229 @@
+"""Global transaction tests: 2PC, aborts, timeouts, recovery, invariants."""
+
+import pytest
+
+from repro.concurrency.wal import LogRecordType
+from repro.errors import TransactionAborted, TransactionError
+from repro.txn import GlobalTxnState, recover_participant
+from repro.workloads import build_bank_sites, total_balance
+
+
+@pytest.fixture
+def bank():
+    return build_bank_sites(3, 4, query_timeout=1.0)
+
+
+class TestCommitPaths:
+    def test_single_site_one_phase_commit(self, bank):
+        txn = bank.begin_transaction()
+        txn.execute("b0", "UPDATE account SET balance = balance + 1 WHERE acct = 0")
+        txn.commit()
+        assert txn.state is GlobalTxnState.COMMITTED
+        # one-phase: no coordinator 2PC records
+        assert not any(
+            r.record_type is LogRecordType.COORD_BEGIN_2PC
+            for r in bank.transactions.wal.records
+        )
+
+    def test_multi_site_uses_2pc(self, bank):
+        txn = bank.begin_transaction()
+        txn.execute("b0", "UPDATE account SET balance = balance - 5 WHERE acct = 0")
+        txn.execute("b1", "UPDATE account SET balance = balance + 5 WHERE acct = 4")
+        txn.commit()
+        record_types = [r.record_type for r in bank.transactions.wal.records]
+        assert LogRecordType.COORD_BEGIN_2PC in record_types
+        assert LogRecordType.COORD_COMMIT in record_types
+        assert LogRecordType.COORD_END in record_types
+        assert total_balance(bank) == 3 * 4 * 1000.0
+
+    def test_2pc_message_pattern(self, bank):
+        txn = bank.begin_transaction()
+        txn.execute("b0", "UPDATE account SET balance = balance - 5 WHERE acct = 0")
+        txn.execute("b1", "UPDATE account SET balance = balance + 5 WHERE acct = 4")
+        before = txn.trace.message_count
+        txn.commit()
+        # per participant: prepare+vote+commit+ack = 4 messages
+        assert txn.trace.message_count - before == 8
+
+    def test_reads_after_commit_see_changes(self, bank):
+        txn = bank.begin_transaction()
+        txn.execute("b0", "UPDATE account SET balance = 1234 WHERE acct = 0")
+        txn.commit()
+        value = bank.query(
+            "bank", "SELECT balance FROM accounts WHERE acct = 0"
+        ).scalar()
+        assert value == 1234.0
+
+    def test_context_manager_commits(self, bank):
+        with bank.begin_transaction() as txn:
+            txn.execute("b0", "UPDATE account SET balance = 7 WHERE acct = 0")
+        assert (
+            bank.query("bank", "SELECT balance FROM accounts WHERE acct = 0").scalar()
+            == 7.0
+        )
+
+    def test_context_manager_aborts_on_exception(self, bank):
+        with pytest.raises(RuntimeError):
+            with bank.begin_transaction() as txn:
+                txn.execute("b0", "UPDATE account SET balance = 7 WHERE acct = 0")
+                raise RuntimeError("boom")
+        assert (
+            bank.query("bank", "SELECT balance FROM accounts WHERE acct = 0").scalar()
+            == 1000.0
+        )
+
+
+class TestAbortPaths:
+    def test_abort_rolls_back_all_branches(self, bank):
+        txn = bank.begin_transaction()
+        txn.execute("b0", "UPDATE account SET balance = 0 WHERE acct = 0")
+        txn.execute("b2", "UPDATE account SET balance = 0 WHERE acct = 8")
+        txn.abort()
+        assert txn.state is GlobalTxnState.ABORTED
+        assert total_balance(bank) == 12000.0
+
+    def test_execute_after_finish_rejected(self, bank):
+        txn = bank.begin_transaction()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.execute("b0", "SELECT * FROM account")
+
+    def test_duplicate_global_id_rejected(self, bank):
+        bank.begin_transaction("G_X")
+        with pytest.raises(TransactionError):
+            bank.begin_transaction("G_X")
+
+    def test_unknown_site_rejected(self, bank):
+        txn = bank.begin_transaction()
+        with pytest.raises(TransactionError):
+            txn.execute("nowhere", "SELECT 1")
+
+    def test_abort_counters(self, bank):
+        txn = bank.begin_transaction()
+        txn.execute("b0", "UPDATE account SET balance = 0 WHERE acct = 0")
+        txn.abort()
+        assert bank.transactions.aborts == 1
+        assert bank.transactions.commits == 0
+
+
+class TestTimeoutDeadlockPolicy:
+    def test_blocked_statement_aborts_global_txn(self, bank):
+        blocker = bank.begin_transaction()
+        blocker.execute("b0", "UPDATE account SET balance = 1 WHERE acct = 0")
+
+        victim = bank.begin_transaction()
+        victim.execute("b1", "UPDATE account SET balance = 2 WHERE acct = 4")
+        with pytest.raises(TransactionAborted) as exc:
+            victim.execute(
+                "b0",
+                "UPDATE account SET balance = 3 WHERE acct = 1",
+                timeout=0.05,
+            )
+        assert exc.value.reason == "timeout"
+        assert victim.state is GlobalTxnState.ABORTED
+        # the victim's b1 branch was rolled back too
+        blocker.abort()
+        assert total_balance(bank) == 12000.0
+        assert bank.transactions.timeout_aborts == 1
+
+    def test_global_read_under_txn_holds_locks(self, bank):
+        reader = bank.begin_transaction()
+        result = bank.transactional_query(
+            reader, "bank", "SELECT SUM(balance) FROM accounts"
+        )
+        assert float(result.scalar()) == 12000.0
+        # a writer now times out against the read locks
+        writer = bank.begin_transaction()
+        with pytest.raises(TransactionAborted):
+            writer.execute(
+                "b0",
+                "UPDATE account SET balance = 0 WHERE acct = 0",
+                timeout=0.05,
+            )
+        reader.commit()
+
+    def test_transactional_query_timeout_aborts(self, bank):
+        writer = bank.begin_transaction()
+        writer.execute("b0", "UPDATE account SET balance = 1 WHERE acct = 0")
+        reader = bank.begin_transaction()
+        bank.transactions.query_timeout = 0.05
+        try:
+            with pytest.raises(TransactionAborted):
+                bank.transactional_query(
+                    reader, "bank", "SELECT SUM(balance) FROM accounts"
+                )
+        finally:
+            bank.transactions.query_timeout = 1.0
+            writer.abort()
+
+
+class TestRecovery:
+    def _prepare_in_doubt(self, bank):
+        """Drive a txn to PREPARED everywhere, then 'crash' the coordinator."""
+        gtm = bank.transactions
+        txn = bank.begin_transaction("G_DOUBT")
+        txn.execute("b0", "UPDATE account SET balance = 0 WHERE acct = 0")
+        txn.execute("b1", "UPDATE account SET balance = 0 WHERE acct = 4")
+        for site in txn.participants:
+            bank.gateways[site].prepare("G_DOUBT")
+        return txn
+
+    def test_presumed_abort_without_commit_record(self, bank):
+        self._prepare_in_doubt(bank)
+        # Coordinator crashed before logging COORD_COMMIT.
+        for site in ("b0", "b1"):
+            report = recover_participant(
+                bank.components[site], bank.transactions.wal
+            )
+            assert report.aborted == ["G_DOUBT"]
+        # The branches' sessions were resolved directly at the DBMS level;
+        # drop the gateway bookkeeping before checking balances.
+        for site in ("b0", "b1"):
+            bank.gateways[site]._txn_sessions.pop("G_DOUBT", None)
+        assert total_balance(bank) == 12000.0
+
+    def test_commit_record_drives_redo(self, bank):
+        self._prepare_in_doubt(bank)
+        bank.transactions.wal.append(
+            LogRecordType.COORD_COMMIT, "G_DOUBT", flush=True
+        )
+        for site in ("b0", "b1"):
+            report = recover_participant(
+                bank.components[site], bank.transactions.wal
+            )
+            assert report.committed == ["G_DOUBT"]
+        for site in ("b0", "b1"):
+            bank.gateways[site]._txn_sessions.pop("G_DOUBT", None)
+        assert total_balance(bank) == 10000.0
+
+    def test_recovery_ignores_non_prepared(self, bank):
+        txn = bank.begin_transaction()
+        txn.execute("b0", "UPDATE account SET balance = 5 WHERE acct = 0")
+        report = recover_participant(bank.components["b0"], bank.transactions.wal)
+        assert report.committed == [] and report.aborted == []
+        txn.abort()
+
+
+class TestSerializability:
+    def test_concurrent_transfers_conserve_money(self, bank):
+        """Sequential interleavings through the GTM keep the invariant."""
+        import random
+
+        rng = random.Random(1)
+        for _ in range(20):
+            source = rng.randrange(3)
+            target = (source + 1) % 3
+            txn = bank.begin_transaction()
+            txn.execute(
+                f"b{source}",
+                f"UPDATE account SET balance = balance - 10 "
+                f"WHERE acct = {source * 4}",
+            )
+            txn.execute(
+                f"b{target}",
+                f"UPDATE account SET balance = balance + 10 "
+                f"WHERE acct = {target * 4}",
+            )
+            txn.commit()
+        assert total_balance(bank) == 12000.0
+        assert bank.transactions.commits == 20

@@ -1,0 +1,139 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import TokenType
+
+
+def kinds(text):
+    return [t.type for t in tokenize(text)[:-1]]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_whitespace_only(self):
+        assert tokenize("   \n\t  ")[-1].type is TokenType.EOF
+        assert len(tokenize("   \n\t  ")) == 1
+
+    def test_keywords_are_uppercased(self):
+        assert values("select From WHERE") == ["SELECT", "FROM", "WHERE"]
+        assert kinds("select From WHERE") == [TokenType.KEYWORD] * 3
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("myTable Col_1")
+        assert tokens[0].value == "myTable"
+        assert tokens[1].value == "Col_1"
+        assert tokens[0].type is TokenType.IDENTIFIER
+
+    def test_identifier_with_dollar_and_hash(self):
+        assert values("emp$x t#2") == ["emp$x", "t#2"]
+
+    def test_integer_literal(self):
+        tokens = tokenize("42")
+        assert tokens[0].type is TokenType.INTEGER
+        assert tokens[0].value == "42"
+
+    def test_float_literals(self):
+        for text in ("3.14", "0.5", ".5", "1e3", "1E-3", "2.5e+7", "1."):
+            token = tokenize(text)[0]
+            assert token.type is TokenType.FLOAT, text
+
+    def test_integer_not_float(self):
+        assert tokenize("123")[0].type is TokenType.INTEGER
+
+    def test_string_literal(self):
+        token = tokenize("'hello'")[0]
+        assert token.type is TokenType.STRING
+        assert token.value == "hello"
+
+    def test_string_with_escaped_quote(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_empty_string_literal(self):
+        assert tokenize("''")[0].value == ""
+
+    def test_quoted_identifier(self):
+        token = tokenize('"Weird Name"')[0]
+        assert token.type is TokenType.QUOTED_IDENTIFIER
+        assert token.value == "Weird Name"
+
+    def test_quoted_identifier_with_escaped_quote(self):
+        assert tokenize('"a""b"')[0].value == 'a"b'
+
+    def test_parameter(self):
+        assert tokenize("?")[0].type is TokenType.PARAMETER
+
+
+class TestOperators:
+    def test_multi_char_operators(self):
+        assert values("<> != >= <= ||") == ["<>", "!=", ">=", "<=", "||"]
+
+    def test_single_char_operators(self):
+        assert values("+ - * / % < > =") == list("+-*/%<>=")
+
+    def test_punctuation(self):
+        assert values("( ) , . ;") == list("(),.;")
+
+    def test_greedy_matching(self):
+        # "<=" must not lex as "<" then "="
+        assert values("a<=b") == ["a", "<=", "b"]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert values("SELECT -- comment here\n 1") == ["SELECT", "1"]
+
+    def test_line_comment_at_eof(self):
+        assert values("SELECT 1 -- trailing") == ["SELECT", "1"]
+
+    def test_block_comment(self):
+        assert values("SELECT /* hi */ 1") == ["SELECT", "1"]
+
+    def test_multiline_block_comment(self):
+        assert values("SELECT /* line1\nline2 */ 1") == ["SELECT", "1"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("SELECT /* oops")
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError):
+            tokenize("'oops")
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(LexerError):
+            tokenize('"oops')
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError):
+            tokenize("SELECT @")
+
+    def test_error_carries_position(self):
+        with pytest.raises(LexerError) as exc:
+            tokenize("SELECT\n  @")
+        assert exc.value.line == 2
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("SELECT\n  name")
+        assert tokens[0].line == 1 and tokens[0].column == 1
+        assert tokens[1].line == 2 and tokens[1].column == 3
+
+    def test_matches_helper(self):
+        token = tokenize("SELECT")[0]
+        assert token.matches(TokenType.KEYWORD, "SELECT")
+        assert not token.matches(TokenType.KEYWORD, "FROM")
+        assert token.matches(TokenType.KEYWORD)

@@ -1,0 +1,205 @@
+"""Component DBMS tests: sessions, dialect quirks, autonomy boundary."""
+
+import pytest
+
+from repro.errors import LockTimeoutError, TransactionError
+from repro.localdb import LocalDBMS, OracleDBMS, PostgresDBMS
+
+
+@pytest.fixture
+def oracle():
+    dbms = OracleDBMS("ora", lock_timeout=1.0)
+    dbms.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, s VARCHAR2(20), n NUMBER)"
+    )
+    return dbms
+
+
+@pytest.fixture
+def postgres():
+    dbms = PostgresDBMS("pg", lock_timeout=1.0)
+    dbms.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, s VARCHAR(20), n FLOAT)"
+    )
+    return dbms
+
+
+class TestSessions:
+    def test_autocommit(self, postgres):
+        postgres.execute("INSERT INTO t VALUES (1, 'a', 1.0)")
+        assert postgres.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+    def test_explicit_txn_commit(self, postgres):
+        session = postgres.connect()
+        session.begin()
+        session.execute("INSERT INTO t VALUES (1, 'a', 1.0)")
+        session.execute("INSERT INTO t VALUES (2, 'b', 2.0)")
+        session.commit()
+        assert postgres.execute("SELECT COUNT(*) FROM t").scalar() == 2
+
+    def test_explicit_txn_rollback(self, postgres):
+        session = postgres.connect()
+        session.begin()
+        session.execute("INSERT INTO t VALUES (1, 'a', 1.0)")
+        session.rollback()
+        assert postgres.execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+    def test_sql_level_txn_control(self, postgres):
+        session = postgres.connect()
+        session.execute("BEGIN")
+        session.execute("INSERT INTO t VALUES (1, 'a', 1.0)")
+        session.execute("ROLLBACK")
+        assert postgres.execute("SELECT COUNT(*) FROM t").scalar() == 0
+        assert not session.in_transaction
+
+    def test_double_begin_rejected(self, postgres):
+        session = postgres.connect()
+        session.begin()
+        with pytest.raises(TransactionError):
+            session.begin()
+
+    def test_failed_autocommit_statement_rolls_back(self, postgres):
+        postgres.execute("INSERT INTO t VALUES (1, 'a', 1.0)")
+        with pytest.raises(Exception):
+            postgres.execute("INSERT INTO t VALUES (1, 'dup', 1.0)")
+        assert postgres.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+    def test_script_execution(self, postgres):
+        postgres.execute_script(
+            "INSERT INTO t VALUES (1, 'a', 1.0); INSERT INTO t VALUES (2, 'b', 2.0);"
+        )
+        assert postgres.execute("SELECT COUNT(*) FROM t").scalar() == 2
+
+    def test_query_helper_rejects_dml(self, postgres):
+        session = postgres.connect()
+        with pytest.raises(TransactionError):
+            session.query("INSERT INTO t VALUES (1, 'a', 1.0)")
+
+    def test_table_introspection(self, postgres):
+        assert postgres.table_names() == ["t"]
+        assert postgres.table_schema("t").column_names == ["id", "s", "n"]
+
+
+class TestOracleDialect:
+    def test_empty_string_is_null(self, oracle):
+        oracle.execute("INSERT INTO t VALUES (1, '', 0)")
+        assert oracle.execute("SELECT COUNT(*) FROM t WHERE s IS NULL").scalar() == 1
+        assert oracle.execute("SELECT COUNT(*) FROM t WHERE s = ''").scalar() == 0
+
+    def test_empty_string_comparison_is_null_comparison(self, oracle):
+        oracle.execute("INSERT INTO t VALUES (1, 'x', 0)")
+        # '' becomes NULL, and x = NULL is unknown → no rows
+        assert oracle.execute("SELECT COUNT(*) FROM t WHERE s <> ''").scalar() == 0
+
+    def test_rownum_limit(self, oracle):
+        for i in range(5):
+            oracle.execute(f"INSERT INTO t VALUES ({i}, 'r{i}', {i})")
+        result = oracle.execute("SELECT id FROM t WHERE ROWNUM <= 3")
+        assert len(result) == 3
+
+    def test_rownum_strict_less(self, oracle):
+        for i in range(5):
+            oracle.execute(f"INSERT INTO t VALUES ({i}, 'r{i}', {i})")
+        assert len(oracle.execute("SELECT id FROM t WHERE ROWNUM < 3")) == 2
+
+    def test_rownum_combines_with_predicates(self, oracle):
+        for i in range(10):
+            oracle.execute(f"INSERT INTO t VALUES ({i}, 'r{i}', {i})")
+        result = oracle.execute(
+            "SELECT id FROM t WHERE n >= 4 AND ROWNUM <= 2"
+        )
+        assert len(result) == 2
+        assert all(row[0] >= 4 for row in result.rows)
+
+    def test_number_type_stores_decimals(self, oracle):
+        oracle.execute("INSERT INTO t VALUES (1, 'a', 2.5)")
+        value = oracle.execute("SELECT n FROM t").scalar()
+        assert float(value) == 2.5
+
+    def test_dialect_name(self, oracle):
+        assert oracle.dialect.name == "oracle"
+
+
+class TestPostgresDialect:
+    def test_empty_string_distinct_from_null(self, postgres):
+        postgres.execute("INSERT INTO t VALUES (1, '', 0)")
+        assert (
+            postgres.execute("SELECT COUNT(*) FROM t WHERE s = ''").scalar() == 1
+        )
+        assert (
+            postgres.execute("SELECT COUNT(*) FROM t WHERE s IS NULL").scalar()
+            == 0
+        )
+
+    def test_limit_native(self, postgres):
+        for i in range(5):
+            postgres.execute(f"INSERT INTO t VALUES ({i}, 'r{i}', {i})")
+        assert len(postgres.execute("SELECT id FROM t LIMIT 2")) == 2
+
+    def test_boolean_support(self, postgres):
+        postgres.execute("CREATE TABLE flags (id INTEGER, active BOOLEAN)")
+        postgres.execute("INSERT INTO flags VALUES (1, TRUE), (2, FALSE)")
+        assert (
+            postgres.execute(
+                "SELECT COUNT(*) FROM flags WHERE active = TRUE"
+            ).scalar()
+            == 1
+        )
+
+
+class TestLockingAcrossSessions:
+    def test_writer_blocks_writer(self, postgres):
+        postgres.execute("INSERT INTO t VALUES (1, 'a', 1.0)")
+        s1 = postgres.connect()
+        s2 = postgres.connect()
+        s2.lock_timeout = 0.05
+        s1.begin()
+        s1.execute("UPDATE t SET n = 2 WHERE id = 1")
+        s2.begin()
+        with pytest.raises(LockTimeoutError):
+            s2.execute("UPDATE t SET n = 3 WHERE id = 1")
+        s1.commit()
+
+    def test_readers_share(self, postgres):
+        postgres.execute("INSERT INTO t VALUES (1, 'a', 1.0)")
+        s1 = postgres.connect()
+        s2 = postgres.connect()
+        s1.begin()
+        s2.begin()
+        s1.execute("SELECT * FROM t")
+        s2.execute("SELECT * FROM t")  # no conflict
+        s1.commit()
+        s2.commit()
+
+    def test_lock_timeout_aborts_whole_txn(self, postgres):
+        postgres.execute("CREATE TABLE side (id INTEGER)")
+        postgres.execute("INSERT INTO t VALUES (1, 'a', 1.0)")
+        s1 = postgres.connect()
+        s2 = postgres.connect()
+        s2.lock_timeout = 0.05
+        s1.begin()
+        s1.execute("UPDATE t SET n = 2 WHERE id = 1")
+        s2.begin()
+        s2.execute("INSERT INTO side VALUES (9)")
+        with pytest.raises(LockTimeoutError):
+            s2.execute("UPDATE t SET n = 3 WHERE id = 1")
+        # s2's whole transaction rolled back, including its insert
+        assert not s2.in_transaction
+        s1.commit()
+        assert postgres.execute("SELECT COUNT(*) FROM side").scalar() == 0
+
+    def test_serializable_transfer(self, postgres):
+        """Two sequential transfers preserve the sum (strict 2PL sanity)."""
+        postgres.execute("INSERT INTO t VALUES (1, 'a', 100.0), (2, 'b', 100.0)")
+        for source, target in ((1, 2), (2, 1)):
+            session = postgres.connect()
+            session.begin()
+            session.execute(f"UPDATE t SET n = n - 10 WHERE id = {source}")
+            session.execute(f"UPDATE t SET n = n + 10 WHERE id = {target}")
+            session.commit()
+        assert postgres.execute("SELECT SUM(n) FROM t").scalar() == 200.0
+
+    def test_dbms_names_unique_by_default(self):
+        first = LocalDBMS()
+        second = LocalDBMS()
+        assert first.name != second.name

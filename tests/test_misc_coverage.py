@@ -1,0 +1,153 @@
+"""Odds-and-ends coverage: error hierarchy, AST helpers, small API corners."""
+
+import pytest
+
+from repro import errors
+from repro.sql import ast, parse_expression, parse_statement
+
+
+class TestErrorHierarchy:
+    def test_everything_is_myriad_error(self):
+        for exc_class in (
+            errors.LexerError,
+            errors.ParseError,
+            errors.CatalogError,
+            errors.SQLTypeError,
+            errors.IntegrityError,
+            errors.ExecutionError,
+            errors.TransactionError,
+            errors.TransactionAborted,
+            errors.DeadlockError,
+            errors.LockTimeoutError,
+            errors.TwoPhaseCommitError,
+            errors.FederationError,
+            errors.GatewayError,
+            errors.GatewayTimeout,
+            errors.NetworkError,
+        ):
+            assert issubclass(exc_class, errors.MyriadError)
+
+    def test_timeouts_are_aborts(self):
+        assert issubclass(errors.LockTimeoutError, errors.TransactionAborted)
+        assert issubclass(errors.DeadlockError, errors.TransactionAborted)
+
+    def test_reasons(self):
+        assert errors.LockTimeoutError().reason == "timeout"
+        assert errors.DeadlockError().reason == "deadlock"
+        assert errors.GatewayTimeout(site="x").site == "x"
+
+
+class TestASTHelpers:
+    def test_split_and_conjoin_roundtrip(self):
+        expr = parse_expression("a = 1 AND (b = 2 AND c = 3) AND d = 4")
+        parts = ast.split_conjuncts(expr)
+        assert len(parts) == 4
+        rebuilt = ast.conjoin(parts)
+        assert ast.split_conjuncts(rebuilt) == parts
+
+    def test_conjoin_empty_and_single(self):
+        assert ast.conjoin([]) is None
+        single = parse_expression("a = 1")
+        assert ast.conjoin([single]) is single
+
+    def test_split_does_not_cross_or(self):
+        expr = parse_expression("a = 1 OR b = 2")
+        assert ast.split_conjuncts(expr) == [expr]
+
+    def test_column_refs_and_tables(self):
+        expr = parse_expression("t.a + u.b + c")
+        refs = ast.column_refs(expr)
+        assert {str(r) for r in refs} == {"t.a", "u.b", "c"}
+        assert ast.referenced_tables(expr) == {"t", "u"}
+
+    def test_contains_aggregate_nested(self):
+        assert ast.contains_aggregate(parse_expression("1 + SUM(x)"))
+        assert not ast.contains_aggregate(parse_expression("UPPER(x)"))
+
+    def test_transform_is_bottom_up(self):
+        visits = []
+
+        def record(node):
+            visits.append(type(node).__name__)
+            return node
+
+        ast.transform_expression(parse_expression("a + 1"), record)
+        assert visits == ["ColumnRef", "Literal", "BinaryOp"]
+
+    def test_walk_preorder(self):
+        nodes = list(ast.walk_expressions(parse_expression("a + b * c")))
+        assert type(nodes[0]).__name__ == "BinaryOp"
+        assert len(nodes) == 5
+
+    def test_select_item_output_name(self):
+        stmt = parse_statement("SELECT t.col, 1 + 1, x AS y FROM t")
+        names = [i.output_name for i in stmt.items]
+        assert names == ["col", "?column?", "y"]
+
+
+class TestGroupByAlias:
+    def test_group_by_select_alias(self, engine):
+        result = engine.execute(
+            "SELECT deptno * 10 AS dk, COUNT(*) FROM emp GROUP BY dk ORDER BY dk"
+        )
+        assert result.rows == [(100, 3), (200, 5), (300, 6)]
+
+
+class TestGatewayDefaults:
+    def test_default_timeout_applies(self):
+        from repro.gateway import Gateway
+        from repro.localdb import PostgresDBMS
+        from repro.net import Network
+        from repro.errors import GatewayTimeout
+
+        net = Network()
+        dbms = PostgresDBMS("s")
+        dbms.execute("CREATE TABLE t (a INTEGER)")
+        dbms.execute("INSERT INTO t VALUES (1)")
+        gateway = Gateway(dbms, net, default_timeout=0.05)
+        gateway.export_table("t", "t")
+
+        blocker = dbms.connect()
+        blocker.begin()
+        blocker.execute("UPDATE t SET a = 2")
+        with pytest.raises(GatewayTimeout):
+            gateway.execute_query("SELECT * FROM t")  # no explicit timeout
+        blocker.rollback()
+
+    def test_explicit_timeout_overrides_default(self):
+        from repro.gateway import Gateway
+        from repro.localdb import PostgresDBMS
+        from repro.net import Network
+
+        net = Network()
+        dbms = PostgresDBMS("s")
+        dbms.execute("CREATE TABLE t (a INTEGER)")
+        gateway = Gateway(dbms, net, default_timeout=0.01)
+        gateway.export_table("t", "t")
+        # generous explicit timeout, nothing blocking: must succeed
+        result = gateway.execute_query("SELECT * FROM t", timeout=5.0)
+        assert result.rows == []
+
+
+class TestREPLStats:
+    def test_stats_command(self, university):
+        from repro.tools import QueryInterface
+
+        ui = QueryInterface(university, federation="university")
+        out = ui.run_line("\\stats duluth student")
+        assert "rows: 60" in out
+        assert "usage" in ui.run_line("\\stats duluth")
+
+
+class TestWholeBlockExplain:
+    def test_describe_shows_shipped_block(self):
+        from repro.workloads import build_partitioned_sites
+
+        system = build_partitioned_sites(2, 30, seed=6)
+        text = system.explain(
+            "synth",
+            "SELECT grp, COUNT(*) FROM measurements GROUP BY grp",
+            "cost",
+        )
+        assert "SHIPPED BLOCK" in text
+        assert "GROUP BY" in text

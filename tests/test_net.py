@@ -1,0 +1,142 @@
+"""Simulated-network tests: accounting, link profiles, parallel sections."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import (
+    LinkProfile,
+    MessageTrace,
+    Network,
+    estimate_rows_bytes,
+    estimate_value_bytes,
+)
+
+
+class TestLinkProfile:
+    def test_cost_formula(self):
+        link = LinkProfile(latency_s=0.01, bandwidth_bytes_per_s=1000.0)
+        assert link.cost(0) == pytest.approx(0.01)
+        assert link.cost(1000) == pytest.approx(1.01)
+
+    def test_default_profile_is_10base_t(self):
+        link = LinkProfile()
+        # 1.25 MB/s, 2ms latency
+        assert link.cost(1_250_000) == pytest.approx(1.002)
+
+
+class TestNetwork:
+    def test_send_accounts_messages_and_bytes(self):
+        net = Network()
+        net.add_site("a")
+        net.add_site("b")
+        trace = MessageTrace()
+        cost = net.send("a", "b", 100, "query", trace)
+        assert cost > 0
+        assert net.total_messages == 1
+        assert net.total_bytes == 100
+        assert trace.message_count == 1
+        assert trace.total_bytes == 100
+        assert trace.elapsed_s == pytest.approx(cost)
+
+    def test_local_send_is_free(self):
+        net = Network()
+        net.add_site("a")
+        assert net.send("a", "a", 1000, "query") == 0.0
+        assert net.total_messages == 0
+
+    def test_unknown_site_rejected(self):
+        net = Network()
+        net.add_site("a")
+        with pytest.raises(NetworkError):
+            net.send("a", "nope", 1, "query")
+        with pytest.raises(NetworkError):
+            net.send("nope", "a", 1, "query")
+
+    def test_per_link_override(self):
+        net = Network()
+        net.add_site("a")
+        net.add_site("b")
+        slow = LinkProfile(latency_s=1.0, bandwidth_bytes_per_s=10.0)
+        net.set_link("a", "b", slow)
+        assert net.send("a", "b", 10, "query") == pytest.approx(2.0)
+        # reverse direction keeps the default
+        assert net.send("b", "a", 10, "query") < 0.1
+
+    def test_set_link_requires_sites(self):
+        net = Network()
+        net.add_site("a")
+        with pytest.raises(NetworkError):
+            net.set_link("a", "missing", LinkProfile())
+
+
+class TestMessageTrace:
+    def test_sequential_accumulation(self):
+        trace = MessageTrace()
+        trace.add_compute(1.0)
+        trace.add_compute(2.0)
+        assert trace.elapsed_s == pytest.approx(3.0)
+
+    def test_parallel_takes_max(self):
+        trace = MessageTrace()
+        trace.begin_parallel()
+        with trace.branch("x"):
+            trace.add_compute(1.0)
+        with trace.branch("y"):
+            trace.add_compute(5.0)
+        trace.end_parallel()
+        assert trace.elapsed_s == pytest.approx(5.0)
+
+    def test_parallel_then_sequential(self):
+        trace = MessageTrace()
+        trace.begin_parallel()
+        with trace.branch("x"):
+            trace.add_compute(2.0)
+        trace.end_parallel()
+        trace.add_compute(1.0)
+        assert trace.elapsed_s == pytest.approx(3.0)
+
+    def test_nested_parallel(self):
+        trace = MessageTrace()
+        trace.begin_parallel()
+        with trace.branch("outer1"):
+            trace.add_compute(1.0)
+            trace.begin_parallel()
+            with trace.branch("inner1"):
+                trace.add_compute(4.0)
+            with trace.branch("inner2"):
+                trace.add_compute(2.0)
+            trace.end_parallel()
+        with trace.branch("outer2"):
+            trace.add_compute(3.0)
+        trace.end_parallel()
+        assert trace.elapsed_s == pytest.approx(5.0)
+
+    def test_empty_parallel_costs_nothing(self):
+        trace = MessageTrace()
+        trace.begin_parallel()
+        trace.end_parallel()
+        assert trace.elapsed_s == 0.0
+
+    def test_bytes_by_purpose(self):
+        net = Network()
+        net.add_site("a")
+        net.add_site("b")
+        trace = MessageTrace()
+        net.send("a", "b", 10, "query", trace)
+        net.send("b", "a", 90, "result", trace)
+        assert trace.bytes_by_purpose() == {"query": 10, "result": 90}
+
+
+class TestSizing:
+    def test_value_bytes(self):
+        assert estimate_value_bytes(None) == 1
+        assert estimate_value_bytes(True) == 1
+        assert estimate_value_bytes(5) == 8
+        assert estimate_value_bytes(5.0) == 8
+        assert estimate_value_bytes("abc") == 7
+
+    def test_rows_bytes_includes_framing(self):
+        assert estimate_rows_bytes([(1,), (2,)]) == 2 * (8 + 8)
+
+    def test_empty_rows(self):
+        assert estimate_rows_bytes([]) == 0

@@ -1,0 +1,391 @@
+"""Parser unit tests covering the full grammar."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast, parse_expression, parse_query, parse_script, parse_statement
+
+
+class TestSelectBasics:
+    def test_simple_select(self):
+        stmt = parse_statement("SELECT a FROM t")
+        assert isinstance(stmt, ast.Select)
+        assert stmt.items[0].expression == ast.ColumnRef("a")
+        assert stmt.from_clause == [ast.TableName("t")]
+
+    def test_select_star(self):
+        stmt = parse_statement("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expression, ast.Star)
+
+    def test_select_qualified_star(self):
+        stmt = parse_statement("SELECT t.* FROM t")
+        assert stmt.items[0].expression == ast.Star("t")
+
+    def test_select_without_from(self):
+        stmt = parse_statement("SELECT 1 + 2")
+        assert stmt.from_clause == []
+
+    def test_aliases(self):
+        stmt = parse_statement("SELECT a AS x, b y FROM t u")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.from_clause[0].alias == "u"
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT a FROM t").distinct
+        assert not parse_statement("SELECT ALL a FROM t").distinct
+
+    def test_where(self):
+        stmt = parse_statement("SELECT a FROM t WHERE a > 1")
+        assert isinstance(stmt.where, ast.BinaryOp)
+        assert stmt.where.op == ">"
+
+    def test_group_by_having(self):
+        stmt = parse_statement(
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2"
+        )
+        assert stmt.group_by == [ast.ColumnRef("a")]
+        assert stmt.having is not None
+
+    def test_order_by(self):
+        stmt = parse_statement("SELECT a FROM t ORDER BY a DESC, b")
+        assert stmt.order_by[0].ascending is False
+        assert stmt.order_by[1].ascending is True
+
+    def test_limit_offset(self):
+        stmt = parse_statement("SELECT a FROM t LIMIT 10 OFFSET 5")
+        assert stmt.limit == 10
+        assert stmt.offset == 5
+
+    def test_output_name(self):
+        stmt = parse_statement("SELECT a, b AS c, a+1 FROM t")
+        assert stmt.items[0].output_name == "a"
+        assert stmt.items[1].output_name == "c"
+        assert stmt.items[2].output_name == "?column?"
+
+
+class TestJoins:
+    def test_inner_join_on(self):
+        stmt = parse_statement("SELECT * FROM a JOIN b ON a.x = b.y")
+        join = stmt.from_clause[0]
+        assert isinstance(join, ast.Join)
+        assert join.join_type is ast.JoinType.INNER
+        assert join.condition is not None
+
+    def test_left_right_full_cross(self):
+        for sql, jt in [
+            ("a LEFT JOIN b ON a.x=b.x", ast.JoinType.LEFT),
+            ("a LEFT OUTER JOIN b ON a.x=b.x", ast.JoinType.LEFT),
+            ("a RIGHT JOIN b ON a.x=b.x", ast.JoinType.RIGHT),
+            ("a FULL JOIN b ON a.x=b.x", ast.JoinType.FULL),
+            ("a FULL OUTER JOIN b ON a.x=b.x", ast.JoinType.FULL),
+            ("a CROSS JOIN b", ast.JoinType.CROSS),
+        ]:
+            stmt = parse_statement(f"SELECT * FROM {sql}")
+            assert stmt.from_clause[0].join_type is jt, sql
+
+    def test_join_using(self):
+        stmt = parse_statement("SELECT * FROM a JOIN b USING (k1, k2)")
+        assert stmt.from_clause[0].using == ["k1", "k2"]
+
+    def test_chained_joins_left_deep(self):
+        stmt = parse_statement(
+            "SELECT * FROM a JOIN b ON a.x=b.x JOIN c ON b.y=c.y"
+        )
+        outer = stmt.from_clause[0]
+        assert isinstance(outer.left, ast.Join)
+        assert isinstance(outer.right, ast.TableName)
+
+    def test_comma_joins(self):
+        stmt = parse_statement("SELECT * FROM a, b, c")
+        assert len(stmt.from_clause) == 3
+
+    def test_derived_table(self):
+        stmt = parse_statement("SELECT * FROM (SELECT a FROM t) AS d")
+        ref = stmt.from_clause[0]
+        assert isinstance(ref, ast.SubqueryRef)
+        assert ref.alias == "d"
+
+    def test_join_without_condition_fails(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT * FROM a JOIN b")
+
+    def test_schema_qualified_table(self):
+        stmt = parse_statement("SELECT * FROM site1.emp")
+        assert stmt.from_clause[0].name == "site1.emp"
+
+
+class TestExpressions:
+    def test_precedence_arithmetic(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_and_or(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_parentheses(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_not(self):
+        expr = parse_expression("NOT a = 1")
+        assert isinstance(expr, ast.UnaryOp)
+        assert expr.op == "NOT"
+
+    def test_unary_minus(self):
+        expr = parse_expression("-x + 1")
+        assert expr.op == "+"
+        assert isinstance(expr.left, ast.UnaryOp)
+
+    def test_comparison_bang_eq_normalised(self):
+        assert parse_expression("a != 1").op == "<>"
+
+    def test_between(self):
+        expr = parse_expression("x BETWEEN 1 AND 10")
+        assert isinstance(expr, ast.Between)
+        assert not expr.negated
+
+    def test_not_between(self):
+        assert parse_expression("x NOT BETWEEN 1 AND 10").negated
+
+    def test_like(self):
+        assert parse_expression("name LIKE 'A%'").op == "LIKE"
+        assert parse_expression("name NOT LIKE 'A%'").op == "NOT LIKE"
+
+    def test_in_list(self):
+        expr = parse_expression("x IN (1, 2, 3)")
+        assert isinstance(expr, ast.InList)
+        assert len(expr.items) == 3
+
+    def test_not_in_list(self):
+        assert parse_expression("x NOT IN (1)").negated
+
+    def test_in_subquery(self):
+        expr = parse_expression("x IN (SELECT y FROM t)")
+        assert isinstance(expr, ast.InSubquery)
+
+    def test_exists(self):
+        expr = parse_expression("EXISTS (SELECT 1 FROM t)")
+        assert isinstance(expr, ast.Exists)
+
+    def test_not_exists(self):
+        expr = parse_expression("NOT EXISTS (SELECT 1 FROM t)")
+        assert isinstance(expr, ast.UnaryOp)  # NOT wraps Exists
+        assert isinstance(expr.operand, ast.Exists)
+
+    def test_scalar_subquery(self):
+        expr = parse_expression("(SELECT MAX(x) FROM t)")
+        assert isinstance(expr, ast.ScalarSubquery)
+
+    def test_is_null(self):
+        assert isinstance(parse_expression("x IS NULL"), ast.IsNull)
+        assert parse_expression("x IS NOT NULL").negated
+
+    def test_case_searched(self):
+        expr = parse_expression(
+            "CASE WHEN x > 1 THEN 'big' WHEN x > 0 THEN 'small' ELSE 'neg' END"
+        )
+        assert isinstance(expr, ast.Case)
+        assert expr.operand is None
+        assert len(expr.whens) == 2
+        assert expr.default == ast.Literal("neg")
+
+    def test_case_simple(self):
+        expr = parse_expression("CASE x WHEN 1 THEN 'one' END")
+        assert expr.operand == ast.ColumnRef("x")
+
+    def test_case_requires_when(self):
+        with pytest.raises(ParseError):
+            parse_expression("CASE ELSE 1 END")
+
+    def test_cast(self):
+        expr = parse_expression("CAST(x AS INTEGER)")
+        assert isinstance(expr, ast.Cast)
+        assert expr.type_name == "INTEGER"
+
+    def test_cast_with_params(self):
+        expr = parse_expression("CAST(x AS VARCHAR(10))")
+        assert expr.type_name == "VARCHAR(10)"
+
+    def test_function_call(self):
+        expr = parse_expression("UPPER(name)")
+        assert isinstance(expr, ast.FunctionCall)
+        assert expr.name == "UPPER"
+
+    def test_count_star(self):
+        expr = parse_expression("COUNT(*)")
+        assert isinstance(expr.args[0], ast.Star)
+        assert expr.is_aggregate
+
+    def test_count_distinct(self):
+        assert parse_expression("COUNT(DISTINCT x)").distinct
+
+    def test_date_literal(self):
+        expr = parse_expression("DATE '2020-01-01'")
+        assert isinstance(expr, ast.Cast)
+        assert expr.type_name == "DATE"
+
+    def test_boolean_and_null_literals(self):
+        assert parse_expression("TRUE") == ast.Literal(True)
+        assert parse_expression("FALSE") == ast.Literal(False)
+        assert parse_expression("NULL") == ast.Literal(None)
+
+    def test_concat_operator(self):
+        assert parse_expression("a || b").op == "||"
+
+    def test_qualified_column(self):
+        assert parse_expression("t.c") == ast.ColumnRef("c", "t")
+
+    def test_parameters_are_numbered(self):
+        stmt = parse_statement("SELECT * FROM t WHERE a = ? AND b = ?")
+        conjuncts = ast.split_conjuncts(stmt.where)
+        assert conjuncts[0].right == ast.Parameter(0)
+        assert conjuncts[1].right == ast.Parameter(1)
+
+
+class TestSetOperations:
+    def test_union(self):
+        query = parse_query("SELECT a FROM t UNION SELECT b FROM u")
+        assert isinstance(query, ast.SetOperation)
+        assert query.kind is ast.SetOpKind.UNION
+
+    def test_union_all(self):
+        query = parse_query("SELECT a FROM t UNION ALL SELECT b FROM u")
+        assert query.kind is ast.SetOpKind.UNION_ALL
+
+    def test_intersect_except(self):
+        assert (
+            parse_query("SELECT a FROM t INTERSECT SELECT a FROM u").kind
+            is ast.SetOpKind.INTERSECT
+        )
+        assert (
+            parse_query("SELECT a FROM t EXCEPT SELECT a FROM u").kind
+            is ast.SetOpKind.EXCEPT
+        )
+
+    def test_chained_set_ops_left_assoc(self):
+        query = parse_query(
+            "SELECT a FROM t UNION SELECT a FROM u UNION ALL SELECT a FROM v"
+        )
+        assert query.kind is ast.SetOpKind.UNION_ALL
+        assert isinstance(query.left, ast.SetOperation)
+
+    def test_set_op_order_limit(self):
+        query = parse_query(
+            "SELECT a FROM t UNION SELECT a FROM u ORDER BY a LIMIT 5"
+        )
+        assert query.order_by and query.limit == 5
+
+
+class TestDML:
+    def test_insert_values(self):
+        stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, ast.Insert)
+        assert stmt.columns == ["a", "b"]
+        assert len(stmt.rows) == 2
+
+    def test_insert_without_columns(self):
+        stmt = parse_statement("INSERT INTO t VALUES (1)")
+        assert stmt.columns == []
+
+    def test_insert_select(self):
+        stmt = parse_statement("INSERT INTO t SELECT * FROM u")
+        assert stmt.query is not None
+
+    def test_update(self):
+        stmt = parse_statement("UPDATE t SET a = 1, b = b + 1 WHERE c = 2")
+        assert isinstance(stmt, ast.Update)
+        assert len(stmt.assignments) == 2
+        assert stmt.where is not None
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, ast.Delete)
+
+    def test_delete_all(self):
+        assert parse_statement("DELETE FROM t").where is None
+
+
+class TestDDL:
+    def test_create_table(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, "
+            "name VARCHAR(30) NOT NULL, price FLOAT DEFAULT 0)"
+        )
+        assert isinstance(stmt, ast.CreateTable)
+        assert stmt.columns[0].primary_key
+        assert stmt.columns[1].not_null
+        assert stmt.columns[2].default == ast.Literal(0)
+
+    def test_create_table_composite_pk(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (a INTEGER, b INTEGER, PRIMARY KEY (a, b))"
+        )
+        assert stmt.primary_key == ["a", "b"]
+
+    def test_create_table_if_not_exists(self):
+        assert parse_statement(
+            "CREATE TABLE IF NOT EXISTS t (a INTEGER)"
+        ).if_not_exists
+
+    def test_create_table_unique(self):
+        stmt = parse_statement("CREATE TABLE t (a INTEGER UNIQUE)")
+        assert stmt.columns[0].unique
+
+    def test_oracle_types(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (n NUMBER(38), s VARCHAR2(10))"
+        )
+        assert stmt.columns[0].type_name == "NUMBER"
+        assert stmt.columns[0].type_params == (38,)
+
+    def test_drop_table(self):
+        stmt = parse_statement("DROP TABLE t")
+        assert isinstance(stmt, ast.DropTable)
+        assert not stmt.if_exists
+        assert parse_statement("DROP TABLE IF EXISTS t").if_exists
+
+    def test_create_index(self):
+        stmt = parse_statement("CREATE INDEX i ON t (a, b)")
+        assert isinstance(stmt, ast.CreateIndex)
+        assert stmt.columns == ["a", "b"]
+        assert not stmt.unique
+        assert parse_statement("CREATE UNIQUE INDEX i ON t (a)").unique
+
+
+class TestTransactionsAndScripts:
+    def test_txn_statements(self):
+        assert isinstance(parse_statement("BEGIN"), ast.BeginTransaction)
+        assert isinstance(parse_statement("COMMIT WORK"), ast.CommitTransaction)
+        assert isinstance(parse_statement("ROLLBACK"), ast.RollbackTransaction)
+
+    def test_script(self):
+        statements = parse_script(
+            "CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1); "
+            "SELECT * FROM t;"
+        )
+        assert len(statements) == 3
+
+    def test_trailing_semicolon_ok(self):
+        parse_statement("SELECT 1;")
+
+    def test_garbage_after_statement(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT 1 SELECT 2")
+
+    def test_error_messages_carry_location(self):
+        with pytest.raises(ParseError) as exc:
+            parse_statement("SELECT FROM t")
+        assert "line" in str(exc.value)
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse_statement("")
+
+    def test_parse_query_rejects_dml(self):
+        with pytest.raises(ParseError):
+            parse_query("DELETE FROM t")

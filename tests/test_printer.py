@@ -1,0 +1,145 @@
+"""Printer tests: round-trips and dialect-specific rendering."""
+
+import pytest
+
+from repro.errors import SQLError
+from repro.sql import (
+    GLOBAL_DIALECT,
+    ORACLE_DIALECT,
+    POSTGRES_DIALECT,
+    ast,
+    get_dialect,
+    parse_statement,
+    to_sql,
+)
+from repro.sql.printer import expression_to_sql
+
+ROUNDTRIP_QUERIES = [
+    "SELECT a FROM t",
+    "SELECT DISTINCT a, b AS c FROM t WHERE a > 1 AND b < 2",
+    "SELECT * FROM t ORDER BY a DESC LIMIT 3 OFFSET 1",
+    "SELECT a FROM t GROUP BY a HAVING COUNT(*) > 1",
+    "SELECT a FROM t1 JOIN t2 ON t1.x = t2.y LEFT JOIN t3 ON t2.z = t3.z",
+    "SELECT a FROM t WHERE x BETWEEN 1 AND 2 OR y NOT IN (1, 2)",
+    "SELECT a FROM t WHERE name LIKE 'A%' AND note IS NOT NULL",
+    "SELECT CASE WHEN a > 0 THEN 'p' ELSE 'n' END AS sign FROM t",
+    "SELECT CAST(a AS FLOAT) FROM t",
+    "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.x = t.x)",
+    "SELECT a FROM t UNION ALL SELECT b FROM u",
+    "SELECT a FROM (SELECT a FROM t) AS d WHERE a = 1",
+    "SELECT COUNT(DISTINCT a), SUM(b), MIN(c), MAX(d), AVG(e) FROM t",
+    "SELECT -a + 2 * (b - 1) FROM t",
+    "SELECT a || '-' || b FROM t",
+    "INSERT INTO t (a, b) VALUES (1, 'x''y'), (NULL, '')",
+    "INSERT INTO t SELECT a FROM u WHERE a > 0",
+    "UPDATE t SET a = a + 1 WHERE b IN (SELECT b FROM u)",
+    "DELETE FROM t WHERE a IS NULL",
+    "CREATE TABLE t (a INTEGER PRIMARY KEY, b VARCHAR(10) NOT NULL)",
+    "DROP TABLE IF EXISTS t",
+    "CREATE UNIQUE INDEX i ON t (a, b)",
+    "SELECT a FROM t WHERE NOT (a = 1 OR b = 2)",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("sql", ROUNDTRIP_QUERIES)
+    def test_parse_print_parse_fixpoint(self, sql):
+        first = parse_statement(sql)
+        printed = to_sql(first)
+        second = parse_statement(printed)
+        assert first == second, printed
+
+    def test_printed_text_is_stable(self):
+        stmt = parse_statement("SELECT a FROM t WHERE a>1")
+        once = to_sql(stmt)
+        twice = to_sql(parse_statement(once))
+        assert once == twice
+
+
+class TestDialects:
+    def test_limit_becomes_rownum_for_oracle(self):
+        stmt = parse_statement("SELECT a FROM t LIMIT 5")
+        text = to_sql(stmt, ORACLE_DIALECT)
+        assert "LIMIT" not in text
+        assert "ROWNUM <= 5" in text
+
+    def test_limit_offset_rownum_bound(self):
+        stmt = parse_statement("SELECT a FROM t LIMIT 5 OFFSET 2")
+        assert "ROWNUM <= 7" in to_sql(stmt, ORACLE_DIALECT)
+
+    def test_postgres_keeps_limit(self):
+        stmt = parse_statement("SELECT a FROM t LIMIT 5")
+        assert "LIMIT 5" in to_sql(stmt, POSTGRES_DIALECT)
+
+    def test_oracle_boolean_literals(self):
+        stmt = parse_statement("SELECT * FROM t WHERE flag = TRUE")
+        assert "= 1" in to_sql(stmt, ORACLE_DIALECT)
+        assert "TRUE" in to_sql(stmt, POSTGRES_DIALECT)
+
+    def test_oracle_type_mapping(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (a INTEGER, s VARCHAR(10), f FLOAT, b BOOLEAN)"
+        )
+        text = to_sql(stmt, ORACLE_DIALECT)
+        assert "NUMBER(38)" in text
+        assert "VARCHAR(10)" in text  # parametrised names keep their params
+        assert "NUMBER(1)" in text
+
+    def test_postgres_type_mapping(self):
+        stmt = parse_statement("CREATE TABLE t (n NUMBER)")
+        assert "NUMERIC" in to_sql(stmt, POSTGRES_DIALECT)
+
+    def test_function_mapping(self):
+        stmt = parse_statement("SELECT NOW() FROM t")
+        assert "SYSDATE" in to_sql(stmt, ORACLE_DIALECT)
+        stmt2 = parse_statement("SELECT SYSDATE() FROM t")
+        assert "NOW" in to_sql(stmt2, POSTGRES_DIALECT)
+
+    def test_full_join_unsupported_on_oracle(self):
+        stmt = parse_statement("SELECT * FROM a FULL JOIN b ON a.x = b.x")
+        with pytest.raises(SQLError):
+            to_sql(stmt, ORACLE_DIALECT)
+
+    def test_get_dialect(self):
+        assert get_dialect("oracle") is ORACLE_DIALECT
+        assert get_dialect("POSTGRES") is POSTGRES_DIALECT
+        with pytest.raises(KeyError):
+            get_dialect("db2")
+
+
+class TestLiteralsAndIdentifiers:
+    def test_string_escaping(self):
+        assert expression_to_sql(ast.Literal("it's")) == "'it''s'"
+
+    def test_null(self):
+        assert expression_to_sql(ast.Literal(None)) == "NULL"
+
+    def test_weird_identifier_quoted(self):
+        stmt = ast.Select(
+            items=[ast.SelectItem(ast.ColumnRef("weird name"))],
+            from_clause=[ast.TableName("t")],
+        )
+        assert '"weird name"' in to_sql(stmt)
+
+    def test_plain_identifier_not_quoted(self):
+        assert expression_to_sql(ast.ColumnRef("abc_1")) == "abc_1"
+
+    def test_precedence_parenthesisation(self):
+        # (a + b) * c must keep its parens when printed
+        expr = ast.BinaryOp(
+            "*", ast.BinaryOp("+", ast.ColumnRef("a"), ast.ColumnRef("b")),
+            ast.ColumnRef("c"),
+        )
+        assert expression_to_sql(expr) == "(a + b) * c"
+
+    def test_or_inside_and_parenthesised(self):
+        expr = ast.BinaryOp(
+            "AND",
+            ast.BinaryOp("OR", ast.ColumnRef("a"), ast.ColumnRef("b")),
+            ast.ColumnRef("c"),
+        )
+        text = expression_to_sql(expr)
+        assert text == "(a OR b) AND c"
+
+    def test_boolean_rendering_global(self):
+        assert expression_to_sql(ast.Literal(True), GLOBAL_DIALECT) == "TRUE"

@@ -1,0 +1,329 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import string
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine import LocalEngine
+from repro.engine.expressions import _like_match, compare_values
+from repro.sql import ast, parse_statement, to_sql
+from repro.storage import Catalog, Column, INTEGER, Table, TableSchema, VARCHAR
+from repro.storage.index import OrderedIndex
+from repro.storage.types import null_first_key, tv_and, tv_not, tv_or
+
+# ---------------------------------------------------------------------------
+# Three-valued logic laws
+# ---------------------------------------------------------------------------
+
+tv = st.sampled_from([True, False, None])
+
+
+class TestThreeValuedLaws:
+    @given(tv, tv, tv)
+    def test_and_associative(self, a, b, c):
+        assert tv_and(tv_and(a, b), c) == tv_and(a, tv_and(b, c))
+
+    @given(tv, tv, tv)
+    def test_or_associative(self, a, b, c):
+        assert tv_or(tv_or(a, b), c) == tv_or(a, tv_or(b, c))
+
+    @given(tv, tv)
+    def test_de_morgan(self, a, b):
+        assert tv_not(tv_and(a, b)) == tv_or(tv_not(a), tv_not(b))
+
+    @given(tv)
+    def test_double_negation(self, a):
+        assert tv_not(tv_not(a)) == a
+
+    @given(tv, tv, tv)
+    def test_distribution(self, a, b, c):
+        assert tv_and(a, tv_or(b, c)) == tv_or(tv_and(a, b), tv_and(a, c))
+
+
+# ---------------------------------------------------------------------------
+# LIKE matching vs. a reference implementation
+# ---------------------------------------------------------------------------
+
+
+def reference_like(value: str, pattern: str) -> bool:
+    """Simple recursive LIKE oracle."""
+
+    def match(v: int, p: int) -> bool:
+        if p == len(pattern):
+            return v == len(value)
+        ch = pattern[p]
+        if ch == "%":
+            return any(match(rest, p + 1) for rest in range(v, len(value) + 1))
+        if v == len(value):
+            return False
+        if ch == "_" or value[v] == ch:
+            return match(v + 1, p + 1)
+        return False
+
+    return match(0, 0)
+
+
+class TestLike:
+    @given(
+        st.text(alphabet="ab%_.c", max_size=8),
+        st.text(alphabet="ab.c", max_size=8),
+    )
+    @settings(max_examples=200)
+    def test_matches_reference(self, pattern, value):
+        assert _like_match(value, pattern) == reference_like(value, pattern)
+
+
+# ---------------------------------------------------------------------------
+# Ordered index vs. a sorted-list oracle
+# ---------------------------------------------------------------------------
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete"]),
+        st.integers(min_value=0, max_value=20),
+    ),
+    max_size=60,
+)
+
+
+class TestOrderedIndexModel:
+    @given(ops, st.integers(0, 20), st.integers(0, 20))
+    @settings(max_examples=150)
+    def test_range_scan_matches_model(self, operations, low, high):
+        index = OrderedIndex("i", "t", ["k"])
+        model: dict[int, set[int]] = {}
+        rid = 0
+        for op, key in operations:
+            if op == "insert":
+                rid += 1
+                index.insert((key,), rid)
+                model.setdefault(key, set()).add(rid)
+            else:
+                existing = model.get(key)
+                if existing:
+                    victim = min(existing)
+                    index.delete((key,), victim)
+                    existing.discard(victim)
+                    if not existing:
+                        del model[key]
+        if low > high:
+            low, high = high, low
+        got = {key[0]: rids for key, rids in index.range_scan((low,), (high,))}
+        expected = {
+            key: set(rids)
+            for key, rids in model.items()
+            if low <= key <= high and rids
+        }
+        assert got == expected
+
+
+# ---------------------------------------------------------------------------
+# Table + primary key model
+# ---------------------------------------------------------------------------
+
+
+class TestTableModel:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 10), st.text(string.ascii_lowercase, max_size=4)),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100)
+    def test_pk_table_behaves_like_dict(self, inserts):
+        table = Table(
+            TableSchema(
+                "t",
+                [Column("k", INTEGER, nullable=False), Column("v", VARCHAR)],
+                ["k"],
+            )
+        )
+        model: dict[int, str] = {}
+        for key, value in inserts:
+            if key in model:
+                with pytest.raises(Exception):
+                    table.insert((key, value))
+            else:
+                table.insert((key, value))
+                model[key] = value
+        assert len(table) == len(model)
+        for key, value in model.items():
+            fetched = table.fetch_by_key((key,))
+            assert fetched is not None
+            assert fetched[1] == (key, value)
+
+
+# ---------------------------------------------------------------------------
+# SQL printer round-trip on generated ASTs
+# ---------------------------------------------------------------------------
+
+names = st.sampled_from(["a", "b", "c", "x1", "col"])
+# Non-negative only: "-1" reparses as unary minus over Literal(1), which is
+# semantically identical but structurally different.
+literals = st.one_of(
+    st.integers(0, 100),
+    st.booleans(),
+    st.none(),
+    st.text(alphabet="ab'c ", max_size=6),
+)
+
+
+def expressions(depth=2):
+    base = st.one_of(
+        literals.map(ast.Literal),
+        names.map(ast.ColumnRef),
+        st.tuples(names, names).map(lambda t: ast.ColumnRef(t[0], t[1])),
+    )
+    if depth == 0:
+        return base
+    sub = expressions(depth - 1)
+    return st.one_of(
+        base,
+        st.tuples(st.sampled_from(["+", "-", "*", "=", "<", "AND", "OR", "||"]), sub, sub).map(
+            lambda t: ast.BinaryOp(t[0], t[1], t[2])
+        ),
+        sub.map(lambda e: ast.UnaryOp("NOT", e)),
+        st.tuples(sub, st.booleans()).map(lambda t: ast.IsNull(t[0], t[1])),
+        st.tuples(sub, sub, sub).map(lambda t: ast.Between(t[0], t[1], t[2])),
+        st.lists(sub, min_size=1, max_size=3).map(
+            lambda items: ast.FunctionCall("COALESCE", items)
+        ),
+    )
+
+
+class TestPrinterRoundTrip:
+    @given(expressions())
+    @settings(max_examples=200, suppress_health_check=[HealthCheck.too_slow])
+    def test_expression_roundtrip(self, expr):
+        select = ast.Select(items=[ast.SelectItem(expr, "out")])
+        text = to_sql(select)
+        reparsed = parse_statement(text)
+        assert reparsed == select, text
+
+    @given(
+        st.lists(names, min_size=1, max_size=3, unique=True),
+        st.booleans(),
+        st.integers(1, 50),
+    )
+    def test_select_shape_roundtrip(self, columns, distinct, limit):
+        select = ast.Select(
+            items=[ast.SelectItem(ast.ColumnRef(c)) for c in columns],
+            from_clause=[ast.TableName("t")],
+            distinct=distinct,
+            limit=limit,
+        )
+        assert parse_statement(to_sql(select)) == select
+
+
+# ---------------------------------------------------------------------------
+# Engine invariants on generated data
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def small_tables(draw):
+    rows = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, 50),
+                st.integers(-10, 10),
+                st.sampled_from(["x", "y", "z", None]),
+            ),
+            min_size=0,
+            max_size=30,
+        )
+    )
+    return rows
+
+
+class TestEngineInvariants:
+    def _load(self, rows):
+        engine = LocalEngine(Catalog())
+        engine.execute(
+            "CREATE TABLE t (k INTEGER, n INTEGER, s VARCHAR(4))"
+        )
+        for k, n, s in rows:
+            engine.execute("INSERT INTO t VALUES (?, ?, ?)", [k, n, s])
+        return engine
+
+    @given(small_tables())
+    @settings(max_examples=60, deadline=None)
+    def test_count_matches_python(self, rows):
+        engine = self._load(rows)
+        assert engine.execute("SELECT COUNT(*) FROM t").scalar() == len(rows)
+
+    @given(small_tables(), st.integers(-10, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_filter_matches_python(self, rows, threshold):
+        engine = self._load(rows)
+        got = engine.execute(f"SELECT COUNT(*) FROM t WHERE n > {threshold}").scalar()
+        assert got == sum(1 for _, n, _ in rows if n > threshold)
+
+    @given(small_tables())
+    @settings(max_examples=60, deadline=None)
+    def test_group_by_partitions_rows(self, rows):
+        engine = self._load(rows)
+        result = engine.execute("SELECT k, COUNT(*) FROM t GROUP BY k")
+        assert sum(r[1] for r in result.rows) == len(rows)
+        keys = [r[0] for r in result.rows]
+        assert len(keys) == len(set(keys))
+
+    @given(small_tables())
+    @settings(max_examples=60, deadline=None)
+    def test_order_by_sorts(self, rows):
+        engine = self._load(rows)
+        result = engine.execute("SELECT n FROM t ORDER BY n")
+        values = [r[0] for r in result.rows]
+        assert values == sorted(values)
+
+    @given(small_tables())
+    @settings(max_examples=60, deadline=None)
+    def test_distinct_is_set(self, rows):
+        engine = self._load(rows)
+        result = engine.execute("SELECT DISTINCT s FROM t")
+        values = [r[0] for r in result.rows]
+        assert len(values) == len(set(values))
+        assert set(values) == {s for _, _, s in rows}
+
+    @given(small_tables())
+    @settings(max_examples=40, deadline=None)
+    def test_union_all_concatenates(self, rows):
+        engine = self._load(rows)
+        total = engine.execute(
+            "SELECT COUNT(*) FROM (SELECT k FROM t UNION ALL SELECT k FROM t) u"
+        ).scalar()
+        assert total == 2 * len(rows)
+
+    @given(small_tables())
+    @settings(max_examples=40, deadline=None)
+    def test_except_self_is_empty(self, rows):
+        engine = self._load(rows)
+        result = engine.execute("SELECT k FROM t EXCEPT SELECT k FROM t")
+        assert result.rows == []
+
+
+# ---------------------------------------------------------------------------
+# compare_values total-order sanity
+# ---------------------------------------------------------------------------
+
+comparable = st.one_of(st.integers(-50, 50), st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-50, max_value=50
+))
+
+
+class TestCompareValues:
+    @given(comparable, comparable)
+    def test_antisymmetry(self, a, b):
+        assert compare_values(a, b) == -compare_values(b, a)
+
+    @given(comparable)
+    def test_reflexive(self, a):
+        assert compare_values(a, a) == 0
+
+    @given(st.lists(comparable, min_size=1, max_size=10))
+    def test_sort_key_consistent_with_compare(self, values):
+        by_key = sorted(values, key=null_first_key)
+        for left, right in zip(by_key, by_key[1:]):
+            assert compare_values(left, right) <= 0

@@ -1,0 +1,245 @@
+"""Unit tests for the optimizer rewrites and the localizer."""
+
+import pytest
+
+from repro.myriad import MyriadSystem
+from repro.query.rewrite import prune_projections, push_selections
+from repro.sql import ast, parse_query, to_sql
+
+
+def q(sql: str) -> ast.Query:
+    return parse_query(sql)
+
+
+class TestPushSelections:
+    def test_push_into_plain_view(self):
+        query = push_selections(
+            q("SELECT a FROM (SELECT x AS a FROM t) AS v WHERE a > 1")
+        )
+        body = query.from_clause[0].query
+        assert body.where is not None
+        assert query.where is None
+        # the pushed predicate is over the *source* expression
+        assert "x > 1" in to_sql(body)
+
+    def test_push_through_union_all(self):
+        query = push_selections(
+            q(
+                "SELECT a FROM (SELECT x AS a FROM t UNION ALL "
+                "SELECT y AS a FROM u) AS v WHERE a = 5"
+            )
+        )
+        setop = query.from_clause[0].query
+        assert setop.left.where is not None
+        assert setop.right.where is not None
+        assert query.where is None
+
+    def test_no_push_into_aggregating_view(self):
+        query = push_selections(
+            q(
+                "SELECT n FROM (SELECT COUNT(*) AS n FROM t) AS v WHERE n > 1"
+            )
+        )
+        assert query.where is not None  # stayed outside
+        assert query.from_clause[0].query.where is None
+
+    def test_no_push_into_grouped_view(self):
+        query = push_selections(
+            q(
+                "SELECT g FROM (SELECT g FROM t GROUP BY g) AS v WHERE g > 1"
+            )
+        )
+        assert query.where is not None
+
+    def test_no_push_into_limited_view(self):
+        query = push_selections(
+            q("SELECT a FROM (SELECT a FROM t LIMIT 5) AS v WHERE a > 1")
+        )
+        assert query.where is not None
+
+    def test_no_push_below_null_supplying_side(self):
+        query = push_selections(
+            q(
+                "SELECT * FROM (SELECT a FROM t) AS l "
+                "LEFT JOIN (SELECT b FROM u) AS r ON l.a = r.b "
+                "WHERE r.b IS NULL"
+            )
+        )
+        # predicate over the null-supplied side must stay outside
+        assert query.where is not None
+
+    def test_push_preserved_side_of_left_join(self):
+        query = push_selections(
+            q(
+                "SELECT * FROM (SELECT a FROM t) AS l "
+                "LEFT JOIN (SELECT b FROM u) AS r ON l.a = r.b "
+                "WHERE l.a > 3"
+            )
+        )
+        assert query.where is None
+        left_body = query.from_clause[0].left.query
+        assert left_body.where is not None
+
+    def test_multi_binding_conjunct_stays(self):
+        query = push_selections(
+            q(
+                "SELECT * FROM (SELECT a FROM t) AS x, (SELECT b FROM u) AS y "
+                "WHERE x.a = y.b"
+            )
+        )
+        assert query.where is not None
+
+    def test_push_keeps_answers(self):
+        """Rewrite equivalence check on a real engine."""
+        from repro.engine import LocalEngine
+        from repro.storage import Catalog
+
+        engine = LocalEngine(Catalog())
+        engine.execute("CREATE TABLE t (x INTEGER, y INTEGER)")
+        for i in range(10):
+            engine.execute(f"INSERT INTO t VALUES ({i}, {i * i})")
+        sql = (
+            "SELECT a, b FROM (SELECT x AS a, y AS b FROM t UNION ALL "
+            "SELECT y AS a, x AS b FROM t) AS v WHERE a < 5 ORDER BY a, b"
+        )
+        plain = engine.execute(sql).rows
+        rewritten = push_selections(parse_query(sql))
+        pushed = engine.execute_query(rewritten).rows
+        assert plain == pushed
+
+
+class TestPruneProjections:
+    def test_prune_unused_view_columns(self):
+        query = prune_projections(
+            q("SELECT a FROM (SELECT x AS a, y AS b, z AS c FROM t) AS v")
+        )
+        body = query.from_clause[0].query
+        assert [i.output_name for i in body.items] == ["a"]
+
+    def test_prune_through_union_all_positionally(self):
+        query = prune_projections(
+            q(
+                "SELECT a FROM (SELECT x AS a, y AS b FROM t UNION ALL "
+                "SELECT p AS a, r AS b FROM u) AS v"
+            )
+        )
+        setop = query.from_clause[0].query
+        assert [i.output_name for i in setop.left.items] == ["a"]
+        assert len(setop.right.items) == 1
+
+    def test_no_prune_distinct_union(self):
+        query = prune_projections(
+            q(
+                "SELECT a FROM (SELECT x AS a, y AS b FROM t UNION "
+                "SELECT p AS a, r AS b FROM u) AS v"
+            )
+        )
+        setop = query.from_clause[0].query
+        assert len(setop.left.items) == 2  # untouched
+
+    def test_no_prune_when_star_used(self):
+        query = prune_projections(
+            q("SELECT * FROM (SELECT x AS a, y AS b FROM t) AS v")
+        )
+        assert len(query.from_clause[0].query.items) == 2
+
+    def test_where_columns_count_as_used(self):
+        query = prune_projections(
+            q(
+                "SELECT a FROM (SELECT x AS a, y AS b, z AS c FROM t) AS v "
+                "WHERE b > 1"
+            )
+        )
+        names = [i.output_name for i in query.from_clause[0].query.items]
+        assert names == ["a", "b"]
+
+    def test_join_condition_columns_kept(self):
+        query = prune_projections(
+            q(
+                "SELECT l.a FROM (SELECT x AS a, k AS lk, z AS junk FROM t) AS l "
+                "JOIN (SELECT k AS rk, w AS junk2 FROM u) AS r ON l.lk = r.rk"
+            )
+        )
+        left_names = [
+            i.output_name for i in query.from_clause[0].left.query.items
+        ]
+        assert sorted(left_names) == ["a", "lk"]
+
+
+class TestLocalizerPlans:
+    @pytest.fixture
+    def system(self):
+        sys_ = MyriadSystem()
+        a = sys_.add_postgres("a")
+        b = sys_.add_oracle("b")
+        a.dbms.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v FLOAT, w VARCHAR(8))")
+        b.dbms.execute("CREATE TABLE u (k INTEGER PRIMARY KEY, x FLOAT)")
+        for i in range(30):
+            a.dbms.execute(f"INSERT INTO t VALUES ({i}, {i * 1.0}, 'w{i}')")
+            b.dbms.execute(f"INSERT INTO u VALUES ({i}, {i * 2.0})")
+        a.export_table("t", "t")
+        b.export_table("u", "u")
+        fed = sys_.create_federation("f")
+        fed.define_relation("tv", "SELECT k, v, w FROM a.t")
+        fed.define_relation("uv", "SELECT k, x FROM b.u")
+        return sys_
+
+    def test_one_fetch_per_export_ref(self, system):
+        plan = system.processor("f").plan(
+            "SELECT tv.v FROM tv JOIN uv ON tv.k = uv.k", "simple"
+        )
+        assert len(plan.fetches) == 2
+        assert {f.site for f in plan.fetches} == {"a", "b"}
+
+    def test_join_edges_detected_through_views(self, system):
+        plan = system.processor("f").plan(
+            "SELECT tv.v FROM tv JOIN uv ON tv.k = uv.k", "cost-nosemijoin"
+        )
+        assert len(plan.join_edges) >= 1
+        edge = plan.join_edges[0]
+        assert {edge.left_column, edge.right_column} == {"k"}
+
+    def test_semijoin_dependency_ordering(self, system):
+        # Make uv selective so a semijoin gets chosen.
+        plan = system.processor("f").plan(
+            "SELECT tv.v FROM tv JOIN uv ON tv.k = uv.k WHERE uv.x = 4.0",
+            "cost",
+        )
+        reduced = [f for f in plan.fetches if f.semijoin is not None]
+        if reduced:  # model-dependent, but execution must stay correct
+            target = reduced[0]
+            assert target.semijoin.source_index != target.index
+
+    def test_same_export_twice_two_fetches(self, system):
+        plan = system.processor("f").plan(
+            "SELECT x.v FROM tv x JOIN tv y ON x.k = y.k", "simple"
+        )
+        assert len(plan.fetches) == 2
+        assert len({f.temp_name for f in plan.fetches}) == 2
+
+    def test_fetch_shipped_query_is_dialect_translatable(self, system):
+        plan = system.processor("f").plan("SELECT v FROM tv WHERE k < 3", "cost")
+        fetch = plan.fetches[0]
+        shipped = fetch.shipped_query()
+        assert to_sql(shipped)  # printable
+
+    def test_semijoin_empty_keys_yields_false_predicate(self, system):
+        from repro.query.localizer import Fetch, SemiJoinSpec
+
+        fetch = Fetch(
+            index=1,
+            site="a",
+            export="t",
+            binding="t",
+            temp_name="tmp",
+            columns=["k"],
+            semijoin=SemiJoinSpec(0, "k", "k"),
+        )
+        shipped = fetch.shipped_query([])
+        assert "1 = 0" in to_sql(shipped)
+
+    def test_unknown_relation_raises(self, system):
+        from repro.errors import FederationError
+
+        with pytest.raises(FederationError):
+            system.query("f", "SELECT * FROM mystery")

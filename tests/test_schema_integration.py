@@ -1,0 +1,248 @@
+"""Schema-integration tests: merges, integration functions, federations."""
+
+import pytest
+
+from repro.errors import FederationError
+from repro.myriad import MyriadSystem
+from repro.schema import (
+    IntegratedRelation,
+    all_agree,
+    join_merge,
+    numeric_average,
+    prefer_first,
+    prefer_last,
+    standard_registry,
+    union_merge,
+    view_relation,
+)
+from repro.sql import ast
+
+
+@pytest.fixture
+def system():
+    sys_ = MyriadSystem()
+    a = sys_.add_postgres("a")
+    b = sys_.add_oracle("b")
+    a.dbms.execute("CREATE TABLE t1 (k INTEGER PRIMARY KEY, v VARCHAR(10), n FLOAT)")
+    b.dbms.execute("CREATE TABLE t2 (k INTEGER PRIMARY KEY, v VARCHAR2(10), m NUMBER)")
+    a.dbms.execute("INSERT INTO t1 VALUES (1, 'x', 1.5), (2, 'y', 2.5)")
+    b.dbms.execute("INSERT INTO t2 VALUES (2, 'yy', 20), (3, 'z', 30)")
+    a.export_table("t1", "rel", ["k", "v", "n"])
+    b.export_table("t2", "rel", ["k", "v", "m"])
+    return sys_
+
+
+class TestResolvers:
+    def test_prefer_first(self):
+        assert prefer_first(None, 2, 3) == 2
+        assert prefer_first(None, None) is None
+        assert prefer_first(1, 2) == 1
+
+    def test_prefer_last(self):
+        assert prefer_last(1, None, 3) == 3
+        assert prefer_last(None, None) is None
+
+    def test_numeric_average(self):
+        assert numeric_average(2, 4) == 3
+        assert numeric_average(None, 4) == 4
+        assert numeric_average(None, None) is None
+
+    def test_all_agree(self):
+        assert all_agree(5, 5, None) == 5
+        assert all_agree(5, 6) is None
+        assert all_agree(None, None) is None
+
+    def test_registry(self):
+        registry = standard_registry()
+        assert registry.has("PREFER_FIRST")
+        assert registry.get("prefer_first") is prefer_first
+        with pytest.raises(FederationError):
+            registry.get("NOPE")
+        with pytest.raises(FederationError):
+            registry.register("PREFER_FIRST", prefer_first)
+
+
+class TestUnionMerge:
+    def test_structure(self):
+        relation = union_merge(
+            "u",
+            [("a", "rel", ["k", "v"]), ("b", "rel", ["k", "v"])],
+            source_tag_column="src",
+        )
+        assert relation.column_names == ["k", "v", "src"]
+        assert relation.sources() == [("a", "rel"), ("b", "rel")]
+        assert isinstance(relation.view, ast.SetOperation)
+        assert relation.view.kind is ast.SetOpKind.UNION_ALL
+
+    def test_distinct_union(self):
+        relation = union_merge(
+            "u", [("a", "rel", ["k"]), ("b", "rel", ["k"])], distinct=True
+        )
+        assert relation.view.kind is ast.SetOpKind.UNION
+
+    def test_column_mapping_per_source(self):
+        relation = union_merge(
+            "u",
+            [("a", "rel", {"key": "k"}), ("b", "rel", {"key": "k"})],
+        )
+        assert relation.column_names == ["key"]
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(FederationError):
+            union_merge("u", [("a", "rel", ["k"]), ("b", "rel", ["v"])])
+
+    def test_empty_sources_rejected(self):
+        with pytest.raises(FederationError):
+            union_merge("u", [])
+
+    def test_lineage_recorded(self):
+        relation = union_merge(
+            "u", [("a", "rel", {"key": "k"}), ("b", "rel", {"key": "k"})]
+        )
+        origins = relation.lineage["key"]
+        assert {(o.site, o.column) for o in origins} == {("a", "k"), ("b", "k")}
+
+    def test_execution(self, system):
+        fed = system.create_federation("f")
+        fed.add_relation(
+            union_merge(
+                "merged",
+                [("a", "rel", ["k", "v"]), ("b", "rel", ["k", "v"])],
+                source_tag_column="src",
+            )
+        )
+        result = system.query("f", "SELECT k, src FROM merged ORDER BY k, src")
+        assert result.rows == [
+            (1, "a"), (2, "a"), (2, "b"), (3, "b"),
+        ]
+
+
+class TestJoinMerge:
+    def test_structure_and_lineage(self):
+        relation = join_merge(
+            "j",
+            left=("a", "rel"),
+            right=("b", "rel"),
+            on=[("k", "k")],
+            attributes={
+                "k": ("key", 0),
+                "av": ("left", "v"),
+                "bv": ("right", "v"),
+                "v": ("resolve", "PREFER_FIRST", "v", "v"),
+            },
+        )
+        assert relation.column_names == ["k", "av", "bv", "v"]
+        assert len(relation.lineage["v"]) == 2
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(FederationError):
+            join_merge(
+                "j", ("a", "rel"), ("b", "rel"), [("k", "k")],
+                {"x": ("nonsense", "v")},
+            )
+
+    def test_execution_full_outer_with_resolution(self, system):
+        fed = system.create_federation("f")
+        fed.add_relation(
+            join_merge(
+                "j",
+                left=("a", "rel"),
+                right=("b", "rel"),
+                on=[("k", "k")],
+                attributes={
+                    "k": ("key", 0),
+                    "v": ("resolve", "PREFER_FIRST", "v", "v"),
+                    "n": ("left", "n"),
+                    "m": ("right", "m"),
+                },
+            )
+        )
+        result = system.query("f", "SELECT k, v, n, m FROM j ORDER BY k")
+        assert result.rows == [
+            (1, "x", 1.5, None),   # left-only
+            (2, "y", 2.5, 20),     # both; left v preferred
+            (3, "z", None, 30),    # right-only
+        ]
+
+
+class TestFederation:
+    def test_define_and_query_sql_view(self, system):
+        fed = system.create_federation("f")
+        fed.define_relation("av", "SELECT k, v FROM a.rel WHERE n > 2")
+        result = system.query("f", "SELECT * FROM av")
+        assert result.rows == [(2, "y")]
+
+    def test_unknown_site_rejected(self, system):
+        fed = system.create_federation("f")
+        with pytest.raises(FederationError):
+            fed.define_relation("bad", "SELECT k FROM nowhere.rel")
+
+    def test_unknown_export_rejected(self, system):
+        fed = system.create_federation("f")
+        with pytest.raises(FederationError):
+            fed.define_relation("bad", "SELECT k FROM a.ghost")
+
+    def test_duplicate_relation_rejected(self, system):
+        fed = system.create_federation("f")
+        fed.define_relation("r", "SELECT k FROM a.rel")
+        with pytest.raises(FederationError):
+            fed.define_relation("r", "SELECT k FROM b.rel")
+
+    def test_drop_and_replace(self, system):
+        fed = system.create_federation("f")
+        fed.define_relation("r", "SELECT k FROM a.rel")
+        fed.drop_relation("r")
+        assert not fed.has_relation("r")
+        with pytest.raises(FederationError):
+            fed.drop_relation("r")
+
+    def test_views_over_views(self, system):
+        fed = system.create_federation("f")
+        fed.define_relation("base", "SELECT k, n FROM a.rel")
+        fed.define_relation("derived", "SELECT k FROM base WHERE n > 2")
+        result = system.query("f", "SELECT * FROM derived")
+        assert result.rows == [(2,)]
+
+    def test_cycle_detection(self, system):
+        fed = system.create_federation("f")
+        # Manually create mutually recursive views (bypassing validation).
+        from repro.sql import parse_query
+
+        fed.relations["v1"] = IntegratedRelation("v1", parse_query("SELECT * FROM v2"))
+        fed.relations["v2"] = IntegratedRelation("v2", parse_query("SELECT * FROM v1"))
+        with pytest.raises(FederationError):
+            system.query("f", "SELECT * FROM v1")
+
+    def test_multiple_federations_independent(self, system):
+        fed1 = system.create_federation("f1")
+        fed2 = system.create_federation("f2")
+        fed1.define_relation("r", "SELECT k FROM a.rel")
+        fed2.define_relation("r", "SELECT k FROM b.rel")
+        rows1 = system.query("f1", "SELECT COUNT(*) FROM r").scalar()
+        rows2 = system.query("f2", "SELECT COUNT(*) FROM r").scalar()
+        assert rows1 == 2 and rows2 == 2
+        assert sorted(system.query("f1", "SELECT k FROM r").rows) == [(1,), (2,)]
+        assert sorted(system.query("f2", "SELECT k FROM r").rows) == [(2,), (3,)]
+
+    def test_custom_integration_function(self, system):
+        fed = system.create_federation("f")
+        fed.register_function("TWICE", lambda v: None if v is None else v * 2)
+        fed.define_relation("d", "SELECT k, TWICE(n) AS n2 FROM a.rel")
+        result = system.query("f", "SELECT n2 FROM d ORDER BY k")
+        assert result.rows == [(3.0,), (5.0,)]
+
+    def test_view_relation_helper(self):
+        relation = view_relation("x", "SELECT a FROM s.e")
+        assert relation.name == "x"
+        assert relation.sources() == [("s", "e")]
+
+    def test_definition_sql_roundtrips(self, system):
+        fed = system.create_federation("f")
+        relation = fed.define_relation("r", "SELECT k, v FROM a.rel WHERE n > 1")
+        text = relation.definition_sql()
+        assert "a.rel" in text and "WHERE" in text
+
+    def test_star_in_view_rejected_for_column_names(self):
+        relation = view_relation("x", "SELECT * FROM s.e")
+        with pytest.raises(FederationError):
+            relation.column_names

@@ -1,0 +1,128 @@
+"""Stronger serializability checks: read-modify-write under concurrency.
+
+Money-conservation under blind writes is necessary but weak; these tests do
+*read-modify-write* transfers (SELECT the balance, compute, UPDATE with the
+computed literal), which break under non-serializable interleavings (lost
+updates).  Strict 2PL at every component plus 2PC must prevent that.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.errors import MyriadError, TransactionAborted, TwoPhaseCommitError
+from repro.workloads import build_bank_sites, total_balance
+
+
+def read_modify_write_transfer(system, from_site, from_acct, to_site, to_acct,
+                               amount, timeout):
+    """Transfer via SELECT-then-UPDATE (lost-update prone without 2PL)."""
+    txn = system.begin_transaction()
+    try:
+        source_balance = txn.execute(
+            from_site,
+            f"SELECT balance FROM account WHERE acct = {from_acct}",
+            timeout=timeout,
+        ).scalar()
+        target_balance = txn.execute(
+            to_site,
+            f"SELECT balance FROM account WHERE acct = {to_acct}",
+            timeout=timeout,
+        ).scalar()
+        txn.execute(
+            from_site,
+            f"UPDATE account SET balance = {float(source_balance) - amount} "
+            f"WHERE acct = {from_acct}",
+            timeout=timeout,
+        )
+        txn.execute(
+            to_site,
+            f"UPDATE account SET balance = {float(target_balance) + amount} "
+            f"WHERE acct = {to_acct}",
+            timeout=timeout,
+        )
+        txn.commit()
+        return True
+    except (TransactionAborted, TwoPhaseCommitError):
+        return False
+    except MyriadError:
+        txn.abort()
+        return False
+
+
+class TestReadModifyWrite:
+    def test_sequential_rmw_transfers(self):
+        bank = build_bank_sites(3, 2, query_timeout=2.0)
+        rng = random.Random(5)
+        committed = 0
+        for _ in range(15):
+            a, b = rng.sample(range(3), 2)
+            if read_modify_write_transfer(
+                bank, f"b{a}", a * 2, f"b{b}", b * 2, 10.0, 2.0
+            ):
+                committed += 1
+        assert committed == 15
+        assert total_balance(bank) == pytest.approx(6 * 1000.0)
+
+    def test_concurrent_rmw_no_lost_updates(self):
+        """The acid test: concurrent RMW increments against ONE account.
+
+        Without strict 2PL holding the read lock to commit, increments get
+        lost; the final balance must equal initial + commits * amount.
+        """
+        bank = build_bank_sites(2, 1, query_timeout=5.0)
+        commits = []
+        lock = threading.Lock()
+
+        def worker(index):
+            rng = random.Random(index)
+            for _ in range(5):
+                ok = read_modify_write_transfer(
+                    bank, "b0", 0, "b1", 1, 7.0, timeout=3.0
+                )
+                with lock:
+                    commits.append(ok)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        committed = sum(1 for ok in commits if ok)
+        source = bank.query(
+            "bank", "SELECT balance FROM accounts WHERE acct = 0"
+        ).scalar()
+        target = bank.query(
+            "bank", "SELECT balance FROM accounts WHERE acct = 1"
+        ).scalar()
+        assert float(source) == pytest.approx(1000.0 - committed * 7.0)
+        assert float(target) == pytest.approx(1000.0 + committed * 7.0)
+        assert total_balance(bank) == pytest.approx(2000.0)
+
+    def test_rmw_with_contention_and_timeouts(self):
+        """Mixed outcomes under short timeouts still never lose an update."""
+        bank = build_bank_sites(2, 1, query_timeout=0.3)
+        results = []
+        lock = threading.Lock()
+
+        def worker(index):
+            for _ in range(4):
+                ok = read_modify_write_transfer(
+                    bank, "b0", 0, "b1", 1, 5.0, timeout=0.3
+                )
+                with lock:
+                    results.append(ok)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        committed = sum(1 for ok in results if ok)
+        source = bank.query(
+            "bank", "SELECT balance FROM accounts WHERE acct = 0"
+        ).scalar()
+        assert float(source) == pytest.approx(1000.0 - committed * 5.0)
+        assert total_balance(bank) == pytest.approx(2000.0)

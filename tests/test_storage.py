@@ -1,0 +1,326 @@
+"""Storage-engine tests: schemas, tables, indexes, catalog, stats."""
+
+import pytest
+
+from repro.errors import CatalogError, IntegrityError
+from repro.storage import (
+    Catalog,
+    Column,
+    HashIndex,
+    INTEGER,
+    OrderedIndex,
+    Table,
+    TableSchema,
+    VARCHAR,
+    analyze_table,
+)
+from repro.storage.stats import analyze_rows
+
+
+def make_schema(name="t", pk=("id",)):
+    return TableSchema(
+        name,
+        [
+            Column("id", INTEGER, nullable=False),
+            Column("name", VARCHAR),
+            Column("grp", INTEGER),
+        ],
+        list(pk),
+    )
+
+
+class TestTableSchema:
+    def test_column_lookup_case_insensitive(self):
+        schema = make_schema()
+        assert schema.column_index("ID") == 0
+        assert schema.column("NAME").name == "name"
+
+    def test_unknown_column(self):
+        with pytest.raises(CatalogError):
+            make_schema().column_index("nope")
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", [Column("a", INTEGER), Column("A", INTEGER)])
+
+    def test_pk_must_exist(self):
+        with pytest.raises(CatalogError):
+            make_schema(pk=("missing",))
+
+    def test_validate_row_coerces(self):
+        schema = make_schema()
+        row = schema.validate_row(["1", 42, None])
+        assert row == (1, "42", None)
+
+    def test_validate_row_wrong_arity(self):
+        with pytest.raises(IntegrityError):
+            make_schema().validate_row([1])
+
+    def test_not_null_enforced(self):
+        with pytest.raises(IntegrityError):
+            make_schema().validate_row([None, "x", 1])
+
+    def test_row_from_mapping_defaults(self):
+        schema = TableSchema(
+            "t", [Column("a", INTEGER), Column("b", VARCHAR, default="d")]
+        )
+        assert schema.row_from_mapping({"a": 1}) == (1, "d")
+
+    def test_row_from_mapping_unknown_column(self):
+        with pytest.raises(CatalogError):
+            make_schema().row_from_mapping({"zzz": 1})
+
+    def test_key_of(self):
+        schema = make_schema()
+        assert schema.key_of((7, "x", 1)) == (7,)
+        no_pk = make_schema(pk=())
+        assert no_pk.key_of((7, "x", 1)) is None
+
+
+class TestTable:
+    def test_insert_and_scan(self):
+        table = Table(make_schema())
+        rid1 = table.insert([1, "a", 10])
+        rid2 = table.insert([2, "b", 20])
+        assert rid1 != rid2
+        assert [row for _, row in table.scan()] == [(1, "a", 10), (2, "b", 20)]
+        assert len(table) == 2
+
+    def test_pk_uniqueness(self):
+        table = Table(make_schema())
+        table.insert([1, "a", 10])
+        with pytest.raises(IntegrityError):
+            table.insert([1, "dup", 20])
+        assert len(table) == 1  # failed insert left nothing behind
+
+    def test_pk_null_rejected(self):
+        table = Table(make_schema())
+        with pytest.raises(IntegrityError):
+            table.insert([None, "a", 1])
+
+    def test_delete_returns_old_row(self):
+        table = Table(make_schema())
+        rid = table.insert([1, "a", 10])
+        assert table.delete(rid) == (1, "a", 10)
+        assert len(table) == 0
+        # PK free again
+        table.insert([1, "again", 10])
+
+    def test_update(self):
+        table = Table(make_schema())
+        rid = table.insert([1, "a", 10])
+        old, new = table.update(rid, [1, "b", 11])
+        assert old == (1, "a", 10)
+        assert new == (1, "b", 11)
+        assert table.get(rid) == (1, "b", 11)
+
+    def test_update_pk_conflict_restores_old_state(self):
+        table = Table(make_schema())
+        rid = table.insert([1, "a", 10])
+        table.insert([2, "b", 20])
+        with pytest.raises(IntegrityError):
+            table.update(rid, [2, "clash", 10])
+        assert table.get(rid) == (1, "a", 10)
+        assert table.fetch_by_key((1,)) is not None
+
+    def test_restore_for_undo(self):
+        table = Table(make_schema())
+        rid = table.insert([1, "a", 10])
+        row = table.delete(rid)
+        table.restore(rid, row)
+        assert table.get(rid) == (1, "a", 10)
+        with pytest.raises(IntegrityError):
+            table.restore(rid, row)
+
+    def test_fetch_by_key(self):
+        table = Table(make_schema())
+        table.insert([5, "x", 1])
+        rid, row = table.fetch_by_key((5,))
+        assert row == (5, "x", 1)
+        assert table.fetch_by_key((99,)) is None
+
+    def test_truncate(self):
+        table = Table(make_schema())
+        table.insert([1, "a", 10])
+        table.truncate()
+        assert len(table) == 0
+        table.insert([1, "a", 10])  # PK index was cleared too
+
+    def test_secondary_index_maintenance(self):
+        table = Table(make_schema())
+        index = table.create_index("by_grp", ["grp"], ordered=True)
+        rid = table.insert([1, "a", 10])
+        table.insert([2, "b", 10])
+        assert len(index.lookup((10,))) == 2
+        table.update(rid, [1, "a", 11])
+        assert index.lookup((10,)) != index.lookup((11,))
+        assert len(index.lookup((11,))) == 1
+        table.delete(rid)
+        assert len(index.lookup((11,))) == 0
+
+    def test_create_index_on_existing_rows(self):
+        table = Table(make_schema())
+        table.insert([1, "a", 10])
+        table.insert([2, "b", 20])
+        index = table.create_index("late", ["grp"])
+        assert len(index.lookup((20,))) == 1
+
+    def test_duplicate_index_name(self):
+        table = Table(make_schema())
+        table.create_index("i", ["grp"])
+        with pytest.raises(CatalogError):
+            table.create_index("i", ["name"])
+
+    def test_find_index(self):
+        table = Table(make_schema())
+        table.create_index("i", ["grp"])
+        assert table.find_index(["GRP"]) is not None
+        assert table.find_index(["name"]) is None
+
+
+class TestIndexes:
+    def test_hash_index_basics(self):
+        index = HashIndex("i", "t", ["k"])
+        index.insert((1,), 100)
+        index.insert((1,), 101)
+        assert index.lookup((1,)) == {100, 101}
+        index.delete((1,), 100)
+        assert index.lookup((1,)) == {101}
+        assert index.lookup((9,)) == set()
+
+    def test_unique_violation(self):
+        index = HashIndex("i", "t", ["k"], unique=True)
+        index.insert((1,), 100)
+        with pytest.raises(IntegrityError):
+            index.insert((1,), 101)
+
+    def test_unique_allows_nulls(self):
+        index = HashIndex("i", "t", ["k"], unique=True)
+        index.insert((None,), 1)
+        index.insert((None,), 2)  # SQL: NULLs don't collide
+        assert len(index.lookup((None,))) == 2
+
+    def test_ordered_range_scan(self):
+        index = OrderedIndex("i", "t", ["k"])
+        for position, key in enumerate([5, 1, 3, 9, 7]):
+            index.insert((key,), position)
+        keys = [k for k, _ in index.range_scan((3,), (7,))]
+        assert keys == [(3,), (5,), (7,)]
+
+    def test_ordered_range_exclusive(self):
+        index = OrderedIndex("i", "t", ["k"])
+        for key in (1, 2, 3):
+            index.insert((key,), key)
+        keys = [
+            k
+            for k, _ in index.range_scan(
+                (1,), (3,), low_inclusive=False, high_inclusive=False
+            )
+        ]
+        assert keys == [(2,)]
+
+    def test_ordered_open_bounds(self):
+        index = OrderedIndex("i", "t", ["k"])
+        for key in (1, 2, 3):
+            index.insert((key,), key)
+        assert [k for k, _ in index.range_scan(None, (2,))] == [(1,), (2,)]
+        assert [k for k, _ in index.range_scan((2,), None)] == [(2,), (3,)]
+
+    def test_range_skips_null_keys(self):
+        index = OrderedIndex("i", "t", ["k"])
+        index.insert((None,), 1)
+        index.insert((2,), 2)
+        assert [k for k, _ in index.range_scan(None, None)] == [(2,)]
+
+    def test_delete_keeps_sorted_structure(self):
+        index = OrderedIndex("i", "t", ["k"])
+        for key in (1, 2, 3):
+            index.insert((key,), key)
+        index.delete((2,), 2)
+        assert [k for k, _ in index.range_scan(None, None)] == [(1,), (3,)]
+
+    def test_distinct_keys(self):
+        index = HashIndex("i", "t", ["k"])
+        index.insert((1,), 1)
+        index.insert((1,), 2)
+        index.insert((2,), 3)
+        assert index.distinct_keys == 2
+        assert len(index) == 3
+
+
+class TestCatalog:
+    def test_create_get_drop(self):
+        catalog = Catalog("db")
+        catalog.create_table(make_schema())
+        assert catalog.has_table("T")
+        assert catalog.get_table("t").name == "t"
+        catalog.drop_table("t")
+        assert not catalog.has_table("t")
+
+    def test_duplicate_table(self):
+        catalog = Catalog("db")
+        catalog.create_table(make_schema())
+        with pytest.raises(CatalogError):
+            catalog.create_table(make_schema())
+        # if_not_exists variant returns existing
+        table = catalog.create_table(make_schema(), if_not_exists=True)
+        assert table is catalog.get_table("t")
+
+    def test_drop_missing(self):
+        catalog = Catalog("db")
+        with pytest.raises(CatalogError):
+            catalog.drop_table("nope")
+        catalog.drop_table("nope", if_exists=True)
+
+    def test_stats_cached_and_invalidated(self):
+        catalog = Catalog("db")
+        table = catalog.create_table(make_schema())
+        table.insert([1, "a", 10])
+        stats1 = catalog.stats("t")
+        assert stats1.row_count == 1
+        table.insert([2, "b", 20])
+        assert catalog.stats("t").row_count == 1  # cached
+        catalog.invalidate_stats("t")
+        assert catalog.stats("t").row_count == 2
+
+
+class TestStatistics:
+    def test_analyze_table(self):
+        table = Table(make_schema())
+        for i in range(10):
+            table.insert([i, f"n{i % 3}", i % 2])
+        stats = analyze_table(table)
+        assert stats.row_count == 10
+        assert stats.column("id").distinct == 10
+        assert stats.column("name").distinct == 3
+        assert stats.column("grp").distinct == 2
+        assert stats.column("id").minimum == 0
+        assert stats.column("id").maximum == 9
+
+    def test_null_counting(self):
+        stats = analyze_rows("v", ["a"], [(1,), (None,), (None,)])
+        assert stats.column("a").null_count == 2
+        assert stats.column("a").null_fraction(3) == pytest.approx(2 / 3)
+
+    def test_eq_selectivity(self):
+        stats = analyze_rows("v", ["a"], [(i % 4,) for i in range(100)])
+        assert stats.column("a").eq_selectivity(100) == pytest.approx(0.25)
+
+    def test_range_selectivity_histogram(self):
+        stats = analyze_rows("v", ["a"], [(float(i),) for i in range(100)])
+        sel = stats.column("a").range_selectivity("<", 25.0, 100)
+        assert 0.15 < sel < 0.35
+
+    def test_range_selectivity_extremes(self):
+        stats = analyze_rows("v", ["a"], [(float(i),) for i in range(100)])
+        assert stats.column("a").range_selectivity("<", 1000.0, 100) == 1.0
+        assert stats.column("a").range_selectivity(">", 1000.0, 100) == 0.0
+
+    def test_empty_table_stats(self):
+        stats = analyze_rows("v", ["a"], [])
+        assert stats.row_count == 0
+        assert stats.column("a").eq_selectivity(0) == 0.0
+
+    def test_avg_row_bytes(self):
+        stats = analyze_rows("v", ["a", "b"], [(1, "hello")])
+        assert stats.avg_row_bytes > 0

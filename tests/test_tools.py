@@ -1,0 +1,156 @@
+"""Tests for the schema browser and the query-interface REPL."""
+
+import pytest
+
+from repro.tools import QueryInterface, browser
+
+
+class TestBrowser:
+    def test_list_components(self, university):
+        text = browser.list_components(university)
+        assert "twin_cities [oracle]" in text
+        assert "duluth [postgres]" in text
+        assert "tc_student" in text
+
+    def test_list_exports(self, university):
+        text = browser.list_exports(university, "twin_cities")
+        assert "student" in text
+        assert "name<-sname" in text
+
+    def test_list_federations(self, university):
+        text = browser.list_federations(university)
+        assert "university" in text
+        assert "staff_directory" in text
+
+    def test_describe_relation(self, university):
+        text = browser.describe_relation(university, "university", "student")
+        assert "columns: sid, name, gpa, major, campus" in text
+        assert "twin_cities.student" in text
+        assert "definition: SELECT" in text
+
+    def test_describe_export(self, university):
+        text = browser.describe_export(university, "duluth", "student")
+        assert "rows: 60" in text
+        assert "PRIMARY KEY (sid)" in text
+
+    def test_format_result(self):
+        text = browser.format_result(
+            ["a", "long_column"], [(1, "x"), (None, 2.5)]
+        )
+        assert "long_column" in text
+        assert "NULL" in text
+        assert "(2 rows)" in text
+
+    def test_format_result_truncation(self):
+        text = browser.format_result(["n"], [(i,) for i in range(100)], limit=5)
+        assert "(100 rows total)" in text
+
+
+class TestREPL:
+    @pytest.fixture
+    def ui(self, university):
+        return QueryInterface(university, federation="university")
+
+    def test_defaults_to_existing_federation(self, university):
+        names_before = university.federation_names()
+        ui = QueryInterface(university)
+        assert ui.current_federation in names_before
+
+    def test_query_returns_table_and_footer(self, ui):
+        out = ui.run_line("SELECT COUNT(*) FROM student")
+        assert "120" in out
+        assert "msgs" in out and "bytes" in out
+
+    def test_commands(self, ui):
+        assert "twin_cities" in ui.run_line("\\components")
+        assert "student" in ui.run_line("\\relations")
+        assert "Integrated relation course" in ui.run_line("\\describe course")
+        assert "GlobalPlan" in ui.run_line("\\explain SELECT sid FROM student")
+        assert "GlobalPlan[simple]" in ui.run_line(
+            "\\explain simple SELECT sid FROM student"
+        )
+
+    def test_optimizer_switch(self, ui):
+        assert "simple" in ui.run_line("\\optimizer simple")
+        assert ui.optimizer == "simple"
+        assert "usage" in ui.run_line("\\optimizer bogus")
+
+    def test_unknown_command(self, ui):
+        assert "unknown command" in ui.run_line("\\frobnicate")
+
+    def test_error_reported_not_raised(self, ui):
+        out = ui.run_line("SELECT * FROM no_such_relation")
+        assert out.startswith("error:")
+
+    def test_empty_line(self, ui):
+        assert ui.run_line("   ") == ""
+
+    def test_define_and_drop_relation(self, ui):
+        out = ui.run_line(
+            "\\define honor_roll AS SELECT name, gpa FROM twin_cities.student "
+            "WHERE gpa > 3.8"
+        )
+        assert "defined" in out
+        assert "honor_roll" in ui.run_line("\\relations")
+        result = ui.run_line("SELECT COUNT(*) FROM honor_roll")
+        assert "error" not in result
+        assert "dropped" in ui.run_line("\\drop relation honor_roll")
+
+    def test_transaction_flow(self, ui):
+        assert "started" in ui.run_line("BEGIN")
+        out = ui.run_line(
+            "\\at duluth UPDATE payroll_staff SET salary = salary + 1 "
+            "WHERE employee = 1"
+        )
+        assert "row(s) affected" in out
+        assert "committed" in ui.run_line("COMMIT")
+
+    def test_rollback_flow(self, ui, university):
+        before = university.query(
+            "university", "SELECT SUM(salary) FROM staff_directory"
+        ).scalar()
+        ui.run_line("BEGIN")
+        ui.run_line(
+            "\\at duluth UPDATE payroll_staff SET salary = 0"
+        )
+        assert "aborted" in ui.run_line("ROLLBACK")
+        after = university.query(
+            "university", "SELECT SUM(salary) FROM staff_directory"
+        ).scalar()
+        assert after == pytest.approx(before)
+
+    def test_at_requires_transaction(self, ui):
+        assert "requires an open" in ui.run_line("\\at duluth SELECT 1")
+
+    def test_commit_without_begin(self, ui):
+        assert "error" in ui.run_line("COMMIT")
+
+    def test_double_begin(self, ui):
+        ui.run_line("BEGIN")
+        assert "already open" in ui.run_line("BEGIN")
+        ui.run_line("ROLLBACK")
+
+    def test_create_federation_and_use(self, ui):
+        assert "created" in ui.run_line("\\create federation scratch")
+        assert ui.current_federation == "scratch"
+        assert "using federation university" in ui.run_line("\\use university")
+
+    def test_export_command(self, ui, university):
+        university.component("duluth").execute(
+            "CREATE TABLE extra (id INTEGER PRIMARY KEY)"
+        )
+        out = ui.run_line("\\export duluth extra AS extra_rel")
+        assert "exported duluth.extra_rel" in out
+
+    def test_transactional_read_through_repl(self, ui):
+        ui.run_line("BEGIN")
+        out = ui.run_line("SELECT COUNT(*) FROM student")
+        assert "120" in out
+        ui.run_line("COMMIT")
+
+    def test_help(self, ui):
+        assert "\\components" in ui.run_line("\\help")
+
+    def test_run_script(self, ui):
+        outputs = ui.run_script("\\relations\nSELECT COUNT(*) FROM course")
+        assert len(outputs) == 2

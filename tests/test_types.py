@@ -1,0 +1,188 @@
+"""Value/type-system tests: coercions, NULL handling, 3VL."""
+
+import datetime
+from decimal import Decimal
+
+import pytest
+
+from repro.errors import SQLTypeError
+from repro.storage.types import (
+    BOOLEAN,
+    DATE,
+    DECIMAL,
+    FLOAT,
+    INTEGER,
+    TIMESTAMP,
+    VARCHAR,
+    DataType,
+    TypeKind,
+    infer_type,
+    null_first_key,
+    tv_and,
+    tv_not,
+    tv_or,
+)
+
+
+class TestTypeResolution:
+    @pytest.mark.parametrize(
+        "name,kind",
+        [
+            ("INT", TypeKind.INTEGER),
+            ("integer", TypeKind.INTEGER),
+            ("SMALLINT", TypeKind.INTEGER),
+            ("FLOAT", TypeKind.FLOAT),
+            ("DOUBLE", TypeKind.FLOAT),
+            ("NUMBER", TypeKind.DECIMAL),
+            ("NUMERIC", TypeKind.DECIMAL),
+            ("VARCHAR", TypeKind.VARCHAR),
+            ("VARCHAR2", TypeKind.VARCHAR),
+            ("TEXT", TypeKind.VARCHAR),
+            ("BOOLEAN", TypeKind.BOOLEAN),
+            ("DATE", TypeKind.DATE),
+            ("TIMESTAMP", TypeKind.TIMESTAMP),
+        ],
+    )
+    def test_aliases(self, name, kind):
+        assert DataType.from_name(name).kind is kind
+
+    def test_embedded_params(self):
+        dt = DataType.from_name("VARCHAR(40)")
+        assert dt.params == (40,)
+        assert dt.name == "VARCHAR(40)"
+
+    def test_two_params(self):
+        assert DataType.from_name("NUMBER(10,2)").params == (10, 2)
+
+    def test_unknown_type(self):
+        with pytest.raises(SQLTypeError):
+            DataType.from_name("BLOB9")
+
+    def test_bad_params(self):
+        with pytest.raises(SQLTypeError):
+            DataType.from_name("VARCHAR(x)")
+
+
+class TestCoercion:
+    def test_null_always_valid(self):
+        for dt in (INTEGER, FLOAT, VARCHAR, BOOLEAN, DATE, TIMESTAMP, DECIMAL):
+            assert dt.validate(None) is None
+
+    def test_integer(self):
+        assert INTEGER.validate(5) == 5
+        assert INTEGER.validate(5.0) == 5
+        assert INTEGER.validate("7") == 7
+        assert INTEGER.validate(True) == 1
+
+    def test_integer_rejects_fraction(self):
+        with pytest.raises(SQLTypeError):
+            INTEGER.validate(5.5)
+
+    def test_integer_rejects_garbage(self):
+        with pytest.raises(SQLTypeError):
+            INTEGER.validate("five")
+
+    def test_float(self):
+        assert FLOAT.validate(3) == 3.0
+        assert isinstance(FLOAT.validate(3), float)
+        assert FLOAT.validate("2.5") == 2.5
+
+    def test_decimal(self):
+        assert DECIMAL.validate(1.5) == Decimal("1.5")
+        assert DECIMAL.validate("2.25") == Decimal("2.25")
+
+    def test_varchar(self):
+        assert VARCHAR.validate(5) == "5"
+        assert VARCHAR.validate("x") == "x"
+
+    def test_varchar_length_enforced(self):
+        dt = DataType.from_name("VARCHAR(3)")
+        assert dt.validate("abc") == "abc"
+        with pytest.raises(SQLTypeError):
+            dt.validate("abcd")
+
+    def test_boolean(self):
+        assert BOOLEAN.validate("true") is True
+        assert BOOLEAN.validate(0) is False
+        assert BOOLEAN.validate("N") is False
+        with pytest.raises(SQLTypeError):
+            BOOLEAN.validate("maybe")
+
+    def test_date(self):
+        assert DATE.validate("2020-03-01") == datetime.date(2020, 3, 1)
+        assert DATE.validate(datetime.datetime(2020, 3, 1, 5)) == datetime.date(
+            2020, 3, 1
+        )
+        with pytest.raises(SQLTypeError):
+            DATE.validate("03/01/2020")
+
+    def test_timestamp(self):
+        ts = TIMESTAMP.validate("2020-03-01 10:30:00")
+        assert ts == datetime.datetime(2020, 3, 1, 10, 30)
+        assert TIMESTAMP.validate(datetime.date(2020, 3, 1)).hour == 0
+
+    def test_is_numeric(self):
+        assert INTEGER.is_numeric() and FLOAT.is_numeric() and DECIMAL.is_numeric()
+        assert not VARCHAR.is_numeric()
+
+
+class TestInference:
+    def test_infer(self):
+        assert infer_type(True).kind is TypeKind.BOOLEAN
+        assert infer_type(1).kind is TypeKind.INTEGER
+        assert infer_type(1.5).kind is TypeKind.FLOAT
+        assert infer_type("x").kind is TypeKind.VARCHAR
+        assert infer_type(datetime.date.today()).kind is TypeKind.DATE
+        assert infer_type(datetime.datetime.now()).kind is TypeKind.TIMESTAMP
+
+    def test_infer_unknown(self):
+        with pytest.raises(SQLTypeError):
+            infer_type(object())
+
+
+class TestThreeValuedLogic:
+    TRUTHS = [True, False, None]
+
+    def test_and_truth_table(self):
+        assert tv_and(True, True) is True
+        assert tv_and(True, False) is False
+        assert tv_and(False, None) is False
+        assert tv_and(None, False) is False
+        assert tv_and(True, None) is None
+        assert tv_and(None, None) is None
+
+    def test_or_truth_table(self):
+        assert tv_or(False, False) is False
+        assert tv_or(True, None) is True
+        assert tv_or(None, True) is True
+        assert tv_or(False, None) is None
+        assert tv_or(None, None) is None
+
+    def test_not(self):
+        assert tv_not(True) is False
+        assert tv_not(False) is True
+        assert tv_not(None) is None
+
+    def test_de_morgan(self):
+        for a in self.TRUTHS:
+            for b in self.TRUTHS:
+                assert tv_not(tv_and(a, b)) == tv_or(tv_not(a), tv_not(b))
+                assert tv_not(tv_or(a, b)) == tv_and(tv_not(a), tv_not(b))
+
+    def test_commutativity(self):
+        for a in self.TRUTHS:
+            for b in self.TRUTHS:
+                assert tv_and(a, b) == tv_and(b, a)
+                assert tv_or(a, b) == tv_or(b, a)
+
+
+class TestSortKeys:
+    def test_nulls_first(self):
+        values = [3, None, 1, None, 2]
+        ordered = sorted(values, key=null_first_key)
+        assert ordered[:2] == [None, None]
+        assert ordered[2:] == [1, 2, 3]
+
+    def test_mixed_numeric(self):
+        values = [Decimal("2.5"), 1, 3.5]
+        assert sorted(values, key=null_first_key) == [1, Decimal("2.5"), 3.5]

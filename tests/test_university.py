@@ -1,0 +1,164 @@
+"""End-to-end tests on the university example federation (paper's demo)."""
+
+import pytest
+
+from repro.workloads import gpa_from_percent
+
+
+class TestIntegrationFunctions:
+    def test_gpa_conversion(self):
+        assert gpa_from_percent(100.0) == 4.0
+        assert gpa_from_percent(50.0) == 2.0
+        assert gpa_from_percent(None) is None
+
+
+class TestStudentUnion:
+    def test_both_campuses_present(self, university):
+        result = university.query(
+            "university",
+            "SELECT campus, COUNT(*) FROM student GROUP BY campus ORDER BY campus",
+        )
+        assert result.rows == [("duluth", 60), ("twin_cities", 60)]
+
+    def test_gpa_normalised_to_four_point_scale(self, university):
+        low, high = university.query(
+            "university", "SELECT MIN(gpa), MAX(gpa) FROM student"
+        ).rows[0]
+        assert 0.0 <= float(low) <= 4.0
+        assert 0.0 <= float(high) <= 4.0
+
+    def test_cross_campus_ranking(self, university):
+        result = university.query(
+            "university",
+            "SELECT name, campus FROM student ORDER BY gpa DESC LIMIT 5",
+        )
+        assert len(result) == 5
+
+    def test_filter_applies_through_integration_function(self, university):
+        total = university.query(
+            "university", "SELECT COUNT(*) FROM student WHERE gpa >= 3.0"
+        ).scalar()
+        manual = university.query(
+            "university", "SELECT gpa FROM student"
+        )
+        expected = sum(1 for (g,) in manual.rows if g is not None and float(g) >= 3.0)
+        assert total == expected
+
+
+class TestEnrollmentJoin:
+    def test_avg_grade_per_major(self, university):
+        result = university.query(
+            "university",
+            "SELECT s.major, COUNT(*) AS n, AVG(e.grade) AS avg_grade "
+            "FROM student s JOIN enrollment e ON s.sid = e.sid "
+            "GROUP BY s.major ORDER BY s.major",
+        )
+        assert len(result) >= 4
+        for _, n, avg_grade in result.rows:
+            assert n > 0
+            assert 0.0 <= float(avg_grade) <= 4.0
+
+    def test_enrollments_match_campus(self, university):
+        """Students only enroll in their own campus's courses (by construction)."""
+        cross = university.query(
+            "university",
+            "SELECT COUNT(*) FROM student s JOIN enrollment e ON s.sid = e.sid "
+            "WHERE s.campus <> e.campus",
+        ).scalar()
+        assert cross == 0
+
+
+class TestStaffDirectoryJoinMerge:
+    def test_full_outer_semantics(self, university):
+        hr_count = university.gateway("twin_cities").export_stats(
+            "staff_hr"
+        ).row_count
+        payroll_count = university.gateway("duluth").export_stats(
+            "staff_payroll"
+        ).row_count
+        directory = university.query(
+            "university", "SELECT COUNT(*) FROM staff_directory"
+        ).scalar()
+        both = university.query(
+            "university",
+            "SELECT COUNT(*) FROM staff_directory "
+            "WHERE name IS NOT NULL AND salary IS NOT NULL",
+        ).scalar()
+        assert directory == hr_count + payroll_count - both
+
+    def test_phone_conflict_resolution_prefers_hr(self, university):
+        rows = university.query(
+            "university",
+            "SELECT emp_id, phone FROM staff_directory WHERE emp_id <= 20",
+        ).to_dicts()
+        hr_phones = dict(
+            university.gateway("twin_cities")
+            .execute_query("SELECT emp_id, phone FROM staff_hr")
+            .rows
+        )
+        for row in rows:
+            hr_phone = hr_phones.get(row["emp_id"])
+            if hr_phone is not None:
+                assert row["phone"] == hr_phone
+
+    def test_duluth_only_staff_have_null_names(self, university):
+        rows = university.query(
+            "university",
+            "SELECT name, salary FROM staff_directory WHERE emp_id > 20",
+        ).rows
+        assert rows  # the generator creates 5 Duluth-only employees
+        for name, salary in rows:
+            assert name is None
+            assert salary is not None
+
+
+class TestOptimizersOnRealisticQueries:
+    QUERIES = [
+        "SELECT COUNT(*) FROM student WHERE gpa > 3.5",
+        "SELECT major, COUNT(*) FROM student GROUP BY major ORDER BY major",
+        "SELECT s.name FROM student s JOIN enrollment e ON s.sid = e.sid "
+        "GROUP BY s.name HAVING COUNT(*) >= 3 ORDER BY s.name LIMIT 10",
+        "SELECT title FROM course WHERE campus = 'duluth' ORDER BY title LIMIT 5",
+    ]
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_optimizers_agree(self, university, sql):
+        simple = university.query("university", sql, optimizer="simple")
+        cost = university.query("university", sql, optimizer="cost")
+        assert sorted(map(repr, simple.rows)) == sorted(map(repr, cost.rows))
+
+    def test_cost_never_ships_more_than_simple(self, university):
+        for sql in self.QUERIES:
+            simple = university.query("university", sql, optimizer="simple")
+            cost = university.query("university", sql, optimizer="cost")
+            assert cost.bytes_shipped <= simple.bytes_shipped
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        from repro.workloads import build_university_system
+
+        one = build_university_system(
+            students_per_campus=10, courses_per_campus=4, staff_count=5, seed=3
+        )
+        two = build_university_system(
+            students_per_campus=10, courses_per_campus=4, staff_count=5, seed=3
+        )
+        q = "SELECT name, gpa FROM student ORDER BY sid, campus"
+        assert (
+            one.query("university", q).rows == two.query("university", q).rows
+        )
+
+    def test_different_seed_different_data(self):
+        from repro.workloads import build_university_system
+
+        one = build_university_system(
+            students_per_campus=10, courses_per_campus=4, staff_count=5, seed=3
+        )
+        two = build_university_system(
+            students_per_campus=10, courses_per_campus=4, staff_count=5, seed=4
+        )
+        q = "SELECT name FROM student ORDER BY sid, campus"
+        assert (
+            one.query("university", q).rows != two.query("university", q).rows
+        )

@@ -1,0 +1,219 @@
+"""Tests for the saga workflow layer (paper §3 future work)."""
+
+import pytest
+
+from repro.errors import TransactionAborted
+from repro.workflow import (
+    WorkflowEngine,
+    WorkflowError,
+    WorkflowStatus,
+    WorkflowStep,
+    recover_workflows,
+)
+from repro.workloads import build_bank_sites, total_balance
+
+
+def transfer_step(name, from_site, from_acct, to_site, to_acct, amount):
+    def action(txn, ctx):
+        txn.execute(
+            from_site,
+            f"UPDATE account SET balance = balance - {amount} "
+            f"WHERE acct = {from_acct}",
+        )
+        txn.execute(
+            to_site,
+            f"UPDATE account SET balance = balance + {amount} "
+            f"WHERE acct = {to_acct}",
+        )
+        ctx.setdefault("transfers", []).append(name)
+
+    def compensation(txn, ctx):
+        txn.execute(
+            from_site,
+            f"UPDATE account SET balance = balance + {amount} "
+            f"WHERE acct = {from_acct}",
+        )
+        txn.execute(
+            to_site,
+            f"UPDATE account SET balance = balance - {amount} "
+            f"WHERE acct = {to_acct}",
+        )
+
+    return WorkflowStep(name, action, compensation)
+
+
+def failing_step(name="boom"):
+    def action(txn, ctx):
+        txn.execute("b0", "UPDATE account SET balance = balance + 0 WHERE acct = 0")
+        raise TransactionAborted("simulated business failure")
+
+    return WorkflowStep(name, action)
+
+
+@pytest.fixture
+def bank():
+    return build_bank_sites(3, 2, query_timeout=1.0)
+
+
+class TestHappyPath:
+    def test_multi_step_workflow_commits(self, bank):
+        engine = WorkflowEngine(bank)
+        run = engine.run(
+            [
+                transfer_step("s1", "b0", 0, "b1", 2, 100),
+                transfer_step("s2", "b1", 2, "b2", 4, 50),
+                transfer_step("s3", "b2", 4, "b0", 0, 25),
+            ]
+        )
+        assert run.status is WorkflowStatus.COMMITTED
+        assert run.completed_steps == ["s1", "s2", "s3"]
+        assert engine.committed == 1
+        assert total_balance(bank) == 6000.0
+        # each step was its own global transaction
+        assert bank.transactions.commits == 3
+
+    def test_context_flows_between_steps(self, bank):
+        engine = WorkflowEngine(bank)
+
+        def read_balance(txn, ctx):
+            ctx["balance"] = float(
+                txn.execute(
+                    "b0", "SELECT balance FROM account WHERE acct = 0"
+                ).scalar()
+            )
+
+        def spend_half(txn, ctx):
+            half = ctx["balance"] / 2
+            txn.execute(
+                "b0",
+                f"UPDATE account SET balance = balance - {half} WHERE acct = 0",
+            )
+
+        run = engine.run(
+            [
+                WorkflowStep("read", read_balance),
+                WorkflowStep("spend", spend_half),
+            ]
+        )
+        assert run.context["balance"] == 1000.0
+        value = bank.query(
+            "bank", "SELECT balance FROM accounts WHERE acct = 0"
+        ).scalar()
+        assert float(value) == 500.0
+
+    def test_history_is_durable(self, bank):
+        engine = WorkflowEngine(bank)
+        run = engine.run([transfer_step("s1", "b0", 0, "b1", 2, 10)])
+        history = engine.history(run.workflow_id)
+        assert history[0] == "begin"
+        assert history[-1] == "committed"
+        engine.log.simulate_crash()
+        assert engine.history(run.workflow_id)  # flushed, survives
+
+
+class TestCompensation:
+    def test_failure_compensates_completed_steps(self, bank):
+        engine = WorkflowEngine(bank)
+        with pytest.raises(WorkflowError) as exc:
+            engine.run(
+                [
+                    transfer_step("s1", "b0", 0, "b1", 2, 100),
+                    transfer_step("s2", "b1", 2, "b2", 4, 50),
+                    failing_step("s3"),
+                ]
+            )
+        assert exc.value.compensated
+        assert engine.compensated == 1
+        # Everything semantically undone.
+        assert total_balance(bank) == 6000.0
+        for acct, expected in ((0, 1000.0), (2, 1000.0), (4, 1000.0)):
+            value = bank.query(
+                "bank", f"SELECT balance FROM accounts WHERE acct = {acct}"
+            ).scalar()
+            assert float(value) == expected
+
+    def test_first_step_failure_needs_no_compensation(self, bank):
+        engine = WorkflowEngine(bank)
+        with pytest.raises(WorkflowError) as exc:
+            engine.run([failing_step("s1")])
+        assert exc.value.compensated
+        assert total_balance(bank) == 6000.0
+
+    def test_step_retry(self, bank):
+        engine = WorkflowEngine(bank)
+        attempts = []
+
+        def flaky(txn, ctx):
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise TransactionAborted("transient")
+            txn.execute(
+                "b0", "UPDATE account SET balance = balance + 1 WHERE acct = 0"
+            )
+
+        run = engine.run(
+            [WorkflowStep("flaky", flaky)], max_attempts_per_step=3
+        )
+        assert run.status is WorkflowStatus.COMMITTED
+        assert len(attempts) == 3
+
+    def test_failed_compensation_marks_stuck(self, bank):
+        engine = WorkflowEngine(bank)
+
+        def bad_compensation(txn, ctx):
+            raise TransactionAborted("compensation broken")
+
+        step1 = transfer_step("s1", "b0", 0, "b1", 2, 10)
+        step1.compensation = bad_compensation
+        with pytest.raises(WorkflowError) as exc:
+            engine.run([step1, failing_step("s2")])
+        assert not exc.value.compensated
+        assert engine.stuck == 1
+        run = list(engine.runs.values())[0]
+        assert run.status is WorkflowStatus.STUCK
+
+    def test_unexpected_exception_propagates_after_abort(self, bank):
+        engine = WorkflowEngine(bank)
+
+        def buggy(txn, ctx):
+            raise ValueError("programming error")
+
+        with pytest.raises(ValueError):
+            engine.run([WorkflowStep("buggy", buggy)])
+        # the step transaction was aborted, nothing leaked
+        assert total_balance(bank) == 6000.0
+
+
+class TestRecovery:
+    def test_recover_half_finished_workflow(self, bank):
+        engine = WorkflowEngine(bank)
+        steps = [
+            transfer_step("s1", "b0", 0, "b1", 2, 100),
+            transfer_step("s2", "b1", 2, "b2", 4, 50),
+        ]
+        # Simulate a crash after s1: run only the first step manually.
+        run = engine.runs.setdefault(
+            "W_CRASH",
+            __import__("repro.workflow.saga", fromlist=["WorkflowRun"]).WorkflowRun(
+                workflow_id="W_CRASH",
+                step_names=["s1", "s2"],
+            ),
+        )
+        assert engine._execute_step(run, steps[0], 1)
+        run.completed_steps.append("s1")
+
+        recovered = recover_workflows(
+            engine, {step.name: step for step in steps}
+        )
+        assert recovered == ["W_CRASH"]
+        assert run.status is WorkflowStatus.COMPENSATED
+        assert total_balance(bank) == 6000.0
+        value = bank.query(
+            "bank", "SELECT balance FROM accounts WHERE acct = 0"
+        ).scalar()
+        assert float(value) == 1000.0
+
+    def test_recovery_ignores_finished_workflows(self, bank):
+        engine = WorkflowEngine(bank)
+        engine.run([transfer_step("s1", "b0", 0, "b1", 2, 10)])
+        assert recover_workflows(engine, {}) == []
