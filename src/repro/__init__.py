@@ -18,7 +18,9 @@ from repro.errors import (
     GatewayError,
     GatewayTimeout,
     LockTimeoutError,
+    MessageDropped,
     MyriadError,
+    NetworkError,
     TransactionAborted,
     TwoPhaseCommitError,
 )
@@ -39,6 +41,8 @@ __all__ = [
     "GatewayTimeout",
     "DeadlockError",
     "LockTimeoutError",
+    "NetworkError",
+    "MessageDropped",
     "TransactionAborted",
     "TwoPhaseCommitError",
     "__version__",

@@ -25,6 +25,10 @@ class LogRecordType(enum.Enum):
     COORD_COMMIT = "COORD_COMMIT"
     COORD_ABORT = "COORD_ABORT"
     COORD_END = "COORD_END"
+    # Decision-delivery bookkeeping: a decision message to one participant
+    # could not be delivered (parked for recovery) / was finally delivered.
+    COORD_PENDING = "COORD_PENDING"
+    COORD_DELIVERED = "COORD_DELIVERED"
 
 
 @dataclass(frozen=True)
@@ -84,6 +88,24 @@ class WriteAheadLog:
             ):
                 finished.add(record.txn_id)
         return prepared - finished
+
+    def pending_deliveries(self) -> dict[tuple[object, str], str]:
+        """(txn_id, site) → decision for parked, still-undelivered decisions.
+
+        A ``COORD_PENDING`` record parks one participant's undeliverable
+        COMMIT/ABORT decision; a later ``COORD_DELIVERED`` record for the
+        same (txn, site) clears it.  Only durable records count — this is
+        the coordinator's crash-surviving pending-delivery list.
+        """
+        pending: dict[tuple[object, str], str] = {}
+        for record in self.durable_records():
+            if record.record_type is LogRecordType.COORD_PENDING:
+                site, decision = record.payload
+                pending[(record.txn_id, site)] = decision
+            elif record.record_type is LogRecordType.COORD_DELIVERED:
+                (site,) = record.payload
+                pending.pop((record.txn_id, site), None)
+        return pending
 
     def coordinator_decisions(self) -> dict[object, str]:
         """txn_id → 'commit' | 'abort' from durable coordinator records."""

@@ -132,3 +132,26 @@ class GatewayTimeout(GatewayError):
 
 class NetworkError(MyriadError):
     """Simulated-network failures (unknown endpoint, partition)."""
+
+
+class MessageDropped(NetworkError):
+    """A message was lost to injected faults (drop rule, crash, partition).
+
+    Carries enough context for the sender to classify the loss; the 2PC
+    coordinator uses it to drive decision-message retry and parking.
+    """
+
+    def __init__(
+        self,
+        message: str = "message dropped",
+        *,
+        source: str = "",
+        destination: str = "",
+        purpose: str = "",
+        reason: str = "",
+    ):
+        super().__init__(message)
+        self.source = source
+        self.destination = destination
+        self.purpose = purpose
+        self.reason = reason

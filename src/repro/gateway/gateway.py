@@ -20,7 +20,12 @@ from __future__ import annotations
 from decimal import Decimal
 
 from repro.engine import ResultSet
-from repro.errors import GatewayError, GatewayTimeout, LockTimeoutError
+from repro.errors import (
+    GatewayError,
+    GatewayTimeout,
+    LockTimeoutError,
+    NetworkError,
+)
 from repro.gateway.exports import ExportRelation, ExportSchema
 from repro.gateway.translate import rewrite_exports
 from repro.localdb.dbms import LocalDBMS, Session
@@ -221,7 +226,14 @@ class Gateway:
         session = self.dbms.connect()
         session.begin(global_id=global_id)
         self._txn_sessions[global_id] = session
-        self.network.send(self.site, from_site, 8, "ack", trace)
+        try:
+            self.network.send(self.site, from_site, 8, "ack", trace)
+        except NetworkError:
+            # The federation never learns this branch opened; undo it so a
+            # retried begin() starts clean instead of hitting a duplicate.
+            self._txn_sessions.pop(global_id, None)
+            session.rollback()
+            raise
 
     def has_branch(self, global_id: object) -> bool:
         return global_id in self._txn_sessions
@@ -271,20 +283,26 @@ class Gateway:
     ) -> None:
         if self.drop_next_commits > 0:
             # Simulated message loss / participant crash: the branch stays
-            # prepared (in doubt) until recovery resolves it.
+            # prepared (in doubt) until recovery resolves it.  Unlike an
+            # injected network fault this loss is silent — the coordinator
+            # believes the decision was delivered.
             self.drop_next_commits -= 1
             self.network.send(from_site, self.site, 32, "commit", trace)
             return
-        session = self._txn_sessions.pop(global_id, None)
+        session = self._txn_sessions.get(global_id)
         if session is None:
             return
+        # The decision message travels first: if the network drops it, the
+        # branch must stay in place (in doubt) so a retry or recovery can
+        # still resolve it.
         self.network.send(from_site, self.site, 32, "commit", trace)
+        self._txn_sessions.pop(global_id, None)
         if session.txn is not None and session.txn.state.name == "PREPARED":
             session.commit_prepared()
         else:
             session.commit()
-        self.network.send(self.site, from_site, 8, "ack", trace)
         self._stats_cache.clear()
+        self.network.send(self.site, from_site, 8, "ack", trace)
 
     def abort(
         self,
@@ -292,10 +310,12 @@ class Gateway:
         trace: MessageTrace | None = None,
         from_site: str = FEDERATION_SITE,
     ) -> None:
-        session = self._txn_sessions.pop(global_id, None)
+        session = self._txn_sessions.get(global_id)
         if session is None:
             return
+        # As with commit: deliver the decision before touching the branch.
         self.network.send(from_site, self.site, 32, "abort", trace)
+        self._txn_sessions.pop(global_id, None)
         if session.txn is not None and session.txn.state.name == "PREPARED":
             session.rollback_prepared()
         else:

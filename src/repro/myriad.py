@@ -20,7 +20,7 @@ from __future__ import annotations
 from repro.errors import FederationError
 from repro.gateway import Gateway
 from repro.localdb import LocalDBMS, OracleDBMS, PostgresDBMS
-from repro.net import Network
+from repro.net import FaultInjector, Network
 from repro.query import GlobalQueryProcessor, GlobalResult
 from repro.schema import Federation
 from repro.txn import GlobalTransaction, GlobalTransactionManager
@@ -44,6 +44,21 @@ class MyriadSystem:
             self.gateways, query_timeout=query_timeout
         )
         self._processors: dict[str, GlobalQueryProcessor] = {}
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+
+    def inject_faults(self, seed: int = 0) -> FaultInjector:
+        """Install (or return) the network's deterministic fault injector.
+
+        The injector is consulted on every simulated message; see
+        :class:`repro.net.FaultInjector` for drop rules, site crashes, and
+        partitions.  Idempotent: a second call returns the installed one.
+        """
+        if self.network.faults is None:
+            self.network.faults = FaultInjector(seed)
+        return self.network.faults
 
     # ------------------------------------------------------------------
     # Component management

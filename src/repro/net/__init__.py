@@ -3,6 +3,9 @@
 from repro.net.sim import (
     DEFAULT_BANDWIDTH_BYTES_PER_S,
     DEFAULT_LATENCY_S,
+    DropRule,
+    DroppedMessage,
+    FaultInjector,
     LinkProfile,
     MessageRecord,
     MessageTrace,
@@ -14,6 +17,9 @@ from repro.net.sim import (
 __all__ = [
     "DEFAULT_BANDWIDTH_BYTES_PER_S",
     "DEFAULT_LATENCY_S",
+    "DropRule",
+    "DroppedMessage",
+    "FaultInjector",
     "LinkProfile",
     "MessageRecord",
     "MessageTrace",

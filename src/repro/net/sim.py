@@ -15,9 +15,10 @@ No wall-clock sleeping happens; benchmarks read virtual seconds.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
-from repro.errors import NetworkError
+from repro.errors import MessageDropped, NetworkError
 
 #: 10BASE-T Ethernet of the era: 10 Mbit/s ≈ 1.25 MB/s on the wire.
 DEFAULT_BANDWIDTH_BYTES_PER_S = 1.25e6
@@ -139,16 +140,169 @@ class _BranchContext:
         return False
 
 
+# ---------------------------------------------------------------------------
+# Fault injection
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DropRule:
+    """One message-drop rule; ``None`` fields match any value.
+
+    ``remaining`` counts down per dropped message (``None`` = unlimited);
+    ``probability`` < 1.0 makes the rule fire stochastically from the
+    injector's seeded RNG, so runs stay reproducible.
+    """
+
+    source: str | None = None
+    destination: str | None = None
+    purpose: str | None = None
+    remaining: int | None = 1
+    probability: float = 1.0
+
+    def matches(self, source: str, destination: str, purpose: str) -> bool:
+        if self.remaining == 0:
+            return False
+        if self.source is not None and self.source != source:
+            return False
+        if self.destination is not None and self.destination != destination:
+            return False
+        if self.purpose is not None and self.purpose != purpose:
+            return False
+        return True
+
+
+@dataclass
+class DroppedMessage:
+    """Accounting record for one injected loss."""
+
+    source: str
+    destination: str
+    purpose: str
+    reason: str
+
+
+class FaultInjector:
+    """Deterministic, seed-driven fault model for the simulated network.
+
+    Three fault classes, all consulted by :meth:`Network.send`:
+
+    - **drop rules** — lose the next N (or a seeded fraction of) messages
+      on a link, optionally scoped by message ``purpose`` (``"prepare"``,
+      ``"commit"``, ...), so a test can lose exactly the 2PC decision
+      message and nothing else
+    - **site crashes** — a crashed site neither sends nor receives until
+      :meth:`restart_site`
+    - **partitions** — two site groups that cannot reach each other until
+      :meth:`heal`
+
+    Every loss is recorded in :attr:`dropped` and raised to the sender as
+    :class:`~repro.errors.MessageDropped`.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+        self._rules: list[DropRule] = []
+        self._crashed: set[str] = set()
+        self._partitions: list[tuple[frozenset, frozenset]] = []
+        self.dropped: list[DroppedMessage] = []
+
+    # -- configuration -----------------------------------------------------
+
+    def drop_next(
+        self,
+        count: int = 1,
+        source: str | None = None,
+        destination: str | None = None,
+        purpose: str | None = None,
+    ) -> DropRule:
+        """Drop the next ``count`` messages matching the filters."""
+        rule = DropRule(source, destination, purpose, remaining=count)
+        self._rules.append(rule)
+        return rule
+
+    def drop_rate(
+        self,
+        probability: float,
+        source: str | None = None,
+        destination: str | None = None,
+        purpose: str | None = None,
+    ) -> DropRule:
+        """Drop a seeded random fraction of matching messages, indefinitely."""
+        rule = DropRule(
+            source, destination, purpose, remaining=None, probability=probability
+        )
+        self._rules.append(rule)
+        return rule
+
+    def crash_site(self, site: str) -> None:
+        self._crashed.add(site)
+
+    def restart_site(self, site: str) -> None:
+        self._crashed.discard(site)
+
+    def is_crashed(self, site: str) -> bool:
+        return site in self._crashed
+
+    def partition(self, group_a, group_b) -> None:
+        self._partitions.append((frozenset(group_a), frozenset(group_b)))
+
+    def heal(self) -> None:
+        """Remove all partitions and restart every crashed site."""
+        self._partitions.clear()
+        self._crashed.clear()
+
+    def clear(self) -> None:
+        """Remove every fault (rules, crashes, partitions); keep accounting."""
+        self._rules.clear()
+        self.heal()
+
+    # -- evaluation --------------------------------------------------------
+
+    def fault_for(self, source: str, destination: str, purpose: str) -> str | None:
+        """Reason this message is lost, or ``None`` to deliver it.
+
+        Mutates rule counters, so each call models one send attempt.
+        """
+        for site in (source, destination):
+            if site in self._crashed:
+                return f"site {site!r} is crashed"
+        for group_a, group_b in self._partitions:
+            if (source in group_a and destination in group_b) or (
+                source in group_b and destination in group_a
+            ):
+                return f"partition between {source!r} and {destination!r}"
+        for rule in self._rules:
+            if not rule.matches(source, destination, purpose):
+                continue
+            if rule.probability < 1.0 and self._rng.random() >= rule.probability:
+                continue
+            if rule.remaining is not None:
+                rule.remaining -= 1
+            return f"drop rule on purpose {purpose!r}"
+        return None
+
+    def record(self, source: str, destination: str, purpose: str, reason: str) -> None:
+        self.dropped.append(DroppedMessage(source, destination, purpose, reason))
+
+
 class Network:
     """Registry of sites and link profiles with message accounting."""
 
-    def __init__(self, default_link: LinkProfile | None = None):
+    def __init__(
+        self,
+        default_link: LinkProfile | None = None,
+        faults: FaultInjector | None = None,
+    ):
         self.default_link = default_link or LinkProfile()
         self._sites: set[str] = set()
         self._links: dict[tuple[str, str], LinkProfile] = {}
+        #: Optional fault injector consulted on every send.
+        self.faults = faults
         # Cumulative counters (all traces).
         self.total_messages = 0
         self.total_bytes = 0
+        self.dropped_messages = 0
 
     # -- topology ----------------------------------------------------------
 
@@ -185,6 +339,19 @@ class Network:
             raise NetworkError(f"unknown destination site {destination!r}")
         if source == destination:
             return 0.0  # local calls are free
+        if self.faults is not None:
+            reason = self.faults.fault_for(source, destination, purpose)
+            if reason is not None:
+                self.dropped_messages += 1
+                self.faults.record(source, destination, purpose, reason)
+                raise MessageDropped(
+                    f"message {purpose!r} from {source!r} to {destination!r} "
+                    f"lost: {reason}",
+                    source=source,
+                    destination=destination,
+                    purpose=purpose,
+                    reason=reason,
+                )
         cost = self.link(source, destination).cost(payload_bytes)
         self.total_messages += 1
         self.total_bytes += payload_bytes

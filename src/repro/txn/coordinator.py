@@ -23,6 +23,8 @@ from repro.concurrency.wal import LogRecordType, WriteAheadLog
 from repro.engine import ResultSet
 from repro.errors import (
     GatewayTimeout,
+    MyriadError,
+    NetworkError,
     TransactionAborted,
     TransactionError,
     TwoPhaseCommitError,
@@ -85,11 +87,20 @@ class GlobalTransactionManager:
         gateways: dict[str, Gateway],
         query_timeout: float | None = 5.0,
         wal: WriteAheadLog | None = None,
+        decision_retry_limit: int = 3,
+        decision_retry_backoff_s: float = 0.05,
     ):
         self.gateways = gateways
         #: The paper's timeout period attached to every local query.
         self.query_timeout = query_timeout
         self.wal = wal or WriteAheadLog()
+        #: Phase-2 decision delivery: retries per participant beyond the
+        #: first attempt, with exponential virtual backoff between attempts.
+        self.decision_retry_limit = decision_retry_limit
+        self.decision_retry_backoff_s = decision_retry_backoff_s
+        #: In-memory mirror of the WAL's durable pending-delivery list:
+        #: global_id → {site: decision} for parked, undelivered decisions.
+        self.pending_deliveries: dict[object, dict[str, str]] = {}
         self._counter = itertools.count(1)
         self._mutex = threading.Lock()
         self.active: dict[str, GlobalTransaction] = {}
@@ -98,6 +109,9 @@ class GlobalTransactionManager:
         self.aborts = 0
         self.timeout_aborts = 0
         self.vote_no_aborts = 0
+        self.decision_retries = 0
+        self.decisions_parked = 0
+        self.decisions_recovered = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -143,7 +157,6 @@ class GlobalTransactionManager:
         :class:`TransactionAborted` is raised.
         """
         txn.require_active()
-        gateway = self._branch(txn, site)
         effective = timeout if timeout is not None else self.query_timeout
         parsed = sql
         if isinstance(parsed, str):
@@ -151,6 +164,7 @@ class GlobalTransactionManager:
 
             parsed = parse_statement(parsed)
         try:
+            gateway = self._branch(txn, site)
             if isinstance(parsed, (ast.Select, ast.SetOperation)):
                 return gateway.execute_query(
                     parsed,
@@ -173,6 +187,16 @@ class GlobalTransactionManager:
             # The local DBMS aborted the branch (e.g. local deadlock victim).
             self.abort(txn)
             raise
+        except NetworkError as error:
+            # The site became unreachable mid-statement (injected fault or
+            # partition): abort the global transaction; unreachable branches
+            # are parked for recovery by the abort path.
+            self.abort(txn)
+            raise TransactionAborted(
+                f"global transaction {txn.global_id} aborted: site {site!r} "
+                f"unreachable ({error})",
+                reason="network",
+            ) from error
 
     def run_global_query(
         self,
@@ -189,10 +213,10 @@ class GlobalTransactionManager:
         """
         txn.require_active()
         plan = processor.plan(sql, optimizer)
-        for fetch in plan.fetches:
-            self._branch(txn, fetch.site)
         effective = timeout if timeout is not None else self.query_timeout
         try:
+            for fetch in plan.fetches:
+                self._branch(txn, fetch.site)
             return processor.executor.execute(
                 plan,
                 trace=txn.trace,
@@ -207,6 +231,19 @@ class GlobalTransactionManager:
                 "exceeded its timeout (assumed global deadlock)",
                 reason="timeout",
             ) from None
+        except TransactionAborted:
+            # A local branch died under us (local deadlock victim): the
+            # global transaction cannot proceed with a dead branch — abort
+            # it, as execute() does, instead of leaving it ACTIVE.
+            self.abort(txn)
+            raise
+        except NetworkError as error:
+            self.abort(txn)
+            raise TransactionAborted(
+                f"global transaction {txn.global_id} aborted: a fetch site "
+                f"became unreachable ({error})",
+                reason="network",
+            ) from error
 
     # ------------------------------------------------------------------
     # Two-phase commit
@@ -218,9 +255,10 @@ class GlobalTransactionManager:
         participants = list(txn.participants)
 
         if len(participants) <= 1:
-            # One-phase: no coordination needed.
-            for site in participants:
-                self.gateways[site].commit(txn.global_id, txn.trace)
+            # One-phase: no coordination needed, but decision delivery is
+            # still retried/parked so a lost commit message cannot leave the
+            # branch holding its locks forever.
+            self._deliver_decision(txn.global_id, participants, "commit", txn.trace)
             self._finish(txn, GlobalTxnState.COMMITTED)
             return
 
@@ -237,7 +275,9 @@ class GlobalTransactionManager:
         for site in participants:
             try:
                 vote = self.gateways[site].prepare(txn.global_id, txn.trace)
-            except (GatewayTimeout, TransactionError, TransactionAborted):
+            except (GatewayTimeout, TransactionError, NetworkError):
+                # A lost PREPARE or VOTE message counts as a NO vote
+                # (presumed abort makes this safe: no decision is logged).
                 vote = False
             if not vote:
                 votes_ok = False
@@ -259,9 +299,11 @@ class GlobalTransactionManager:
         # Decision is now durable: presumed abort before this point,
         # guaranteed commit after.
         self.wal.append(LogRecordType.COORD_COMMIT, txn.global_id, flush=True)
-        for site in participants:
-            self.gateways[site].commit(txn.global_id, txn.trace)
-        self.wal.append(LogRecordType.COORD_END, txn.global_id)
+        undelivered = self._deliver_decision(
+            txn.global_id, participants, "commit", txn.trace
+        )
+        if not undelivered:
+            self.wal.append(LogRecordType.COORD_END, txn.global_id)
         self._finish(txn, GlobalTxnState.COMMITTED)
 
     def abort(self, txn: GlobalTransaction) -> None:
@@ -272,11 +314,67 @@ class GlobalTransactionManager:
         self._finish(txn, GlobalTxnState.ABORTED)
 
     def _abort_branches(self, txn: GlobalTransaction) -> None:
-        for site in txn.participants:
-            try:
-                self.gateways[site].abort(txn.global_id, txn.trace)
-            except TransactionError:  # already gone; nothing to abort
-                pass
+        self._deliver_decision(txn.global_id, txn.participants, "abort", txn.trace)
+
+    # ------------------------------------------------------------------
+    # Decision delivery (phase 2) with retry + durable parking
+    # ------------------------------------------------------------------
+
+    def _deliver_decision(
+        self,
+        global_id: object,
+        sites: list[str],
+        decision: str,
+        trace: MessageTrace | None = None,
+    ) -> list[str]:
+        """Push one COMMIT/ABORT decision to every listed participant.
+
+        Per participant: retry dropped messages up to
+        ``decision_retry_limit`` times with exponential virtual backoff
+        (charged to the trace); a participant that stays unreachable is
+        *parked* on the durable pending-delivery list, which
+        :meth:`recover_in_doubt` drains later.  A failure at one site never
+        skips the remaining sites.  Returns the parked sites.
+        """
+        undelivered: list[str] = []
+        for site in sites:
+            gateway = self.gateways[site]
+            delivered = False
+            for attempt in range(self.decision_retry_limit + 1):
+                if attempt:
+                    self.decision_retries += 1
+                    if trace is not None:
+                        trace.add_compute(
+                            self.decision_retry_backoff_s * 2 ** (attempt - 1)
+                        )
+                try:
+                    if decision == "commit":
+                        gateway.commit(global_id, trace)
+                    else:
+                        gateway.abort(global_id, trace)
+                    delivered = True
+                    break
+                except NetworkError:
+                    continue  # transient loss: back off and retry
+                except TransactionError:
+                    delivered = True  # branch already resolved; nothing to do
+                    break
+                except MyriadError:
+                    break  # non-transient local failure: park for recovery
+            if not delivered:
+                undelivered.append(site)
+                self._park_decision(global_id, site, decision)
+        return undelivered
+
+    def _park_decision(self, global_id: object, site: str, decision: str) -> None:
+        self.wal.append(
+            LogRecordType.COORD_PENDING,
+            global_id,
+            (site, decision),
+            flush=True,
+        )
+        self.pending_deliveries.setdefault(global_id, {})[site] = decision
+        self.decisions_parked += 1
 
     def execute_federated(
         self,
@@ -315,21 +413,57 @@ class GlobalTransactionManager:
     # ------------------------------------------------------------------
 
     def recover_in_doubt(self) -> list[tuple[object, str, str]]:
-        """Resolve branches left PREPARED by lost decision messages.
+        """Resolve branches left PREPARED (or parked) by lost decisions.
 
-        Re-reads the durable coordinator log: branches of transactions with
-        a COMMIT decision are committed, everything else is aborted
-        (presumed abort).  Returns (global_id, site, action) triples.
+        Two passes:
+
+        1. drain the durable pending-delivery list — decisions phase 2
+           could not push to a participant despite retries; still-unreachable
+           participants simply stay parked for the next round
+        2. the presumed-abort scan: any remaining PREPARED branch is
+           committed iff the durable coordinator log holds a COMMIT decision
+           for it, otherwise aborted
+
+        Returns (global_id, site, action) triples for everything resolved.
         """
         decisions = self.wal.coordinator_decisions()
         actions: list[tuple[object, str, str]] = []
-        for site, gateway in self.gateways.items():
-            for global_id in gateway.prepared_branches():
-                decision = decisions.get(global_id, "abort")
+        pending = self.wal.pending_deliveries()
+        for (global_id, site), decision in sorted(
+            pending.items(), key=lambda item: (str(item[0][0]), item[0][1])
+        ):
+            gateway = self.gateways.get(site)
+            if gateway is None:
+                continue
+            try:
                 if decision == "commit":
                     gateway.commit(global_id)
                 else:
                     gateway.abort(global_id)
+            except NetworkError:
+                continue  # still unreachable; stays parked
+            self.wal.append(
+                LogRecordType.COORD_DELIVERED, global_id, (site,), flush=True
+            )
+            parked = self.pending_deliveries.get(global_id)
+            if parked is not None:
+                parked.pop(site, None)
+                if not parked:
+                    del self.pending_deliveries[global_id]
+                    if decisions.get(global_id) == "commit":
+                        self.wal.append(LogRecordType.COORD_END, global_id)
+            self.decisions_recovered += 1
+            actions.append((global_id, site, decision))
+        for site, gateway in self.gateways.items():
+            for global_id in gateway.prepared_branches():
+                decision = decisions.get(global_id, "abort")
+                try:
+                    if decision == "commit":
+                        gateway.commit(global_id)
+                    else:
+                        gateway.abort(global_id)
+                except NetworkError:
+                    continue  # unreachable; a later round resolves it
                 actions.append((global_id, site, decision))
         return actions
 

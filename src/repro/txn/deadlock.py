@@ -49,18 +49,24 @@ class WaitForGraphDetector:
         return edges
 
     def find_cycles(self) -> list[list[object]]:
-        """All simple cycles in the current global wait-for graph."""
+        """All simple cycles in the current global wait-for graph.
+
+        Deduplicated by *canonical rotation* (the cycle rotated to start at
+        its smallest node), not by node set: two distinct cycles over the
+        same transactions — e.g. ``A→B→C→A`` and ``A→C→B→A`` — are both
+        reported.
+        """
         graph: dict[object, set[object]] = {}
         for source, target in self.global_edges():
             graph.setdefault(source, set()).add(target)
 
         cycles: list[list[object]] = []
-        seen_cycles: set[frozenset] = set()
+        seen_cycles: set[tuple] = set()
 
         def dfs(start: object, node: object, path: list[object]) -> None:
             for neighbour in graph.get(node, ()):
                 if neighbour == start:
-                    key = frozenset(path)
+                    key = _canonical_rotation(path)
                     if key not in seen_cycles:
                         seen_cycles.add(key)
                         cycles.append(list(path))
@@ -74,15 +80,29 @@ class WaitForGraphDetector:
     def deadlocked_transactions(self) -> set[object]:
         return {txn for cycle in self.find_cycles() for txn in cycle}
 
-    def choose_victims(self) -> list[object]:
+    def victims_for(self, cycles: list[list[object]]) -> list[object]:
         """One victim per cycle (deterministic: max by string id = youngest
         for our ``G<n>``-style identifiers of equal length, else lexicographic)."""
         victims: list[object] = []
-        for cycle in self.find_cycles():
+        for cycle in cycles:
             victim = max(cycle, key=_victim_order)
             if victim not in victims:
                 victims.append(victim)
         return victims
+
+    def choose_victims(self) -> list[object]:
+        return self.victims_for(self.find_cycles())
+
+
+def _canonical_rotation(path: list[object]) -> tuple:
+    """Rotate a cycle so its smallest node comes first.
+
+    Cycles found from different DFS start nodes are rotations of each other;
+    this key identifies them without collapsing genuinely different cycles
+    that happen to share a node set.
+    """
+    pivot = min(range(len(path)), key=lambda index: _victim_order(path[index]))
+    return tuple(path[pivot:] + path[:pivot])
 
 
 def _victim_order(txn_id: object) -> tuple[int, str]:
@@ -111,10 +131,14 @@ class GlobalDeadlockMonitor:
         self._thread = None
 
     def check_once(self) -> list[object]:
-        """One detection round; returns the victims killed."""
-        victims = self.detector.choose_victims()
-        if victims:
-            self.cycles_seen += 1
+        """One detection round; returns the victims killed.
+
+        ``cycles_seen`` counts every cycle found in the round (not merely
+        rounds-with-cycles), so it is comparable across detection intervals.
+        """
+        cycles = self.detector.find_cycles()
+        self.cycles_seen += len(cycles)
+        victims = self.detector.victims_for(cycles)
         killed = []
         for victim in victims:
             for gateway in self.gateways.values():

@@ -88,6 +88,41 @@ class TestWaitForGraphDetector:
         detector.global_edges = lambda: [("G1", "G2"), ("G2", "G1")]
         assert detector.choose_victims() == detector.choose_victims()
 
+    def test_distinct_cycles_same_node_set_not_collapsed(self):
+        """Regression: dedup by frozenset collapsed A→B→C→A with A→C→B→A."""
+        bank = build_bank_sites(2, 2)
+        detector = WaitForGraphDetector(bank.gateways)
+        detector.global_edges = lambda: [
+            ("A", "B"), ("B", "C"), ("C", "A"),
+            ("A", "C"), ("C", "B"), ("B", "A"),
+        ]
+        cycles = detector.find_cycles()
+        # Complete digraph on 3 nodes: three 2-cycles + two 3-cycles.
+        assert len([c for c in cycles if len(c) == 2]) == 3
+        assert len([c for c in cycles if len(c) == 3]) == 2
+
+    def test_rotations_of_one_cycle_counted_once(self):
+        bank = build_bank_sites(2, 2)
+        detector = WaitForGraphDetector(bank.gateways)
+        detector.global_edges = lambda: [("A", "B"), ("B", "C"), ("C", "A")]
+        assert len(detector.find_cycles()) == 1
+
+
+class TestMonitorCycleAccounting:
+    def test_check_once_counts_each_cycle(self):
+        """Regression: cycles_seen incremented once per round, not per cycle."""
+        from repro.txn import GlobalDeadlockMonitor
+
+        bank = build_bank_sites(2, 2)
+        monitor = GlobalDeadlockMonitor(bank.gateways)
+        monitor.detector.global_edges = lambda: [
+            ("G1", "G2"), ("G2", "G1"),
+            ("G3", "G4"), ("G4", "G3"),
+        ]
+        killed = monitor.check_once()
+        assert monitor.cycles_seen == 2
+        assert len(killed) == 2  # one victim per cycle
+
 
 class TestContentionHarness:
     def test_money_conserved_under_contention(self):

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.concurrency.wal import LogRecordType
-from repro.errors import TransactionAborted, TransactionError
+from repro.errors import (
+    DeadlockError,
+    GatewayError,
+    TransactionAborted,
+    TransactionError,
+)
 from repro.txn import GlobalTxnState, recover_participant
 from repro.workloads import build_bank_sites, total_balance
 
@@ -202,6 +207,57 @@ class TestRecovery:
         report = recover_participant(bank.components["b0"], bank.transactions.wal)
         assert report.committed == [] and report.aborted == []
         txn.abort()
+
+
+class TestPhase2Robustness:
+    def test_one_failing_participant_does_not_skip_the_rest(
+        self, bank, monkeypatch
+    ):
+        """Regression: a participant whose commit() blows up after
+        COORD_COMMIT is logged used to abort the loop, leaving the other
+        branches PREPARED and the transaction stuck in PREPARING."""
+        txn = bank.begin_transaction()
+        txn.execute("b0", "UPDATE account SET balance = balance - 10 WHERE acct = 0")
+        txn.execute("b1", "UPDATE account SET balance = balance + 10 WHERE acct = 4")
+        txn.execute("b2", "UPDATE account SET balance = balance + 0 WHERE acct = 8")
+
+        def exploding_commit(global_id, trace=None, from_site="federation"):
+            raise GatewayError("local commit machinery failure")
+
+        monkeypatch.setattr(bank.gateways["b1"], "commit", exploding_commit)
+        txn.commit()  # must not raise, must reach the other participants
+        assert txn.state is GlobalTxnState.COMMITTED
+        assert bank.gateways["b0"].prepared_branches() == []
+        assert bank.gateways["b2"].prepared_branches() == []
+        # The miss is recorded durably for recovery.
+        assert bank.transactions.wal.pending_deliveries() == {
+            (txn.global_id, "b1"): "commit"
+        }
+        monkeypatch.undo()
+        actions = bank.transactions.recover_in_doubt()
+        assert (txn.global_id, "b1", "commit") in actions
+        assert total_balance(bank) == 12000.0
+
+    def test_run_global_query_aborts_on_local_branch_abort(
+        self, bank, monkeypatch
+    ):
+        """Regression: a TransactionAborted from a local branch (local
+        deadlock victim) used to leave the global txn ACTIVE with a dead
+        branch; it must abort the global transaction like execute() does."""
+        txn = bank.begin_transaction()
+        processor = bank.processor("bank")
+
+        def local_victim(*args, **kwargs):
+            raise DeadlockError("local deadlock victim")
+
+        monkeypatch.setattr(processor.executor, "execute", local_victim)
+        with pytest.raises(TransactionAborted):
+            bank.transactions.run_global_query(
+                txn, processor, "SELECT SUM(balance) FROM accounts"
+            )
+        assert txn.state is GlobalTxnState.ABORTED
+        monkeypatch.undo()
+        assert total_balance(bank) == 12000.0
 
 
 class TestSerializability:
