@@ -25,12 +25,16 @@ from repro.errors import (
     TwoPhaseCommitError,
 )
 from repro.myriad import MyriadSystem
+from repro.obs import MetricsRegistry, Observability, Tracer
 from repro.schema import Federation, join_merge, union_merge, view_relation
 
 __version__ = "1.0.0"
 
 __all__ = [
     "MyriadSystem",
+    "Observability",
+    "MetricsRegistry",
+    "Tracer",
     "Federation",
     "join_merge",
     "union_merge",

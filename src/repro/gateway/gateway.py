@@ -30,6 +30,7 @@ from repro.gateway.exports import ExportRelation, ExportSchema
 from repro.gateway.translate import rewrite_exports
 from repro.localdb.dbms import LocalDBMS, Session
 from repro.net import MessageTrace, Network, estimate_rows_bytes
+from repro.obs import Observability, obs_of
 from repro.sql import ast, to_sql
 from repro.storage.stats import TableStats, analyze_rows
 
@@ -68,6 +69,10 @@ class Gateway:
         # participant crash between phases).
         self.fail_next_prepares = 0
         self.drop_next_commits = 0
+
+    @property
+    def obs(self) -> Observability:
+        return obs_of(self.network)
 
     # ------------------------------------------------------------------
     # Export management
@@ -130,23 +135,31 @@ class Gateway:
         local_query = rewrite_exports(query, self.exports)
         sql_text = to_sql(local_query, self.dbms.dialect)
 
-        self.network.send(
-            from_site, self.site, len(sql_text.encode()), "query", trace
-        )
-        session = self._session_for(global_id)
-        result = self._run_local(session, sql_text, timeout)
-        if trace is not None:
-            trace.add_compute(
+        obs = self.obs
+        with obs.span("gateway.query", site=self.site) as span:
+            request_cost = self.network.send(
+                from_site, self.site, len(sql_text.encode()), "query", trace
+            )
+            session = self._session_for(global_id)
+            result = self._run_local(session, sql_text, timeout)
+            compute_cost = (
                 self.dbms.engine.last_report.rows_scanned * LOCAL_ROW_COST_S
             )
-        self.network.send(
-            self.site,
-            from_site,
-            estimate_rows_bytes(result.rows),
-            "result",
-            trace,
-        )
-        self.queries_executed += 1
+            if trace is not None:
+                trace.add_compute(compute_cost)
+            result_bytes = estimate_rows_bytes(result.rows)
+            reply_cost = self.network.send(
+                self.site, from_site, result_bytes, "result", trace
+            )
+            self.queries_executed += 1
+            sim_latency = request_cost + compute_cost + reply_cost
+            span.set_sim(sim_latency).tag(
+                rows=len(result.rows), bytes=result_bytes
+            )
+        metrics = obs.metrics
+        metrics.inc("site.rows_shipped", len(result.rows), site=self.site)
+        metrics.inc("site.bytes_shipped", result_bytes, site=self.site)
+        metrics.observe("gateway.fetch_latency_s", sim_latency, site=self.site)
         return ResultSet(result.columns, _normalize_rows(result.rows))
 
     def execute_update(
@@ -166,12 +179,13 @@ class Gateway:
             raise GatewayError("execute_update expects a DML statement")
         local_stmt = _rewrite_dml(statement, self.exports)
         sql_text = to_sql(local_stmt, self.dbms.dialect)
-        self.network.send(
-            from_site, self.site, len(sql_text.encode()), "dml", trace
-        )
-        session = self._session_for(global_id)
-        result = self._run_local(session, sql_text, timeout)
-        self.network.send(self.site, from_site, 8, "ack", trace)
+        with self.obs.span("gateway.dml", site=self.site):
+            self.network.send(
+                from_site, self.site, len(sql_text.encode()), "dml", trace
+            )
+            session = self._session_for(global_id)
+            result = self._run_local(session, sql_text, timeout)
+            self.network.send(self.site, from_site, 8, "ack", trace)
         self._stats_cache.clear()
         if isinstance(result, ResultSet):  # pragma: no cover - defensive
             return len(result)
@@ -189,6 +203,7 @@ class Gateway:
             # Paper semantics: no answer within the timeout period ⇒ assume
             # the global transaction is deadlocked.
             self.timeouts += 1
+            self.obs.metrics.inc("gateway.timeouts", site=self.site)
             raise GatewayTimeout(
                 f"site {self.site!r}: local query exceeded its timeout "
                 f"({effective}s): {error}",
@@ -222,18 +237,20 @@ class Gateway:
             raise GatewayError(
                 f"global transaction {global_id!r} already has a branch here"
             )
-        self.network.send(from_site, self.site, 32, "begin", trace)
-        session = self.dbms.connect()
-        session.begin(global_id=global_id)
-        self._txn_sessions[global_id] = session
-        try:
-            self.network.send(self.site, from_site, 8, "ack", trace)
-        except NetworkError:
-            # The federation never learns this branch opened; undo it so a
-            # retried begin() starts clean instead of hitting a duplicate.
-            self._txn_sessions.pop(global_id, None)
-            session.rollback()
-            raise
+        with self.obs.span("gateway.begin", site=self.site, txn=global_id):
+            self.network.send(from_site, self.site, 32, "begin", trace)
+            session = self.dbms.connect()
+            session.begin(global_id=global_id)
+            self._txn_sessions[global_id] = session
+            try:
+                self.network.send(self.site, from_site, 8, "ack", trace)
+            except NetworkError:
+                # The federation never learns this branch opened; undo it
+                # so a retried begin() starts clean instead of hitting a
+                # duplicate.
+                self._txn_sessions.pop(global_id, None)
+                session.rollback()
+                raise
 
     def has_branch(self, global_id: object) -> bool:
         return global_id in self._txn_sessions
@@ -263,16 +280,21 @@ class Gateway:
         from_site: str = FEDERATION_SITE,
     ) -> bool:
         session = self._session_for(global_id)
-        self.network.send(from_site, self.site, 32, "prepare", trace)
-        if self.fail_next_prepares > 0:
-            self.fail_next_prepares -= 1
-            # Participant votes NO: its branch aborts locally right away.
+        with self.obs.span(
+            "gateway.prepare", site=self.site, txn=global_id
+        ) as span:
+            self.network.send(from_site, self.site, 32, "prepare", trace)
+            if self.fail_next_prepares > 0:
+                self.fail_next_prepares -= 1
+                # Participant votes NO: its branch aborts locally right away.
+                self.network.send(self.site, from_site, 8, "vote", trace)
+                session.rollback()
+                self._txn_sessions.pop(global_id, None)
+                span.tag(vote=False)
+                return False
+            vote = session.prepare()
             self.network.send(self.site, from_site, 8, "vote", trace)
-            session.rollback()
-            self._txn_sessions.pop(global_id, None)
-            return False
-        vote = session.prepare()
-        self.network.send(self.site, from_site, 8, "vote", trace)
+            span.tag(vote=vote)
         return vote
 
     def commit(
@@ -292,17 +314,18 @@ class Gateway:
         session = self._txn_sessions.get(global_id)
         if session is None:
             return
-        # The decision message travels first: if the network drops it, the
-        # branch must stay in place (in doubt) so a retry or recovery can
-        # still resolve it.
-        self.network.send(from_site, self.site, 32, "commit", trace)
-        self._txn_sessions.pop(global_id, None)
-        if session.txn is not None and session.txn.state.name == "PREPARED":
-            session.commit_prepared()
-        else:
-            session.commit()
-        self._stats_cache.clear()
-        self.network.send(self.site, from_site, 8, "ack", trace)
+        with self.obs.span("gateway.commit", site=self.site, txn=global_id):
+            # The decision message travels first: if the network drops it,
+            # the branch must stay in place (in doubt) so a retry or
+            # recovery can still resolve it.
+            self.network.send(from_site, self.site, 32, "commit", trace)
+            self._txn_sessions.pop(global_id, None)
+            if session.txn is not None and session.txn.state.name == "PREPARED":
+                session.commit_prepared()
+            else:
+                session.commit()
+            self._stats_cache.clear()
+            self.network.send(self.site, from_site, 8, "ack", trace)
 
     def abort(
         self,
@@ -313,14 +336,15 @@ class Gateway:
         session = self._txn_sessions.get(global_id)
         if session is None:
             return
-        # As with commit: deliver the decision before touching the branch.
-        self.network.send(from_site, self.site, 32, "abort", trace)
-        self._txn_sessions.pop(global_id, None)
-        if session.txn is not None and session.txn.state.name == "PREPARED":
-            session.rollback_prepared()
-        else:
-            session.rollback()
-        self.network.send(self.site, from_site, 8, "ack", trace)
+        with self.obs.span("gateway.abort", site=self.site, txn=global_id):
+            # As with commit: deliver the decision before touching the branch.
+            self.network.send(from_site, self.site, 32, "abort", trace)
+            self._txn_sessions.pop(global_id, None)
+            if session.txn is not None and session.txn.state.name == "PREPARED":
+                session.rollback_prepared()
+            else:
+                session.rollback()
+            self.network.send(self.site, from_site, 8, "ack", trace)
 
     # ------------------------------------------------------------------
     # Introspection for the deadlock-oracle baseline

@@ -21,6 +21,7 @@ from repro.errors import FederationError
 from repro.gateway import Gateway
 from repro.localdb import LocalDBMS, OracleDBMS, PostgresDBMS
 from repro.net import FaultInjector, Network
+from repro.obs import MetricsRegistry, Observability, Tracer
 from repro.query import GlobalQueryProcessor, GlobalResult
 from repro.schema import Federation
 from repro.txn import GlobalTransaction, GlobalTransactionManager
@@ -34,16 +35,41 @@ class MyriadSystem:
         network: Network | None = None,
         query_timeout: float | None = 5.0,
         default_optimizer: str = "cost",
+        observability: bool = True,
     ):
         self.network = network or Network()
+        # One observability handle serves the whole installation; every
+        # subsystem reaches it through the shared network.  A caller-built
+        # network that already carries a handle keeps it.
+        if self.network.obs is None:
+            self.network.obs = Observability(enabled=observability)
+        self.obs: Observability = self.network.obs
         self.components: dict[str, LocalDBMS] = {}
         self.gateways: dict[str, Gateway] = {}
         self.federations: dict[str, Federation] = {}
         self.default_optimizer = default_optimizer
         self.transactions = GlobalTransactionManager(
-            self.gateways, query_timeout=query_timeout
+            self.gateways, query_timeout=query_timeout, obs=self.obs
         )
         self._processors: dict[str, GlobalQueryProcessor] = {}
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """System-wide metrics registry (counters / gauges / histograms)."""
+        return self.obs.metrics
+
+    @property
+    def tracer(self) -> Tracer:
+        """System-wide span tracer (query, 2PC, and deadlock-sweep spans)."""
+        return self.obs.tracer
+
+    def observability_report(self, last_spans: int | None = 8) -> str:
+        """Text dump of collected metrics and the most recent span trees."""
+        return self.obs.render(last_spans=last_spans)
 
     # ------------------------------------------------------------------
     # Fault injection

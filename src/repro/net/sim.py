@@ -55,6 +55,15 @@ class MessageTrace:
     elapsed times are tracked separately and the section contributes the
     maximum branch time to the enclosing sequence — modelling concurrent
     subquery shipping.
+
+    Cost-attribution contract (see ``TestMessageTrace`` for the executable
+    spec): costs recorded *inside an open branch* accrue to that branch;
+    costs recorded inside a parallel section but *outside any branch*
+    (coordinator-side work between fetches) accrue sequentially to
+    ``elapsed_s``.  Entering a branch with no open parallel section, or
+    closing a section that was never opened, is misuse and raises
+    :class:`~repro.errors.NetworkError` immediately rather than silently
+    corrupting later measurements.
     """
 
     def __init__(self):
@@ -67,12 +76,7 @@ class MessageTrace:
 
     def add(self, record: MessageRecord) -> None:
         self.records.append(record)
-        if self._parallel_stack and self._branch_stack:
-            branches = self._parallel_stack[-1]
-            branch = self._branch_stack[-1]
-            branches[branch] = branches.get(branch, 0.0) + record.cost_s
-        else:
-            self.elapsed_s += record.cost_s
+        self.add_compute(record.cost_s)
 
     def add_compute(self, seconds: float) -> None:
         """Account local (site) processing time into the same timeline."""
@@ -89,9 +93,18 @@ class MessageTrace:
         self._parallel_stack.append({})
 
     def branch(self, name: str) -> "_BranchContext":
+        if not self._parallel_stack:
+            raise NetworkError(
+                f"branch({name!r}) requires an open parallel section; "
+                "call begin_parallel() first"
+            )
         return _BranchContext(self, name)
 
     def end_parallel(self) -> None:
+        if not self._parallel_stack:
+            raise NetworkError(
+                "end_parallel() without a matching begin_parallel()"
+            )
         branches = self._parallel_stack.pop()
         longest = max(branches.values(), default=0.0)
         if self._parallel_stack and self._branch_stack:
@@ -100,6 +113,17 @@ class MessageTrace:
             outer[branch] = outer.get(branch, 0.0) + longest
         else:
             self.elapsed_s += longest
+
+    @property
+    def balanced(self) -> bool:
+        """True when no parallel section or branch is left open."""
+        return not self._parallel_stack and not self._branch_stack
+
+    def branch_elapsed(self, name: str) -> float:
+        """Accumulated cost of one branch of the innermost open section."""
+        if not self._parallel_stack:
+            raise NetworkError("branch_elapsed() outside a parallel section")
+        return self._parallel_stack[-1].get(name, 0.0)
 
     # -- summary -----------------------------------------------------------
 
@@ -293,12 +317,17 @@ class Network:
         self,
         default_link: LinkProfile | None = None,
         faults: FaultInjector | None = None,
+        obs=None,
     ):
         self.default_link = default_link or LinkProfile()
         self._sites: set[str] = set()
         self._links: dict[tuple[str, str], LinkProfile] = {}
         #: Optional fault injector consulted on every send.
         self.faults = faults
+        #: Optional :class:`repro.obs.Observability` handle; every send is
+        #: counted into its metrics registry (messages/bytes by purpose,
+        #: fault-injector drops).  ``MyriadSystem`` installs its own here.
+        self.obs = obs
         # Cumulative counters (all traces).
         self.total_messages = 0
         self.total_bytes = 0
@@ -344,6 +373,8 @@ class Network:
             if reason is not None:
                 self.dropped_messages += 1
                 self.faults.record(source, destination, purpose, reason)
+                if self.obs is not None:
+                    self.obs.metrics.inc("net.dropped", purpose=purpose)
                 raise MessageDropped(
                     f"message {purpose!r} from {source!r} to {destination!r} "
                     f"lost: {reason}",
@@ -355,6 +386,10 @@ class Network:
         cost = self.link(source, destination).cost(payload_bytes)
         self.total_messages += 1
         self.total_bytes += payload_bytes
+        if self.obs is not None:
+            metrics = self.obs.metrics
+            metrics.inc("net.messages", purpose=purpose)
+            metrics.inc("net.bytes", payload_bytes, purpose=purpose)
         if trace is not None:
             trace.add(
                 MessageRecord(source, destination, payload_bytes, purpose, cost)

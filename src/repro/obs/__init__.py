@@ -1,0 +1,77 @@
+"""Observability: span tracing, metrics, and EXPLAIN ANALYZE.
+
+The paper's experiments reason about *why* a plan was chosen and *where* a
+global operation spends its time; this package makes both first-class
+instead of ad-hoc :class:`~repro.net.MessageTrace` arithmetic:
+
+- :class:`Tracer` / :class:`~repro.obs.trace.Span` — nested spans threaded
+  through the query processor, executor, gateways, 2PC coordinator, and
+  deadlock monitor, carrying wall-clock and simulated durations
+- :class:`MetricsRegistry` — counters / gauges / histograms (p50/p95/p99)
+  for rows and bytes shipped per site, messages by purpose, fetch latency,
+  2PC outcomes, deadlock aborts, and fault-injector drops
+- :func:`render_explain_analyze` — the executed plan annotated with actual
+  per-fetch rows/bytes/time against the optimizer's estimates
+  (``GlobalResult.explain_analyze()``)
+
+One :class:`Observability` handle bundles a tracer and a registry; a
+:class:`~repro.myriad.MyriadSystem` owns one (``system.obs``, with
+``system.metrics`` / ``system.tracer`` shortcuts) and shares it with every
+layer through the simulated :class:`~repro.net.Network`.  Everything is
+zero-dependency and near-free when disabled
+(``MyriadSystem(observability=False)``).
+"""
+
+from __future__ import annotations
+
+from repro.obs.explain import FetchActual, render_explain_analyze
+from repro.obs.metrics import MetricsRegistry, percentile
+from repro.obs.trace import NULL_SPAN, Span, Tracer
+
+
+class Observability:
+    """One tracer + one metrics registry, enabled or disabled together."""
+
+    def __init__(self, enabled: bool = True, max_roots: int = 64):
+        self.enabled = enabled
+        self.tracer = Tracer(enabled=enabled, max_roots=max_roots)
+        self.metrics = MetricsRegistry(enabled=enabled)
+
+    def span(self, name: str, **tags: object):
+        return self.tracer.span(name, **tags)
+
+    def reset(self) -> None:
+        self.tracer.clear()
+        self.metrics.reset()
+
+    def render(self, last_spans: int | None = None) -> str:
+        """Combined text dump: metrics tables, then recent span trees."""
+        return (
+            self.metrics.render()
+            + "\n\n== traces (most recent last) ==\n"
+            + self.tracer.render(last=last_spans)
+        )
+
+
+#: Shared no-op handle used wherever no observability was configured.
+DISABLED = Observability(enabled=False)
+
+
+def obs_of(network) -> Observability:
+    """The observability handle attached to a network, else DISABLED."""
+    obs = getattr(network, "obs", None)
+    return obs if obs is not None else DISABLED
+
+
+__all__ = [
+    "DISABLED",
+    "FetchActual",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Observability",
+    "Span",
+    "Tracer",
+    "obs_of",
+    "percentile",
+    "render_explain_analyze",
+]

@@ -1,0 +1,86 @@
+"""EXPLAIN ANALYZE for global queries.
+
+Renders an executed :class:`~repro.query.executor.GlobalResult` as the plan
+that ran, annotated per fetch with the *actual* rows / bytes / simulated
+time measured during execution next to the optimizer's *estimates* — so the
+paper's simple-vs-full-fledged optimizer claims (experiment E2) are
+auditable from a single report: a bad estimate shows up as an est/actual gap
+on the exact fetch that caused it.
+
+This module only formats; the measurements are collected by
+:class:`~repro.query.executor.GlobalExecutor` (one :class:`FetchActual` per
+fetch) and the estimates by the optimizers (stored on each
+:class:`~repro.query.localizer.Fetch`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class FetchActual:
+    """Measured execution of one fetch: what actually crossed the wire."""
+
+    rows: int = 0
+    bytes: int = 0
+    messages: int = 0
+    sim_s: float = 0.0
+    wall_s: float = 0.0
+
+
+def _fmt_est(value: float | None, unit: str = "") -> str:
+    if value is None:
+        return "?"
+    if unit == "ms":
+        return f"{value * 1000:.3f}ms"
+    return f"{value:.0f}"
+
+
+def render_explain_analyze(result) -> str:
+    """Text report: executed plan with per-fetch actuals vs. estimates.
+
+    ``result`` is a :class:`~repro.query.executor.GlobalResult`; duck-typed
+    here to keep the observability layer free of query-layer imports.
+    """
+    plan = result.plan
+    trace = result.trace
+    lines = [f"EXPLAIN ANALYZE GlobalPlan[{plan.strategy}]"]
+    estimated = (
+        f"{plan.estimated_cost_s * 1000:.3f}ms"
+        if plan.estimated_cost_s is not None
+        else "?"
+    )
+    lines.append(
+        f"  plan: estimated cost {estimated}; "
+        f"measured {trace.elapsed_s * 1000:.3f}ms simulated, "
+        f"{trace.message_count} messages, {trace.total_bytes} bytes"
+    )
+    for fetch in plan.fetches:
+        lines.append("  " + plan.fetch_summary(fetch))
+        lines.append(
+            "    est:    rows={} bytes={} time={}".format(
+                _fmt_est(fetch.est_rows),
+                _fmt_est(fetch.est_bytes),
+                _fmt_est(fetch.est_cost_s, "ms"),
+            )
+        )
+        actual = result.fetch_actuals.get(fetch.index)
+        if actual is None:
+            lines.append("    actual: (not executed)")
+            continue
+        lines.append(
+            f"    actual: rows={actual.rows} bytes={actual.bytes} "
+            f"time={actual.sim_s * 1000:.3f}ms "
+            f"(msgs={actual.messages}, wall={actual.wall_s * 1000:.3f}ms)"
+        )
+    for note in plan.notes:
+        lines.append(f"  note: {note}")
+    from repro.sql.printer import SQLPrinter
+
+    lines.append("  residual: " + SQLPrinter().print_query(plan.query))
+    lines.append(
+        f"  result: {len(result.rows)} rows "
+        f"({result.fetched_rows} fetched from {len(plan.fetches)} fragments)"
+    )
+    return "\n".join(lines)

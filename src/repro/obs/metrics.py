@@ -1,0 +1,163 @@
+"""Metrics registry: counters, gauges, and histograms with percentiles.
+
+Zero-dependency and deliberately simple: metrics are identified by a name
+plus sorted ``(label, value)`` pairs, histogram percentiles are computed on
+read (recording is an O(1) append), and everything is guarded by one lock so
+the deadlock monitor's thread can record sweeps concurrently with queries.
+
+A disabled registry (``MetricsRegistry(enabled=False)``) turns every
+recording call into an immediate return, which is what the E12 benchmark
+measures the overhead of.
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: Key identifying one metric series: (name, ((label, value), ...)).
+MetricKey = tuple
+
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def _key(name: str, labels: dict[str, object]) -> MetricKey:
+    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+
+def percentile(values: list[float], pct: float) -> float:
+    """Nearest-rank percentile of a non-empty value list."""
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, round(pct / 100.0 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+class MetricsRegistry:
+    """Federation-wide counters, gauges, and latency histograms."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: dict[MetricKey, float] = {}
+        self._gauges: dict[MetricKey, float] = {}
+        self._histograms: dict[MetricKey, list[float]] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0, **labels: object) -> None:
+        if not self.enabled:
+            return
+        key = _key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + amount
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        if not self.enabled:
+            return
+        key = _key(name, labels)
+        with self._lock:
+            self._gauges[key] = value
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        if not self.enabled:
+            return
+        key = _key(name, labels)
+        with self._lock:
+            self._histograms.setdefault(key, []).append(value)
+
+    # -- reading -----------------------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> float:
+        """Value of one counter series (0.0 when never incremented)."""
+        with self._lock:
+            return self._counters.get(_key(name, labels), 0.0)
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter over all its label combinations."""
+        with self._lock:
+            return sum(
+                value
+                for (metric, _), value in self._counters.items()
+                if metric == name
+            )
+
+    def gauge(self, name: str, **labels: object) -> float | None:
+        with self._lock:
+            return self._gauges.get(_key(name, labels))
+
+    def histogram_summary(
+        self, name: str, **labels: object
+    ) -> dict[str, float] | None:
+        """count/min/max/mean/p50/p95/p99 of one histogram series."""
+        with self._lock:
+            values = list(self._histograms.get(_key(name, labels), ()))
+        if not values:
+            return None
+        summary = {
+            "count": float(len(values)),
+            "min": min(values),
+            "max": max(values),
+            "mean": sum(values) / len(values),
+        }
+        for pct in PERCENTILES:
+            summary[f"p{pct:g}"] = percentile(values, pct)
+        return summary
+
+    def snapshot(self) -> dict[str, dict]:
+        """Plain-dict dump of every series (stable ordering for reports)."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histogram_keys = list(self._histograms)
+        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for key in sorted(counters):
+            out["counters"][_label_text(key)] = counters[key]
+        for key in sorted(gauges):
+            out["gauges"][_label_text(key)] = gauges[key]
+        for key in sorted(histogram_keys):
+            name, labels = key
+            out["histograms"][_label_text(key)] = self.histogram_summary(
+                name, **dict(labels)
+            )
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self) -> str:
+        """Text report of every metric, grouped by kind."""
+        snap = self.snapshot()
+        lines = ["== metrics =="]
+        if not any(snap.values()):
+            lines.append("(no metrics recorded)")
+            return "\n".join(lines)
+        if snap["counters"]:
+            lines.append("-- counters --")
+            width = max(len(k) for k in snap["counters"])
+            for series, value in snap["counters"].items():
+                lines.append(f"{series.ljust(width)}  {value:g}")
+        if snap["gauges"]:
+            lines.append("-- gauges --")
+            width = max(len(k) for k in snap["gauges"])
+            for series, value in snap["gauges"].items():
+                lines.append(f"{series.ljust(width)}  {value:g}")
+        if snap["histograms"]:
+            lines.append("-- histograms --")
+            for series, summary in snap["histograms"].items():
+                stats = " ".join(
+                    f"{stat}={value:.6g}" for stat, value in summary.items()
+                )
+                lines.append(f"{series}  {stats}")
+        return "\n".join(lines)
+
+
+def _label_text(key: MetricKey) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{rendered}}}"

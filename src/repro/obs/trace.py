@@ -1,0 +1,198 @@
+"""Span tracing for global operations.
+
+A :class:`Tracer` records *spans* — named, tagged intervals with parent/child
+nesting — for the stages of a global query (parse → expand → plan → execute,
+then per-stage and per-fetch inside the executor) and the phases of a global
+transaction (begin / prepare / decide / deliver / retry).
+
+Each span carries two durations:
+
+- **wall-clock seconds** (``wall_s``): real Python time spent, measured with
+  :func:`time.perf_counter` — what profiling the reproduction itself needs
+- **simulated seconds** (``sim_s``): virtual time on the modelled network,
+  set explicitly by instrumented code from :class:`~repro.net.MessageTrace`
+  deltas — what the paper's experiments measure
+
+The tracer is zero-dependency, thread-safe (the deadlock monitor records
+sweeps from its own thread), and cheap when disabled: ``span()`` returns a
+shared no-op span and touches nothing else.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+
+class Span:
+    """One traced interval; use as a context manager via ``Tracer.span``."""
+
+    __slots__ = (
+        "name",
+        "tags",
+        "parent",
+        "children",
+        "wall_s",
+        "sim_s",
+        "error",
+        "_tracer",
+        "_start",
+    )
+
+    def __init__(self, name: str, tags: dict[str, object], tracer: "Tracer"):
+        self.name = name
+        self.tags = tags
+        self.parent: Span | None = None
+        self.children: list[Span] = []
+        self.wall_s = 0.0
+        self.sim_s: float | None = None
+        self.error: str | None = None
+        self._tracer = tracer
+        self._start = 0.0
+
+    # -- annotation --------------------------------------------------------
+
+    def tag(self, **tags: object) -> "Span":
+        self.tags.update(tags)
+        return self
+
+    def set_sim(self, seconds: float) -> "Span":
+        """Record the simulated-clock duration of this span."""
+        self.sim_s = seconds
+        return self
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self._start = time.perf_counter()
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.wall_s = time.perf_counter() - self._start
+        if exc_type is not None:
+            self.error = f"{exc_type.__name__}: {exc}"
+        self._tracer._pop(self)
+        return False
+
+    def render(self, indent: int = 0) -> list[str]:
+        tags = " ".join(f"{k}={v}" for k, v in self.tags.items())
+        parts = [f"{'  ' * indent}{self.name}"]
+        if tags:
+            parts.append(f"[{tags}]")
+        parts.append(f"wall={self.wall_s * 1000:.3f}ms")
+        if self.sim_s is not None:
+            parts.append(f"sim={self.sim_s * 1000:.3f}ms")
+        if self.error is not None:
+            parts.append(f"ERROR({self.error})")
+        lines = [" ".join(parts)]
+        for child in self.children:
+            lines.extend(child.render(indent + 1))
+        return lines
+
+    def find(self, name: str) -> list["Span"]:
+        """This span's subtree members named ``name`` (depth-first)."""
+        found = [self] if self.name == name else []
+        for child in self.children:
+            found.extend(child.find(name))
+        return found
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, wall={self.wall_s * 1000:.3f}ms)"
+
+
+class _NullSpan:
+    """Shared no-op span handed out by a disabled tracer."""
+
+    __slots__ = ()
+
+    def tag(self, **tags: object) -> "_NullSpan":
+        return self
+
+    def set_sim(self, seconds: float) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Records span trees for recent global operations.
+
+    Spans opened while another span is open on the same thread nest under
+    it; a span with no parent is a *root* and is kept (bounded by
+    ``max_roots``, oldest evicted first) for :meth:`render` and inspection.
+    """
+
+    def __init__(self, enabled: bool = True, max_roots: int = 64):
+        self.enabled = enabled
+        self.roots: deque[Span] = deque(maxlen=max_roots)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- span creation -----------------------------------------------------
+
+    def span(self, name: str, **tags: object) -> Span | _NullSpan:
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(name, tags, self)
+
+    def current(self) -> Span | None:
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    # -- internal stack management ----------------------------------------
+
+    def _push(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        if stack:
+            span.parent = stack[-1]
+            stack[-1].children.append(span)
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif stack and span in stack:  # pragma: no cover - defensive
+            stack.remove(span)
+        if span.parent is None:
+            with self._lock:
+                self.roots.append(span)
+
+    # -- inspection --------------------------------------------------------
+
+    def find(self, name: str) -> list[Span]:
+        """All recorded spans named ``name`` across retained roots."""
+        with self._lock:
+            roots = list(self.roots)
+        found: list[Span] = []
+        for root in roots:
+            found.extend(root.find(name))
+        return found
+
+    def clear(self) -> None:
+        with self._lock:
+            self.roots.clear()
+
+    def render(self, last: int | None = None) -> str:
+        """Text dump of the most recent ``last`` root spans (default all)."""
+        with self._lock:
+            roots = list(self.roots)
+        if last is not None:
+            roots = roots[-last:]
+        if not roots:
+            return "tracer: no spans recorded"
+        lines: list[str] = []
+        for root in roots:
+            lines.extend(root.render())
+        return "\n".join(lines)

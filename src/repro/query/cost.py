@@ -218,6 +218,24 @@ class CostModel:
         return saved - extra_request - serialisation_penalty
 
 
+def annotate_fetch_estimates(plan, cost_model: CostModel) -> None:
+    """Stamp each fetch of a plan with the model's rows/bytes/time estimates.
+
+    Both optimizers call this at plan time so that
+    ``GlobalResult.explain_analyze()`` can show estimate-vs-actual per fetch
+    regardless of the strategy that produced the plan.
+    """
+    for fetch in plan.fetches:
+        estimate = cost_model.estimate_fragment(
+            fetch.site, fetch.export, fetch.columns, fetch.predicate
+        )
+        fetch.est_rows = estimate.rows
+        fetch.est_bytes = estimate.total_bytes
+        fetch.est_cost_s = cost_model.fetch_cost(
+            fetch.site, fetch.export, fetch.columns, fetch.predicate
+        )
+
+
 def _comparison_parts(
     expr: ast.BinaryOp,
 ) -> tuple[str | None, str, object]:

@@ -14,12 +14,14 @@ Executes a :class:`~repro.query.localizer.GlobalPlan`:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.engine import LocalEngine, ResultSet
 from repro.errors import ExecutionError, FederationError
 from repro.gateway import LOCAL_ROW_COST_S, Gateway
 from repro.net import MessageTrace
+from repro.obs import DISABLED, FetchActual, Observability, obs_of
 from repro.query.localizer import Fetch, GlobalPlan
 from repro.schema.federation import Federation
 from repro.storage import Catalog, Column, TableSchema
@@ -52,6 +54,8 @@ class GlobalResult:
     plan: GlobalPlan
     trace: MessageTrace
     fetched_rows: int = 0
+    #: Per-fetch measurements (fetch index → actuals), for explain_analyze.
+    fetch_actuals: dict[int, FetchActual] = field(default_factory=dict)
 
     def __iter__(self):
         return iter(self.rows)
@@ -84,6 +88,12 @@ class GlobalResult:
     def bytes_shipped(self) -> int:
         return self.trace.total_bytes
 
+    def explain_analyze(self) -> str:
+        """The executed plan annotated with per-fetch actuals vs. estimates."""
+        from repro.obs.explain import render_explain_analyze
+
+        return render_explain_analyze(self)
+
 
 @dataclass
 class _Stage:
@@ -93,12 +103,21 @@ class _Stage:
 class GlobalExecutor:
     """Runs GlobalPlans for one federation."""
 
-    def __init__(self, federation: Federation):
+    def __init__(self, federation: Federation, obs: Observability | None = None):
         self.federation = federation
+        self._obs = obs
 
     @property
     def gateways(self) -> dict[str, Gateway]:
         return self.federation.gateways
+
+    @property
+    def obs(self) -> Observability:
+        if self._obs is not None:
+            return self._obs
+        for gateway in self.federation.gateways.values():
+            return obs_of(gateway.network)
+        return DISABLED
 
     def execute(
         self,
@@ -108,36 +127,81 @@ class GlobalExecutor:
         global_id: object | None = None,
     ) -> GlobalResult:
         trace = trace or MessageTrace()
+        obs = self.obs
         catalog = Catalog(f"federation:{self.federation.name}")
         engine = LocalEngine(
             catalog, functions=self.federation.functions.as_dict()
         )
 
         fetch_results: dict[int, ResultSet] = {}
+        fetch_actuals: dict[int, FetchActual] = {}
         fetched_rows = 0
-        for stage in self._stages(plan):
-            trace.begin_parallel()
-            for fetch in stage.fetches:
-                with trace.branch(f"{fetch.site}:{fetch.binding}"):
-                    result = self._run_fetch(
-                        fetch, fetch_results, trace, timeout, global_id
-                    )
-                fetch_results[fetch.index] = result
-                fetched_rows += len(result.rows)
-            trace.end_parallel()
+        for stage_index, stage in enumerate(self._stages(plan)):
+            with obs.span("execute.stage", stage=stage_index) as stage_span:
+                trace.begin_parallel()
+                # end_parallel() must run even when a fetch raises
+                # (MessageDropped, GatewayTimeout, ...): a caller-supplied
+                # trace outlives this call, and an unbalanced parallel
+                # section would swallow every later cost it records.
+                try:
+                    for fetch in stage.fetches:
+                        branch_name = f"{fetch.site}:{fetch.binding}"
+                        records_before = len(trace.records)
+                        wall_start = time.perf_counter()
+                        with obs.span(
+                            "execute.fetch",
+                            site=fetch.site,
+                            export=fetch.export,
+                            binding=fetch.binding,
+                        ) as fetch_span:
+                            with trace.branch(branch_name):
+                                result = self._run_fetch(
+                                    fetch,
+                                    fetch_results,
+                                    trace,
+                                    timeout,
+                                    global_id,
+                                )
+                            actual = FetchActual(
+                                rows=len(result.rows),
+                                bytes=sum(
+                                    record.payload_bytes
+                                    for record in trace.records[
+                                        records_before:
+                                    ]
+                                ),
+                                messages=len(trace.records) - records_before,
+                                sim_s=trace.branch_elapsed(branch_name),
+                                wall_s=time.perf_counter() - wall_start,
+                            )
+                            fetch_span.set_sim(actual.sim_s)
+                            fetch_span.tag(
+                                rows=actual.rows, bytes=actual.bytes
+                            )
+                        fetch_actuals[fetch.index] = actual
+                        fetch_results[fetch.index] = result
+                        fetched_rows += len(result.rows)
+                finally:
+                    trace.end_parallel()
+                stage_span.tag(fetches=len(stage.fetches))
             for fetch in stage.fetches:
                 self._register_fragment(
                     catalog, fetch, fetch_results[fetch.index]
                 )
 
-        result = engine.execute_query(plan.query)
-        trace.add_compute(engine.last_report.rows_scanned * LOCAL_ROW_COST_S)
+        with obs.span("execute.residual") as residual_span:
+            result = engine.execute_query(plan.query)
+            residual_sim = engine.last_report.rows_scanned * LOCAL_ROW_COST_S
+            trace.add_compute(residual_sim)
+            residual_span.set_sim(residual_sim)
+            residual_span.tag(rows=len(result.rows))
         return GlobalResult(
             columns=result.columns,
             rows=result.rows,
             plan=plan,
             trace=trace,
             fetched_rows=fetched_rows,
+            fetch_actuals=fetch_actuals,
         )
 
     # ------------------------------------------------------------------
@@ -229,6 +293,23 @@ class GlobalExecutor:
             and all(k.lower() in shipped for k in export_schema.primary_key)
             else []
         )
+        if primary_key:
+            # A shipped fragment can legally repeat key values (overlapping
+            # export relations behind a union view, semijoin-reduced
+            # fetches): fall back to a keyless temp table rather than
+            # failing the materialisation — the fragment is intermediate
+            # state, not the export itself.
+            positions = [
+                [c.name.lower() for c in columns].index(k.lower())
+                for k in primary_key
+            ]
+            seen_keys: set[tuple] = set()
+            for row in result.rows:
+                key = tuple(row[p] for p in positions)
+                if key in seen_keys or any(v is None for v in key):
+                    primary_key = []
+                    break
+                seen_keys.add(key)
         schema = TableSchema(fetch.temp_name, columns, primary_key)
         table = catalog.create_table(schema)
         for row in result.rows:

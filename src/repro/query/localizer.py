@@ -58,6 +58,12 @@ class Fetch:
     #: ``columns`` are the block's output names and ``predicate``/
     #: ``semijoin`` are unused.
     whole_query: ast.Select | None = None
+    #: Optimizer estimates for this fetch (rows / shipped bytes / virtual
+    #: seconds), filled by the planning strategy and compared against the
+    #: measured actuals in ``GlobalResult.explain_analyze()``.
+    est_rows: float | None = None
+    est_bytes: float | None = None
+    est_cost_s: float | None = None
 
     def shipped_query(self, in_list: list[object] | None = None) -> ast.Select:
         """The SELECT sent to the gateway (export-relation namespace)."""
@@ -109,6 +115,35 @@ class GlobalPlan:
     estimated_cost_s: float | None = None
     notes: list[str] = field(default_factory=list)
 
+    def fetch_summary(self, fetch: Fetch) -> str:
+        """One-line description of one fetch (shared by EXPLAIN variants)."""
+        from repro.sql.printer import SQLPrinter
+
+        printer = SQLPrinter()
+        if fetch.whole_query is not None:
+            return (
+                f"fetch #{fetch.index} {fetch.site}.{fetch.export} "
+                f"AS {fetch.binding}: SHIPPED BLOCK "
+                f"{printer.print_select(fetch.whole_query)}"
+            )
+        semijoin = ""
+        if fetch.semijoin is not None:
+            semijoin = (
+                f" SEMIJOIN keys from #{fetch.semijoin.source_index}"
+                f".{fetch.semijoin.source_column}"
+                f" -> {fetch.semijoin.target_column}"
+            )
+        predicate = ""
+        if fetch.predicate is not None:
+            predicate = (
+                f" WHERE {printer.print_expression(fetch.predicate)}"
+            )
+        return (
+            f"fetch #{fetch.index} {fetch.site}.{fetch.export} "
+            f"AS {fetch.binding}: [{', '.join(fetch.columns)}]"
+            f"{predicate}{semijoin}"
+        )
+
     def describe(self) -> str:
         """Readable plan summary (EXPLAIN output for global queries)."""
         from repro.sql.printer import SQLPrinter
@@ -118,30 +153,7 @@ class GlobalPlan:
         if self.estimated_cost_s is not None:
             lines.append(f"  estimated cost: {self.estimated_cost_s * 1000:.2f}ms")
         for fetch in self.fetches:
-            if fetch.whole_query is not None:
-                lines.append(
-                    f"  fetch #{fetch.index} {fetch.site}.{fetch.export} "
-                    f"AS {fetch.binding}: SHIPPED BLOCK "
-                    f"{printer.print_select(fetch.whole_query)}"
-                )
-                continue
-            semijoin = ""
-            if fetch.semijoin is not None:
-                semijoin = (
-                    f" SEMIJOIN keys from #{fetch.semijoin.source_index}"
-                    f".{fetch.semijoin.source_column}"
-                    f" -> {fetch.semijoin.target_column}"
-                )
-            predicate = ""
-            if fetch.predicate is not None:
-                predicate = (
-                    f" WHERE {printer.print_expression(fetch.predicate)}"
-                )
-            lines.append(
-                f"  fetch #{fetch.index} {fetch.site}.{fetch.export} "
-                f"AS {fetch.binding}: [{', '.join(fetch.columns)}]"
-                f"{predicate}{semijoin}"
-            )
+            lines.append("  " + self.fetch_summary(fetch))
         for note in self.notes:
             lines.append(f"  note: {note}")
         lines.append("  residual: " + printer.print_query(self.query))

@@ -54,6 +54,9 @@ class CostBasedOptimizer:
         if self.enable_semijoin:
             self._apply_semijoins(plan)
         plan.estimated_cost_s = self._estimate_plan_cost(plan)
+        from repro.query.cost import annotate_fetch_estimates
+
+        annotate_fetch_estimates(plan, self.cost_model)
         return plan
 
     # ------------------------------------------------------------------

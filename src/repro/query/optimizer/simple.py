@@ -29,4 +29,14 @@ class SimpleOptimizer:
             "ship-all: every export relation fetched in full, "
             "all processing at the federation site"
         )
+        # The simple strategy chooses nothing, but EXPLAIN ANALYZE still
+        # wants estimate-vs-actual per fetch; borrow the cost model of any
+        # gateway's network (every gateway shares the federation's).
+        network = next(
+            (gw.network for gw in self.gateways.values()), None
+        )
+        if network is not None:
+            from repro.query.cost import CostModel, annotate_fetch_estimates
+
+            annotate_fetch_estimates(plan, CostModel(self.gateways, network))
         return plan

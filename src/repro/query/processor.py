@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.errors import FederationError
 from repro.net import MessageTrace, Network
+from repro.obs import Observability, obs_of
 from repro.query.executor import GlobalExecutor, GlobalResult
 from repro.query.localizer import GlobalPlan
 from repro.query.optimizer import CostBasedOptimizer, SimpleOptimizer
@@ -44,12 +45,17 @@ class GlobalQueryProcessor:
         self.default_optimizer = default_optimizer
         self.executor = GlobalExecutor(federation)
 
+    @property
+    def obs(self) -> Observability:
+        return obs_of(self.network)
+
     # ------------------------------------------------------------------
     # Planning
     # ------------------------------------------------------------------
 
     def parse(self, sql: str) -> ast.Query:
-        statement = parse_statement(sql)
+        with self.obs.span("query.parse"):
+            statement = parse_statement(sql)
         if not isinstance(statement, (ast.Select, ast.SetOperation)):
             raise FederationError(
                 "the global query processor accepts SELECT queries; "
@@ -58,10 +64,15 @@ class GlobalQueryProcessor:
         return statement
 
     def plan(self, sql: str | ast.Query, optimizer: str | None = None) -> GlobalPlan:
+        obs = self.obs
         query = self.parse(sql) if isinstance(sql, str) else sql
-        expanded = self.federation.expand(query)
+        with obs.span("query.expand", federation=self.federation.name):
+            expanded = self.federation.expand(query)
         chosen = self.optimizers[optimizer or self.default_optimizer]
-        return chosen.plan(expanded)
+        with obs.span("query.plan", optimizer=chosen.name) as span:
+            plan = chosen.plan(expanded)
+            span.tag(fetches=len(plan.fetches))
+        return plan
 
     def explain(self, sql: str, optimizer: str | None = None) -> str:
         return self.plan(sql, optimizer).describe()
@@ -78,7 +89,20 @@ class GlobalQueryProcessor:
         timeout: float | None = None,
         global_id: object | None = None,
     ) -> GlobalResult:
-        plan = self.plan(sql, optimizer)
-        return self.executor.execute(
-            plan, trace=trace, timeout=timeout, global_id=global_id
-        )
+        obs = self.obs
+        with obs.span(
+            "query.execute", federation=self.federation.name
+        ) as span:
+            plan = self.plan(sql, optimizer)
+            sim_before = trace.elapsed_s if trace is not None else 0.0
+            result = self.executor.execute(
+                plan, trace=trace, timeout=timeout, global_id=global_id
+            )
+            sim_elapsed = result.trace.elapsed_s - sim_before
+            span.set_sim(sim_elapsed)
+            span.tag(strategy=plan.strategy, rows=len(result.rows))
+        metrics = obs.metrics
+        metrics.inc("query.executed", strategy=plan.strategy)
+        metrics.inc("query.rows_fetched", result.fetched_rows)
+        metrics.observe("query.sim_elapsed_s", sim_elapsed)
+        return result

@@ -31,6 +31,7 @@ from repro.errors import (
 )
 from repro.gateway import Gateway
 from repro.net import MessageTrace
+from repro.obs import DISABLED, Observability
 from repro.sql import ast
 
 
@@ -89,8 +90,10 @@ class GlobalTransactionManager:
         wal: WriteAheadLog | None = None,
         decision_retry_limit: int = 3,
         decision_retry_backoff_s: float = 0.05,
+        obs: Observability | None = None,
     ):
         self.gateways = gateways
+        self.obs = obs or DISABLED
         #: The paper's timeout period attached to every local query.
         self.query_timeout = query_timeout
         self.wal = wal or WriteAheadLog()
@@ -127,6 +130,7 @@ class GlobalTransactionManager:
                 )
             txn = GlobalTransaction(global_id, self)
             self.active[global_id] = txn
+        self.obs.metrics.inc("txn.begun")
         return txn
 
     def _branch(self, txn: GlobalTransaction, site: str) -> Gateway:
@@ -135,7 +139,8 @@ class GlobalTransactionManager:
         except KeyError:
             raise TransactionError(f"unknown site {site!r}") from None
         if site not in txn.participants:
-            gateway.begin(txn.global_id, txn.trace)
+            with self.obs.span("txn.begin", txn=txn.global_id, site=site):
+                gateway.begin(txn.global_id, txn.trace)
             txn.participants.append(site)
         return gateway
 
@@ -177,6 +182,7 @@ class GlobalTransactionManager:
             )
         except GatewayTimeout:
             self.timeout_aborts += 1
+            self.obs.metrics.inc("txn.timeout_aborts")
             self.abort(txn)
             raise TransactionAborted(
                 f"global transaction {txn.global_id} aborted: local query "
@@ -225,6 +231,7 @@ class GlobalTransactionManager:
             )
         except GatewayTimeout:
             self.timeout_aborts += 1
+            self.obs.metrics.inc("txn.timeout_aborts")
             self.abort(txn)
             raise TransactionAborted(
                 f"global transaction {txn.global_id} aborted: a fetch "
@@ -253,65 +260,93 @@ class GlobalTransactionManager:
         """Commit via 2PC (one-phase optimisation for ≤1 participant)."""
         txn.require_active()
         participants = list(txn.participants)
+        sim_before = txn.trace.elapsed_s
 
-        if len(participants) <= 1:
-            # One-phase: no coordination needed, but decision delivery is
-            # still retried/parked so a lost commit message cannot leave the
-            # branch holding its locks forever.
-            self._deliver_decision(txn.global_id, participants, "commit", txn.trace)
+        with self.obs.span(
+            "txn.commit", txn=txn.global_id, participants=len(participants)
+        ) as span:
+            if len(participants) <= 1:
+                # One-phase: no coordination needed, but decision delivery
+                # is still retried/parked so a lost commit message cannot
+                # leave the branch holding its locks forever.
+                self._deliver_decision(
+                    txn.global_id, participants, "commit", txn.trace
+                )
+                self._finish(txn, GlobalTxnState.COMMITTED)
+                span.tag(protocol="1pc").set_sim(
+                    txn.trace.elapsed_s - sim_before
+                )
+                return
+
+            txn.state = GlobalTxnState.PREPARING
+            self.wal.append(
+                LogRecordType.COORD_BEGIN_2PC,
+                txn.global_id,
+                tuple(participants),
+                flush=True,
+            )
+
+            votes_ok = True
+            failed_site = None
+            with self.obs.span("txn.prepare", txn=txn.global_id) as prepare:
+                for site in participants:
+                    try:
+                        vote = self.gateways[site].prepare(
+                            txn.global_id, txn.trace
+                        )
+                    except (GatewayTimeout, TransactionError, NetworkError):
+                        # A lost PREPARE or VOTE message counts as a NO vote
+                        # (presumed abort makes this safe: no decision is
+                        # logged).
+                        vote = False
+                    if not vote:
+                        votes_ok = False
+                        failed_site = site
+                        break
+                prepare.tag(votes_ok=votes_ok)
+
+            if not votes_ok:
+                with self.obs.span(
+                    "txn.decide", txn=txn.global_id, decision="abort"
+                ):
+                    self.wal.append(
+                        LogRecordType.COORD_ABORT, txn.global_id, flush=True
+                    )
+                self._abort_branches(txn)
+                self._finish(txn, GlobalTxnState.ABORTED)
+                self.vote_no_aborts += 1
+                self.obs.metrics.inc("txn.vote_no_aborts")
+                span.set_sim(txn.trace.elapsed_s - sim_before)
+                raise TwoPhaseCommitError(
+                    f"global transaction {txn.global_id} aborted: "
+                    f"participant {failed_site!r} voted NO"
+                )
+
+            # Decision is now durable: presumed abort before this point,
+            # guaranteed commit after.
+            with self.obs.span(
+                "txn.decide", txn=txn.global_id, decision="commit"
+            ):
+                self.wal.append(
+                    LogRecordType.COORD_COMMIT, txn.global_id, flush=True
+                )
+            undelivered = self._deliver_decision(
+                txn.global_id, participants, "commit", txn.trace
+            )
+            if not undelivered:
+                self.wal.append(LogRecordType.COORD_END, txn.global_id)
             self._finish(txn, GlobalTxnState.COMMITTED)
+            span.set_sim(txn.trace.elapsed_s - sim_before)
+
+    def abort(self, txn: GlobalTransaction) -> None:
+        if txn.state in (GlobalTxnState.COMMITTED, GlobalTxnState.ABORTED):
             return
-
-        txn.state = GlobalTxnState.PREPARING
-        self.wal.append(
-            LogRecordType.COORD_BEGIN_2PC,
-            txn.global_id,
-            tuple(participants),
-            flush=True,
-        )
-
-        votes_ok = True
-        failed_site = None
-        for site in participants:
-            try:
-                vote = self.gateways[site].prepare(txn.global_id, txn.trace)
-            except (GatewayTimeout, TransactionError, NetworkError):
-                # A lost PREPARE or VOTE message counts as a NO vote
-                # (presumed abort makes this safe: no decision is logged).
-                vote = False
-            if not vote:
-                votes_ok = False
-                failed_site = site
-                break
-
-        if not votes_ok:
+        with self.obs.span("txn.abort", txn=txn.global_id):
             self.wal.append(
                 LogRecordType.COORD_ABORT, txn.global_id, flush=True
             )
             self._abort_branches(txn)
             self._finish(txn, GlobalTxnState.ABORTED)
-            self.vote_no_aborts += 1
-            raise TwoPhaseCommitError(
-                f"global transaction {txn.global_id} aborted: participant "
-                f"{failed_site!r} voted NO"
-            )
-
-        # Decision is now durable: presumed abort before this point,
-        # guaranteed commit after.
-        self.wal.append(LogRecordType.COORD_COMMIT, txn.global_id, flush=True)
-        undelivered = self._deliver_decision(
-            txn.global_id, participants, "commit", txn.trace
-        )
-        if not undelivered:
-            self.wal.append(LogRecordType.COORD_END, txn.global_id)
-        self._finish(txn, GlobalTxnState.COMMITTED)
-
-    def abort(self, txn: GlobalTransaction) -> None:
-        if txn.state in (GlobalTxnState.COMMITTED, GlobalTxnState.ABORTED):
-            return
-        self.wal.append(LogRecordType.COORD_ABORT, txn.global_id, flush=True)
-        self._abort_branches(txn)
-        self._finish(txn, GlobalTxnState.ABORTED)
 
     def _abort_branches(self, txn: GlobalTransaction) -> None:
         self._deliver_decision(txn.global_id, txn.participants, "abort", txn.trace)
@@ -340,27 +375,35 @@ class GlobalTransactionManager:
         for site in sites:
             gateway = self.gateways[site]
             delivered = False
-            for attempt in range(self.decision_retry_limit + 1):
-                if attempt:
-                    self.decision_retries += 1
-                    if trace is not None:
-                        trace.add_compute(
-                            self.decision_retry_backoff_s * 2 ** (attempt - 1)
-                        )
-                try:
-                    if decision == "commit":
-                        gateway.commit(global_id, trace)
-                    else:
-                        gateway.abort(global_id, trace)
-                    delivered = True
-                    break
-                except NetworkError:
-                    continue  # transient loss: back off and retry
-                except TransactionError:
-                    delivered = True  # branch already resolved; nothing to do
-                    break
-                except MyriadError:
-                    break  # non-transient local failure: park for recovery
+            with self.obs.span(
+                "txn.deliver", txn=global_id, site=site, decision=decision
+            ) as span:
+                attempts = 0
+                for attempt in range(self.decision_retry_limit + 1):
+                    attempts = attempt + 1
+                    if attempt:
+                        self.decision_retries += 1
+                        self.obs.metrics.inc("txn.decision_retries")
+                        if trace is not None:
+                            trace.add_compute(
+                                self.decision_retry_backoff_s
+                                * 2 ** (attempt - 1)
+                            )
+                    try:
+                        if decision == "commit":
+                            gateway.commit(global_id, trace)
+                        else:
+                            gateway.abort(global_id, trace)
+                        delivered = True
+                        break
+                    except NetworkError:
+                        continue  # transient loss: back off and retry
+                    except TransactionError:
+                        delivered = True  # branch already resolved
+                        break
+                    except MyriadError:
+                        break  # non-transient local failure: park it
+                span.tag(attempts=attempts, delivered=delivered)
             if not delivered:
                 undelivered.append(site)
                 self._park_decision(global_id, site, decision)
@@ -375,6 +418,7 @@ class GlobalTransactionManager:
         )
         self.pending_deliveries.setdefault(global_id, {})[site] = decision
         self.decisions_parked += 1
+        self.obs.metrics.inc("txn.decisions_parked")
 
     def execute_federated(
         self,
@@ -453,6 +497,7 @@ class GlobalTransactionManager:
                     if decisions.get(global_id) == "commit":
                         self.wal.append(LogRecordType.COORD_END, global_id)
             self.decisions_recovered += 1
+            self.obs.metrics.inc("txn.decisions_recovered")
             actions.append((global_id, site, decision))
         for site, gateway in self.gateways.items():
             for global_id in gateway.prepared_branches():
@@ -475,3 +520,4 @@ class GlobalTransactionManager:
             self.commits += 1
         else:
             self.aborts += 1
+        self.obs.metrics.inc("txn.outcomes", outcome=state.value)

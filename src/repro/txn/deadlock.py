@@ -121,14 +121,35 @@ class GlobalDeadlockMonitor:
     for the paper's timeout policy.
     """
 
-    def __init__(self, gateways: dict[str, "Gateway"], interval_s: float = 0.05):
+    def __init__(
+        self,
+        gateways: dict[str, "Gateway"],
+        interval_s: float = 0.05,
+        obs=None,
+    ):
         self.detector = WaitForGraphDetector(gateways)
         self.gateways = gateways
         self.interval_s = interval_s
+        self._obs = obs
         self.victims_killed = 0
         self.cycles_seen = 0
         self._stop = None  # threading.Event, created on start
         self._thread = None
+
+    @property
+    def obs(self):
+        """Observability handle: explicit, else any gateway's network, else off.
+
+        Resolved lazily because callers often build the monitor with a
+        gateways dict that is populated after construction.
+        """
+        if self._obs is not None:
+            return self._obs
+        from repro.obs import DISABLED, obs_of
+
+        for gateway in self.gateways.values():
+            return obs_of(gateway.network)
+        return DISABLED
 
     def check_once(self) -> list[object]:
         """One detection round; returns the victims killed.
@@ -136,16 +157,26 @@ class GlobalDeadlockMonitor:
         ``cycles_seen`` counts every cycle found in the round (not merely
         rounds-with-cycles), so it is comparable across detection intervals.
         """
+        obs = self.obs
+        obs.metrics.inc("deadlock.sweeps")
         cycles = self.detector.find_cycles()
         self.cycles_seen += len(cycles)
-        victims = self.detector.victims_for(cycles)
-        killed = []
-        for victim in victims:
-            for gateway in self.gateways.values():
-                if gateway.has_branch(victim):
-                    gateway.cancel_branch_waits(victim)
-            self.victims_killed += 1
-            killed.append(victim)
+        if not cycles:
+            return []
+        # Only cycle-bearing sweeps get a span: the monitor thread sweeps
+        # every ``interval_s`` and empty sweeps would flood the root buffer.
+        with obs.span("deadlock.sweep") as span:
+            obs.metrics.inc("deadlock.cycles", len(cycles))
+            victims = self.detector.victims_for(cycles)
+            killed = []
+            for victim in victims:
+                for gateway in self.gateways.values():
+                    if gateway.has_branch(victim):
+                        gateway.cancel_branch_waits(victim)
+                self.victims_killed += 1
+                obs.metrics.inc("deadlock.victims")
+                killed.append(victim)
+            span.tag(cycles=len(cycles), victims=len(killed))
         return killed
 
     def start(self) -> None:

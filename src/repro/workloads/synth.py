@@ -90,16 +90,20 @@ def build_partitioned_sites(
     payload_width: int = 24,
     seed: int = 11,
     query_timeout: float | None = 5.0,
+    observability: bool = True,
 ) -> MyriadSystem:
     """One relation horizontally partitioned across N sites.
 
     Each site ``p<i>`` exports ``part(k, grp, val, pad)``; the federation
     integrates them as ``measurements`` (a union with a site tag).
     Alternating sites are Oracle- and Postgres-dialect, so scale-out tests
-    also cross dialects.
+    also cross dialects.  ``observability=False`` builds the system with
+    tracing/metrics off — the baseline of the E12 overhead benchmark.
     """
     rng = random.Random(seed)
-    system = MyriadSystem(query_timeout=query_timeout)
+    system = MyriadSystem(
+        query_timeout=query_timeout, observability=observability
+    )
     pad = "x" * payload_width
 
     sources = []

@@ -140,3 +140,144 @@ class TestSizing:
 
     def test_empty_rows(self):
         assert estimate_rows_bytes([]) == 0
+
+
+class TestTraceMisuse:
+    """The cost-attribution contract of MessageTrace parallel sections."""
+
+    def test_branch_without_open_section_raises(self):
+        trace = MessageTrace()
+        with pytest.raises(NetworkError):
+            trace.branch("x")
+
+    def test_end_parallel_without_begin_raises(self):
+        trace = MessageTrace()
+        with pytest.raises(NetworkError):
+            trace.end_parallel()
+
+    def test_branch_after_section_closed_raises(self):
+        trace = MessageTrace()
+        trace.begin_parallel()
+        trace.end_parallel()
+        with pytest.raises(NetworkError):
+            trace.branch("late")
+
+    def test_balanced_property(self):
+        trace = MessageTrace()
+        assert trace.balanced
+        trace.begin_parallel()
+        assert not trace.balanced
+        with trace.branch("x"):
+            assert not trace.balanced
+        trace.end_parallel()
+        assert trace.balanced
+
+    def test_branch_elapsed_reads_open_section(self):
+        trace = MessageTrace()
+        trace.begin_parallel()
+        with trace.branch("x"):
+            trace.add_compute(2.0)
+        assert trace.branch_elapsed("x") == pytest.approx(2.0)
+        assert trace.branch_elapsed("never-ran") == 0.0
+        trace.end_parallel()
+        with pytest.raises(NetworkError):
+            trace.branch_elapsed("x")
+
+    def test_cost_outside_branch_accrues_sequentially(self):
+        # documented fallback: coordinator-side work inside a section but
+        # outside any branch goes straight to elapsed_s
+        trace = MessageTrace()
+        trace.begin_parallel()
+        trace.add_compute(1.0)
+        with trace.branch("x"):
+            trace.add_compute(5.0)
+        trace.end_parallel()
+        assert trace.elapsed_s == pytest.approx(1.0 + 5.0)
+
+
+class TestNestedParallelWithMessages:
+    def test_message_costs_roll_up_like_compute(self):
+        net = Network()
+        for site in ("fed", "a", "b"):
+            net.add_site(site)
+        slow = LinkProfile(latency_s=1.0, bandwidth_bytes_per_s=1e9)
+        fast = LinkProfile(latency_s=0.25, bandwidth_bytes_per_s=1e9)
+        net.set_link("fed", "a", slow)
+        net.set_link("fed", "b", fast)
+
+        trace = MessageTrace()
+        trace.begin_parallel()
+        with trace.branch("a"):
+            net.send("fed", "a", 10, "query", trace)  # ~1.0s
+        with trace.branch("b"):
+            net.send("fed", "b", 10, "query", trace)  # ~0.25s
+            trace.begin_parallel()
+            with trace.branch("b-inner1"):
+                net.send("fed", "b", 10, "query", trace)  # ~0.25s
+            with trace.branch("b-inner2"):
+                net.send("fed", "b", 10, "query", trace)  # ~0.25s
+            trace.end_parallel()
+        trace.end_parallel()
+        # max(a=1.0, b=0.25 + max(0.25, 0.25)) = 1.0
+        assert trace.elapsed_s == pytest.approx(1.0, rel=1e-6)
+        assert trace.message_count == 4
+        assert trace.balanced
+
+
+class TestExecutorTraceBalance:
+    """Regression: a fetch failure must not corrupt a caller-owned trace.
+
+    GlobalExecutor.execute opened a parallel section per stage but never
+    closed it when _run_fetch raised (dropped message, gateway timeout), so
+    a trace reused across statements — every global transaction's — silently
+    attributed all later costs to a dead branch.
+    """
+
+    def _failing_system(self):
+        from repro.workloads import build_two_site_join
+
+        system = build_two_site_join(10, 10)
+        system.inject_faults(seed=1).drop_next(1, purpose="query")
+        return system
+
+    def test_trace_stays_balanced_when_fetch_raises(self):
+        from repro.errors import MessageDropped
+
+        system = self._failing_system()
+        trace = MessageTrace()
+        processor = system.processor("synth")
+        with pytest.raises(MessageDropped):
+            processor.execute(
+                "SELECT k, flt FROM lhs", trace=trace, optimizer="simple"
+            )
+        assert trace.balanced
+
+    def test_later_costs_land_in_elapsed_after_failure(self):
+        from repro.errors import MessageDropped
+
+        system = self._failing_system()
+        trace = MessageTrace()
+        processor = system.processor("synth")
+        with pytest.raises(MessageDropped):
+            processor.execute(
+                "SELECT k, flt FROM lhs", trace=trace, optimizer="simple"
+            )
+        before = trace.elapsed_s
+        trace.add_compute(1.0)  # e.g. the transaction's next statement
+        assert trace.elapsed_s == pytest.approx(before + 1.0)
+
+    def test_same_trace_usable_for_a_retry(self):
+        from repro.errors import MessageDropped
+
+        system = self._failing_system()
+        trace = MessageTrace()
+        processor = system.processor("synth")
+        with pytest.raises(MessageDropped):
+            processor.execute(
+                "SELECT k, flt FROM lhs", trace=trace, optimizer="simple"
+            )
+        result = processor.execute(
+            "SELECT k, flt FROM lhs", trace=trace, optimizer="simple"
+        )
+        assert len(result.rows) == 10
+        assert trace.balanced

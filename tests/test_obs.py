@@ -1,0 +1,421 @@
+"""Observability tests: tracer, metrics, system wiring, EXPLAIN ANALYZE."""
+
+import threading
+
+import pytest
+
+from repro import MyriadSystem
+from repro.engine import ResultSet
+from repro.obs import (
+    DISABLED,
+    NULL_SPAN,
+    MetricsRegistry,
+    Observability,
+    Tracer,
+    obs_of,
+    percentile,
+)
+from repro.query.localizer import Fetch
+from repro.storage import Catalog
+from repro.workloads import build_bank_sites, build_two_site_join
+
+JOIN_SQL = (
+    "SELECT lhs.k, rhs.val FROM lhs, rhs "
+    "WHERE lhs.k = rhs.k AND lhs.flt < 0.5"
+)
+
+
+# ---------------------------------------------------------------------------
+# Tracer
+# ---------------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_nesting_builds_parent_child_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("mid") as mid:
+                with tracer.span("leaf") as leaf:
+                    pass
+        assert outer.parent is None
+        assert mid.parent is outer
+        assert leaf.parent is mid
+        assert outer.children == [mid]
+        assert mid.children == [leaf]
+        assert list(tracer.roots) == [outer]
+
+    def test_wall_clock_recorded(self):
+        tracer = Tracer()
+        with tracer.span("op") as span:
+            pass
+        assert span.wall_s >= 0.0
+        assert span.sim_s is None
+        span.set_sim(0.25)
+        assert span.sim_s == 0.25
+
+    def test_tags_at_creation_and_later(self):
+        tracer = Tracer()
+        with tracer.span("op", site="a") as span:
+            span.tag(rows=3)
+        assert span.tags == {"site": "a", "rows": 3}
+
+    def test_exception_recorded_and_propagated(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("op") as span:
+                raise ValueError("boom")
+        assert span.error == "ValueError: boom"
+        # the stack is unwound: a new span is a fresh root
+        with tracer.span("next") as span2:
+            pass
+        assert span2.parent is None
+        assert len(tracer.roots) == 2
+
+    def test_disabled_tracer_is_noop(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("op", site="a")
+        assert span is NULL_SPAN
+        with span as inner:
+            inner.tag(x=1).set_sim(2.0)
+        assert len(tracer.roots) == 0
+
+    def test_max_roots_evicts_oldest(self):
+        tracer = Tracer(max_roots=3)
+        for index in range(5):
+            with tracer.span(f"op{index}"):
+                pass
+        assert [root.name for root in tracer.roots] == ["op2", "op3", "op4"]
+
+    def test_find_searches_all_roots_recursively(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("fetch"):
+                pass
+            with tracer.span("fetch"):
+                pass
+        with tracer.span("fetch"):
+            pass
+        assert len(tracer.find("fetch")) == 3
+
+    def test_render_shows_tree_and_tags(self):
+        tracer = Tracer()
+        with tracer.span("query", federation="corp"):
+            with tracer.span("fetch") as inner:
+                inner.set_sim(0.001)
+        text = tracer.render()
+        assert "query [federation=corp]" in text
+        assert "  fetch" in text
+        assert "sim=1.000ms" in text
+
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer()
+        results = {}
+
+        def worker():
+            with tracer.span("thread-op") as span:
+                results["parent"] = span.parent
+
+        with tracer.span("main-op"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        # the worker's span must not nest under the main thread's open span
+        assert results["parent"] is None
+        assert len(tracer.roots) == 2
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counters_with_labels(self):
+        metrics = MetricsRegistry()
+        metrics.inc("rows", 5, site="a")
+        metrics.inc("rows", 2, site="a")
+        metrics.inc("rows", 7, site="b")
+        assert metrics.counter("rows", site="a") == 5 + 2
+        assert metrics.counter("rows", site="b") == 7
+        assert metrics.counter_total("rows") == 14
+        assert metrics.counter("rows", site="nope") == 0.0
+
+    def test_gauges(self):
+        metrics = MetricsRegistry()
+        assert metrics.gauge("depth") is None
+        metrics.set_gauge("depth", 3)
+        metrics.set_gauge("depth", 5)
+        assert metrics.gauge("depth") == 5
+
+    def test_histogram_summary_percentiles(self):
+        metrics = MetricsRegistry()
+        for value in range(1, 101):  # 1..100
+            metrics.observe("lat", float(value))
+        summary = metrics.histogram_summary("lat")
+        assert summary["count"] == 100
+        assert summary["min"] == 1
+        assert summary["max"] == 100
+        assert summary["mean"] == pytest.approx(50.5)
+        assert summary["p50"] == 50
+        assert summary["p95"] == 95
+        assert summary["p99"] == 99
+
+    def test_histogram_missing_series_is_none(self):
+        assert MetricsRegistry().histogram_summary("nope") is None
+
+    def test_percentile_nearest_rank(self):
+        assert percentile([10.0], 99.0) == 10.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == 2.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 99.0) == 4.0
+
+    def test_disabled_registry_records_nothing(self):
+        metrics = MetricsRegistry(enabled=False)
+        metrics.inc("c")
+        metrics.set_gauge("g", 1)
+        metrics.observe("h", 1.0)
+        snap = metrics.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_reset_clears_everything(self):
+        metrics = MetricsRegistry()
+        metrics.inc("c")
+        metrics.observe("h", 1.0)
+        metrics.reset()
+        assert metrics.counter_total("c") == 0
+        assert metrics.histogram_summary("h") is None
+
+    def test_render_groups_by_kind(self):
+        metrics = MetricsRegistry()
+        metrics.inc("msgs", 3, purpose="query")
+        metrics.set_gauge("active", 2)
+        metrics.observe("lat", 0.5)
+        text = metrics.render()
+        assert "-- counters --" in text
+        assert "msgs{purpose=query}" in text
+        assert "-- gauges --" in text
+        assert "-- histograms --" in text
+
+    def test_render_empty(self):
+        assert "(no metrics recorded)" in MetricsRegistry().render()
+
+
+# ---------------------------------------------------------------------------
+# Observability handle + wiring helpers
+# ---------------------------------------------------------------------------
+
+
+class TestObservabilityHandle:
+    def test_disabled_singleton(self):
+        assert DISABLED.span("x") is NULL_SPAN
+        DISABLED.metrics.inc("x")
+        assert DISABLED.metrics.counter_total("x") == 0
+
+    def test_obs_of_network_without_handle(self):
+        class Bare:
+            obs = None
+
+        assert obs_of(Bare()) is DISABLED
+        assert obs_of(object()) is DISABLED
+
+    def test_reset_clears_both(self):
+        obs = Observability()
+        with obs.span("op"):
+            obs.metrics.inc("c")
+        obs.reset()
+        assert len(obs.tracer.roots) == 0
+        assert obs.metrics.counter_total("c") == 0
+
+
+# ---------------------------------------------------------------------------
+# System-level wiring
+# ---------------------------------------------------------------------------
+
+
+class TestSystemObservability:
+    def test_query_produces_spans_and_metrics(self):
+        system = build_two_site_join(40, 40)
+        result = system.query("synth", JOIN_SQL)
+        assert len(result.rows) > 0
+
+        # span tree: query.execute → execute.stage → execute.fetch
+        (root,) = system.tracer.find("query.execute")
+        assert root.parent is None
+        assert root.find("query.plan")
+        stages = root.find("execute.stage")
+        assert stages
+        fetches = root.find("execute.fetch")
+        assert len(fetches) == len(result.plan.fetches)
+        for span in fetches:
+            assert span.sim_s is not None and span.sim_s > 0
+        assert root.find("execute.residual")
+
+        # metrics: per-site shipping, per-purpose messages, query counters
+        metrics = system.metrics
+        assert metrics.counter("query.executed", strategy="cost") == 1
+        assert metrics.counter("site.rows_shipped", site="s1") > 0
+        assert metrics.counter("site.rows_shipped", site="s2") > 0
+        assert metrics.counter_total("site.bytes_shipped") > 0
+        assert metrics.counter("net.messages", purpose="query") > 0
+        assert metrics.counter("net.messages", purpose="result") > 0
+        summary = metrics.histogram_summary("query.sim_elapsed_s")
+        assert summary["count"] == 1
+        assert summary["max"] == pytest.approx(result.trace.elapsed_s)
+
+    def test_transaction_metrics_and_spans(self):
+        system = build_bank_sites(2, 4)
+        txn = system.begin_transaction()
+        txn.execute(
+            "b0", "UPDATE account SET balance = balance - 10 WHERE acct = 0"
+        )
+        txn.execute(
+            "b1", "UPDATE account SET balance = balance + 10 WHERE acct = 4"
+        )
+        txn.commit()
+
+        metrics = system.metrics
+        assert metrics.counter("txn.begun") == 1
+        assert metrics.counter("txn.outcomes", outcome="committed") == 1
+        (commit,) = system.tracer.find("txn.commit")
+        assert commit.find("txn.prepare")
+        decides = commit.find("txn.decide")
+        assert [s.tags["decision"] for s in decides] == ["commit"]
+        delivers = commit.find("txn.deliver")
+        assert len(delivers) == 2
+        assert commit.sim_s is not None and commit.sim_s > 0
+
+    def test_disabled_observability_records_nothing(self):
+        system = build_two_site_join(20, 20, query_timeout=None)
+        system.obs.enabled = False
+        system.tracer.enabled = False
+        system.metrics.enabled = False
+        result = system.query("synth", JOIN_SQL)
+        assert len(result.rows) >= 0
+        assert len(system.tracer.roots) == 0
+        assert system.metrics.counter_total("query.executed") == 0
+
+    def test_observability_false_at_construction(self):
+        system = MyriadSystem(observability=False)
+        assert not system.obs.enabled
+        assert system.obs.span("x") is NULL_SPAN
+        assert system.network.obs is system.obs
+
+    def test_report_renders_metrics_and_traces(self):
+        system = build_two_site_join(20, 20)
+        system.query("synth", JOIN_SQL)
+        report = system.observability_report()
+        assert "== metrics ==" in report
+        assert "== traces (most recent last) ==" in report
+        assert "query.execute" in report
+        assert "site.rows_shipped" in report
+
+    def test_dropped_messages_are_counted(self):
+        system = build_two_site_join(20, 20)
+        faults = system.inject_faults(seed=3)
+        faults.drop_next(1, purpose="query")
+        with pytest.raises(Exception):
+            system.query("synth", JOIN_SQL)
+        assert system.metrics.counter_total("net.dropped") == 1
+
+    def test_deadlock_monitor_sweep_metrics(self):
+        from repro.txn.deadlock import GlobalDeadlockMonitor
+
+        system = build_bank_sites(2, 4)
+        monitor = GlobalDeadlockMonitor(system.gateways)
+        assert monitor.obs is system.obs
+        monitor.check_once()
+        assert system.metrics.counter("deadlock.sweeps") == 1
+        assert system.metrics.counter_total("deadlock.victims") == 0
+
+
+# ---------------------------------------------------------------------------
+# EXPLAIN ANALYZE
+# ---------------------------------------------------------------------------
+
+
+class TestExplainAnalyze:
+    def test_cost_plan_estimates_and_actuals(self):
+        system = build_two_site_join(60, 60)
+        result = system.query("synth", JOIN_SQL, optimizer="cost")
+        text = result.explain_analyze()
+        assert "EXPLAIN ANALYZE GlobalPlan[cost]" in text
+        # the cost optimizer annotates a whole-plan estimate and per-fetch
+        # estimates; execution fills the actuals
+        assert "plan: estimated cost" in text
+        assert "?" not in text.split("\n")[1]
+        assert "est:    rows=" in text
+        assert "actual: rows=" in text
+        assert "(not executed)" not in text
+        assert "residual:" in text
+        assert f"result: {len(result.rows)} rows" in text
+
+    def test_simple_plan_also_gets_estimates(self):
+        system = build_two_site_join(60, 60)
+        result = system.query("synth", JOIN_SQL, optimizer="simple")
+        text = result.explain_analyze()
+        assert "EXPLAIN ANALYZE GlobalPlan[simple]" in text
+        # ship-all has no whole-plan cost estimate…
+        assert "plan: estimated cost ?" in text
+        # …but each fetch still carries est rows/bytes/time
+        for line in text.split("\n"):
+            if line.strip().startswith("est:"):
+                assert "rows=?" not in line
+                assert "bytes=?" not in line
+                assert "time=?" not in line
+        assert "actual: rows=" in text
+
+    def test_actuals_match_trace_totals(self):
+        system = build_two_site_join(40, 40)
+        result = system.query("synth", JOIN_SQL, optimizer="simple")
+        total_bytes = sum(a.bytes for a in result.fetch_actuals.values())
+        total_msgs = sum(a.messages for a in result.fetch_actuals.values())
+        assert total_bytes == result.trace.total_bytes
+        assert total_msgs == result.trace.message_count
+        fetched = sum(a.rows for a in result.fetch_actuals.values())
+        assert fetched == result.fetched_rows
+
+
+# ---------------------------------------------------------------------------
+# Fragment materialisation bugfix
+# ---------------------------------------------------------------------------
+
+
+class TestRegisterFragmentDuplicates:
+    def _executor_and_fetch(self):
+        system = build_two_site_join(10, 10)
+        executor = system.processor("synth").executor
+        fetch = Fetch(
+            index=0,
+            site="s1",
+            export="left_rel",
+            binding="lhs",
+            temp_name="__frag_lhs",
+            columns=["k", "flt"],
+        )
+        return executor, fetch
+
+    def test_duplicate_pk_rows_fall_back_to_keyless(self):
+        executor, fetch = self._executor_and_fetch()
+        catalog = Catalog("test")
+        shipped = ResultSet(["k", "flt"], [(1, 0.5), (1, 0.6), (2, 0.7)])
+        executor._register_fragment(catalog, fetch, shipped)
+        table = catalog.get_table("__frag_lhs")
+        assert len(table) == 3
+        assert table.schema.primary_key == []
+
+    def test_null_pk_rows_fall_back_to_keyless(self):
+        executor, fetch = self._executor_and_fetch()
+        catalog = Catalog("test")
+        shipped = ResultSet(["k", "flt"], [(None, 0.5), (2, 0.7)])
+        executor._register_fragment(catalog, fetch, shipped)
+        table = catalog.get_table("__frag_lhs")
+        assert len(table) == 2
+        assert table.schema.primary_key == []
+
+    def test_unique_pk_rows_keep_the_key(self):
+        executor, fetch = self._executor_and_fetch()
+        catalog = Catalog("test")
+        shipped = ResultSet(["k", "flt"], [(1, 0.5), (2, 0.7)])
+        executor._register_fragment(catalog, fetch, shipped)
+        table = catalog.get_table("__frag_lhs")
+        assert len(table) == 2
+        assert [k.lower() for k in table.schema.primary_key] == ["k"]
