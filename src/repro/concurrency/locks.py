@@ -204,6 +204,29 @@ class LockManager:
                 return None
             return state.holders.get(owner)
 
+    def snapshot(self) -> list[dict]:
+        """Point-in-time lock table: holders and waiters per resource.
+
+        Returns one entry per locked resource:
+        ``{"resource", "holders": {owner: "S"|"X"}, "waiters": [(owner,
+        mode), ...]}`` — the raw material of the federation's
+        ``system.lock_table()`` introspection view.
+        """
+        with self._lock:
+            return [
+                {
+                    "resource": resource,
+                    "holders": {
+                        owner: mode.value
+                        for owner, mode in state.holders.items()
+                    },
+                    "waiters": [
+                        (owner, mode.value) for owner, mode in state.waiters
+                    ],
+                }
+                for resource, state in sorted(self._resources.items())
+            ]
+
     def wait_for_edges(self) -> list[tuple[object, object]]:
         """Edges (waiter → holder) of the current local wait-for graph."""
         with self._lock:

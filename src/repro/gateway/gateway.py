@@ -204,6 +204,9 @@ class Gateway:
             # the global transaction is deadlocked.
             self.timeouts += 1
             self.obs.metrics.inc("gateway.timeouts", site=self.site)
+            self.obs.emit(
+                "gateway.timeout", site=self.site, timeout_s=effective
+            )
             raise GatewayTimeout(
                 f"site {self.site!r}: local query exceeded its timeout "
                 f"({effective}s): {error}",
@@ -291,10 +294,16 @@ class Gateway:
                 session.rollback()
                 self._txn_sessions.pop(global_id, None)
                 span.tag(vote=False)
+                self._emit_branch_event(
+                    global_id, "ABORTED", trace, vote=False
+                )
                 return False
             vote = session.prepare()
             self.network.send(self.site, from_site, 8, "vote", trace)
             span.tag(vote=vote)
+        self._emit_branch_event(
+            global_id, "PREPARED" if vote else "ABORTED", trace, vote=vote
+        )
         return vote
 
     def commit(
@@ -325,6 +334,7 @@ class Gateway:
             else:
                 session.commit()
             self._stats_cache.clear()
+            self._emit_branch_event(global_id, "COMMITTED", trace)
             self.network.send(self.site, from_site, 8, "ack", trace)
 
     def abort(
@@ -344,11 +354,38 @@ class Gateway:
                 session.rollback_prepared()
             else:
                 session.rollback()
+            self._emit_branch_event(global_id, "ABORTED", trace)
             self.network.send(self.site, from_site, 8, "ack", trace)
 
+    def _emit_branch_event(
+        self,
+        global_id: object,
+        state: str,
+        trace: MessageTrace | None,
+        **fields: object,
+    ) -> None:
+        """Record one participant-side 2PC state transition."""
+        self.obs.emit(
+            "2pc",
+            sim_s=trace.elapsed_s if trace is not None else None,
+            txn=global_id,
+            site=self.site,
+            role="participant",
+            state=state,
+            **fields,
+        )
+
     # ------------------------------------------------------------------
-    # Introspection for the deadlock-oracle baseline
+    # Introspection (deadlock-oracle baseline, lock table, 2PC states)
     # ------------------------------------------------------------------
+
+    def _local_to_global(self) -> dict[object, object]:
+        """Local txn id → global id, for branches of global transactions."""
+        mapping: dict[object, object] = {}
+        for txn in self.dbms.transactions.active_transactions():
+            if txn.global_id is not None:
+                mapping[txn.txn_id] = txn.global_id
+        return mapping
 
     def wait_for_edges(self) -> list[tuple[object, object]]:
         """Local wait-for edges in terms of *global* transaction ids.
@@ -357,10 +394,7 @@ class Gateway:
         global transactions are mapped to their global ids so the federation
         can stitch a global wait-for graph (the oracle detector baseline).
         """
-        local_to_global: dict[object, object] = {}
-        for txn in self.dbms.transactions.active_transactions():
-            if txn.global_id is not None:
-                local_to_global[txn.txn_id] = txn.global_id
+        local_to_global = self._local_to_global()
         edges = []
         for waiter, holder in self.dbms.transactions.locks.wait_for_edges():
             edges.append(
@@ -370,6 +404,39 @@ class Gateway:
                 )
             )
         return edges
+
+    def lock_table(self) -> list[dict]:
+        """This site's lock table, with branch owners in global-txn terms.
+
+        One entry per locked resource: ``{"resource", "holders": {txn:
+        mode}, "waiters": [[txn, mode], ...]}``; modes are ``"S"``/``"X"``.
+        """
+        local_to_global = self._local_to_global()
+
+        def name(owner: object) -> str:
+            return str(local_to_global.get(owner, owner))
+
+        return [
+            {
+                "resource": entry["resource"],
+                "holders": {
+                    name(owner): mode
+                    for owner, mode in entry["holders"].items()
+                },
+                "waiters": [
+                    [name(owner), mode] for owner, mode in entry["waiters"]
+                ],
+            }
+            for entry in self.dbms.transactions.locks.snapshot()
+        ]
+
+    def branch_states(self) -> dict[object, str]:
+        """Global id → local branch state for every open branch here."""
+        return {
+            global_id: session.txn.state.value
+            for global_id, session in self._txn_sessions.items()
+            if session.txn is not None
+        }
 
 
 def _rewrite_dml(statement: ast.Statement, exports: ExportSchema) -> ast.Statement:

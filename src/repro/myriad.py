@@ -44,6 +44,8 @@ class MyriadSystem:
         if self.network.obs is None:
             self.network.obs = Observability(enabled=observability)
         self.obs: Observability = self.network.obs
+        if self.network.faults is not None and self.network.faults.obs is None:
+            self.network.faults.obs = self.obs
         self.components: dict[str, LocalDBMS] = {}
         self.gateways: dict[str, Gateway] = {}
         self.federations: dict[str, Federation] = {}
@@ -67,9 +69,56 @@ class MyriadSystem:
         """System-wide span tracer (query, 2PC, and deadlock-sweep spans)."""
         return self.obs.tracer
 
+    @property
+    def events(self):
+        """System-wide structured event log (2PC, deadlocks, faults, WAL)."""
+        return self.obs.events
+
     def observability_report(self, last_spans: int | None = 8) -> str:
-        """Text dump of collected metrics and the most recent span trees."""
+        """Text dump of metrics, the event tail, and recent span trees.
+
+        On a system built with ``observability=False`` this returns an
+        explicit "observability disabled" marker, never empty sections.
+        """
         return self.obs.render(last_spans=last_spans)
+
+    # -- live introspection --------------------------------------------
+
+    def lock_table(self) -> dict[str, list[dict]]:
+        """Per-site held/waiting table locks by mode (global-txn terms)."""
+        from repro.obs.introspect import lock_table
+
+        return lock_table(self)
+
+    def wait_for_graph(self) -> dict:
+        """Global wait-for edges + cycles + victims + a Graphviz DOT render."""
+        from repro.obs.introspect import wait_for_graph
+
+        return wait_for_graph(self)
+
+    def transaction_states(self) -> list[dict]:
+        """Every known global txn: coordinator vs. per-branch gateway state."""
+        from repro.obs.introspect import transaction_states
+
+        return transaction_states(self)
+
+    def federation_stats(self) -> dict:
+        """Sites, federations, network totals, and transaction counters."""
+        from repro.obs.introspect import federation_stats
+
+        return federation_stats(self)
+
+    def dump_debug_bundle(self, directory):
+        """Write a post-mortem directory: traces, metrics, events, config.
+
+        See :func:`repro.obs.export.dump_debug_bundle`; reload with
+        :func:`repro.obs.export.load_debug_bundle` or inspect with
+        ``python -m repro.obs.report --bundle DIR``.  Raises
+        :class:`~repro.errors.MyriadError` when observability is disabled.
+        """
+        from repro.obs.export import dump_debug_bundle
+
+        return dump_debug_bundle(self, directory)
 
     # ------------------------------------------------------------------
     # Fault injection
@@ -84,6 +133,8 @@ class MyriadSystem:
         """
         if self.network.faults is None:
             self.network.faults = FaultInjector(seed)
+        if self.network.faults.obs is None:
+            self.network.faults.obs = self.obs
         return self.network.faults
 
     # ------------------------------------------------------------------

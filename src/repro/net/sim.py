@@ -230,6 +230,14 @@ class FaultInjector:
         self._crashed: set[str] = set()
         self._partitions: list[tuple[frozenset, frozenset]] = []
         self.dropped: list[DroppedMessage] = []
+        #: Optional :class:`repro.obs.Observability` handle; when set (by
+        #: ``MyriadSystem.inject_faults`` or the owning network), crash /
+        #: restart / partition / heal actions are recorded as events.
+        self.obs = None
+
+    def _emit(self, etype: str, **fields: object) -> None:
+        if self.obs is not None:
+            self.obs.emit(etype, **fields)
 
     # -- configuration -----------------------------------------------------
 
@@ -261,18 +269,31 @@ class FaultInjector:
 
     def crash_site(self, site: str) -> None:
         self._crashed.add(site)
+        self._emit("fault.crash", site=site)
 
     def restart_site(self, site: str) -> None:
         self._crashed.discard(site)
+        self._emit("fault.restart", site=site)
 
     def is_crashed(self, site: str) -> bool:
         return site in self._crashed
 
     def partition(self, group_a, group_b) -> None:
         self._partitions.append((frozenset(group_a), frozenset(group_b)))
+        self._emit(
+            "fault.partition",
+            group_a=sorted(group_a),
+            group_b=sorted(group_b),
+        )
 
     def heal(self) -> None:
         """Remove all partitions and restart every crashed site."""
+        if self._partitions or self._crashed:
+            self._emit(
+                "fault.heal",
+                partitions=len(self._partitions),
+                crashed=sorted(self._crashed),
+            )
         self._partitions.clear()
         self._crashed.clear()
 
@@ -375,6 +396,14 @@ class Network:
                 self.faults.record(source, destination, purpose, reason)
                 if self.obs is not None:
                     self.obs.metrics.inc("net.dropped", purpose=purpose)
+                    self.obs.emit(
+                        "fault.drop",
+                        sim_s=trace.elapsed_s if trace is not None else None,
+                        source=source,
+                        destination=destination,
+                        purpose=purpose,
+                        reason=reason,
+                    )
                 raise MessageDropped(
                     f"message {purpose!r} from {source!r} to {destination!r} "
                     f"lost: {reason}",

@@ -24,30 +24,63 @@ zero-dependency and near-free when disabled
 
 from __future__ import annotations
 
+from repro.obs.events import Event, EventLog, load_events_jsonl
 from repro.obs.explain import FetchActual, render_explain_analyze
 from repro.obs.metrics import MetricsRegistry, percentile
 from repro.obs.trace import NULL_SPAN, Span, Tracer
 
+#: Marker returned by reports/exporters when observability is off, so a
+#: disabled handle can never be mistaken for a quiet (but observed) run.
+DISABLED_REPORT = (
+    "observability disabled: no metrics, traces, or events were recorded\n"
+    "(construct the system with observability=True to collect telemetry)"
+)
+
 
 class Observability:
-    """One tracer + one metrics registry, enabled or disabled together."""
+    """One tracer + metrics registry + event log, enabled or disabled together."""
 
-    def __init__(self, enabled: bool = True, max_roots: int = 64):
+    def __init__(
+        self,
+        enabled: bool = True,
+        max_roots: int = 64,
+        max_events: int = 4096,
+        slow_query_threshold_s: float | None = 1.0,
+    ):
         self.enabled = enabled
         self.tracer = Tracer(enabled=enabled, max_roots=max_roots)
         self.metrics = MetricsRegistry(enabled=enabled)
+        self.events = EventLog(enabled=enabled, max_events=max_events)
+        # Evicted root spans surface as the obs.spans_dropped counter.
+        self.tracer.metrics = self.metrics
+        #: Queries whose *simulated* latency crosses this threshold emit a
+        #: ``query.slow`` event (with a plan digest); ``None`` disables.
+        self.slow_query_threshold_s = slow_query_threshold_s
 
     def span(self, name: str, **tags: object):
         return self.tracer.span(name, **tags)
 
+    def emit(self, etype: str, sim_s: float | None = None, **fields: object):
+        """Record one structured event (no-op when disabled)."""
+        return self.events.emit(etype, sim_s=sim_s, **fields)
+
     def reset(self) -> None:
         self.tracer.clear()
         self.metrics.reset()
+        self.events.clear()
 
-    def render(self, last_spans: int | None = None) -> str:
-        """Combined text dump: metrics tables, then recent span trees."""
+    def render(self, last_spans: int | None = None, last_events: int | None = 20) -> str:
+        """Combined text dump: metrics, event tail, recent span trees.
+
+        A disabled handle returns an explicit marker instead of empty
+        sections — empty telemetry and no telemetry are different facts.
+        """
+        if not self.enabled:
+            return DISABLED_REPORT
         return (
             self.metrics.render()
+            + "\n\n"
+            + self.events.render(last=last_events)
             + "\n\n== traces (most recent last) ==\n"
             + self.tracer.render(last=last_spans)
         )
@@ -65,12 +98,16 @@ def obs_of(network) -> Observability:
 
 __all__ = [
     "DISABLED",
+    "DISABLED_REPORT",
+    "Event",
+    "EventLog",
     "FetchActual",
     "MetricsRegistry",
     "NULL_SPAN",
     "Observability",
     "Span",
     "Tracer",
+    "load_events_jsonl",
     "obs_of",
     "percentile",
     "render_explain_analyze",

@@ -1,0 +1,165 @@
+"""Structured event log: the durable narrative of one MYRIAD run.
+
+Spans answer *where time went* and metrics answer *how much*; the event log
+answers *what happened, in order*.  It records typed, timestamped events for
+the state machinery the paper's claims rest on:
+
+- ``2pc`` — every global-transaction state transition (BEGIN / PREPARING /
+  PREPARED / COMMITTED / ABORTED / IN-DOUBT / RECOVERED), per participant
+- ``deadlock.sweep`` — each detection round that found cycles, with the
+  cycles and the chosen victims
+- ``fault.drop`` / ``fault.crash`` / ``fault.restart`` / ``fault.partition``
+  / ``fault.heal`` — everything the fault injector did to the network
+- ``wal.park`` / ``wal.drain`` — pending-delivery decisions parked for
+  recovery and their later draining
+- ``query.slow`` — queries whose simulated latency crossed the configured
+  threshold, with a digest of the executed plan
+- ``gateway.timeout`` — local queries that exceeded the paper's timeout
+  period (the global-deadlock signal)
+
+The log is bounded (oldest events evicted, evictions counted), thread-safe
+(the deadlock monitor emits from its own thread), and serialises to JSONL —
+one JSON object per line — for the debug bundle.  Like the rest of the
+observability layer it is zero-dependency and a no-op when disabled.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Event:
+    """One recorded event.
+
+    ``wall_ts`` is seconds since the epoch; ``sim_s`` is the simulated-clock
+    position of the operation that emitted the event (the emitting trace's
+    elapsed virtual seconds), or ``None`` when no simulated operation was in
+    flight (e.g. coordinator bookkeeping).
+    """
+
+    seq: int
+    type: str
+    wall_ts: float
+    sim_s: float | None = None
+    fields: dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        payload = {
+            "seq": self.seq,
+            "type": self.type,
+            "wall_ts": self.wall_ts,
+            "sim_s": self.sim_s,
+        }
+        payload.update(self.fields)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+    @classmethod
+    def from_json(cls, line: str) -> "Event":
+        data = json.loads(line)
+        seq = data.pop("seq")
+        etype = data.pop("type")
+        wall_ts = data.pop("wall_ts")
+        sim_s = data.pop("sim_s", None)
+        return cls(seq, etype, wall_ts, sim_s, data)
+
+
+def _json_safe(value: object) -> object:
+    """Coerce one field value to something ``json.dumps`` round-trips."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return str(value)
+
+
+class EventLog:
+    """Bounded, thread-safe structured event recorder."""
+
+    def __init__(self, enabled: bool = True, max_events: int = 4096):
+        self.enabled = enabled
+        self.max_events = max_events
+        self._events: deque[Event] = deque()
+        self._lock = threading.Lock()
+        self._seq = 0
+        #: Events evicted because the buffer was full — surfaced in reports
+        #: so a truncated log is never mistaken for a complete one.
+        self.dropped = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def emit(
+        self, etype: str, sim_s: float | None = None, **fields: object
+    ) -> Event | None:
+        """Record one event; returns it (or ``None`` when disabled)."""
+        if not self.enabled:
+            return None
+        safe = {key: _json_safe(value) for key, value in fields.items()}
+        with self._lock:
+            event = Event(self._seq, etype, time.time(), sim_s, safe)
+            self._seq += 1
+            if len(self._events) >= self.max_events:
+                self._events.popleft()
+                self.dropped += 1
+            self._events.append(event)
+        return event
+
+    # -- reading -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def snapshot(self) -> list[Event]:
+        with self._lock:
+            return list(self._events)
+
+    def of_type(self, etype: str) -> list[Event]:
+        return [event for event in self.snapshot() if event.type == etype]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self.dropped = 0
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line, oldest first (trailing newline)."""
+        events = self.snapshot()
+        if not events:
+            return ""
+        return "\n".join(event.to_json() for event in events) + "\n"
+
+    def render(self, last: int | None = 20) -> str:
+        """Human-readable tail of the log."""
+        events = self.snapshot()
+        lines = [f"== events ({len(events)} recorded, {self.dropped} dropped) =="]
+        if not events:
+            lines.append("(no events recorded)")
+            return "\n".join(lines)
+        if last is not None:
+            events = events[-last:]
+        for event in events:
+            sim = f" sim={event.sim_s * 1000:.3f}ms" if event.sim_s is not None else ""
+            detail = " ".join(
+                f"{key}={value}" for key, value in sorted(event.fields.items())
+            )
+            lines.append(f"[{event.seq}] {event.type}{sim} {detail}".rstrip())
+        return "\n".join(lines)
+
+
+def load_events_jsonl(text: str) -> list[Event]:
+    """Parse a JSONL event dump back into :class:`Event` objects."""
+    events = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            events.append(Event.from_json(line))
+    return events

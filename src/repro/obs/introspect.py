@@ -1,0 +1,289 @@
+"""Live system introspection: locks, wait-for graph, 2PC states, stats.
+
+Read-only snapshot APIs over a running :class:`~repro.myriad.MyriadSystem` —
+the operational surface the paper's machinery (2PL locals, 2PC, timeout
+deadlock resolution) needs to be *observable* rather than inferred:
+
+- :func:`lock_table` — per-site held and waiting table locks by mode
+- :func:`wait_for_graph` — the union of the components' wait-for edges in
+  global-transaction terms, plus cycles, chosen victims, and a Graphviz DOT
+  render
+- :func:`transaction_states` — every known global transaction's coordinator
+  state next to its per-site branch states, flagging divergence (e.g. a
+  branch still PREPARED after the coordinator decided)
+- :func:`federation_stats` — sites, federations, network totals, and
+  transaction-manager counters in one dict
+
+All snapshots are plain JSON-safe dicts; :func:`introspection_snapshot`
+bundles the four for the debug bundle, and :func:`render_dashboard` formats
+them as the human dashboard the ``repro.obs.report`` CLI prints.
+"""
+
+from __future__ import annotations
+
+from repro.txn.deadlock import WaitForGraphDetector
+
+
+# ---------------------------------------------------------------------------
+# Lock table
+# ---------------------------------------------------------------------------
+
+
+def lock_table(system) -> dict[str, list[dict]]:
+    """Per-site lock table: held and waiting locks, by resource and mode.
+
+    Transaction ids are reported in *global* terms where the local
+    transaction is a branch of a global one (``G3``), local ids otherwise.
+    """
+    table: dict[str, list[dict]] = {}
+    for site in sorted(system.gateways):
+        table[site] = system.gateways[site].lock_table()
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Wait-for graph
+# ---------------------------------------------------------------------------
+
+
+def wait_for_graph(system) -> dict:
+    """The global wait-for graph: edges, cycles, victims, and a DOT render."""
+    detector = WaitForGraphDetector(system.gateways)
+    edges = detector.global_edges()
+    cycles = detector.find_cycles()
+    victims = detector.victims_for(cycles)
+    return {
+        "edges": [[str(a), str(b)] for a, b in edges],
+        "cycles": [[str(txn) for txn in cycle] for cycle in cycles],
+        "victims": [str(victim) for victim in victims],
+        "dot": _render_dot(edges, cycles, victims),
+    }
+
+
+def _render_dot(edges, cycles, victims) -> str:
+    """Graphviz DOT text: deadlocked nodes filled, victims double-circled."""
+    deadlocked = {str(txn) for cycle in cycles for txn in cycle}
+    victim_set = {str(victim) for victim in victims}
+    nodes = sorted(
+        {str(a) for a, _ in edges}
+        | {str(b) for _, b in edges}
+        | deadlocked
+    )
+    lines = ["digraph wait_for {", "  rankdir=LR;"]
+    for node in nodes:
+        attrs = []
+        if node in deadlocked:
+            attrs.append('style=filled fillcolor="#f4cccc"')
+        if node in victim_set:
+            attrs.append("peripheries=2")
+        suffix = f" [{' '.join(attrs)}]" if attrs else ""
+        lines.append(f'  "{node}"{suffix};')
+    for source, target in sorted((str(a), str(b)) for a, b in edges):
+        lines.append(f'  "{source}" -> "{target}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Global transaction states
+# ---------------------------------------------------------------------------
+
+
+def transaction_states(system) -> list[dict]:
+    """Coordinator state vs. per-site branch state for every known txn.
+
+    Covers active global transactions, branches still present at any
+    gateway (including in-doubt PREPARED branches whose coordinator already
+    forgot them), and parked pending deliveries.  ``divergent`` is set when
+    the branches do not agree with the coordinator's view — the condition
+    2PC recovery exists to repair.
+    """
+    gtm = system.transactions
+    coordinator: dict[str, str] = {
+        str(gid): txn.state.value for gid, txn in gtm.active.items()
+    }
+    decisions = {
+        str(gid): decision
+        for gid, decision in gtm.wal.coordinator_decisions().items()
+    }
+    branches: dict[str, dict[str, str]] = {}
+    for site in sorted(system.gateways):
+        for gid, state in system.gateways[site].branch_states().items():
+            branches.setdefault(str(gid), {})[site] = state
+    pending: dict[str, dict[str, str]] = {}
+    for gid, sites in gtm.pending_deliveries.items():
+        pending[str(gid)] = dict(sites)
+
+    rows = []
+    for gid in sorted(set(coordinator) | set(branches) | set(pending)):
+        coord_state = coordinator.get(gid)
+        decision = decisions.get(gid)
+        branch_states = branches.get(gid, {})
+        divergent = _is_divergent(coord_state, decision, branch_states)
+        rows.append(
+            {
+                "global_id": gid,
+                "coordinator": coord_state
+                or (f"decided:{decision}" if decision else "forgotten"),
+                "branches": branch_states,
+                "pending_delivery": pending.get(gid, {}),
+                "divergent": divergent,
+            }
+        )
+    return rows
+
+
+def _is_divergent(
+    coord_state: str | None, decision: str | None, branch_states: dict[str, str]
+) -> bool:
+    states = set(branch_states.values())
+    # A PREPARED branch after the coordinator decided (or forgot) is in
+    # doubt; mixed terminal branch states can never be right.
+    if "prepared" in states and coord_state != "preparing":
+        return True
+    terminal = states & {"committed", "aborted"}
+    if len(terminal) > 1:
+        return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Federation stats
+# ---------------------------------------------------------------------------
+
+
+def federation_stats(system) -> dict:
+    """One JSON-safe dict of the installation's shape and counters."""
+    gtm = system.transactions
+    network = system.network
+    return {
+        "sites": {
+            site: {
+                "dialect": type(system.components[site]).__name__,
+                "exports": gateway.export_names(),
+                "queries_executed": gateway.queries_executed,
+                "timeouts": gateway.timeouts,
+                "open_branches": len(gateway.branch_states()),
+            }
+            for site, gateway in sorted(system.gateways.items())
+        },
+        "federations": {
+            federation.name: {"relations": sorted(federation.relations)}
+            for federation in system.federations.values()
+        },
+        "network": {
+            "messages": network.total_messages,
+            "bytes": network.total_bytes,
+            "dropped": network.dropped_messages,
+        },
+        "transactions": {
+            "active": len(gtm.active),
+            "commits": gtm.commits,
+            "aborts": gtm.aborts,
+            "timeout_aborts": gtm.timeout_aborts,
+            "vote_no_aborts": gtm.vote_no_aborts,
+            "decision_retries": gtm.decision_retries,
+            "decisions_parked": gtm.decisions_parked,
+            "decisions_recovered": gtm.decisions_recovered,
+        },
+    }
+
+
+def introspection_snapshot(system) -> dict:
+    """All four snapshots in one dict (the bundle's introspection.json)."""
+    return {
+        "lock_table": lock_table(system),
+        "wait_for_graph": wait_for_graph(system),
+        "transaction_states": transaction_states(system),
+        "federation_stats": federation_stats(system),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Human dashboard
+# ---------------------------------------------------------------------------
+
+
+def render_dashboard(snapshot: dict) -> str:
+    """Format an :func:`introspection_snapshot` as the CLI's dashboard."""
+    lines: list[str] = []
+
+    stats = snapshot.get("federation_stats", {})
+    lines.append("== federation ==")
+    for site, info in stats.get("sites", {}).items():
+        lines.append(
+            f"site {site} [{info['dialect']}]: "
+            f"exports={','.join(info['exports']) or '-'} "
+            f"queries={info['queries_executed']} "
+            f"timeouts={info['timeouts']} "
+            f"open_branches={info['open_branches']}"
+        )
+    for name, info in stats.get("federations", {}).items():
+        lines.append(
+            f"federation {name}: relations={','.join(info['relations']) or '-'}"
+        )
+    net = stats.get("network", {})
+    lines.append(
+        f"network: messages={net.get('messages', 0)} "
+        f"bytes={net.get('bytes', 0)} dropped={net.get('dropped', 0)}"
+    )
+    txn = stats.get("transactions", {})
+    lines.append(
+        "transactions: "
+        + " ".join(f"{key}={value}" for key, value in txn.items())
+    )
+
+    lines.append("")
+    lines.append("== lock table ==")
+    any_locks = False
+    for site, resources in snapshot.get("lock_table", {}).items():
+        for entry in resources:
+            any_locks = True
+            holders = " ".join(
+                f"{txn}:{mode}" for txn, mode in sorted(entry["holders"].items())
+            )
+            waiters = " ".join(
+                f"{txn}:{mode}?" for txn, mode in entry["waiters"]
+            )
+            lines.append(
+                f"{site}.{entry['resource']}: held[{holders}]"
+                + (f" waiting[{waiters}]" if waiters else "")
+            )
+    if not any_locks:
+        lines.append("(no locks held)")
+
+    lines.append("")
+    lines.append("== wait-for graph ==")
+    graph = snapshot.get("wait_for_graph", {})
+    if graph.get("edges"):
+        for source, target in graph["edges"]:
+            lines.append(f"{source} -> {target}")
+        for cycle in graph.get("cycles", []):
+            lines.append(f"cycle: {' -> '.join(cycle + [cycle[0]])}")
+        if graph.get("victims"):
+            lines.append(f"victims: {', '.join(graph['victims'])}")
+    else:
+        lines.append("(no waits)")
+
+    lines.append("")
+    lines.append("== global transactions ==")
+    states = snapshot.get("transaction_states", [])
+    if states:
+        for row in states:
+            branch_text = " ".join(
+                f"{site}={state}" for site, state in sorted(row["branches"].items())
+            )
+            pending = row.get("pending_delivery") or {}
+            pending_text = (
+                " pending[" + " ".join(f"{s}:{d}" for s, d in sorted(pending.items())) + "]"
+                if pending
+                else ""
+            )
+            flag = "  << DIVERGENT" if row["divergent"] else ""
+            lines.append(
+                f"{row['global_id']}: coordinator={row['coordinator']} "
+                f"{branch_text}{pending_text}{flag}".rstrip()
+            )
+    else:
+        lines.append("(no global transactions known)")
+    return "\n".join(lines)

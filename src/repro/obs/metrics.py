@@ -25,7 +25,17 @@ def _key(name: str, labels: dict[str, object]) -> MetricKey:
 
 
 def percentile(values: list[float], pct: float) -> float:
-    """Nearest-rank percentile of a non-empty value list."""
+    """Nearest-rank percentile of a non-empty value list.
+
+    ``pct`` is clamped to [0, 100]; a single-sample list returns that
+    sample for every percentile, and ``pct=100`` returns the maximum.
+    An empty list is a caller error and raises :class:`ValueError`
+    (``histogram_summary`` returns ``None`` for never-observed series
+    instead of calling this).
+    """
+    if not values:
+        raise ValueError("percentile() of an empty value list")
+    pct = max(0.0, min(100.0, pct))
     ordered = sorted(values)
     rank = max(0, min(len(ordered) - 1, round(pct / 100.0 * len(ordered)) - 1))
     return ordered[rank]
@@ -101,6 +111,29 @@ class MetricsRegistry:
         for pct in PERCENTILES:
             summary[f"p{pct:g}"] = percentile(values, pct)
         return summary
+
+    def counter_series(self) -> list[tuple[str, dict[str, str], float]]:
+        """Every counter as ``(name, labels, value)``, sorted (exporters)."""
+        with self._lock:
+            items = sorted(self._counters.items())
+        return [(name, dict(labels), value) for (name, labels), value in items]
+
+    def gauge_series(self) -> list[tuple[str, dict[str, str], float]]:
+        """Every gauge as ``(name, labels, value)``, sorted (exporters)."""
+        with self._lock:
+            items = sorted(self._gauges.items())
+        return [(name, dict(labels), value) for (name, labels), value in items]
+
+    def histogram_series(self) -> list[tuple[str, dict[str, str], dict]]:
+        """Every histogram as ``(name, labels, summary)``, sorted."""
+        with self._lock:
+            keys = sorted(self._histograms)
+        out = []
+        for name, labels in keys:
+            summary = self.histogram_summary(name, **dict(labels))
+            if summary is not None:
+                out.append((name, dict(labels), summary))
+        return out
 
     def snapshot(self) -> dict[str, dict]:
         """Plain-dict dump of every series (stable ordering for reports)."""

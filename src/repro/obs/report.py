@@ -1,0 +1,193 @@
+"""``python -m repro.obs.report`` — the operator's view of a MYRIAD run.
+
+Three modes:
+
+- ``--bundle DIR`` — load a debug bundle written by
+  ``MyriadSystem.dump_debug_bundle`` and print its observability report
+  (byte-for-byte as recorded) followed by the introspection dashboard and
+  bundle inventory
+- ``--demo [--dump DIR]`` — run a small deterministic workload (queries,
+  2PC commits/aborts, an injected decision loss with recovery) and print
+  the live dashboard; ``--dump`` also writes a bundle
+- ``--selftest`` — run the demo, dump a bundle to a temp directory, reload
+  it, and verify the round trip (report byte-identical, metrics lossless,
+  traces and Prometheus text schema-valid); exits non-zero on any mismatch
+
+With no arguments, ``--demo`` runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+
+
+def build_demo_system():
+    """A small deterministic run exercising every telemetry source."""
+    from repro.errors import TwoPhaseCommitError
+    from repro.workloads import build_bank_sites
+
+    system = build_bank_sites(3, 4, query_timeout=2.0)
+    # Make the demo's queries cross the slow-query threshold so the event
+    # log has query.slow entries to show.
+    system.obs.slow_query_threshold_s = 0.0
+
+    system.query("bank", "SELECT COUNT(*) FROM accounts")
+    system.query("bank", "SELECT SUM(balance) FROM accounts")
+
+    # A committed two-site transfer (full 2PC).
+    txn = system.begin_transaction()
+    txn.execute("b0", "UPDATE account SET balance = balance - 25 WHERE acct = 0")
+    txn.execute("b1", "UPDATE account SET balance = balance + 25 WHERE acct = 4")
+    txn.commit()
+
+    # An aborted transfer (client-initiated rollback).
+    txn = system.begin_transaction()
+    txn.execute("b0", "UPDATE account SET balance = balance - 5 WHERE acct = 1")
+    txn.abort()
+
+    # A participant that votes NO (phase-1 failure).
+    system.gateways["b2"].fail_next_prepares = 1
+    txn = system.begin_transaction()
+    txn.execute("b0", "UPDATE account SET balance = balance - 1 WHERE acct = 2")
+    txn.execute("b2", "UPDATE account SET balance = balance + 1 WHERE acct = 8")
+    try:
+        txn.commit()
+    except TwoPhaseCommitError:
+        pass
+
+    # A commit decision the network keeps losing: the delivery is parked on
+    # the WAL pending list (branch in doubt), then the partition heals and
+    # recovery drains it.
+    faults = system.inject_faults(seed=5)
+    faults.drop_next(count=10**6, destination="b1", purpose="commit")
+    txn = system.begin_transaction()
+    txn.execute("b0", "UPDATE account SET balance = balance - 10 WHERE acct = 3")
+    txn.execute("b1", "UPDATE account SET balance = balance + 10 WHERE acct = 5")
+    txn.commit()
+    faults.clear()
+    system.transactions.recover_in_doubt()
+    return system
+
+
+def _print_live(system) -> None:
+    from repro.obs.introspect import introspection_snapshot, render_dashboard
+
+    print(render_dashboard(introspection_snapshot(system)))
+    print()
+    print(system.observability_report())
+
+
+def _print_bundle(bundle) -> None:
+    from repro.obs.introspect import render_dashboard
+
+    # The recorded report first, verbatim: reloading a bundle reproduces
+    # observability_report() byte-for-byte.
+    sys.stdout.write(bundle.report)
+    if not bundle.report.endswith("\n"):
+        print()
+    print()
+    print(render_dashboard(bundle.introspection))
+    print()
+    print("== bundle ==")
+    print(f"path: {bundle.path}")
+    manifest = bundle.manifest
+    print(f"format: {manifest['format']}")
+    print(f"files: {', '.join(manifest['files'])}")
+    print(
+        f"events: {manifest['events']} recorded, "
+        f"{manifest['events_dropped']} dropped; "
+        f"span roots: {manifest['span_roots']} retained, "
+        f"{manifest['spans_dropped']} dropped"
+    )
+    print(f"config: {json.dumps(bundle.config, sort_keys=True)}")
+
+
+def selftest() -> int:
+    """Dump-reload round trip over the demo run; 0 on success."""
+    from repro.obs.export import load_debug_bundle
+
+    system = build_demo_system()
+    problems: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="myriad-bundle-") as tmp:
+        system.dump_debug_bundle(tmp)
+        report = system.observability_report()
+        bundle = load_debug_bundle(tmp)
+        if bundle.report != report:
+            problems.append("report.txt does not round-trip byte-for-byte")
+        if bundle.metrics != json.loads(
+            json.dumps(system.metrics.snapshot())
+        ):
+            problems.append("metrics.json does not match the live registry")
+        live_events = system.obs.events.snapshot()
+        if [e.to_json() for e in bundle.events] != [
+            e.to_json() for e in live_events
+        ]:
+            problems.append("events.jsonl does not round-trip")
+        if not any(e.type == "2pc" for e in bundle.events):
+            problems.append("event log is missing 2PC state transitions")
+        if not any(e.type == "wal.park" for e in bundle.events):
+            problems.append("event log is missing the parked decision")
+        problems.extend(bundle.validate())
+    if problems:
+        for problem in problems:
+            print(f"selftest FAILED: {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"selftest ok: bundle round-trip lossless "
+        f"({len(live_events)} events, "
+        f"{len(system.tracer.roots)} span roots, schemas valid)"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Load a MYRIAD debug bundle or run a demo workload and "
+        "print the observability dashboard.",
+    )
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--bundle", metavar="DIR", help="load a dumped debug bundle"
+    )
+    group.add_argument(
+        "--demo",
+        action="store_true",
+        help="run the demo workload and print the live dashboard (default)",
+    )
+    group.add_argument(
+        "--selftest",
+        action="store_true",
+        help="demo + dump + reload + verify; non-zero exit on mismatch",
+    )
+    parser.add_argument(
+        "--dump",
+        metavar="DIR",
+        help="with --demo: also write the run's debug bundle to DIR",
+    )
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        return selftest()
+    if args.bundle:
+        from repro.obs.export import load_debug_bundle
+
+        _print_bundle(load_debug_bundle(args.bundle))
+        return 0
+    system = build_demo_system()
+    if args.dump:
+        path = system.dump_debug_bundle(args.dump)
+        print(f"wrote debug bundle to {path}")
+        print()
+    _print_live(system)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `... | head`: die quietly, like cat does
+        sys.exit(141)

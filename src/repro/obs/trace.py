@@ -136,6 +136,14 @@ class Tracer:
         self.roots: deque[Span] = deque(maxlen=max_roots)
         self._lock = threading.Lock()
         self._local = threading.local()
+        #: Root spans evicted because the buffer was full.  Surfaced in the
+        #: observability report and (via ``metrics``, when wired) as the
+        #: ``obs.spans_dropped`` counter so a truncated trace is never
+        #: mistaken for a complete one.
+        self.dropped = 0
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry`; set by the
+        #: owning :class:`~repro.obs.Observability` handle.
+        self.metrics = None
 
     # -- span creation -----------------------------------------------------
 
@@ -167,6 +175,13 @@ class Tracer:
             stack.remove(span)
         if span.parent is None:
             with self._lock:
+                if (
+                    self.roots.maxlen is not None
+                    and len(self.roots) == self.roots.maxlen
+                ):
+                    self.dropped += 1
+                    if self.metrics is not None:
+                        self.metrics.inc("obs.spans_dropped")
                 self.roots.append(span)
 
     # -- inspection --------------------------------------------------------
@@ -183,6 +198,7 @@ class Tracer:
     def clear(self) -> None:
         with self._lock:
             self.roots.clear()
+            self.dropped = 0
 
     def render(self, last: int | None = None) -> str:
         """Text dump of the most recent ``last`` root spans (default all)."""
@@ -193,6 +209,11 @@ class Tracer:
         if not roots:
             return "tracer: no spans recorded"
         lines: list[str] = []
+        if self.dropped:
+            lines.append(
+                f"(trace truncated: {self.dropped} older root spans dropped "
+                f"beyond the {self.roots.maxlen}-root buffer)"
+            )
         for root in roots:
             lines.extend(root.render())
         return "\n".join(lines)

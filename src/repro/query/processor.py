@@ -7,6 +7,8 @@ simple strategy and the full-fledged cost-based one.
 
 from __future__ import annotations
 
+import hashlib
+
 from repro.errors import FederationError
 from repro.net import MessageTrace, Network
 from repro.obs import Observability, obs_of
@@ -15,6 +17,15 @@ from repro.query.localizer import GlobalPlan
 from repro.query.optimizer import CostBasedOptimizer, SimpleOptimizer
 from repro.schema.federation import Federation
 from repro.sql import ast, parse_statement
+
+
+def plan_digest(plan: GlobalPlan) -> str:
+    """Short stable digest of an executed plan (slow-query event payload).
+
+    Two queries with the same strategy, fetch shapes, and residual query
+    share a digest, so a slow-query log groups by plan, not by literal SQL.
+    """
+    return hashlib.sha256(plan.describe().encode()).hexdigest()[:12]
 
 
 class GlobalQueryProcessor:
@@ -105,4 +116,16 @@ class GlobalQueryProcessor:
         metrics.inc("query.executed", strategy=plan.strategy)
         metrics.inc("query.rows_fetched", result.fetched_rows)
         metrics.observe("query.sim_elapsed_s", sim_elapsed)
+        threshold = getattr(obs, "slow_query_threshold_s", None)
+        if threshold is not None and sim_elapsed >= threshold:
+            obs.emit(
+                "query.slow",
+                sim_s=sim_elapsed,
+                federation=self.federation.name,
+                strategy=plan.strategy,
+                plan_digest=plan_digest(plan),
+                fetches=len(plan.fetches),
+                rows=len(result.rows),
+                threshold_s=threshold,
+            )
         return result

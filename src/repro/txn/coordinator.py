@@ -131,6 +131,7 @@ class GlobalTransactionManager:
             txn = GlobalTransaction(global_id, self)
             self.active[global_id] = txn
         self.obs.metrics.inc("txn.begun")
+        self.obs.emit("2pc", txn=global_id, role="coordinator", state="BEGIN")
         return txn
 
     def _branch(self, txn: GlobalTransaction, site: str) -> Gateway:
@@ -276,6 +277,14 @@ class GlobalTransactionManager:
                 span.tag(protocol="1pc").set_sim(
                     txn.trace.elapsed_s - sim_before
                 )
+                self.obs.emit(
+                    "2pc",
+                    sim_s=txn.trace.elapsed_s,
+                    txn=txn.global_id,
+                    role="coordinator",
+                    state="COMMITTED",
+                    protocol="1pc",
+                )
                 return
 
             txn.state = GlobalTxnState.PREPARING
@@ -284,6 +293,14 @@ class GlobalTransactionManager:
                 txn.global_id,
                 tuple(participants),
                 flush=True,
+            )
+            self.obs.emit(
+                "2pc",
+                sim_s=txn.trace.elapsed_s,
+                txn=txn.global_id,
+                role="coordinator",
+                state="PREPARING",
+                participants=participants,
             )
 
             votes_ok = True
@@ -317,6 +334,15 @@ class GlobalTransactionManager:
                 self.vote_no_aborts += 1
                 self.obs.metrics.inc("txn.vote_no_aborts")
                 span.set_sim(txn.trace.elapsed_s - sim_before)
+                self.obs.emit(
+                    "2pc",
+                    sim_s=txn.trace.elapsed_s,
+                    txn=txn.global_id,
+                    role="coordinator",
+                    state="ABORTED",
+                    reason="vote-no",
+                    failed_site=failed_site,
+                )
                 raise TwoPhaseCommitError(
                     f"global transaction {txn.global_id} aborted: "
                     f"participant {failed_site!r} voted NO"
@@ -337,6 +363,14 @@ class GlobalTransactionManager:
                 self.wal.append(LogRecordType.COORD_END, txn.global_id)
             self._finish(txn, GlobalTxnState.COMMITTED)
             span.set_sim(txn.trace.elapsed_s - sim_before)
+            self.obs.emit(
+                "2pc",
+                sim_s=txn.trace.elapsed_s,
+                txn=txn.global_id,
+                role="coordinator",
+                state="COMMITTED",
+                undelivered=undelivered,
+            )
 
     def abort(self, txn: GlobalTransaction) -> None:
         if txn.state in (GlobalTxnState.COMMITTED, GlobalTxnState.ABORTED):
@@ -347,6 +381,13 @@ class GlobalTransactionManager:
             )
             self._abort_branches(txn)
             self._finish(txn, GlobalTxnState.ABORTED)
+        self.obs.emit(
+            "2pc",
+            sim_s=txn.trace.elapsed_s,
+            txn=txn.global_id,
+            role="coordinator",
+            state="ABORTED",
+        )
 
     def _abort_branches(self, txn: GlobalTransaction) -> None:
         self._deliver_decision(txn.global_id, txn.participants, "abort", txn.trace)
@@ -419,6 +460,15 @@ class GlobalTransactionManager:
         self.pending_deliveries.setdefault(global_id, {})[site] = decision
         self.decisions_parked += 1
         self.obs.metrics.inc("txn.decisions_parked")
+        self.obs.emit("wal.park", txn=global_id, site=site, decision=decision)
+        self.obs.emit(
+            "2pc",
+            txn=global_id,
+            site=site,
+            role="participant",
+            state="IN-DOUBT",
+            decision=decision,
+        )
 
     def execute_federated(
         self,
@@ -498,6 +548,17 @@ class GlobalTransactionManager:
                         self.wal.append(LogRecordType.COORD_END, global_id)
             self.decisions_recovered += 1
             self.obs.metrics.inc("txn.decisions_recovered")
+            self.obs.emit(
+                "wal.drain", txn=global_id, site=site, decision=decision
+            )
+            self.obs.emit(
+                "2pc",
+                txn=global_id,
+                site=site,
+                role="participant",
+                state="RECOVERED",
+                action=decision,
+            )
             actions.append((global_id, site, decision))
         for site, gateway in self.gateways.items():
             for global_id in gateway.prepared_branches():
@@ -509,6 +570,15 @@ class GlobalTransactionManager:
                         gateway.abort(global_id)
                 except NetworkError:
                     continue  # unreachable; a later round resolves it
+                self.obs.emit(
+                    "2pc",
+                    txn=global_id,
+                    site=site,
+                    role="participant",
+                    state="RECOVERED",
+                    action=decision,
+                    source="presumed-abort-scan",
+                )
                 actions.append((global_id, site, decision))
         return actions
 

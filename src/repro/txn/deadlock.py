@@ -177,6 +177,11 @@ class GlobalDeadlockMonitor:
                 obs.metrics.inc("deadlock.victims")
                 killed.append(victim)
             span.tag(cycles=len(cycles), victims=len(killed))
+            obs.emit(
+                "deadlock.sweep",
+                cycles=[[str(txn) for txn in cycle] for cycle in cycles],
+                victims=[str(victim) for victim in killed],
+            )
         return killed
 
     def start(self) -> None:

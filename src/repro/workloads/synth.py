@@ -21,6 +21,7 @@ def build_two_site_join(
     payload_width: int = 32,
     seed: int = 7,
     query_timeout: float | None = 5.0,
+    observability: bool = True,
 ) -> MyriadSystem:
     """Two sites, one relation each, joinable on ``k``.
 
@@ -35,7 +36,9 @@ def build_two_site_join(
     exports ``right_rel(k, val, pad)``.
     """
     rng = random.Random(seed)
-    system = MyriadSystem(query_timeout=query_timeout)
+    system = MyriadSystem(
+        query_timeout=query_timeout, observability=observability
+    )
     s1 = system.add_postgres("s1")
     s2 = system.add_oracle("s2")
 

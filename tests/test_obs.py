@@ -6,15 +6,19 @@ import pytest
 
 from repro import MyriadSystem
 from repro.engine import ResultSet
+from repro.net import MessageTrace
 from repro.obs import (
     DISABLED,
+    DISABLED_REPORT,
     NULL_SPAN,
     MetricsRegistry,
     Observability,
     Tracer,
     obs_of,
     percentile,
+    render_explain_analyze,
 )
+from repro.query.executor import GlobalResult
 from repro.query.localizer import Fetch
 from repro.storage import Catalog
 from repro.workloads import build_bank_sites, build_two_site_join
@@ -85,6 +89,44 @@ class TestTracer:
             with tracer.span(f"op{index}"):
                 pass
         assert [root.name for root in tracer.roots] == ["op2", "op3", "op4"]
+
+    def test_eviction_is_counted_not_silent(self):
+        tracer = Tracer(max_roots=3)
+        for index in range(5):
+            with tracer.span(f"op{index}"):
+                pass
+        assert tracer.dropped == 2
+        text = tracer.render()
+        assert "trace truncated: 2 older root spans dropped" in text
+        assert "3-root buffer" in text
+
+    def test_no_eviction_no_truncation_banner(self):
+        tracer = Tracer(max_roots=8)
+        with tracer.span("only"):
+            pass
+        assert tracer.dropped == 0
+        assert "truncated" not in tracer.render()
+
+    def test_clear_resets_drop_counter(self):
+        tracer = Tracer(max_roots=1)
+        for index in range(3):
+            with tracer.span(f"op{index}"):
+                pass
+        assert tracer.dropped == 2
+        tracer.clear()
+        assert tracer.dropped == 0
+        assert len(tracer.roots) == 0
+
+    def test_eviction_increments_spans_dropped_metric(self):
+        obs = Observability(max_roots=2)
+        for index in range(5):
+            with obs.span(f"op{index}"):
+                pass
+        assert obs.tracer.dropped == 3
+        assert obs.metrics.counter("obs.spans_dropped") == 3
+        report = obs.render()
+        assert "trace truncated: 3 older root spans dropped" in report
+        assert "obs.spans_dropped" in report
 
     def test_find_searches_all_roots_recursively(self):
         tracer = Tracer()
@@ -167,6 +209,32 @@ class TestMetrics:
         assert percentile([10.0], 99.0) == 10.0
         assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == 2.0
         assert percentile([1.0, 2.0, 3.0, 4.0], 99.0) == 4.0
+
+    def test_percentile_empty_list_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50.0)
+
+    def test_percentile_single_sample_every_pct(self):
+        for pct in (0.0, 1.0, 50.0, 99.0, 100.0):
+            assert percentile([7.5], pct) == 7.5
+
+    def test_percentile_100_is_the_maximum(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0]
+        assert percentile(values, 100.0) == 5.0
+        assert percentile(values, 0.0) == 1.0
+
+    def test_percentile_clamps_out_of_range_pct(self):
+        values = [1.0, 2.0, 3.0]
+        assert percentile(values, -10.0) == percentile(values, 0.0)
+        assert percentile(values, 250.0) == 3.0
+
+    def test_histogram_summary_single_sample(self):
+        metrics = MetricsRegistry()
+        metrics.observe("lat", 42.0)
+        summary = metrics.histogram_summary("lat")
+        assert summary["count"] == 1
+        assert summary["min"] == summary["max"] == summary["mean"] == 42.0
+        assert summary["p50"] == summary["p95"] == summary["p99"] == 42.0
 
     def test_disabled_registry_records_nothing(self):
         metrics = MetricsRegistry(enabled=False)
@@ -328,6 +396,51 @@ class TestSystemObservability:
 
 
 # ---------------------------------------------------------------------------
+# Disabled handle: explicit markers, never silently-empty output
+# ---------------------------------------------------------------------------
+
+
+class TestDisabledMarkers:
+    def test_report_returns_explicit_marker(self):
+        system = build_two_site_join(10, 10, observability=False)
+        system.query("synth", JOIN_SQL)
+        report = system.observability_report()
+        assert report == DISABLED_REPORT
+        assert "observability disabled" in report
+
+    def test_prometheus_export_marks_disabled(self):
+        from repro.obs.export import DISABLED_MARKER, metrics_to_prometheus
+
+        assert metrics_to_prometheus(DISABLED.metrics) == DISABLED_MARKER
+        assert "disabled" in DISABLED_MARKER
+
+    def test_json_export_marks_disabled(self):
+        import json
+
+        from repro.obs.export import metrics_to_json
+
+        assert json.loads(metrics_to_json(DISABLED.metrics)) == {
+            "disabled": True
+        }
+
+    def test_chrome_trace_marks_disabled(self):
+        from repro.obs.export import spans_to_chrome_trace
+
+        for clock in ("wall", "sim"):
+            trace = spans_to_chrome_trace(DISABLED.tracer, clock=clock)
+            assert trace["traceEvents"] == []
+            assert trace["otherData"]["disabled"] is True
+
+    def test_dump_debug_bundle_raises_clear_error(self, tmp_path):
+        from repro.errors import MyriadError
+
+        system = build_two_site_join(10, 10, observability=False)
+        with pytest.raises(MyriadError, match="observability is disabled"):
+            system.dump_debug_bundle(tmp_path / "bundle")
+        assert not (tmp_path / "bundle" / "MANIFEST.json").exists()
+
+
+# ---------------------------------------------------------------------------
 # EXPLAIN ANALYZE
 # ---------------------------------------------------------------------------
 
@@ -372,6 +485,50 @@ class TestExplainAnalyze:
         assert total_msgs == result.trace.message_count
         fetched = sum(a.rows for a in result.fetch_actuals.values())
         assert fetched == result.fetched_rows
+
+    def test_zero_fetch_fully_local_query(self):
+        # A constant query localises to zero fetches: the report must not
+        # fabricate fetch sections and the totals must degrade gracefully.
+        system = build_two_site_join(10, 10)
+        result = system.query("synth", "SELECT 1 + 2")
+        assert result.rows == [(3,)]
+        assert result.plan.fetches == []
+        text = result.explain_analyze()
+        assert "est:" not in text
+        assert "actual:" not in text
+        assert "0 messages, 0 bytes" in text
+        assert "result: 1 rows (0 fetched from 0 fragments)" in text
+
+    def test_retry_after_dropped_fetch_reports_full_actuals(self):
+        # First attempt dies on a dropped fetch message; the retried query
+        # must produce a complete report with no stale "(not executed)".
+        system = build_two_site_join(20, 20)
+        system.inject_faults(seed=5).drop_next(1, purpose="query")
+        with pytest.raises(Exception):
+            system.query("synth", JOIN_SQL)
+        result = system.query("synth", JOIN_SQL)
+        text = result.explain_analyze()
+        assert "(not executed)" not in text
+        assert text.count("actual: rows=") == len(result.plan.fetches)
+        fetched = sum(a.rows for a in result.fetch_actuals.values())
+        assert fetched == result.fetched_rows
+
+    def test_unannotated_estimates_render_as_question_marks(self):
+        # A plan whose fetches carry no est_* annotations (and that never
+        # executed) renders "?" estimates and "(not executed)" actuals.
+        system = build_two_site_join(10, 10)
+        plan = system.processor("synth").plan(JOIN_SQL, optimizer="cost")
+        plan.estimated_cost_s = None
+        for fetch in plan.fetches:
+            fetch.est_rows = fetch.est_bytes = fetch.est_cost_s = None
+        result = GlobalResult(
+            columns=[], rows=[], plan=plan, trace=MessageTrace()
+        )
+        text = render_explain_analyze(result)
+        assert "plan: estimated cost ?" in text
+        assert text.count("est:    rows=? bytes=? time=?") == len(plan.fetches)
+        assert text.count("actual: (not executed)") == len(plan.fetches)
+        assert "result: 0 rows (0 fetched from" in text
 
 
 # ---------------------------------------------------------------------------
