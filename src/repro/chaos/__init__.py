@@ -1,0 +1,22 @@
+"""Chaos engineering for the federation: deterministic crash-schedule
+exploration of the 2PC/WAL protocol (experiment E14)."""
+
+from repro.chaos.explorer import (
+    ChaosReport,
+    CoordinatorCrash,
+    CrashRun,
+    check_invariants,
+    enumerate_crash_points,
+    run_crash,
+    run_sweep,
+)
+
+__all__ = [
+    "ChaosReport",
+    "CoordinatorCrash",
+    "CrashRun",
+    "check_invariants",
+    "enumerate_crash_points",
+    "run_crash",
+    "run_sweep",
+]

@@ -1,0 +1,408 @@
+"""Deterministic crash-schedule exploration for the 2PC/WAL protocol.
+
+Gray's recipe for believing a recovery protocol: enumerate every point
+where a process can die, kill it there, run recovery, and check the
+invariants that must hold no matter what.  This module does exactly that
+for the MYRIAD coordinator and its participants, on the simulated
+network — so every schedule is reproducible from ``(role, point, seed)``.
+
+Mechanics:
+
+- :meth:`~repro.txn.coordinator.GlobalTransactionManager.commit` calls an
+  injectable ``crash_hook`` at every enumerated protocol step (around each
+  ``COORD_*`` append, between prepare votes, around each decision
+  delivery).  :func:`enumerate_crash_points` records which points fire for
+  a workload; :func:`run_crash` re-runs it and acts at one point:
+
+  - **coordinator crash** — the hook raises :class:`CoordinatorCrash`
+    (deliberately *not* a ``MyriadError``, so no protocol layer can
+    swallow it); the harness then drops the coordinator's volatile state
+    and unflushed WAL tail, exactly what a process death loses
+  - **participant crash** — the hook crashes the victim site on the
+    fault injector (network isolation: the site's own state survives,
+    messages to/from it are lost), then the site restarts
+
+- recovery runs (:meth:`recover_in_doubt`), and :func:`check_invariants`
+  audits the federation: atomic commit, agreement with the durable
+  decision, no lost committed writes, no surviving branches, no orphaned
+  locks or local transactions, pending deliveries drained.
+
+Workloads: ``mode="2pc"`` is a three-branch bank transfer (full 2PC);
+``mode="1pc"`` is a single-branch update (the one-phase optimisation,
+whose durability gap this PR closed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TwoPhaseCommitError
+
+#: Accounts per site in the chaos workload's bank.
+ACCOUNTS_PER_SITE = 4
+INITIAL_BALANCE = 1000.0
+
+
+class CoordinatorCrash(Exception):
+    """The simulated coordinator process died at a crash point.
+
+    Intentionally NOT a :class:`~repro.errors.MyriadError`: the 2PC
+    delivery loop catches ``MyriadError`` to park undeliverable
+    decisions, and a crash must never be mistaken for one.
+    """
+
+    def __init__(self, point: str):
+        super().__init__(f"coordinator crashed at {point}")
+        self.point = point
+
+
+@dataclass
+class CrashRun:
+    """One explored schedule: crash ``role`` at ``point`` under ``seed``."""
+
+    role: str  # 'coordinator' | 'participant'
+    point: str
+    seed: int
+    mode: str  # '2pc' | '1pc'
+    #: What the application observed: 'committed', 'aborted', or 'crash'
+    #: (the coordinator died before reporting an outcome).
+    app_outcome: str = "crash"
+    #: The durable decision recovery acted on ('commit' or 'abort').
+    decision: str = "abort"
+    #: (global_id, site, action) triples recover_in_doubt resolved.
+    recovered: list = field(default_factory=list)
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def label(self) -> str:
+        return f"{self.mode}/{self.role}@{self.point} seed={self.seed}"
+
+
+@dataclass
+class ChaosReport:
+    """All runs of one sweep plus the invariant verdict."""
+
+    runs: list[CrashRun] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(run.ok for run in self.runs)
+
+    @property
+    def violations(self) -> list[tuple[CrashRun, str]]:
+        return [
+            (run, violation)
+            for run in self.runs
+            for violation in run.violations
+        ]
+
+    def points(self, mode: str | None = None, role: str | None = None):
+        """Distinct crash points explored (optionally filtered)."""
+        return sorted(
+            {
+                run.point
+                for run in self.runs
+                if (mode is None or run.mode == mode)
+                and (role is None or run.role == role)
+            }
+        )
+
+    def summary(self) -> list[dict]:
+        """Per (mode, role): runs, points, outcomes, recoveries, violations."""
+        rows: dict[tuple[str, str], dict] = {}
+        for run in self.runs:
+            row = rows.setdefault(
+                (run.mode, run.role),
+                {
+                    "mode": run.mode,
+                    "role": run.role,
+                    "runs": 0,
+                    "points": set(),
+                    "committed": 0,
+                    "aborted": 0,
+                    "crash": 0,
+                    "recovered_actions": 0,
+                    "violations": 0,
+                },
+            )
+            row["runs"] += 1
+            row["points"].add(run.point)
+            row[run.app_outcome] += 1
+            row["recovered_actions"] += len(run.recovered)
+            row["violations"] += len(run.violations)
+        out = []
+        for (_, _), row in sorted(rows.items()):
+            row["points"] = len(row["points"])
+            out.append(row)
+        return out
+
+    def render(self) -> str:
+        """Human-readable invariant report (the CI artifact)."""
+        seeds = sorted({run.seed for run in self.runs})
+        lines = [
+            "MYRIAD chaos sweep — crash-schedule invariant report",
+            f"runs: {len(self.runs)}  seeds: {len(seeds)} "
+            f"({min(seeds)}..{max(seeds)})" if self.runs else "runs: 0",
+            "",
+            "invariants checked after every crash + recovery:",
+            "  1. atomic commit: all branch balances agree with the",
+            "     coordinator's durable decision (presumed abort absent one)",
+            "  2. no lost committed writes: an outcome the application",
+            "     observed as COMMITTED is durable and applied everywhere",
+            "  3. no branch (prepared or active) survives recovery",
+            "  4. no orphaned locks or local transactions at any site",
+            "  5. the durable pending-delivery list is drained",
+            "",
+        ]
+        for row in self.summary():
+            lines.append(
+                f"{row['mode']:>4} {row['role']:<12} "
+                f"runs={row['runs']:<4} points={row['points']:<3} "
+                f"committed={row['committed']:<4} aborted={row['aborted']:<4} "
+                f"crash={row['crash']:<4} "
+                f"recovered={row['recovered_actions']:<4} "
+                f"violations={row['violations']}"
+            )
+        lines.append("")
+        if self.ok:
+            lines.append("RESULT: PASS — zero invariant violations")
+        else:
+            lines.append(
+                f"RESULT: FAIL — {len(self.violations)} invariant violations"
+            )
+            for run, violation in self.violations:
+                lines.append(f"  {run.label()}: {violation}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Workload
+# ---------------------------------------------------------------------------
+
+
+def _build_system():
+    from repro.workloads import build_bank_sites
+
+    system = build_bank_sites(3, ACCOUNTS_PER_SITE, query_timeout=1.0)
+    system.inject_faults(seed=0)
+    return system
+
+
+def _amount(seed: int) -> float:
+    """Seed-dependent transfer amount, so schedules differ across seeds."""
+    return float(5 + seed % 17)
+
+
+def _run_workload(system, mode: str, seed: int) -> str:
+    """One global transaction; returns the application-visible outcome.
+
+    ``2pc``: a three-branch transfer (b0 −amount, b1 +amount, b2 touched)
+    — the full prepare/decide/deliver protocol.  ``1pc``: a single-branch
+    withdrawal — the one-phase optimisation path.
+    """
+    amount = _amount(seed)
+    txn = system.begin_transaction()
+    txn.execute(
+        "b0",
+        f"UPDATE account SET balance = balance - {amount} WHERE acct = 0",
+    )
+    if mode == "2pc":
+        txn.execute(
+            "b1",
+            "UPDATE account SET balance = balance + "
+            f"{amount} WHERE acct = {ACCOUNTS_PER_SITE}",
+        )
+        txn.execute(
+            "b2",
+            "UPDATE account SET balance = balance + 0 "
+            f"WHERE acct = {2 * ACCOUNTS_PER_SITE}",
+        )
+    try:
+        txn.commit()
+    except TwoPhaseCommitError:
+        return "aborted"
+    return "committed"
+
+
+def _balance(system, site: str, acct: int) -> float:
+    result = system.components[site].execute(
+        f"SELECT balance FROM account WHERE acct = {acct}"
+    )
+    return float(result.rows[0][0])
+
+
+# ---------------------------------------------------------------------------
+# Crash-point enumeration
+# ---------------------------------------------------------------------------
+
+
+def enumerate_crash_points(mode: str = "2pc") -> list[str]:
+    """Crash points that fire for this workload, in protocol order."""
+    system = _build_system()
+    gtm = system.transactions
+    fired: list[str] = []
+    gtm.crash_hook = lambda point, **context: fired.append(point)
+    try:
+        _run_workload(system, mode, seed=0)
+    finally:
+        gtm.crash_hook = None
+        system.close()
+    seen: set[str] = set()
+    return [p for p in fired if not (p in seen or seen.add(p))]
+
+
+# ---------------------------------------------------------------------------
+# Single-schedule execution
+# ---------------------------------------------------------------------------
+
+
+def run_crash(role: str, point: str, seed: int, mode: str = "2pc") -> CrashRun:
+    """Crash ``role`` at ``point``, recover, and audit the invariants."""
+    if role not in ("coordinator", "participant"):
+        raise ValueError(f"unknown crash role {role!r}")
+    run = CrashRun(role=role, point=point, seed=seed, mode=mode)
+    system = _build_system()
+    gtm = system.transactions
+    faults = system.network.faults
+    victim = "b0" if mode == "1pc" else f"b{seed % 3}"
+    tripped: list[str] = []
+
+    def hook(fired_point: str, **context: object) -> None:
+        if fired_point != point or tripped:
+            return
+        tripped.append(fired_point)
+        if role == "coordinator":
+            raise CoordinatorCrash(fired_point)
+        faults.crash_site(victim)
+
+    gtm.crash_hook = hook
+    try:
+        run.app_outcome = _run_workload(system, mode, seed)
+    except CoordinatorCrash:
+        run.app_outcome = "crash"
+    finally:
+        gtm.crash_hook = None
+
+    if role == "coordinator":
+        # Process death: unflushed WAL tail and all volatile state gone.
+        gtm.wal.simulate_crash()
+        gtm.active.clear()
+        gtm.pending_deliveries.clear()
+    else:
+        faults.restart_site(victim)
+
+    run.recovered = gtm.recover_in_doubt()
+    run.decision = gtm.wal.coordinator_decisions().get("G1", "abort")
+    run.violations = check_invariants(
+        system, mode, seed, run.app_outcome, global_id="G1"
+    )
+    system.close()
+    return run
+
+
+def check_invariants(
+    system, mode: str, seed: int, app_outcome: str, global_id: str
+) -> list[str]:
+    """Everything that must hold after crash + recovery, or the protocol
+    is broken.  Returns human-readable violations (empty = pass)."""
+    violations: list[str] = []
+    gtm = system.transactions
+    decisions = gtm.wal.coordinator_decisions()
+    decision = decisions.get(global_id, "abort")
+
+    # Durable-decision agreement with what the application observed.
+    if app_outcome == "committed" and decision != "commit":
+        violations.append(
+            "app observed COMMITTED but the durable decision is "
+            f"{decision!r} (lost committed transaction)"
+        )
+    if app_outcome == "aborted" and decision == "commit":
+        violations.append(
+            "app observed an abort but the durable decision is commit"
+        )
+
+    # No branch of any kind survives recovery.
+    for site, gateway in sorted(system.gateways.items()):
+        if gateway.prepared_branches():
+            violations.append(f"{site}: prepared branch survived recovery")
+        if gateway.branch_states():
+            violations.append(f"{site}: open branch survived recovery")
+
+    # No orphaned local transactions or locks.
+    for site, dbms in sorted(system.components.items()):
+        manager = dbms.transactions
+        if manager.active_transactions():
+            violations.append(
+                f"{site}: local transaction survived recovery"
+            )
+        if manager.forgotten_prepared():
+            violations.append(
+                f"{site}: forgotten prepared branch left unresolved"
+            )
+        held = [
+            entry
+            for entry in manager.locks.snapshot()
+            if entry["holders"] or entry["waiters"]
+        ]
+        if held:
+            violations.append(f"{site}: orphaned locks {held!r}")
+
+    # Parked decisions all drained (every site is reachable again).
+    if gtm.wal.pending_deliveries():
+        violations.append("durable pending-delivery list not drained")
+
+    # Atomicity / no lost writes, from the account balances themselves.
+    amount = _amount(seed)
+    b0 = _balance(system, "b0", 0)
+    if mode == "1pc":
+        expected = (
+            INITIAL_BALANCE - amount
+            if decision == "commit"
+            else INITIAL_BALANCE
+        )
+        if b0 != expected:
+            violations.append(
+                f"b0 balance {b0} != {expected} for decision {decision!r}"
+            )
+    else:
+        b1 = _balance(system, "b1", ACCOUNTS_PER_SITE)
+        b2 = _balance(system, "b2", 2 * ACCOUNTS_PER_SITE)
+        if decision == "commit":
+            expected = (
+                INITIAL_BALANCE - amount,
+                INITIAL_BALANCE + amount,
+                INITIAL_BALANCE,
+            )
+        else:
+            expected = (INITIAL_BALANCE, INITIAL_BALANCE, INITIAL_BALANCE)
+        actual = (b0, b1, b2)
+        if actual != expected:
+            violations.append(
+                f"non-atomic outcome: balances {actual} != {expected} "
+                f"for decision {decision!r}"
+            )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Sweeps
+# ---------------------------------------------------------------------------
+
+
+def run_sweep(
+    seeds,
+    roles=("coordinator", "participant"),
+    modes=("2pc", "1pc"),
+) -> ChaosReport:
+    """Every enumerated point × role × seed for each workload mode."""
+    report = ChaosReport()
+    for mode in modes:
+        points = enumerate_crash_points(mode)
+        for role in roles:
+            for point in points:
+                for seed in seeds:
+                    report.runs.append(run_crash(role, point, seed, mode))
+    return report

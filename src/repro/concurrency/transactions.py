@@ -63,6 +63,9 @@ class LocalTransactionManager:
         self.wal = wal or WriteAheadLog()
         self.lock_timeout = lock_timeout
         self._transactions: dict[object, LocalTransaction] = {}
+        #: Prepared branches that survived a simulated process restart in
+        #: their durable form (forced PREPARE record + undo + lock state).
+        self._durable_prepared: dict[object, LocalTransaction] = {}
         self._mutex = threading.Lock()
         self._counter = 0
         # Experiment counters
@@ -163,6 +166,57 @@ class LocalTransactionManager:
     def active_transactions(self) -> list[LocalTransaction]:
         with self._mutex:
             return list(self._transactions.values())
+
+    # ------------------------------------------------------------------
+    # Simulated process restart (participant crash/recovery)
+    # ------------------------------------------------------------------
+
+    def simulate_process_restart(self) -> list[object]:
+        """Crash and restart this DBMS process: volatile txn state is lost.
+
+        Transactions that had not prepared die with the process — their
+        writes are rolled back and their locks freed, as local crash
+        recovery would.  PREPARED branches are different: phase 1 forced
+        their PREPARE record (with undo information) to the log, so their
+        durable form survives the restart — they are parked in
+        :meth:`forgotten_prepared` (no longer ``active_transactions()``)
+        with their locks still held, until 2PC recovery
+        (:func:`repro.txn.recovery.recover_participant`) reinstates and
+        resolves them against the coordinator's durable decision.
+
+        Returns the txn ids of the surviving prepared branches.
+        """
+        with self._mutex:
+            transactions = list(self._transactions.values())
+            self._transactions.clear()
+        survivors: list[object] = []
+        for txn in transactions:
+            if txn.state is TxnState.PREPARED:
+                self._durable_prepared[txn.txn_id] = txn
+                survivors.append(txn.txn_id)
+            else:
+                self._rollback_changes(txn)
+                self.wal.append(LogRecordType.ABORT, txn.txn_id, flush=True)
+                txn.state = TxnState.ABORTED
+                self.locks.release_all(txn.txn_id)
+                self.aborts += 1
+        return survivors
+
+    def forgotten_prepared(self) -> list[object]:
+        """Txn ids of prepared branches lost from memory by a restart."""
+        return list(self._durable_prepared)
+
+    def reinstate_prepared(self, txn_id: object) -> LocalTransaction:
+        """Rebuild one forgotten prepared branch from its durable form."""
+        try:
+            txn = self._durable_prepared.pop(txn_id)
+        except KeyError:
+            raise TransactionError(
+                f"no forgotten prepared transaction {txn_id}"
+            ) from None
+        with self._mutex:
+            self._transactions[txn.txn_id] = txn
+        return txn
 
 
 class TxnMutator(Mutator):

@@ -134,6 +134,19 @@ class NetworkError(MyriadError):
     """Simulated-network failures (unknown endpoint, partition)."""
 
 
+class CircuitOpenError(NetworkError):
+    """Fail-fast refusal: the target site's circuit breaker is OPEN.
+
+    Raised *without* any message traffic when a site has accumulated enough
+    consecutive failures that the federation stops talking to it until a
+    half-open probe succeeds (see :class:`repro.health.HealthTracker`).
+    """
+
+    def __init__(self, message: str = "circuit open", *, site: str = ""):
+        super().__init__(message)
+        self.site = site
+
+
 class MessageDropped(NetworkError):
     """A message was lost to injected faults (drop rule, crash, partition).
 

@@ -21,6 +21,7 @@ from decimal import Decimal
 
 from repro.engine import ResultSet
 from repro.errors import (
+    CircuitOpenError,
     GatewayError,
     GatewayTimeout,
     LockTimeoutError,
@@ -73,6 +74,23 @@ class Gateway:
     @property
     def obs(self) -> Observability:
         return obs_of(self.network)
+
+    def _check_circuit(self) -> None:
+        """Fail fast when this site's circuit breaker refuses traffic.
+
+        Only the query/DML paths are gated: 2PC branch control
+        (begin/prepare/commit/abort) and recovery must always be allowed
+        to try — their deliveries are exactly the probes that re-close a
+        breaker.  When the breaker is OPEN but its cooldown has elapsed,
+        ``allow()`` admits this call as the half-open probe.
+        """
+        health = getattr(self.network, "health", None)
+        if health is not None and not health.allow(self.site):
+            self.obs.metrics.inc("gateway.circuit_open", site=self.site)
+            raise CircuitOpenError(
+                f"site {self.site!r} refused: circuit breaker is open",
+                site=self.site,
+            )
 
     # ------------------------------------------------------------------
     # Export management
@@ -132,6 +150,7 @@ class Gateway:
             from repro.sql import parse_query
 
             query = parse_query(query)
+        self._check_circuit()
         local_query = rewrite_exports(query, self.exports)
         sql_text = to_sql(local_query, self.dbms.dialect)
 
@@ -177,6 +196,7 @@ class Gateway:
             statement = parse_statement(statement)
         if isinstance(statement, (ast.Select, ast.SetOperation)):
             raise GatewayError("execute_update expects a DML statement")
+        self._check_circuit()
         local_stmt = _rewrite_dml(statement, self.exports)
         sql_text = to_sql(local_stmt, self.dbms.dialect)
         with self.obs.span("gateway.dml", site=self.site):

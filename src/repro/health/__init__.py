@@ -1,0 +1,15 @@
+"""Per-site health tracking for the federation (circuit breakers)."""
+
+from repro.health.breaker import (
+    BreakerState,
+    HealthTracker,
+    SiteHealth,
+    health_of,
+)
+
+__all__ = [
+    "BreakerState",
+    "HealthTracker",
+    "SiteHealth",
+    "health_of",
+]

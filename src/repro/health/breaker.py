@@ -1,0 +1,208 @@
+"""Per-site health tracking: consecutive-failure circuit breakers.
+
+The paper's autonomy principle means component DBMSs fail independently —
+a federation that keeps hammering a dead site turns one failure into a
+latency storm for every query touching it.  This module gives the
+federation a memory of recent failures, per site:
+
+- every simulated message outcome is recorded (:meth:`HealthTracker.
+  record_success` / :meth:`~HealthTracker.record_failure`, wired into
+  :meth:`repro.net.Network.send`)
+- ``threshold`` consecutive failures trip the site's breaker from
+  **CLOSED** to **OPEN**: callers that consult :meth:`HealthTracker.allow`
+  (the global executor, the 2PC decision-delivery retry loop, gateways)
+  fail fast or skip the site instead of waiting out another timeout
+- after ``cooldown_s`` of *simulated* time the next ``allow()`` moves the
+  breaker to **HALF_OPEN** and lets exactly that caller through as a
+  probe; a success re-closes the breaker, a failure re-opens it and
+  restarts the cooldown
+
+Recovery paths (``recover_in_doubt``, ``recover_participant``) never
+consult the breaker — their delivery attempts *are* probes, and a success
+there re-closes the breaker like any other.
+
+State transitions are emitted as ``health.trip`` / ``health.probe`` /
+``health.close`` events and counted in metrics when an
+:class:`~repro.obs.Observability` handle is attached.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass
+class SiteHealth:
+    """Mutable health record for one site."""
+
+    state: BreakerState = BreakerState.CLOSED
+    consecutive_failures: int = 0
+    failures: int = 0
+    successes: int = 0
+    trips: int = 0
+    probes: int = 0
+    opened_at_s: float | None = None
+    last_error: str | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "state": self.state.value,
+            "consecutive_failures": self.consecutive_failures,
+            "failures": self.failures,
+            "successes": self.successes,
+            "trips": self.trips,
+            "probes": self.probes,
+            "opened_at_s": self.opened_at_s,
+            "last_error": self.last_error,
+        }
+
+
+class HealthTracker:
+    """Consecutive-failure circuit breakers for every site of a federation.
+
+    ``clock`` supplies the *simulated* time used for the OPEN→HALF_OPEN
+    cooldown; :class:`~repro.myriad.MyriadSystem` wires it to the
+    network's cumulative virtual clock, so health decisions are as
+    deterministic as everything else in the simulation.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown_s: float = 0.25,
+        clock=None,
+        obs=None,
+    ):
+        if threshold < 1:
+            raise ValueError("health threshold must be >= 1")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock or (lambda: 0.0)
+        #: Optional :class:`repro.obs.Observability` handle for events/metrics.
+        self.obs = obs
+        self._sites: dict[str, SiteHealth] = {}
+        self._mutex = threading.Lock()
+
+    # -- observability ----------------------------------------------------
+
+    def _emit(self, etype: str, site: str, **fields: object) -> None:
+        if self.obs is not None:
+            self.obs.emit(etype, site=site, sim_s=self._clock(), **fields)
+            self.obs.metrics.inc(etype, site=site)
+
+    # -- recording --------------------------------------------------------
+
+    def _site(self, site: str) -> SiteHealth:
+        return self._sites.setdefault(site, SiteHealth())
+
+    def record_success(self, site: str) -> None:
+        """One message round-trip (or probe) to ``site`` succeeded."""
+        with self._mutex:
+            health = self._site(site)
+            health.successes += 1
+            health.consecutive_failures = 0
+            reopened = health.state is not BreakerState.CLOSED
+            health.state = BreakerState.CLOSED
+            health.opened_at_s = None
+            health.last_error = None
+        if reopened:
+            self._emit("health.close", site)
+
+    def record_failure(self, site: str, reason: str | None = None) -> None:
+        """One message to ``site`` was lost (crash, partition, drop rule)."""
+        with self._mutex:
+            health = self._site(site)
+            health.failures += 1
+            health.consecutive_failures += 1
+            health.last_error = reason
+            tripped = False
+            if health.state is BreakerState.HALF_OPEN:
+                # The probe failed: back to OPEN, restart the cooldown.
+                health.state = BreakerState.OPEN
+                health.opened_at_s = self._clock()
+                health.trips += 1
+                tripped = True
+            elif (
+                health.state is BreakerState.CLOSED
+                and health.consecutive_failures >= self.threshold
+            ):
+                health.state = BreakerState.OPEN
+                health.opened_at_s = self._clock()
+                health.trips += 1
+                tripped = True
+        if tripped:
+            self._emit(
+                "health.trip",
+                site,
+                consecutive_failures=health.consecutive_failures,
+                reason=reason,
+            )
+
+    # -- consultation -----------------------------------------------------
+
+    def allow(self, site: str) -> bool:
+        """May the caller attempt to talk to ``site`` right now?
+
+        CLOSED: yes.  OPEN: no, until ``cooldown_s`` simulated seconds
+        after the trip — then the breaker moves to HALF_OPEN and this call
+        is admitted as the probe.  HALF_OPEN: yes (probing).  Mutates
+        state; use :meth:`state` / :meth:`snapshot` for pure inspection.
+        """
+        with self._mutex:
+            health = self._site(site)
+            if health.state is BreakerState.CLOSED:
+                return True
+            if health.state is BreakerState.OPEN:
+                opened = health.opened_at_s or 0.0
+                if self._clock() - opened < self.cooldown_s:
+                    return False
+                health.state = BreakerState.HALF_OPEN
+                health.probes += 1
+                probing = True
+            else:
+                probing = False
+        if probing:
+            self._emit("health.probe", site)
+        return True
+
+    def state(self, site: str) -> BreakerState:
+        """Current breaker state, without mutating it."""
+        with self._mutex:
+            health = self._sites.get(site)
+            return health.state if health is not None else BreakerState.CLOSED
+
+    def is_blocked(self, site: str) -> bool:
+        """True when talking to ``site`` would currently be refused.
+
+        Unlike :meth:`allow` this never starts a half-open probe, so it is
+        safe for introspection and planning.
+        """
+        with self._mutex:
+            health = self._sites.get(site)
+            if health is None or health.state is not BreakerState.OPEN:
+                return False
+            opened = health.opened_at_s or 0.0
+            return self._clock() - opened < self.cooldown_s
+
+    # -- snapshots --------------------------------------------------------
+
+    def snapshot(self, sites=None) -> dict[str, dict]:
+        """JSON-safe per-site health map (all-CLOSED defaults for ``sites``)."""
+        with self._mutex:
+            known = {site: h.as_dict() for site, h in self._sites.items()}
+        for site in sites or ():
+            known.setdefault(site, SiteHealth().as_dict())
+        return known
+
+
+def health_of(network) -> HealthTracker | None:
+    """The health tracker attached to a network, if any."""
+    return getattr(network, "health", None)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from repro.errors import FederationError
 from repro.gateway import Gateway
+from repro.health import HealthTracker
 from repro.localdb import LocalDBMS, OracleDBMS, PostgresDBMS
 from repro.net import FaultInjector, Network
 from repro.obs import MetricsRegistry, Observability, Tracer
@@ -46,6 +47,14 @@ class MyriadSystem:
         self.obs: Observability = self.network.obs
         if self.network.faults is not None and self.network.faults.obs is None:
             self.network.faults.obs = self.obs
+        # Per-site circuit breakers, fed by every message outcome on the
+        # network and cooled down on its simulated clock.  A caller-built
+        # network that already carries a tracker keeps it.
+        if self.network.health is None:
+            self.network.health = HealthTracker(
+                clock=lambda: self.network.now_s, obs=self.obs
+            )
+        self.health: HealthTracker = self.network.health
         self.components: dict[str, LocalDBMS] = {}
         self.gateways: dict[str, Gateway] = {}
         self.federations: dict[str, Federation] = {}
@@ -54,6 +63,57 @@ class MyriadSystem:
             self.gateways, query_timeout=query_timeout, obs=self.obs
         )
         self._processors: dict[str, GlobalQueryProcessor] = {}
+        self._deadlock_monitor = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle / shutdown
+    # ------------------------------------------------------------------
+
+    def start_deadlock_monitor(self, interval_s: float = 0.05):
+        """Start (or return) the system-owned global deadlock monitor.
+
+        The monitor's daemon thread is stopped by :meth:`close`, so
+        callers using the system as a context manager never leak it.
+        """
+        if self._deadlock_monitor is None:
+            from repro.txn.deadlock import GlobalDeadlockMonitor
+
+            self._deadlock_monitor = GlobalDeadlockMonitor(
+                self.gateways, interval_s=interval_s
+            )
+            self._deadlock_monitor.start()
+        return self._deadlock_monitor
+
+    @property
+    def deadlock_monitor(self):
+        """The system-owned deadlock monitor, or ``None`` if never started."""
+        return self._deadlock_monitor
+
+    def close(self) -> None:
+        """Shut the installation down: stop threads, flush every WAL.
+
+        Stops the system-owned :class:`GlobalDeadlockMonitor` thread (if
+        :meth:`start_deadlock_monitor` ran) and flushes the coordinator
+        WAL plus every participant WAL, so nothing is left unflushed or
+        running when a test / chaos run finishes.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._deadlock_monitor is not None:
+            self._deadlock_monitor.stop()
+            self._deadlock_monitor = None
+        self.transactions.wal.flush()
+        for dbms in self.components.values():
+            dbms.transactions.wal.flush()
+
+    def __enter__(self) -> "MyriadSystem":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     # ------------------------------------------------------------------
     # Observability
@@ -222,10 +282,19 @@ class MyriadSystem:
         sql: str,
         optimizer: str | None = None,
         timeout: float | None = None,
+        allow_partial: bool = False,
     ) -> GlobalResult:
-        """Run a global SELECT against one federation (autocommit read)."""
+        """Run a global SELECT against one federation (autocommit read).
+
+        With ``allow_partial=True``, unreachable sites degrade the result
+        (``result.degraded`` / ``result.missing_sites``) instead of
+        raising — the paper's partial-availability posture for reads.
+        """
         return self.processor(federation_name).execute(
-            sql, optimizer=optimizer, timeout=timeout
+            sql,
+            optimizer=optimizer,
+            timeout=timeout,
+            allow_partial=allow_partial,
         )
 
     def explain(
@@ -248,10 +317,15 @@ class MyriadSystem:
         federation_name: str,
         sql: str,
         optimizer: str | None = None,
+        allow_partial: bool = False,
     ) -> GlobalResult:
         """Federation SELECT under a global transaction (locks held)."""
         return self.transactions.run_global_query(
-            txn, self.processor(federation_name), sql, optimizer
+            txn,
+            self.processor(federation_name),
+            sql,
+            optimizer,
+            allow_partial=allow_partial,
         )
 
     def transactional_update(

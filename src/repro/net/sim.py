@@ -272,7 +272,23 @@ class FaultInjector:
         self._emit("fault.crash", site=site)
 
     def restart_site(self, site: str) -> None:
+        """Bring a crashed site back with a clean per-site fault slate.
+
+        Clears the crash flag *and* every finite drop rule scoped to this
+        site (as source or destination) — a restarted site should not
+        inherit stale one-shot losses queued against its previous
+        incarnation.  Unlimited rules (``remaining=None``, e.g. lossy-link
+        ``drop_rate``) model the *link*, not the site, and survive.
+        Partitions also survive: a restart reboots the site, it does not
+        re-cable the network — heal partitions explicitly with
+        :meth:`heal`.  Emits a ``fault.restart`` event.
+        """
         self._crashed.discard(site)
+        self._rules = [
+            rule
+            for rule in self._rules
+            if rule.remaining is None or site not in (rule.source, rule.destination)
+        ]
         self._emit("fault.restart", site=site)
 
     def is_crashed(self, site: str) -> bool:
@@ -349,10 +365,32 @@ class Network:
         #: counted into its metrics registry (messages/bytes by purpose,
         #: fault-injector drops).  ``MyriadSystem`` installs its own here.
         self.obs = obs
+        #: Optional :class:`repro.health.HealthTracker`; every send outcome
+        #: is recorded against the non-hub endpoint (``MyriadSystem`` wires
+        #: this so circuit breakers see all traffic).
+        self.health = None
+        #: Endpoint treated as the federation hub for health attribution:
+        #: a lost hub↔site message blames the *site*, never the hub.
+        self.health_hub = "federation"
         # Cumulative counters (all traces).
         self.total_messages = 0
         self.total_bytes = 0
         self.dropped_messages = 0
+        #: Monotonic simulated clock: the cumulative virtual cost of every
+        #: delivered message (plus link latency burned on each drop) and
+        #: any explicit :meth:`advance` — the time source for health-check
+        #: cooldowns and retry backoff.
+        self.now_s = 0.0
+
+    def advance(self, seconds: float) -> None:
+        """Advance the simulated clock (e.g. a retry backoff or idle wait)."""
+        if seconds < 0:
+            raise NetworkError("cannot advance the simulated clock backwards")
+        self.now_s += seconds
+
+    def _blame(self, source: str, destination: str) -> str:
+        """The endpoint whose health a message outcome reflects."""
+        return destination if source == self.health_hub else source
 
     # -- topology ----------------------------------------------------------
 
@@ -393,7 +431,14 @@ class Network:
             reason = self.faults.fault_for(source, destination, purpose)
             if reason is not None:
                 self.dropped_messages += 1
+                # The sender still burns the link latency discovering the
+                # loss (timeout), so failures advance simulated time too.
+                self.now_s += self.link(source, destination).latency_s
                 self.faults.record(source, destination, purpose, reason)
+                if self.health is not None:
+                    self.health.record_failure(
+                        self._blame(source, destination), reason=reason
+                    )
                 if self.obs is not None:
                     self.obs.metrics.inc("net.dropped", purpose=purpose)
                     self.obs.emit(
@@ -415,6 +460,9 @@ class Network:
         cost = self.link(source, destination).cost(payload_bytes)
         self.total_messages += 1
         self.total_bytes += payload_bytes
+        self.now_s += cost
+        if self.health is not None:
+            self.health.record_success(self._blame(source, destination))
         if self.obs is not None:
             metrics = self.obs.metrics
             metrics.inc("net.messages", purpose=purpose)

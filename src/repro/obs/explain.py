@@ -45,7 +45,13 @@ def render_explain_analyze(result) -> str:
     """
     plan = result.plan
     trace = result.trace
+    missing = set(getattr(result, "missing_sites", ()) or ())
     lines = [f"EXPLAIN ANALYZE GlobalPlan[{plan.strategy}]"]
+    if getattr(result, "degraded", False):
+        lines.append(
+            "  DEGRADED: partial result, missing sites: "
+            + ", ".join(sorted(missing))
+        )
     estimated = (
         f"{plan.estimated_cost_s * 1000:.3f}ms"
         if plan.estimated_cost_s is not None
@@ -67,7 +73,13 @@ def render_explain_analyze(result) -> str:
         )
         actual = result.fetch_actuals.get(fetch.index)
         if actual is None:
-            lines.append("    actual: (not executed)")
+            if fetch.site in missing:
+                lines.append(
+                    f"    actual: (skipped: site {fetch.site!r} unreachable, "
+                    "empty fragment substituted)"
+                )
+            else:
+                lines.append("    actual: (not executed)")
             continue
         lines.append(
             f"    actual: rows={actual.rows} bytes={actual.bytes} "

@@ -156,7 +156,13 @@ def federation_stats(system) -> dict:
     """One JSON-safe dict of the installation's shape and counters."""
     gtm = system.transactions
     network = system.network
+    health = getattr(network, "health", None)
     return {
+        "health": (
+            health.snapshot(sites=system.gateways)
+            if health is not None
+            else {}
+        ),
         "sites": {
             site: {
                 "dialect": type(system.components[site]).__name__,
@@ -227,6 +233,24 @@ def render_dashboard(snapshot: dict) -> str:
         f"network: messages={net.get('messages', 0)} "
         f"bytes={net.get('bytes', 0)} dropped={net.get('dropped', 0)}"
     )
+    health = stats.get("health", {})
+    unhealthy = {
+        site: info
+        for site, info in sorted(health.items())
+        if info.get("state") != "closed" or info.get("trips")
+    }
+    if unhealthy:
+        lines.append(
+            "health: "
+            + " ".join(
+                f"{site}={info['state'].upper()}"
+                f"(fails={info['consecutive_failures']},"
+                f"trips={info['trips']})"
+                for site, info in unhealthy.items()
+            )
+        )
+    elif health:
+        lines.append("health: all breakers CLOSED")
     txn = stats.get("transactions", {})
     lines.append(
         "transactions: "

@@ -18,7 +18,12 @@ import time
 from dataclasses import dataclass, field
 
 from repro.engine import LocalEngine, ResultSet
-from repro.errors import ExecutionError, FederationError
+from repro.errors import (
+    CircuitOpenError,
+    ExecutionError,
+    FederationError,
+    MessageDropped,
+)
 from repro.gateway import LOCAL_ROW_COST_S, Gateway
 from repro.net import MessageTrace
 from repro.obs import DISABLED, FetchActual, Observability, obs_of
@@ -56,6 +61,11 @@ class GlobalResult:
     fetched_rows: int = 0
     #: Per-fetch measurements (fetch index → actuals), for explain_analyze.
     fetch_actuals: dict[int, FetchActual] = field(default_factory=dict)
+    #: True when ``allow_partial`` execution skipped one or more sites:
+    #: the rows cover only the reachable part of the federation.
+    degraded: bool = False
+    #: Sites whose fragments are missing from a degraded result.
+    missing_sites: list[str] = field(default_factory=list)
 
     def __iter__(self):
         return iter(self.rows)
@@ -106,6 +116,10 @@ class GlobalExecutor:
     def __init__(self, federation: Federation, obs: Observability | None = None):
         self.federation = federation
         self._obs = obs
+        #: Transient-loss resilience: each fetch retries dropped messages
+        #: up to this many times, with exponential simulated backoff.
+        self.fetch_retry_limit = 2
+        self.fetch_retry_backoff_s = 0.01
 
     @property
     def gateways(self) -> dict[str, Gateway]:
@@ -125,9 +139,24 @@ class GlobalExecutor:
         trace: MessageTrace | None = None,
         timeout: float | None = None,
         global_id: object | None = None,
+        allow_partial: bool = False,
+        skip_sites: set[str] | None = None,
     ) -> GlobalResult:
+        """Run one global plan.
+
+        Dropped fetch messages are retried up to ``fetch_retry_limit``
+        times with exponential simulated backoff.  With
+        ``allow_partial=True``, a site whose circuit breaker refuses
+        traffic — or that stays unreachable through every retry — is
+        *skipped*: its fragment materialises empty, and the result comes
+        back ``degraded`` with the site listed in ``missing_sites``.
+        ``skip_sites`` pre-seeds that set (sites the caller already found
+        dead, e.g. while opening transaction branches).
+        """
         trace = trace or MessageTrace()
         obs = self.obs
+        health = self._health()
+        missing: set[str] = set(skip_sites or ())
         catalog = Catalog(f"federation:{self.federation.name}")
         engine = LocalEngine(
             catalog, functions=self.federation.functions.as_dict()
@@ -145,6 +174,21 @@ class GlobalExecutor:
                 # section would swallow every later cost it records.
                 try:
                     for fetch in stage.fetches:
+                        if fetch.site in missing:
+                            fetch_results[fetch.index] = (
+                                self._degraded_fragment(fetch, obs)
+                            )
+                            continue
+                        if (
+                            allow_partial
+                            and health is not None
+                            and not health.allow(fetch.site)
+                        ):
+                            missing.add(fetch.site)
+                            fetch_results[fetch.index] = (
+                                self._degraded_fragment(fetch, obs)
+                            )
+                            continue
                         branch_name = f"{fetch.site}:{fetch.binding}"
                         records_before = len(trace.records)
                         wall_start = time.perf_counter()
@@ -154,14 +198,23 @@ class GlobalExecutor:
                             export=fetch.export,
                             binding=fetch.binding,
                         ) as fetch_span:
-                            with trace.branch(branch_name):
-                                result = self._run_fetch(
-                                    fetch,
-                                    fetch_results,
-                                    trace,
-                                    timeout,
-                                    global_id,
+                            try:
+                                with trace.branch(branch_name):
+                                    result = self._fetch_with_retry(
+                                        fetch,
+                                        fetch_results,
+                                        trace,
+                                        timeout,
+                                        global_id,
+                                    )
+                            except (MessageDropped, CircuitOpenError):
+                                if not allow_partial:
+                                    raise
+                                missing.add(fetch.site)
+                                fetch_results[fetch.index] = (
+                                    self._degraded_fragment(fetch, obs)
                                 )
+                                continue
                             actual = FetchActual(
                                 rows=len(result.rows),
                                 bytes=sum(
@@ -195,6 +248,9 @@ class GlobalExecutor:
             trace.add_compute(residual_sim)
             residual_span.set_sim(residual_sim)
             residual_span.tag(rows=len(result.rows))
+        if missing:
+            obs.metrics.inc("query.degraded")
+            obs.emit("query.degraded", sites=sorted(missing))
         return GlobalResult(
             columns=result.columns,
             rows=result.rows,
@@ -202,7 +258,55 @@ class GlobalExecutor:
             trace=trace,
             fetched_rows=fetched_rows,
             fetch_actuals=fetch_actuals,
+            degraded=bool(missing),
+            missing_sites=sorted(missing),
         )
+
+    def _health(self):
+        for gateway in self.federation.gateways.values():
+            return getattr(gateway.network, "health", None)
+        return None
+
+    def _degraded_fragment(self, fetch: Fetch, obs: Observability) -> ResultSet:
+        """Empty stand-in for a fragment from a skipped (dead) site.
+
+        Downstream semijoins see zero key values (their shipped query
+        degenerates to ``1=0``), so the rest of the plan still runs.
+        """
+        obs.metrics.inc("query.degraded_fetches", site=fetch.site)
+        return ResultSet(list(fetch.columns), [])
+
+    def _fetch_with_retry(
+        self,
+        fetch: Fetch,
+        fetch_results: dict[int, ResultSet],
+        trace: MessageTrace,
+        timeout: float | None,
+        global_id: object | None,
+    ) -> ResultSet:
+        """One fetch with bounded retry of transient message loss.
+
+        Backoff is exponential in *simulated* time, charged both to the
+        query's trace (the caller waits it out) and to the network clock
+        (so breaker cooldowns advance).  Only
+        :class:`~repro.errors.MessageDropped` is transient; a refused
+        circuit fails immediately.
+        """
+        network = self.gateways[fetch.site].network
+        last_error: MessageDropped | None = None
+        for attempt in range(self.fetch_retry_limit + 1):
+            if attempt:
+                self.obs.metrics.inc("query.fetch_retries", site=fetch.site)
+                backoff = self.fetch_retry_backoff_s * 2 ** (attempt - 1)
+                trace.add_compute(backoff)
+                network.advance(backoff)
+            try:
+                return self._run_fetch(
+                    fetch, fetch_results, trace, timeout, global_id
+                )
+            except MessageDropped as error:
+                last_error = error
+        raise last_error
 
     # ------------------------------------------------------------------
     # Fetch scheduling

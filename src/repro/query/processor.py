@@ -99,6 +99,7 @@ class GlobalQueryProcessor:
         trace: MessageTrace | None = None,
         timeout: float | None = None,
         global_id: object | None = None,
+        allow_partial: bool = False,
     ) -> GlobalResult:
         obs = self.obs
         with obs.span(
@@ -107,7 +108,11 @@ class GlobalQueryProcessor:
             plan = self.plan(sql, optimizer)
             sim_before = trace.elapsed_s if trace is not None else 0.0
             result = self.executor.execute(
-                plan, trace=trace, timeout=timeout, global_id=global_id
+                plan,
+                trace=trace,
+                timeout=timeout,
+                global_id=global_id,
+                allow_partial=allow_partial,
             )
             sim_elapsed = result.trace.elapsed_s - sim_before
             span.set_sim(sim_elapsed)

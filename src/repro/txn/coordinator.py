@@ -23,6 +23,7 @@ from repro.concurrency.wal import LogRecordType, WriteAheadLog
 from repro.engine import ResultSet
 from repro.errors import (
     GatewayTimeout,
+    MessageDropped,
     MyriadError,
     NetworkError,
     TransactionAborted,
@@ -101,6 +102,19 @@ class GlobalTransactionManager:
         #: first attempt, with exponential virtual backoff between attempts.
         self.decision_retry_limit = decision_retry_limit
         self.decision_retry_backoff_s = decision_retry_backoff_s
+        #: Branch-open retries in :meth:`run_global_query` (transient
+        #: message loss only), with the same exponential backoff shape.
+        self.branch_retry_limit = 2
+        self.branch_retry_backoff_s = 0.02
+        #: Chaos hook: called with a crash-point label at every enumerated
+        #: 2PC/WAL protocol step (``before_coord_commit``,
+        #: ``before_deliver:<site>``, ...).  The chaos explorer raises
+        #: :class:`repro.chaos.CoordinatorCrash` from it to simulate a
+        #: coordinator failure at exactly that point — which is why the
+        #: exception must NOT derive from ``MyriadError`` (the delivery
+        #: loop swallows those) and why every hook call sits outside the
+        #: protocol's try/except blocks.
+        self.crash_hook = None
         #: In-memory mirror of the WAL's durable pending-delivery list:
         #: global_id → {site: decision} for parked, undelivered decisions.
         self.pending_deliveries: dict[object, dict[str, str]] = {}
@@ -115,6 +129,25 @@ class GlobalTransactionManager:
         self.decision_retries = 0
         self.decisions_parked = 0
         self.decisions_recovered = 0
+
+    # ------------------------------------------------------------------
+    # Chaos / environment plumbing
+    # ------------------------------------------------------------------
+
+    def _crashpoint(self, point: str, **context: object) -> None:
+        """Announce one enumerated protocol step to the chaos hook."""
+        if self.crash_hook is not None:
+            self.crash_hook(point, **context)
+
+    def _network(self):
+        for gateway in self.gateways.values():
+            return gateway.network
+        return None
+
+    def _health(self):
+        """The shared network's health tracker, if one is attached."""
+        network = self._network()
+        return getattr(network, "health", None)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -205,6 +238,29 @@ class GlobalTransactionManager:
                 reason="network",
             ) from error
 
+    def _branch_with_retry(self, txn: GlobalTransaction, site: str) -> Gateway:
+        """Open a branch, retrying transient message loss with backoff.
+
+        Only :class:`~repro.errors.MessageDropped` is retried — a refused
+        circuit (:class:`~repro.errors.CircuitOpenError`) or an unknown
+        site fails immediately.  Backoff is charged to the transaction's
+        trace *and* the simulated clock, so breaker cooldowns see it.
+        """
+        network = self._network()
+        last_error: MessageDropped | None = None
+        for attempt in range(self.branch_retry_limit + 1):
+            if attempt:
+                self.obs.metrics.inc("txn.branch_retries")
+                backoff = self.branch_retry_backoff_s * 2 ** (attempt - 1)
+                txn.trace.add_compute(backoff)
+                if network is not None:
+                    network.advance(backoff)
+            try:
+                return self._branch(txn, site)
+            except MessageDropped as error:
+                last_error = error
+        raise last_error
+
     def run_global_query(
         self,
         txn: GlobalTransaction,
@@ -212,23 +268,49 @@ class GlobalTransactionManager:
         sql: str,
         optimizer: str | None = None,
         timeout: float | None = None,
+        allow_partial: bool = False,
     ):
         """Run a federation-level SELECT inside this global transaction.
 
         Branches are opened at every site the plan touches, so the reads
         acquire locks under the global transaction and stay serializable.
+        Transient message loss while opening a branch is retried with
+        exponential simulated backoff.  With ``allow_partial=True``,
+        sites whose circuit breaker is open or that stay unreachable are
+        *skipped* instead: the query degrades, and the returned
+        ``GlobalResult`` carries ``degraded=True`` plus the
+        ``missing_sites`` (see :meth:`GlobalExecutor.execute`).
         """
         txn.require_active()
         plan = processor.plan(sql, optimizer)
         effective = timeout if timeout is not None else self.query_timeout
+        health = self._health()
+        skip_sites: set[str] = set()
         try:
             for fetch in plan.fetches:
-                self._branch(txn, fetch.site)
+                site = fetch.site
+                if site in skip_sites or site in txn.participants:
+                    continue
+                if (
+                    allow_partial
+                    and health is not None
+                    and not health.allow(site)
+                ):
+                    skip_sites.add(site)
+                    continue
+                try:
+                    self._branch_with_retry(txn, site)
+                except NetworkError:
+                    if not allow_partial:
+                        raise
+                    skip_sites.add(site)
             return processor.executor.execute(
                 plan,
                 trace=txn.trace,
                 timeout=effective,
                 global_id=txn.global_id,
+                allow_partial=allow_partial,
+                skip_sites=skip_sites,
             )
         except GatewayTimeout:
             self.timeout_aborts += 1
@@ -267,12 +349,31 @@ class GlobalTransactionManager:
             "txn.commit", txn=txn.global_id, participants=len(participants)
         ) as span:
             if len(participants) <= 1:
-                # One-phase: no coordination needed, but decision delivery
-                # is still retried/parked so a lost commit message cannot
-                # leave the branch holding its locks forever.
-                self._deliver_decision(
+                # One-phase: the vote round is skipped, but the decision
+                # must still hit the durable log *before* delivery — the
+                # app is about to observe COMMITTED, and a coordinator
+                # crash (or silently lost commit message) must not leave
+                # the lone branch to presume abort afterwards.  Delivery
+                # is retried/parked as in full 2PC so a lost commit
+                # message cannot leave the branch holding its locks.
+                if participants:
+                    self._crashpoint(
+                        "before_coord_commit", txn=txn.global_id, protocol="1pc"
+                    )
+                    self.wal.append(
+                        LogRecordType.COORD_COMMIT, txn.global_id, flush=True
+                    )
+                    self._crashpoint(
+                        "after_coord_commit", txn=txn.global_id, protocol="1pc"
+                    )
+                undelivered = self._deliver_decision(
                     txn.global_id, participants, "commit", txn.trace
                 )
+                if participants and not undelivered:
+                    self._crashpoint(
+                        "before_coord_end", txn=txn.global_id, protocol="1pc"
+                    )
+                    self.wal.append(LogRecordType.COORD_END, txn.global_id)
                 self._finish(txn, GlobalTxnState.COMMITTED)
                 span.tag(protocol="1pc").set_sim(
                     txn.trace.elapsed_s - sim_before
@@ -288,12 +389,14 @@ class GlobalTransactionManager:
                 return
 
             txn.state = GlobalTxnState.PREPARING
+            self._crashpoint("before_coord_begin_2pc", txn=txn.global_id)
             self.wal.append(
                 LogRecordType.COORD_BEGIN_2PC,
                 txn.global_id,
                 tuple(participants),
                 flush=True,
             )
+            self._crashpoint("after_coord_begin_2pc", txn=txn.global_id)
             self.obs.emit(
                 "2pc",
                 sim_s=txn.trace.elapsed_s,
@@ -307,6 +410,7 @@ class GlobalTransactionManager:
             failed_site = None
             with self.obs.span("txn.prepare", txn=txn.global_id) as prepare:
                 for site in participants:
+                    self._crashpoint(f"before_prepare:{site}", txn=txn.global_id)
                     try:
                         vote = self.gateways[site].prepare(
                             txn.global_id, txn.trace
@@ -316,6 +420,9 @@ class GlobalTransactionManager:
                         # (presumed abort makes this safe: no decision is
                         # logged).
                         vote = False
+                    self._crashpoint(
+                        f"after_vote:{site}", txn=txn.global_id, vote=vote
+                    )
                     if not vote:
                         votes_ok = False
                         failed_site = site
@@ -326,9 +433,11 @@ class GlobalTransactionManager:
                 with self.obs.span(
                     "txn.decide", txn=txn.global_id, decision="abort"
                 ):
+                    self._crashpoint("before_coord_abort", txn=txn.global_id)
                     self.wal.append(
                         LogRecordType.COORD_ABORT, txn.global_id, flush=True
                     )
+                    self._crashpoint("after_coord_abort", txn=txn.global_id)
                 self._abort_branches(txn)
                 self._finish(txn, GlobalTxnState.ABORTED)
                 self.vote_no_aborts += 1
@@ -353,13 +462,16 @@ class GlobalTransactionManager:
             with self.obs.span(
                 "txn.decide", txn=txn.global_id, decision="commit"
             ):
+                self._crashpoint("before_coord_commit", txn=txn.global_id)
                 self.wal.append(
                     LogRecordType.COORD_COMMIT, txn.global_id, flush=True
                 )
+                self._crashpoint("after_coord_commit", txn=txn.global_id)
             undelivered = self._deliver_decision(
                 txn.global_id, participants, "commit", txn.trace
             )
             if not undelivered:
+                self._crashpoint("before_coord_end", txn=txn.global_id)
                 self.wal.append(LogRecordType.COORD_END, txn.global_id)
             self._finish(txn, GlobalTxnState.COMMITTED)
             span.set_sim(txn.trace.elapsed_s - sim_before)
@@ -376,9 +488,11 @@ class GlobalTransactionManager:
         if txn.state in (GlobalTxnState.COMMITTED, GlobalTxnState.ABORTED):
             return
         with self.obs.span("txn.abort", txn=txn.global_id):
+            self._crashpoint("before_coord_abort", txn=txn.global_id)
             self.wal.append(
                 LogRecordType.COORD_ABORT, txn.global_id, flush=True
             )
+            self._crashpoint("after_coord_abort", txn=txn.global_id)
             self._abort_branches(txn)
             self._finish(txn, GlobalTxnState.ABORTED)
         self.obs.emit(
@@ -413,23 +527,35 @@ class GlobalTransactionManager:
         skips the remaining sites.  Returns the parked sites.
         """
         undelivered: list[str] = []
+        health = self._health()
+        network = self._network()
         for site in sites:
             gateway = self.gateways[site]
             delivered = False
+            self._crashpoint(
+                f"before_deliver:{site}", txn=global_id, decision=decision
+            )
             with self.obs.span(
                 "txn.deliver", txn=global_id, site=site, decision=decision
             ) as span:
                 attempts = 0
                 for attempt in range(self.decision_retry_limit + 1):
+                    if attempt and health is not None and not health.allow(site):
+                        # The site's breaker tripped: stop burning retries
+                        # on a dead site — park the decision for recovery
+                        # (which probes without consulting the breaker).
+                        break
                     attempts = attempt + 1
                     if attempt:
                         self.decision_retries += 1
                         self.obs.metrics.inc("txn.decision_retries")
+                        backoff = self.decision_retry_backoff_s * 2 ** (
+                            attempt - 1
+                        )
                         if trace is not None:
-                            trace.add_compute(
-                                self.decision_retry_backoff_s
-                                * 2 ** (attempt - 1)
-                            )
+                            trace.add_compute(backoff)
+                        if network is not None:
+                            network.advance(backoff)
                     try:
                         if decision == "commit":
                             gateway.commit(global_id, trace)
@@ -445,7 +571,14 @@ class GlobalTransactionManager:
                     except MyriadError:
                         break  # non-transient local failure: park it
                 span.tag(attempts=attempts, delivered=delivered)
-            if not delivered:
+            if delivered:
+                self._crashpoint(
+                    f"after_deliver:{site}", txn=global_id, decision=decision
+                )
+            else:
+                self._crashpoint(
+                    f"before_park:{site}", txn=global_id, decision=decision
+                )
                 undelivered.append(site)
                 self._park_decision(global_id, site, decision)
         return undelivered
@@ -509,7 +642,7 @@ class GlobalTransactionManager:
     def recover_in_doubt(self) -> list[tuple[object, str, str]]:
         """Resolve branches left PREPARED (or parked) by lost decisions.
 
-        Two passes:
+        Three passes:
 
         1. drain the durable pending-delivery list — decisions phase 2
            could not push to a participant despite retries; still-unreachable
@@ -517,6 +650,13 @@ class GlobalTransactionManager:
         2. the presumed-abort scan: any remaining PREPARED branch is
            committed iff the durable coordinator log holds a COMMIT decision
            for it, otherwise aborted
+        3. the orphaned-branch scan: a branch still ACTIVE whose global
+           transaction no longer exists at the coordinator (crash after a
+           1PC decision, or a silently swallowed decision message) is
+           resolved from the durable decision log, presuming abort
+
+        Delivery here deliberately bypasses the circuit breaker: recovery
+        attempts *are* the half-open probes that re-close it.
 
         Returns (global_id, site, action) triples for everything resolved.
         """
@@ -578,6 +718,30 @@ class GlobalTransactionManager:
                     state="RECOVERED",
                     action=decision,
                     source="presumed-abort-scan",
+                )
+                actions.append((global_id, site, decision))
+        with self._mutex:
+            live = set(self.active)
+        for site, gateway in self.gateways.items():
+            for global_id, state in list(gateway.branch_states().items()):
+                if state != "active" or global_id in live:
+                    continue
+                decision = decisions.get(global_id, "abort")
+                try:
+                    if decision == "commit":
+                        gateway.commit(global_id)
+                    else:
+                        gateway.abort(global_id)
+                except NetworkError:
+                    continue  # unreachable; a later round resolves it
+                self.obs.emit(
+                    "2pc",
+                    txn=global_id,
+                    site=site,
+                    role="participant",
+                    state="RECOVERED",
+                    action=decision,
+                    source="orphan-scan",
                 )
                 actions.append((global_id, site, decision))
         return actions

@@ -21,6 +21,9 @@ class RecoveryReport:
     site: str
     committed: list[object] = field(default_factory=list)
     aborted: list[object] = field(default_factory=list)
+    #: Global ids of branches the process had *forgotten* (simulated
+    #: restart) that were reinstated from their durable prepared form.
+    forgotten: list[object] = field(default_factory=list)
 
 
 def recover_participant(
@@ -29,16 +32,22 @@ def recover_participant(
     """Resolve a participant's in-doubt (prepared) transactions.
 
     Consults the coordinator's durable decisions; absent a COMMIT decision,
-    presumed abort applies.
+    presumed abort applies.  Two sources of in-doubt branches:
+
+    - live prepared transactions still in ``active_transactions()``
+    - branches *forgotten* by a simulated process restart
+      (:meth:`~repro.concurrency.transactions.LocalTransactionManager.
+      simulate_process_restart`) — these are reinstated from their durable
+      prepared form first, then resolved the same way, so a restart can
+      never strand a prepared branch (or its locks) forever
     """
     report = RecoveryReport(site=dbms.name)
     decisions = coordinator_wal.coordinator_decisions()
 
     manager = dbms.transactions
     in_doubt_local = manager.wal.in_doubt_transactions()
-    for txn in list(manager.active_transactions()):
-        if txn.txn_id not in in_doubt_local:
-            continue
+
+    def resolve(txn) -> None:
         decision = decisions.get(txn.global_id, "abort")
         if decision == "commit":
             manager.commit_prepared(txn)
@@ -46,4 +55,15 @@ def recover_participant(
         else:
             manager.abort_prepared(txn)
             report.aborted.append(txn.global_id)
+
+    for txn in list(manager.active_transactions()):
+        if txn.txn_id not in in_doubt_local:
+            continue
+        resolve(txn)
+    for txn_id in manager.forgotten_prepared():
+        if txn_id not in in_doubt_local:
+            continue
+        txn = manager.reinstate_prepared(txn_id)
+        report.forgotten.append(txn.global_id)
+        resolve(txn)
     return report

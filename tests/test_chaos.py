@@ -1,0 +1,197 @@
+"""Chaos explorer tests: crash-point enumeration, targeted coordinator and
+participant crashes, invariant auditing, and the 1PC durability regression."""
+
+import pytest
+
+from repro.chaos import (
+    CoordinatorCrash,
+    check_invariants,
+    enumerate_crash_points,
+    run_crash,
+    run_sweep,
+)
+from repro.txn import GlobalTxnState
+from repro.workloads import build_bank_sites
+
+
+class TestEnumeration:
+    def test_2pc_points_cover_the_whole_protocol(self):
+        points = enumerate_crash_points("2pc")
+        assert points[0] == "before_coord_begin_2pc"
+        assert points[-1] == "before_coord_end"
+        for site in ("b0", "b1", "b2"):
+            assert f"before_prepare:{site}" in points
+            assert f"after_vote:{site}" in points
+            assert f"before_deliver:{site}" in points
+            assert f"after_deliver:{site}" in points
+        assert "before_coord_commit" in points
+        assert "after_coord_commit" in points
+        assert len(points) >= 15
+
+    def test_1pc_points_cover_the_fast_path(self):
+        points = enumerate_crash_points("1pc")
+        assert "before_coord_commit" in points
+        assert "after_coord_commit" in points
+        assert "before_deliver:b0" in points
+        # no prepare phase on the one-phase path
+        assert not any(p.startswith("before_prepare") for p in points)
+
+    def test_points_fire_in_protocol_order(self):
+        points = enumerate_crash_points("2pc")
+        assert points.index("after_coord_begin_2pc") < points.index(
+            "before_prepare:b0"
+        )
+        assert points.index("after_vote:b2") < points.index("before_coord_commit")
+        assert points.index("after_coord_commit") < points.index(
+            "before_deliver:b0"
+        )
+
+
+class TestCoordinatorCrash:
+    def test_crash_before_durable_commit_presumes_abort(self):
+        run = run_crash("coordinator", "before_coord_commit", 0, "2pc")
+        assert run.ok, run.violations
+        assert run.app_outcome == "crash"
+        assert run.decision == "abort"
+        # all three prepared branches were rolled back by recovery
+        assert {site for _, site, _ in run.recovered} == {"b0", "b1", "b2"}
+        assert all(action == "abort" for _, _, action in run.recovered)
+
+    def test_crash_after_durable_commit_redelivers_commit(self):
+        run = run_crash("coordinator", "after_coord_commit", 0, "2pc")
+        assert run.ok, run.violations
+        assert run.decision == "commit"
+        assert {site for _, site, _ in run.recovered} == {"b0", "b1", "b2"}
+        assert all(action == "commit" for _, _, action in run.recovered)
+
+    def test_crash_mid_delivery_finishes_the_remaining_sites(self):
+        run = run_crash("coordinator", "before_deliver:b1", 0, "2pc")
+        assert run.ok, run.violations
+        assert run.decision == "commit"
+        # b0 already had its commit; recovery must reach b1 and b2
+        sites = {site for _, site, _ in run.recovered}
+        assert "b1" in sites and "b2" in sites
+
+    def test_crash_before_any_protocol_record(self):
+        run = run_crash("coordinator", "before_coord_begin_2pc", 0, "2pc")
+        assert run.ok, run.violations
+        assert run.decision == "abort"
+
+    def test_1pc_crash_before_commit_record_aborts(self):
+        """The closed durability gap: pre-fix, the application could observe
+        COMMITTED without any durable decision on this path."""
+        run = run_crash("coordinator", "before_coord_commit", 0, "1pc")
+        assert run.ok, run.violations
+        assert run.app_outcome == "crash"
+        assert run.decision == "abort"
+
+    def test_runs_are_deterministic(self):
+        a = run_crash("coordinator", "after_vote:b1", 4, "2pc")
+        b = run_crash("coordinator", "after_vote:b1", 4, "2pc")
+        assert (a.app_outcome, a.decision, a.recovered) == (
+            b.app_outcome,
+            b.decision,
+            b.recovered,
+        )
+
+
+class TestParticipantCrash:
+    def test_crash_before_prepare_forces_abort(self):
+        # seed=1 → victim b1; its lost PREPARE counts as a NO vote
+        run = run_crash("participant", "before_prepare:b1", 1, "2pc")
+        assert run.ok, run.violations
+        assert run.app_outcome == "aborted"
+        assert run.decision == "abort"
+        assert ("G1", "b1", "abort") in run.recovered
+
+    def test_crash_during_delivery_parks_then_recovers_commit(self):
+        run = run_crash("participant", "before_deliver:b1", 1, "2pc")
+        assert run.ok, run.violations
+        assert run.app_outcome == "committed"
+        assert run.decision == "commit"
+        assert ("G1", "b1", "commit") in run.recovered
+
+    def test_crash_after_everything_needs_no_recovery(self):
+        run = run_crash("participant", "before_coord_end", 1, "2pc")
+        assert run.ok, run.violations
+        assert run.app_outcome == "committed"
+
+    def test_unknown_role_rejected(self):
+        with pytest.raises(ValueError):
+            run_crash("bystander", "before_coord_commit", 0, "2pc")
+
+
+class TestSweep:
+    def test_mini_sweep_holds_all_invariants(self):
+        report = run_sweep(seeds=range(3))
+        assert report.ok, report.render()
+        # 3 seeds × 2 roles × (17 2pc + 5 1pc points)
+        points_2pc = len(enumerate_crash_points("2pc"))
+        points_1pc = len(enumerate_crash_points("1pc"))
+        assert len(report.runs) == 3 * 2 * (points_2pc + points_1pc)
+        assert report.points("2pc", "coordinator") == sorted(
+            enumerate_crash_points("2pc")
+        )
+        rendered = report.render()
+        assert "RESULT: PASS" in rendered
+        assert "zero invariant violations" in rendered
+
+    def test_summary_aggregates_by_mode_and_role(self):
+        report = run_sweep(seeds=[0], modes=("1pc",))
+        rows = {(r["mode"], r["role"]): r for r in report.summary()}
+        assert rows[("1pc", "coordinator")]["runs"] == 5
+        # the coordinator died mid-protocol in every run: no outcome seen
+        assert rows[("1pc", "coordinator")]["crash"] == 5
+        # participant crashes never stop the coordinator from committing
+        assert rows[("1pc", "participant")]["committed"] == 5
+
+
+class TestInvariantChecker:
+    def test_detects_a_lost_committed_transaction(self):
+        """The checker must not be vacuous: an application-visible COMMITTED
+        with no durable decision is flagged."""
+        system = build_bank_sites(3, 4, query_timeout=1.0)
+        violations = check_invariants(
+            system, "2pc", 0, app_outcome="committed", global_id="G1"
+        )
+        assert any("lost committed" in v for v in violations)
+        system.close()
+
+    def test_clean_system_has_no_violations(self):
+        system = build_bank_sites(3, 4, query_timeout=1.0)
+        violations = check_invariants(
+            system, "2pc", 0, app_outcome="aborted", global_id="G1"
+        )
+        assert violations == []
+        system.close()
+
+
+class TestOnePhaseSilentLoss:
+    def test_orphan_scan_recovers_silently_lost_commit(self):
+        """Regression for the 1PC durability fix end to end: the gateway
+        swallows the commit (coordinator believes it delivered — no error,
+        nothing parked), so only the durable COORD_COMMIT plus the orphan
+        scan of recover_in_doubt can finish the branch."""
+        system = build_bank_sites(3, 4, query_timeout=1.0)
+        txn = system.begin_transaction()
+        txn.execute(
+            "b0", "UPDATE account SET balance = balance + 1 WHERE acct = 0"
+        )
+        system.gateways["b0"].drop_next_commits = 1
+        txn.commit()
+        assert txn.state is GlobalTxnState.COMMITTED
+        # the fix: the decision was durable *before* delivery was attempted
+        decisions = system.transactions.wal.coordinator_decisions()
+        assert decisions[txn.global_id] == "commit"
+        # nothing was parked — the loss was silent
+        assert system.transactions.wal.pending_deliveries() == {}
+        assert system.gateways["b0"].branch_states() == {txn.global_id: "active"}
+
+        actions = system.transactions.recover_in_doubt()
+        assert (txn.global_id, "b0", "commit") in actions
+        assert system.gateways["b0"].branch_states() == {}
+        value = system.query(
+            "bank", "SELECT balance FROM accounts WHERE acct = 0"
+        ).scalar()
+        assert float(value) == 1001.0
+        system.close()

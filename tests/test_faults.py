@@ -66,6 +66,40 @@ class TestFaultInjector:
         net.faults.restart_site("b")
         assert net.send("a", "b", 10, "query") > 0
 
+    def test_restart_clears_site_scoped_one_shot_rules(self):
+        """A restarted site must not inherit stale one-shot losses queued
+        against its previous incarnation."""
+        net = make_network()
+        net.faults.drop_next(5, destination="b")
+        net.faults.drop_next(1, source="b", purpose="vote")
+        net.faults.drop_next(1, destination="c", purpose="commit")
+        net.faults.restart_site("b")
+        assert net.send("a", "b", 10, "query") > 0
+        assert net.send("b", "a", 10, "vote") > 0
+        # rules scoped to other sites are untouched
+        with pytest.raises(MessageDropped):
+            net.send("a", "c", 10, "commit")
+
+    def test_restart_keeps_unlimited_link_rules(self):
+        # drop_rate models the *link*, not the site: it survives a reboot
+        net = make_network()
+        net.faults.drop_rate(1.0, destination="b")
+        net.faults.restart_site("b")
+        with pytest.raises(MessageDropped):
+            net.send("a", "b", 10, "query")
+
+    def test_restart_does_not_heal_partitions(self):
+        # a restart reboots the site; it does not re-cable the network
+        net = make_network()
+        net.faults.partition(["a"], ["b", "c"])
+        net.faults.crash_site("b")
+        net.faults.restart_site("b")
+        with pytest.raises(MessageDropped):
+            net.send("a", "b", 10, "query")
+        assert net.send("b", "c", 10, "query") > 0  # same side, rebooted
+        net.faults.heal()
+        assert net.send("a", "b", 10, "query") > 0
+
     def test_partition_and_heal(self):
         net = make_network()
         net.faults.partition(["a"], ["b", "c"])
@@ -270,10 +304,19 @@ class TestExecutionFaults:
 
     def test_transactional_query_network_abort(self, bank):
         txn = bank.begin_transaction()
-        bank.network.faults.drop_next(1, purpose="begin")
+        # Persistent loss: a single dropped begin would just be retried.
+        bank.network.faults.drop_next(10**6, purpose="begin")
         with pytest.raises(TransactionAborted) as exc:
             bank.transactional_query(
                 txn, "bank", "SELECT SUM(balance) FROM accounts"
             )
         assert exc.value.reason == "network"
         assert txn.state is GlobalTxnState.ABORTED
+
+
+class TestFaultEvents:
+    def test_restart_emits_event(self, bank):
+        bank.network.faults.crash_site("b1")
+        bank.network.faults.restart_site("b1")
+        (event,) = bank.events.of_type("fault.restart")
+        assert event.fields["site"] == "b1"

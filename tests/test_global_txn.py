@@ -209,6 +209,90 @@ class TestRecovery:
         txn.abort()
 
 
+class TestParticipantRestart:
+    """A participant *process* restart loses volatile transaction state.
+
+    Prepared branches forced their PREPARE record (undo + locks) to the log
+    in phase 1, so they survive in durable form — forgotten by
+    ``active_transactions()`` but recoverable — and ``recover_participant``
+    must reinstate and resolve them against the coordinator's decision.
+    """
+
+    def _prepare_in_doubt(self, bank):
+        txn = bank.begin_transaction("G_DOUBT")
+        txn.execute("b0", "UPDATE account SET balance = 0 WHERE acct = 0")
+        txn.execute("b1", "UPDATE account SET balance = 0 WHERE acct = 4")
+        for site in txn.participants:
+            bank.gateways[site].prepare("G_DOUBT")
+        return txn
+
+    def test_forgotten_prepared_branch_commits(self, bank):
+        self._prepare_in_doubt(bank)
+        bank.transactions.wal.append(
+            LogRecordType.COORD_COMMIT, "G_DOUBT", flush=True
+        )
+        manager = bank.components["b0"].transactions
+        survivors = manager.simulate_process_restart()
+        assert survivors == manager.forgotten_prepared()
+        assert len(survivors) == 1
+        # gone from volatile state, but its write locks are still held
+        assert all(
+            txn.global_id != "G_DOUBT" for txn in manager.active_transactions()
+        )
+        assert any(entry["holders"] for entry in manager.locks.snapshot())
+
+        report = recover_participant(bank.components["b0"], bank.transactions.wal)
+        assert report.committed == ["G_DOUBT"]
+        assert report.forgotten == ["G_DOUBT"]
+        assert manager.forgotten_prepared() == []
+        assert not any(
+            entry["holders"] or entry["waiters"]
+            for entry in manager.locks.snapshot()
+        )
+        bank.gateways["b0"]._txn_sessions.pop("G_DOUBT", None)
+        result = bank.components["b0"].execute(
+            "SELECT balance FROM account WHERE acct = 0"
+        )
+        assert float(result.rows[0][0]) == 0.0  # the committed write stuck
+
+    def test_forgotten_prepared_branch_presumed_abort(self, bank):
+        # no COORD_COMMIT record: presumed abort must undo the write
+        self._prepare_in_doubt(bank)
+        manager = bank.components["b1"].transactions
+        manager.simulate_process_restart()
+        report = recover_participant(bank.components["b1"], bank.transactions.wal)
+        assert report.aborted == ["G_DOUBT"]
+        assert report.forgotten == ["G_DOUBT"]
+        assert manager.forgotten_prepared() == []
+        bank.gateways["b1"]._txn_sessions.pop("G_DOUBT", None)
+        result = bank.components["b1"].execute(
+            "SELECT balance FROM account WHERE acct = 4"
+        )
+        assert float(result.rows[0][0]) == 1000.0
+
+    def test_non_prepared_transactions_die_with_the_process(self, bank):
+        txn = bank.begin_transaction()
+        txn.execute("b0", "UPDATE account SET balance = 7 WHERE acct = 0")
+        manager = bank.components["b0"].transactions
+        aborts_before = manager.aborts
+        survivors = manager.simulate_process_restart()
+        assert survivors == []
+        assert manager.forgotten_prepared() == []
+        assert manager.active_transactions() == []
+        assert manager.aborts == aborts_before + 1
+        assert not any(entry["holders"] for entry in manager.locks.snapshot())
+        bank.gateways["b0"]._txn_sessions.pop(txn.global_id, None)
+        result = bank.components["b0"].execute(
+            "SELECT balance FROM account WHERE acct = 0"
+        )
+        assert float(result.rows[0][0]) == 1000.0  # write rolled back
+
+    def test_reinstate_unknown_branch_rejected(self, bank):
+        manager = bank.components["b0"].transactions
+        with pytest.raises(TransactionError):
+            manager.reinstate_prepared("never-prepared")
+
+
 class TestPhase2Robustness:
     def test_one_failing_participant_does_not_skip_the_rest(
         self, bank, monkeypatch

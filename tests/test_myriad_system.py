@@ -135,3 +135,67 @@ class TestOracleTopN:
         text = to_sql(stmt, ORACLE_DIALECT)
         result = oracle.execute(text)
         assert result.rows == [(9,), (8,), (7,)]
+
+
+class TestLifecycle:
+    """MyriadSystem.close() / context-manager support: no leaked threads,
+    no unflushed WAL tails."""
+
+    def _bank(self):
+        from repro.workloads import build_bank_sites
+
+        return build_bank_sites(2, 2, query_timeout=1.0)
+
+    def test_close_flushes_every_wal(self):
+        system = self._bank()
+        gtm_wal = system.transactions.wal
+        # leave an unflushed tail on the coordinator and a participant log
+        from repro.concurrency.wal import LogRecordType
+
+        gtm_wal.append(LogRecordType.COORD_COMMIT, "G_TAIL", flush=False)
+        assert gtm_wal.flushed_lsn < gtm_wal._next_lsn - 1
+        system.close()
+        assert gtm_wal.flushed_lsn == gtm_wal._next_lsn - 1
+        for dbms in system.components.values():
+            wal = dbms.transactions.wal
+            assert wal.flushed_lsn == wal._next_lsn - 1
+
+    def test_close_stops_deadlock_monitor_thread(self):
+        system = self._bank()
+        monitor = system.start_deadlock_monitor(interval_s=0.01)
+        assert system.deadlock_monitor is monitor
+        thread = monitor._thread
+        assert thread is not None and thread.is_alive()
+        system.close()
+        assert system.deadlock_monitor is None
+        assert monitor._thread is None  # stop() joined and discarded it
+        assert not thread.is_alive()
+
+    def test_start_deadlock_monitor_is_cached(self):
+        system = self._bank()
+        first = system.start_deadlock_monitor(interval_s=0.01)
+        assert system.start_deadlock_monitor() is first
+        system.close()
+
+    def test_close_is_idempotent(self):
+        system = self._bank()
+        system.start_deadlock_monitor(interval_s=0.01)
+        system.close()
+        system.close()  # second close must be a no-op, not an error
+        assert system.deadlock_monitor is None
+
+    def test_context_manager_closes_on_exit(self):
+        with self._bank() as system:
+            system.start_deadlock_monitor(interval_s=0.01)
+            thread = system.deadlock_monitor._thread
+            assert float(system.query("bank", "SELECT SUM(balance) FROM accounts").scalar()) == 4000.0
+        assert system.deadlock_monitor is None
+        assert not thread.is_alive()
+
+    def test_context_manager_closes_on_error(self):
+        with pytest.raises(RuntimeError):
+            with self._bank() as system:
+                system.start_deadlock_monitor(interval_s=0.01)
+                thread = system.deadlock_monitor._thread
+                raise RuntimeError("boom")
+        assert not thread.is_alive()

@@ -238,6 +238,9 @@ class TestExecutorTraceBalance:
 
         system = build_two_site_join(10, 10)
         system.inject_faults(seed=1).drop_next(1, purpose="query")
+        # These tests need the fetch to fail *hard*: disable the
+        # executor's transient-loss retry so one drop kills the query.
+        system.processor("synth").executor.fetch_retry_limit = 0
         return system
 
     def test_trace_stays_balanced_when_fetch_raises(self):

@@ -380,9 +380,11 @@ class TestSystemObservability:
         system = build_two_site_join(20, 20)
         faults = system.inject_faults(seed=3)
         faults.drop_next(1, purpose="query")
-        with pytest.raises(Exception):
-            system.query("synth", JOIN_SQL)
+        # The executor retries the dropped fetch, so the query succeeds —
+        # but the loss is still counted.
+        system.query("synth", JOIN_SQL)
         assert system.metrics.counter_total("net.dropped") == 1
+        assert system.metrics.counter_total("query.fetch_retries") == 1
 
     def test_deadlock_monitor_sweep_metrics(self):
         from repro.txn.deadlock import GlobalDeadlockMonitor
@@ -503,6 +505,7 @@ class TestExplainAnalyze:
         # First attempt dies on a dropped fetch message; the retried query
         # must produce a complete report with no stale "(not executed)".
         system = build_two_site_join(20, 20)
+        system.processor("synth").executor.fetch_retry_limit = 0
         system.inject_faults(seed=5).drop_next(1, purpose="query")
         with pytest.raises(Exception):
             system.query("synth", JOIN_SQL)
