@@ -1,0 +1,172 @@
+"""E15 — Federation performance layer: parallel fetches + caches.
+
+Claims validated:
+
+1. **Parallel fetch speedup.** With ``Network(wall_delay_factor=...)``
+   modelling the real I/O wait a federation thread spends blocked on a
+   gateway, threaded fetch execution (``parallel_fetches=N``) finishes a
+   multi-site fan-out query at least **2× faster wall-clock** than
+   sequential execution (``parallel_fetches=1``) on a 6-site federation.
+2. **Determinism.** The speedup is *wall-clock only*: simulated elapsed
+   seconds, bytes shipped, message counts, and result rows are
+   bit-identical between parallel and sequential runs (the results file
+   carries a ``sim_identical=yes`` marker CI greps for).
+3. **Fragment cache.** Re-running a read-only query serves every fragment
+   from the federation-site cache: zero new network messages.  Committed
+   DML through a gateway invalidates exactly the written export, and the
+   next read fetches fresh rows.
+4. **Plan cache.** Repeated planning of the same SQL hits the compiled
+   plan LRU, skipping parse → expand → optimize.
+"""
+
+import time
+
+from conftest import emit
+
+from repro.net import Network
+from repro.workloads import build_bank_sites, build_partitioned_sites
+
+SITE_COUNT = 6
+ROWS_PER_SITE = 150
+WALL_DELAY_FACTOR = 20.0
+SQL_SCAN = "SELECT k, grp, val FROM measurements WHERE grp < 12"
+SQL_AGG = (
+    "SELECT grp, COUNT(*), SUM(val) FROM measurements "
+    "GROUP BY grp ORDER BY grp"
+)
+
+
+def _build(parallel_fetches, wall_delay=True, fragment_cache=False):
+    network = Network(
+        wall_delay_factor=WALL_DELAY_FACTOR if wall_delay else 0.0
+    )
+    return build_partitioned_sites(
+        SITE_COUNT,
+        ROWS_PER_SITE,
+        seed=15,
+        network=network,
+        parallel_fetches=parallel_fetches,
+        fragment_cache=fragment_cache,
+    )
+
+
+def test_e15_parallel_speedup(benchmark):
+    sequential = _build(parallel_fetches=1)
+    parallel = _build(parallel_fetches=SITE_COUNT)
+
+    # warm up plan caches / stats so the timed region is fetch-dominated
+    seq_result = sequential.query("synth", SQL_SCAN)
+    par_result = parallel.query("synth", SQL_SCAN)
+
+    start = time.perf_counter()
+    seq_result = sequential.query("synth", SQL_SCAN)
+    seq_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    par_result = parallel.query("synth", SQL_SCAN)
+    par_wall = time.perf_counter() - start
+    speedup = seq_wall / par_wall
+
+    # Claim 2: bit-identical simulated accounting and rows — parallelism
+    # is an optimisation, not a semantics change.
+    sim_identical = (
+        par_result.rows == seq_result.rows
+        and par_result.elapsed_s == seq_result.elapsed_s
+        and par_result.bytes_shipped == seq_result.bytes_shipped
+        and par_result.trace.message_count == seq_result.trace.message_count
+        and par_result.fetched_rows == seq_result.fetched_rows
+    )
+
+    emit(
+        "E15",
+        f"parallel fetches on a {SITE_COUNT}-site fan-out "
+        f"({ROWS_PER_SITE} rows/site, wall_delay_factor="
+        f"{WALL_DELAY_FACTOR:g}) — sim_identical="
+        f"{'yes' if sim_identical else 'NO-DIVERGED'}",
+        ["mode", "wall_ms", "sim_ms", "bytes", "msgs", "speedup"],
+        [
+            (
+                "sequential",
+                seq_wall * 1000,
+                seq_result.elapsed_s * 1000,
+                seq_result.bytes_shipped,
+                seq_result.trace.message_count,
+                1.0,
+            ),
+            (
+                f"parallel x{SITE_COUNT}",
+                par_wall * 1000,
+                par_result.elapsed_s * 1000,
+                par_result.bytes_shipped,
+                par_result.trace.message_count,
+                speedup,
+            ),
+        ],
+    )
+
+    assert sim_identical, (
+        "parallel execution diverged from sequential simulated accounting: "
+        f"sim {par_result.elapsed_s} vs {seq_result.elapsed_s}, "
+        f"bytes {par_result.bytes_shipped} vs {seq_result.bytes_shipped}"
+    )
+    assert speedup >= 2.0, (
+        f"parallel fetches only {speedup:.2f}x faster "
+        f"(seq={seq_wall * 1000:.1f}ms, par={par_wall * 1000:.1f}ms)"
+    )
+
+    sequential.close()
+    with parallel:
+        benchmark(lambda: parallel.query("synth", SQL_AGG))
+
+
+def test_e15_caches(benchmark):
+    # No wall delay here: cache behaviour is about message counts.
+    with build_bank_sites(4, 50, query_timeout=5.0) as bank:
+        sql = "SELECT acct, balance FROM accounts"
+
+        cold = bank.query("bank", sql)
+        messages_cold = cold.trace.message_count
+        network_after_cold = bank.network.total_messages
+
+        warm = bank.query("bank", sql)
+        messages_warm = warm.trace.message_count
+        assert warm.rows == cold.rows
+        # Claim 3: every fragment served from cache → zero new messages.
+        assert messages_warm == 0
+        assert bank.network.total_messages == network_after_cold
+        hits = bank.metrics.counter_total("fragcache.hit")
+        assert hits == 4
+
+        # Committed DML invalidates: the next read is fresh.
+        txn = bank.begin_transaction()
+        txn.execute(
+            "b0", "UPDATE account SET balance = 42 WHERE acct = 0"
+        )
+        txn.commit()
+        fresh = bank.query("bank", sql)
+        assert fresh.trace.message_count > 0  # b0 refetched
+        assert dict(fresh.rows)[0] == 42.0
+
+        # Claim 4: the warm rerun hit the plan cache; the post-DML rerun
+        # correctly missed (committed writes move the statistics version,
+        # which is part of the plan-cache key).
+        plan_hits = bank.metrics.counter_total("plancache.hit")
+        plan_misses = bank.metrics.counter_total("plancache.miss")
+        assert plan_hits == 1 and plan_misses == 2
+
+        emit(
+            "E15_CACHES",
+            "fragment + plan cache effect (4-site bank, repeated scan)",
+            ["phase", "trace_msgs", "fragcache_hits", "plancache_hits"],
+            [
+                ("cold", messages_cold, 0, 0),
+                ("warm", messages_warm, int(hits), int(plan_hits)),
+                (
+                    "after-DML",
+                    fresh.trace.message_count,
+                    int(bank.metrics.counter_total("fragcache.hit")),
+                    int(bank.metrics.counter_total("plancache.hit")),
+                ),
+            ],
+        )
+
+        benchmark(lambda: bank.query("bank", sql))

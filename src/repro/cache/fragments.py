@@ -1,0 +1,99 @@
+"""Federation-site fragment cache.
+
+The most expensive part of a global query is shipping fragment results
+from component sites; re-fetching data that has not changed buys nothing
+but messages.  This cache keeps shipped fragments at the federation site,
+keyed by ``(site, export, fragment-SQL digest)``, and validates every hit
+against the owning gateway's *data version* for that export — a counter
+bumped only when a write to the export's local table **commits** (see
+:meth:`repro.gateway.Gateway.data_version`).  A stale entry is dropped on
+sight, so invalidation costs nothing until the fragment is next wanted.
+
+Serializability is preserved by construction: the global executor
+bypasses this cache entirely for fetches inside a global transaction, and
+degraded (``allow_partial``) fragments are never stored.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.cache.lru import LRUCache
+
+
+def fragment_digest(sql_text: str) -> str:
+    """Stable digest of one shipped fragment query's SQL text."""
+    return hashlib.sha256(sql_text.encode()).hexdigest()[:24]
+
+
+@dataclass
+class CachedFragment:
+    """One cached shipped fragment: rows plus the version they reflect."""
+
+    columns: list[str]
+    rows: list[tuple]
+    version: tuple
+
+
+class FragmentCache:
+    """Version-checked LRU of shipped fragments."""
+
+    def __init__(self, capacity: int = 128):
+        self._lru = LRUCache(capacity)
+        #: Entries dropped because their version no longer matched.
+        self.stale_drops = 0
+
+    @staticmethod
+    def key(site: str, export: str, sql_text: str) -> tuple[str, str, str]:
+        return (site, export.lower(), fragment_digest(sql_text))
+
+    def lookup(
+        self, site: str, export: str, sql_text: str, version: tuple
+    ) -> CachedFragment | None:
+        """A fresh cached fragment, or None (stale entries are evicted)."""
+        key = self.key(site, export, sql_text)
+        entry = self._lru.get(key)
+        if entry is None:
+            return None
+        if entry.version != version:
+            self._lru.invalidate(key)
+            self.stale_drops += 1
+            return None
+        return entry
+
+    def store(
+        self,
+        site: str,
+        export: str,
+        sql_text: str,
+        fetched_at_version: tuple,
+        current_version: tuple,
+        columns: list[str],
+        rows: list[tuple],
+    ) -> bool:
+        """Cache one fetched fragment.
+
+        The caller captures the export's version *before* shipping the
+        fetch; if it changed by the time the rows arrived (a concurrent
+        commit), the fragment may already be stale and is not stored.
+        """
+        if fetched_at_version != current_version:
+            return False
+        self._lru.put(
+            self.key(site, export, sql_text),
+            CachedFragment(list(columns), list(rows), fetched_at_version),
+        )
+        return True
+
+    def clear(self) -> int:
+        return self._lru.clear()
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        stats = self._lru.stats
+        stats["stale_drops"] = self.stale_drops
+        return stats

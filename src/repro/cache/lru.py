@@ -1,0 +1,75 @@
+"""Thread-safe LRU map used by the plan and fragment caches."""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction.
+
+    Every operation is guarded by one lock; ``get`` refreshes recency.
+    Hit/miss/eviction counters are maintained for the observability layer
+    (read them via :attr:`stats`).
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._data: OrderedDict[object, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: object, default: object = None) -> object:
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: object, value: object) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate(self, key: object) -> bool:
+        """Drop one entry; True when it existed."""
+        with self._lock:
+            return self._data.pop(key, None) is not None
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were dropped."""
+        with self._lock:
+            dropped = len(self._data)
+            self._data.clear()
+            return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: object) -> bool:
+        with self._lock:
+            return key in self._data
+
+    @property
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._data),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

@@ -1,0 +1,48 @@
+"""Global plan cache.
+
+Parsing, export expansion, and optimization are pure functions of the SQL
+text, the chosen optimizer, the federation's schema, and the statistics
+the cost model consulted — so a plan can be reused as long as that whole
+key is unchanged.  The key therefore includes the federation's
+``schema_version`` (bumped on any relation (re)definition) and every
+gateway's ``stats_version`` (bumped when its statistics cache is
+invalidated): redefining a schema or committing DML flushes affected
+entries implicitly by changing the key.
+
+Plans are mutated during execution (fragment registration annotates
+them), so the cache stores and returns deep copies — the cached master is
+never shared with an executing query.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.cache.lru import LRUCache
+from repro.query.localizer import GlobalPlan
+
+
+class PlanCache:
+    """LRU of optimized :class:`~repro.query.localizer.GlobalPlan`s."""
+
+    def __init__(self, capacity: int = 64):
+        self._lru = LRUCache(capacity)
+
+    def get(self, key: tuple) -> GlobalPlan | None:
+        plan = self._lru.get(key)
+        if plan is None:
+            return None
+        return copy.deepcopy(plan)
+
+    def put(self, key: tuple, plan: GlobalPlan) -> None:
+        self._lru.put(key, copy.deepcopy(plan))
+
+    def clear(self) -> int:
+        return self._lru.clear()
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return self._lru.stats

@@ -9,6 +9,7 @@ transactions after a (simulated) crash.
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field
 
 
@@ -46,6 +47,11 @@ class WriteAheadLog:
     records: list[LogRecord] = field(default_factory=list)
     flushed_lsn: int = -1
     _next_lsn: int = 0
+    # LSN allocation and the record list mutate together; concurrent
+    # branch commits (parallel federation traffic) must not interleave.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def append(
         self,
@@ -54,16 +60,18 @@ class WriteAheadLog:
         payload: tuple = (),
         flush: bool = False,
     ) -> LogRecord:
-        record = LogRecord(self._next_lsn, record_type, txn_id, payload)
-        self._next_lsn += 1
-        self.records.append(record)
-        if flush:
-            self.flush()
+        with self._lock:
+            record = LogRecord(self._next_lsn, record_type, txn_id, payload)
+            self._next_lsn += 1
+            self.records.append(record)
+            if flush:
+                self.flushed_lsn = self._next_lsn - 1
         return record
 
     def flush(self) -> None:
         """Force the log to 'stable storage' (advance the flushed horizon)."""
-        self.flushed_lsn = self._next_lsn - 1
+        with self._lock:
+            self.flushed_lsn = self._next_lsn - 1
 
     def durable_records(self) -> list[LogRecord]:
         """Records that survive a crash: only those at or below flushed_lsn."""

@@ -13,6 +13,7 @@ its component DBMSs.
 from __future__ import annotations
 
 import datetime
+import threading
 from collections.abc import Callable
 from dataclasses import dataclass
 
@@ -107,7 +108,22 @@ class LocalEngine:
         self.functions = {k.upper(): v for k, v in (functions or {}).items()}
         self._now = now or (lambda: DEFAULT_NOW)
         self.mutator = mutator or Mutator()
-        self.last_report = ExecutionReport()
+        self._report_local = threading.local()
+
+    @property
+    def last_report(self) -> ExecutionReport:
+        """Work accounting of the last statement *this thread* executed.
+
+        Thread-local so concurrent gateway fetches can't read each
+        other's row counts (the gateway charges simulated compute from
+        it immediately after executing).
+        """
+        report = getattr(self._report_local, "report", None)
+        return report if report is not None else ExecutionReport()
+
+    @last_report.setter
+    def last_report(self, report: ExecutionReport) -> None:
+        self._report_local.report = report
 
     # ------------------------------------------------------------------
     # Public API

@@ -126,9 +126,10 @@ class IndexScan(Operator):
         ]
 
     def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        # Postings are kept sorted at insert time, so both paths read RIDs
+        # straight through without a per-lookup sort.
         if self.equal_key is not None:
-            rids = sorted(self.index.lookup(self.equal_key))
-            for rid in rids:
+            for rid in self.index.sorted_rids(self.equal_key):
                 ctx.rows_scanned += 1
                 yield self.table.rows[rid]
             return
@@ -138,10 +139,10 @@ class IndexScan(Operator):
             raise ExecutionError(
                 f"index {self.index.name!r} does not support range scans"
             )
-        for _, rids in self.index.range_scan(
+        for _, rids in self.index.range_scan_sorted(
             self.low, self.high, self.low_inclusive, self.high_inclusive
         ):
-            for rid in sorted(rids):
+            for rid in rids:
                 ctx.rows_scanned += 1
                 yield self.table.rows[rid]
 

@@ -17,6 +17,7 @@ Responsibilities (as in the paper):
 
 from __future__ import annotations
 
+import threading
 from decimal import Decimal
 
 from repro.engine import ResultSet
@@ -62,6 +63,20 @@ class Gateway:
         network.add_site(FEDERATION_SITE)
         self._txn_sessions: dict[object, Session] = {}
         self._stats_cache: dict[str, TableStats] = {}
+        #: Narrow mutex for the gateway's shared maps/counters.  Never held
+        #: across a network send or a local execution — parallel fetches
+        #: must not convoy behind a branch stuck in a lock wait.
+        self._mutex = threading.Lock()
+        #: Bumped whenever cached statistics are invalidated (DML commit,
+        #: export change); part of the global plan-cache key.
+        self.stats_version = 0
+        # Fragment-cache invalidation state: per-local-table data version
+        # counters, bumped only when a write *commits* (2PC or autocommit),
+        # plus an export epoch covering export redefinitions and writes
+        # whose table set was lost (process restart).
+        self._table_versions: dict[str, int] = {}
+        self._export_epoch = 0
+        self._txn_writes: dict[object, set[str]] = {}
         # Experiment counters
         self.queries_executed = 0
         self.timeouts = 0
@@ -108,7 +123,12 @@ class Gateway:
         relation = self.exports.export_table(
             schema, export_name, columns, predicate
         )
-        self._stats_cache.pop(relation.name.lower(), None)
+        with self._mutex:
+            self._stats_cache.pop(relation.name.lower(), None)
+            self.stats_version += 1
+            # Redefining an export changes what its fragments *mean*:
+            # every cached fragment for this site is now suspect.
+            self._export_epoch += 1
         return relation
 
     def export_names(self) -> list[str]:
@@ -122,16 +142,65 @@ class Gateway:
     def export_stats(self, name: str, refresh: bool = False) -> TableStats:
         """Statistics of an export view (computed by running the view)."""
         key = name.lower()
-        if not refresh and key in self._stats_cache:
-            return self._stats_cache[key]
+        if not refresh:
+            with self._mutex:
+                if key in self._stats_cache:
+                    return self._stats_cache[key]
         relation = self.exports.get(name)
         result = self.dbms.execute(relation.as_query())
         stats = analyze_rows(relation.name, result.columns, result.rows)
-        self._stats_cache[key] = stats
+        with self._mutex:
+            self._stats_cache[key] = stats
         return stats
 
     def invalidate_stats(self) -> None:
-        self._stats_cache.clear()
+        with self._mutex:
+            self._stats_cache.clear()
+            self.stats_version += 1
+
+    # ------------------------------------------------------------------
+    # Fragment-cache versioning
+    # ------------------------------------------------------------------
+
+    def data_version(self, export_name: str) -> tuple[int, int]:
+        """Version token for one export's underlying data.
+
+        Changes whenever a write to the export's local table *commits*
+        (or whenever the export itself is redefined), so the federation's
+        fragment cache can compare-and-reuse shipped fragments.
+        """
+        try:
+            local = self.exports.get(export_name).local_table.lower()
+        except GatewayError:
+            local = export_name.lower()
+        with self._mutex:
+            return (self._export_epoch, self._table_versions.get(local, 0))
+
+    def _record_write(self, global_id: object, local_table: str | None) -> None:
+        with self._mutex:
+            writes = self._txn_writes.setdefault(global_id, set())
+            if local_table is not None:
+                writes.add(local_table.lower())
+
+    def _apply_writes(self, writes: set[str] | None) -> None:
+        """Make a resolved branch's writes visible to version readers.
+
+        ``None`` means the branch's write set was lost (e.g. resolved
+        through recovery after a process restart): conservatively bump the
+        site-wide epoch instead — over-invalidation is always safe.
+        """
+        with self._mutex:
+            if writes is None:
+                self._export_epoch += 1
+            elif writes:
+                for table in writes:
+                    self._table_versions[table] = (
+                        self._table_versions.get(table, 0) + 1
+                    )
+            else:
+                return  # read-only branch: nothing changed
+            self._stats_cache.clear()
+            self.stats_version += 1
 
     # ------------------------------------------------------------------
     # Query shipping
@@ -170,7 +239,8 @@ class Gateway:
             reply_cost = self.network.send(
                 self.site, from_site, result_bytes, "result", trace
             )
-            self.queries_executed += 1
+            with self._mutex:
+                self.queries_executed += 1
             sim_latency = request_cost + compute_cost + reply_cost
             span.set_sim(sim_latency).tag(
                 rows=len(result.rows), bytes=result_bytes
@@ -206,7 +276,15 @@ class Gateway:
             session = self._session_for(global_id)
             result = self._run_local(session, sql_text, timeout)
             self.network.send(self.site, from_site, 8, "ack", trace)
-        self._stats_cache.clear()
+        # Track which local table this branch wrote: fragment-cache
+        # versions bump only if (and when) the branch commits.  An
+        # autocommit DML (no global transaction) committed just now.
+        written = getattr(local_stmt, "table", None)
+        if global_id is None:
+            self._apply_writes({written.lower()} if written else None)
+        else:
+            self._record_write(global_id, written)
+        self.invalidate_stats()
         if isinstance(result, ResultSet):  # pragma: no cover - defensive
             return len(result)
         return result
@@ -222,7 +300,8 @@ class Gateway:
         except LockTimeoutError as error:
             # Paper semantics: no answer within the timeout period ⇒ assume
             # the global transaction is deadlocked.
-            self.timeouts += 1
+            with self._mutex:
+                self.timeouts += 1
             self.obs.metrics.inc("gateway.timeouts", site=self.site)
             self.obs.emit(
                 "gateway.timeout", site=self.site, timeout_s=effective
@@ -238,13 +317,14 @@ class Gateway:
     def _session_for(self, global_id: object | None) -> Session:
         if global_id is None:
             return self.dbms.connect()
-        try:
-            return self._txn_sessions[global_id]
-        except KeyError:
+        with self._mutex:
+            session = self._txn_sessions.get(global_id)
+        if session is None:
             raise GatewayError(
                 f"no local branch for global transaction {global_id!r} at "
                 f"{self.site!r}; call begin() first"
-            ) from None
+            )
+        return session
 
     # ------------------------------------------------------------------
     # Global-transaction branch management (2PC participant proxy)
@@ -256,27 +336,36 @@ class Gateway:
         trace: MessageTrace | None = None,
         from_site: str = FEDERATION_SITE,
     ) -> None:
-        if global_id in self._txn_sessions:
-            raise GatewayError(
-                f"global transaction {global_id!r} already has a branch here"
-            )
+        with self._mutex:
+            if global_id in self._txn_sessions:
+                raise GatewayError(
+                    f"global transaction {global_id!r} already has a branch "
+                    "here"
+                )
         with self.obs.span("gateway.begin", site=self.site, txn=global_id):
             self.network.send(from_site, self.site, 32, "begin", trace)
             session = self.dbms.connect()
             session.begin(global_id=global_id)
-            self._txn_sessions[global_id] = session
+            with self._mutex:
+                self._txn_sessions[global_id] = session
+                # An explicit (empty) write set marks a tracked branch: a
+                # read-only commit later bumps no fragment versions.
+                self._txn_writes.setdefault(global_id, set())
             try:
                 self.network.send(self.site, from_site, 8, "ack", trace)
             except NetworkError:
                 # The federation never learns this branch opened; undo it
                 # so a retried begin() starts clean instead of hitting a
                 # duplicate.
-                self._txn_sessions.pop(global_id, None)
+                with self._mutex:
+                    self._txn_sessions.pop(global_id, None)
+                    self._txn_writes.pop(global_id, None)
                 session.rollback()
                 raise
 
     def has_branch(self, global_id: object) -> bool:
-        return global_id in self._txn_sessions
+        with self._mutex:
+            return global_id in self._txn_sessions
 
     def cancel_branch_waits(self, global_id: object) -> None:
         """Cancel any lock wait of this global transaction's local branch.
@@ -284,15 +373,18 @@ class Gateway:
         Used by the federation's active deadlock-detection policy to kill a
         chosen victim that is blocked inside this component DBMS.
         """
-        session = self._txn_sessions.get(global_id)
+        with self._mutex:
+            session = self._txn_sessions.get(global_id)
         if session is not None and session.txn is not None:
             self.dbms.transactions.locks.cancel_waits(session.txn.txn_id)
 
     def prepared_branches(self) -> list[object]:
         """Global ids whose local branch is sitting in the PREPARED state."""
+        with self._mutex:
+            sessions = list(self._txn_sessions.items())
         return [
             global_id
-            for global_id, session in self._txn_sessions.items()
+            for global_id, session in sessions
             if session.txn is not None and session.txn.state.name == "PREPARED"
         ]
 
@@ -312,7 +404,9 @@ class Gateway:
                 # Participant votes NO: its branch aborts locally right away.
                 self.network.send(self.site, from_site, 8, "vote", trace)
                 session.rollback()
-                self._txn_sessions.pop(global_id, None)
+                with self._mutex:
+                    self._txn_sessions.pop(global_id, None)
+                    self._txn_writes.pop(global_id, None)
                 span.tag(vote=False)
                 self._emit_branch_event(
                     global_id, "ABORTED", trace, vote=False
@@ -336,24 +430,35 @@ class Gateway:
             # Simulated message loss / participant crash: the branch stays
             # prepared (in doubt) until recovery resolves it.  Unlike an
             # injected network fault this loss is silent — the coordinator
-            # believes the decision was delivered.
+            # believes the decision was delivered.  The branch's write set
+            # stays pending too: versions bump at the *real* commit.
             self.drop_next_commits -= 1
             self.network.send(from_site, self.site, 32, "commit", trace)
             return
-        session = self._txn_sessions.get(global_id)
+        with self._mutex:
+            session = self._txn_sessions.get(global_id)
         if session is None:
+            # Branch already resolved — possibly below the gateway (process
+            # restart + participant recovery).  If writes are still parked
+            # here, their table set is unreliable: invalidate broadly.
+            with self._mutex:
+                leftover = self._txn_writes.pop(global_id, None)
+            if leftover:
+                self._apply_writes(None)
             return
         with self.obs.span("gateway.commit", site=self.site, txn=global_id):
             # The decision message travels first: if the network drops it,
             # the branch must stay in place (in doubt) so a retry or
             # recovery can still resolve it.
             self.network.send(from_site, self.site, 32, "commit", trace)
-            self._txn_sessions.pop(global_id, None)
+            with self._mutex:
+                self._txn_sessions.pop(global_id, None)
+                writes = self._txn_writes.pop(global_id, set())
             if session.txn is not None and session.txn.state.name == "PREPARED":
                 session.commit_prepared()
             else:
                 session.commit()
-            self._stats_cache.clear()
+            self._apply_writes(writes)
             self._emit_branch_event(global_id, "COMMITTED", trace)
             self.network.send(self.site, from_site, 8, "ack", trace)
 
@@ -363,13 +468,20 @@ class Gateway:
         trace: MessageTrace | None = None,
         from_site: str = FEDERATION_SITE,
     ) -> None:
-        session = self._txn_sessions.get(global_id)
+        with self._mutex:
+            session = self._txn_sessions.get(global_id)
         if session is None:
+            # Nothing committed: discard any tracked writes unbumped.
+            with self._mutex:
+                self._txn_writes.pop(global_id, None)
             return
         with self.obs.span("gateway.abort", site=self.site, txn=global_id):
             # As with commit: deliver the decision before touching the branch.
             self.network.send(from_site, self.site, 32, "abort", trace)
-            self._txn_sessions.pop(global_id, None)
+            with self._mutex:
+                self._txn_sessions.pop(global_id, None)
+                # Aborted writes never became visible: no version bumps.
+                self._txn_writes.pop(global_id, None)
             if session.txn is not None and session.txn.state.name == "PREPARED":
                 session.rollback_prepared()
             else:
@@ -452,9 +564,11 @@ class Gateway:
 
     def branch_states(self) -> dict[object, str]:
         """Global id → local branch state for every open branch here."""
+        with self._mutex:
+            sessions = list(self._txn_sessions.items())
         return {
             global_id: session.txn.state.value
-            for global_id, session in self._txn_sessions.items()
+            for global_id, session in sessions
             if session.txn is not None
         }
 

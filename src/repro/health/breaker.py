@@ -138,11 +138,14 @@ class HealthTracker:
                 health.opened_at_s = self._clock()
                 health.trips += 1
                 tripped = True
+            # Capture inside the lock: another thread's outcome could
+            # rewrite the counter before the event is emitted.
+            failures_at_trip = health.consecutive_failures
         if tripped:
             self._emit(
                 "health.trip",
                 site,
-                consecutive_failures=health.consecutive_failures,
+                consecutive_failures=failures_at_trip,
                 reason=reason,
             )
 

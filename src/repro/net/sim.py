@@ -16,6 +16,8 @@ No wall-clock sleeping happens; benchmarks read virtual seconds.
 from __future__ import annotations
 
 import random
+import threading
+import time
 from dataclasses import dataclass
 
 from repro.errors import MessageDropped, NetworkError
@@ -64,25 +66,55 @@ class MessageTrace:
     closing a section that was never opened, is misuse and raises
     :class:`~repro.errors.NetworkError` immediately rather than silently
     corrupting later measurements.
+
+    Thread safety: branches are *per thread* — the executor runs one
+    branch per worker thread inside a main-thread parallel section, so
+    the open-branch stack lives in thread-local storage while the shared
+    accounting (records, per-branch sums, elapsed time) is guarded by one
+    lock.  Per-branch sums are order-independent (each branch is fed by
+    exactly one thread, and the section contributes the *max* over
+    branches), so concurrent execution produces bit-identical elapsed
+    time to sequential execution.
     """
 
     def __init__(self):
         self.records: list[MessageRecord] = []
         self.elapsed_s = 0.0
+        self._lock = threading.RLock()
         self._parallel_stack: list[dict[str, float]] = []
-        self._branch_stack: list[str] = []
+        self._tlocal = threading.local()
+        self._open_branches = 0
+        self._total_bytes = 0
+
+    def _thread_branches(self) -> list["_BranchContext"]:
+        stack = getattr(self._tlocal, "stack", None)
+        if stack is None:
+            stack = []
+            self._tlocal.stack = stack
+        return stack
 
     # -- recording ---------------------------------------------------------
 
     def add(self, record: MessageRecord) -> None:
-        self.records.append(record)
-        self.add_compute(record.cost_s)
+        with self._lock:
+            self.records.append(record)
+            self._total_bytes += record.payload_bytes
+            branches = self._thread_branches()
+            if branches:
+                branches[-1].records.append(record)
+            self._route_cost(record.cost_s)
 
     def add_compute(self, seconds: float) -> None:
         """Account local (site) processing time into the same timeline."""
-        if self._parallel_stack and self._branch_stack:
+        with self._lock:
+            self._route_cost(seconds)
+
+    def _route_cost(self, seconds: float) -> None:
+        """Accrue a cost to this thread's open branch, else sequentially."""
+        stack = self._thread_branches()
+        if self._parallel_stack and stack:
             branches = self._parallel_stack[-1]
-            branch = self._branch_stack[-1]
+            branch = stack[-1].name
             branches[branch] = branches.get(branch, 0.0) + seconds
         else:
             self.elapsed_s += seconds
@@ -90,40 +122,48 @@ class MessageTrace:
     # -- parallel sections ---------------------------------------------------
 
     def begin_parallel(self) -> None:
-        self._parallel_stack.append({})
+        with self._lock:
+            self._parallel_stack.append({})
 
     def branch(self, name: str) -> "_BranchContext":
-        if not self._parallel_stack:
-            raise NetworkError(
-                f"branch({name!r}) requires an open parallel section; "
-                "call begin_parallel() first"
-            )
+        with self._lock:
+            if not self._parallel_stack:
+                raise NetworkError(
+                    f"branch({name!r}) requires an open parallel section; "
+                    "call begin_parallel() first"
+                )
         return _BranchContext(self, name)
 
     def end_parallel(self) -> None:
-        if not self._parallel_stack:
-            raise NetworkError(
-                "end_parallel() without a matching begin_parallel()"
-            )
-        branches = self._parallel_stack.pop()
-        longest = max(branches.values(), default=0.0)
-        if self._parallel_stack and self._branch_stack:
-            outer = self._parallel_stack[-1]
-            branch = self._branch_stack[-1]
-            outer[branch] = outer.get(branch, 0.0) + longest
-        else:
-            self.elapsed_s += longest
+        with self._lock:
+            if not self._parallel_stack:
+                raise NetworkError(
+                    "end_parallel() without a matching begin_parallel()"
+                )
+            branches = self._parallel_stack.pop()
+            longest = max(branches.values(), default=0.0)
+            stack = self._thread_branches()
+            if self._parallel_stack and stack:
+                outer = self._parallel_stack[-1]
+                branch = stack[-1].name
+                outer[branch] = outer.get(branch, 0.0) + longest
+            else:
+                self.elapsed_s += longest
 
     @property
     def balanced(self) -> bool:
         """True when no parallel section or branch is left open."""
-        return not self._parallel_stack and not self._branch_stack
+        with self._lock:
+            return not self._parallel_stack and self._open_branches == 0
 
     def branch_elapsed(self, name: str) -> float:
         """Accumulated cost of one branch of the innermost open section."""
-        if not self._parallel_stack:
-            raise NetworkError("branch_elapsed() outside a parallel section")
-        return self._parallel_stack[-1].get(name, 0.0)
+        with self._lock:
+            if not self._parallel_stack:
+                raise NetworkError(
+                    "branch_elapsed() outside a parallel section"
+                )
+            return self._parallel_stack[-1].get(name, 0.0)
 
     # -- summary -----------------------------------------------------------
 
@@ -133,11 +173,15 @@ class MessageTrace:
 
     @property
     def total_bytes(self) -> int:
-        return sum(record.payload_bytes for record in self.records)
+        # Running counter maintained by add(); re-summing the record list
+        # on every access made per-fetch accounting O(messages) each time.
+        return self._total_bytes
 
     def bytes_by_purpose(self) -> dict[str, int]:
         summary: dict[str, int] = {}
-        for record in self.records:
+        with self._lock:
+            records = list(self.records)
+        for record in records:
             summary[record.purpose] = (
                 summary.get(record.purpose, 0) + record.payload_bytes
             )
@@ -151,16 +195,32 @@ class MessageTrace:
 
 
 class _BranchContext:
+    """One open branch: also captures the messages recorded inside it.
+
+    The per-branch ``records`` list is what per-fetch accounting reads —
+    slicing the shared ``trace.records`` list by index is meaningless once
+    branches run on concurrent threads.
+    """
+
     def __init__(self, trace: MessageTrace, name: str):
         self.trace = trace
         self.name = name
+        self.records: list[MessageRecord] = []
+
+    @property
+    def payload_bytes(self) -> int:
+        return sum(record.payload_bytes for record in self.records)
 
     def __enter__(self):
-        self.trace._branch_stack.append(self.name)
+        with self.trace._lock:
+            self.trace._thread_branches().append(self)
+            self.trace._open_branches += 1
         return self
 
     def __exit__(self, *exc_info):
-        self.trace._branch_stack.pop()
+        with self.trace._lock:
+            self.trace._thread_branches().pop()
+            self.trace._open_branches -= 1
         return False
 
 
@@ -226,6 +286,9 @@ class FaultInjector:
 
     def __init__(self, seed: int = 0):
         self._rng = random.Random(seed)
+        # Concurrent fetches consult fault_for() from worker threads; the
+        # seeded RNG and rule countdowns must mutate atomically.
+        self._lock = threading.Lock()
         self._rules: list[DropRule] = []
         self._crashed: set[str] = set()
         self._partitions: list[tuple[frozenset, frozenset]] = []
@@ -325,26 +388,33 @@ class FaultInjector:
 
         Mutates rule counters, so each call models one send attempt.
         """
-        for site in (source, destination):
-            if site in self._crashed:
-                return f"site {site!r} is crashed"
-        for group_a, group_b in self._partitions:
-            if (source in group_a and destination in group_b) or (
-                source in group_b and destination in group_a
-            ):
-                return f"partition between {source!r} and {destination!r}"
-        for rule in self._rules:
-            if not rule.matches(source, destination, purpose):
-                continue
-            if rule.probability < 1.0 and self._rng.random() >= rule.probability:
-                continue
-            if rule.remaining is not None:
-                rule.remaining -= 1
-            return f"drop rule on purpose {purpose!r}"
-        return None
+        with self._lock:
+            for site in (source, destination):
+                if site in self._crashed:
+                    return f"site {site!r} is crashed"
+            for group_a, group_b in self._partitions:
+                if (source in group_a and destination in group_b) or (
+                    source in group_b and destination in group_a
+                ):
+                    return f"partition between {source!r} and {destination!r}"
+            for rule in self._rules:
+                if not rule.matches(source, destination, purpose):
+                    continue
+                if (
+                    rule.probability < 1.0
+                    and self._rng.random() >= rule.probability
+                ):
+                    continue
+                if rule.remaining is not None:
+                    rule.remaining -= 1
+                return f"drop rule on purpose {purpose!r}"
+            return None
 
     def record(self, source: str, destination: str, purpose: str, reason: str) -> None:
-        self.dropped.append(DroppedMessage(source, destination, purpose, reason))
+        with self._lock:
+            self.dropped.append(
+                DroppedMessage(source, destination, purpose, reason)
+            )
 
 
 class Network:
@@ -355,8 +425,19 @@ class Network:
         default_link: LinkProfile | None = None,
         faults: FaultInjector | None = None,
         obs=None,
+        wall_delay_factor: float = 0.0,
     ):
         self.default_link = default_link or LinkProfile()
+        #: When > 0, each delivered message also *sleeps* for
+        #: ``cost * wall_delay_factor`` real seconds — modelling the
+        #: I/O-bound wait a federation thread spends blocked on a gateway,
+        #: so parallel fetch overlap is measurable in wall-clock time
+        #: (experiment E15).  The sleep happens outside every lock and
+        #: never touches the simulated accounting.
+        self.wall_delay_factor = wall_delay_factor
+        #: Guards cumulative counters and the simulated clock; never held
+        #: across fault evaluation, health recording, or sleeping.
+        self._lock = threading.Lock()
         self._sites: set[str] = set()
         self._links: dict[tuple[str, str], LinkProfile] = {}
         #: Optional fault injector consulted on every send.
@@ -386,7 +467,8 @@ class Network:
         """Advance the simulated clock (e.g. a retry backoff or idle wait)."""
         if seconds < 0:
             raise NetworkError("cannot advance the simulated clock backwards")
-        self.now_s += seconds
+        with self._lock:
+            self.now_s += seconds
 
     def _blame(self, source: str, destination: str) -> str:
         """The endpoint whose health a message outcome reflects."""
@@ -430,10 +512,12 @@ class Network:
         if self.faults is not None:
             reason = self.faults.fault_for(source, destination, purpose)
             if reason is not None:
-                self.dropped_messages += 1
-                # The sender still burns the link latency discovering the
-                # loss (timeout), so failures advance simulated time too.
-                self.now_s += self.link(source, destination).latency_s
+                with self._lock:
+                    self.dropped_messages += 1
+                    # The sender still burns the link latency discovering
+                    # the loss (timeout), so failures advance simulated
+                    # time too.
+                    self.now_s += self.link(source, destination).latency_s
                 self.faults.record(source, destination, purpose, reason)
                 if self.health is not None:
                     self.health.record_failure(
@@ -458,9 +542,12 @@ class Network:
                     reason=reason,
                 )
         cost = self.link(source, destination).cost(payload_bytes)
-        self.total_messages += 1
-        self.total_bytes += payload_bytes
-        self.now_s += cost
+        with self._lock:
+            self.total_messages += 1
+            self.total_bytes += payload_bytes
+            self.now_s += cost
+        if self.wall_delay_factor > 0:
+            time.sleep(cost * self.wall_delay_factor)
         if self.health is not None:
             self.health.record_success(self._blame(source, destination))
         if self.obs is not None:

@@ -57,8 +57,8 @@ class Observability:
         #: ``query.slow`` event (with a plan digest); ``None`` disables.
         self.slow_query_threshold_s = slow_query_threshold_s
 
-    def span(self, name: str, **tags: object):
-        return self.tracer.span(name, **tags)
+    def span(self, name: str, parent=None, **tags: object):
+        return self.tracer.span(name, parent=parent, **tags)
 
     def emit(self, etype: str, sim_s: float | None = None, **fields: object):
         """Record one structured event (no-op when disabled)."""

@@ -27,6 +27,9 @@ class FetchActual:
     messages: int = 0
     sim_s: float = 0.0
     wall_s: float = 0.0
+    #: True when the fragment came from the federation-site fragment cache
+    #: (zero messages crossed the wire for this fetch).
+    cached: bool = False
 
 
 def _fmt_est(value: float | None, unit: str = "") -> str:
@@ -81,10 +84,12 @@ def render_explain_analyze(result) -> str:
             else:
                 lines.append("    actual: (not executed)")
             continue
+        cached = " cached" if actual.cached else ""
         lines.append(
             f"    actual: rows={actual.rows} bytes={actual.bytes} "
             f"time={actual.sim_s * 1000:.3f}ms "
             f"(msgs={actual.messages}, wall={actual.wall_s * 1000:.3f}ms)"
+            f"{cached}"
         )
     for note in plan.notes:
         lines.append(f"  note: {note}")

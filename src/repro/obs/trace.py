@@ -38,18 +38,26 @@ class Span:
         "error",
         "_tracer",
         "_start",
+        "_preset_parent",
     )
 
-    def __init__(self, name: str, tags: dict[str, object], tracer: "Tracer"):
+    def __init__(
+        self,
+        name: str,
+        tags: dict[str, object],
+        tracer: "Tracer",
+        parent: "Span | None" = None,
+    ):
         self.name = name
         self.tags = tags
-        self.parent: Span | None = None
+        self.parent: Span | None = parent
         self.children: list[Span] = []
         self.wall_s = 0.0
         self.sim_s: float | None = None
         self.error: str | None = None
         self._tracer = tracer
         self._start = 0.0
+        self._preset_parent = parent is not None
 
     # -- annotation --------------------------------------------------------
 
@@ -147,10 +155,18 @@ class Tracer:
 
     # -- span creation -----------------------------------------------------
 
-    def span(self, name: str, **tags: object) -> Span | _NullSpan:
+    def span(
+        self, name: str, parent: Span | None = None, **tags: object
+    ) -> Span | _NullSpan:
+        """Create a span; pass ``parent=`` to nest under a span owned by
+        another thread (e.g. a worker fetch under the main-thread stage
+        span) instead of this thread's implicit stack top.
+        """
         if not self.enabled:
             return NULL_SPAN
-        return Span(name, tags, self)
+        if isinstance(parent, _NullSpan):
+            parent = None
+        return Span(name, tags, self, parent=parent)
 
     def current(self) -> Span | None:
         stack = getattr(self._local, "stack", None)
@@ -162,9 +178,15 @@ class Tracer:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
-        if stack:
+        if span._preset_parent:
+            # Explicit cross-thread parent: several worker threads may
+            # attach children to the same span concurrently.
+            with self._lock:
+                span.parent.children.append(span)
+        elif stack:
             span.parent = stack[-1]
-            stack[-1].children.append(span)
+            with self._lock:
+                stack[-1].children.append(span)
         stack.append(span)
 
     def _pop(self, span: Span) -> None:

@@ -37,20 +37,27 @@ import itertools
 
 from repro.sql import ast
 
-_counter = itertools.count(1)
+def push_aggregates(
+    query: ast.Query, _tags: "itertools.count | None" = None
+) -> ast.Query:
+    """Apply the rewrite wherever the pattern matches (recursively).
 
-
-def push_aggregates(query: ast.Query) -> ast.Query:
-    """Apply the rewrite wherever the pattern matches (recursively)."""
+    Generated partial-column tags restart at 1 per top-level call (they
+    only need uniqueness within one query): planning the same query always
+    produces the same SQL text, which keeps shipped-fragment digests and
+    message byte counts independent of planning history.
+    """
+    if _tags is None:
+        _tags = itertools.count(1)
     if isinstance(query, ast.SetOperation):
-        query.left = push_aggregates(query.left)
-        query.right = push_aggregates(query.right)
+        query.left = push_aggregates(query.left, _tags)
+        query.right = push_aggregates(query.right, _tags)
         return query
     select = query
     # Recurse into derived tables first.
     for ref in select.from_clause:
-        _recurse_ref(ref)
-    rewritten = _try_rewrite(select)
+        _recurse_ref(ref, _tags)
+    rewritten = _try_rewrite(select, _tags)
     if rewritten is not None:
         return rewritten
     topn = _try_push_topn(select)
@@ -114,12 +121,12 @@ def _try_push_topn(select: ast.Select) -> ast.Select | None:
     return select
 
 
-def _recurse_ref(ref: ast.TableRef) -> None:
+def _recurse_ref(ref: ast.TableRef, tags: "itertools.count") -> None:
     if isinstance(ref, ast.SubqueryRef):
-        ref.query = push_aggregates(ref.query)
+        ref.query = push_aggregates(ref.query, tags)
     elif isinstance(ref, ast.Join):
-        _recurse_ref(ref.left)
-        _recurse_ref(ref.right)
+        _recurse_ref(ref.left, tags)
+        _recurse_ref(ref.right, tags)
 
 
 # ---------------------------------------------------------------------------
@@ -127,7 +134,9 @@ def _recurse_ref(ref: ast.TableRef) -> None:
 # ---------------------------------------------------------------------------
 
 
-def _try_rewrite(select: ast.Select) -> ast.Select | None:
+def _try_rewrite(
+    select: ast.Select, tags: "itertools.count"
+) -> ast.Select | None:
     # Shape: aggregate block over exactly one derived table, no residual
     # WHERE (push_selections runs first), no DISTINCT.
     if select.where is not None or select.distinct:
@@ -202,7 +211,9 @@ def _try_rewrite(select: ast.Select) -> ast.Select | None:
                         c.lower() for c in view_columns
                     ):
                         return None
-    return _build_rewrite(select, ref, branches, group_columns, aggregates)
+    return _build_rewrite(
+        select, ref, branches, group_columns, aggregates, tags
+    )
 
 
 def _non_aggregate_parts(select: ast.Select):
@@ -271,8 +282,9 @@ def _build_rewrite(
     branches: list[ast.Select],
     group_columns: list[str],
     aggregates: list[ast.FunctionCall],
+    tags: "itertools.count",
 ) -> ast.Select:
-    tag = next(_counter)
+    tag = next(tags)
     group_out = [f"__gp{tag}_{i}" for i in range(len(group_columns))]
 
     # Per-aggregate partial columns + combined expression templates.

@@ -14,9 +14,12 @@ Executes a :class:`~repro.query.localizer.GlobalPlan`:
 
 from __future__ import annotations
 
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.cache import FragmentCache
 from repro.engine import LocalEngine, ResultSet
 from repro.errors import (
     CircuitOpenError,
@@ -29,6 +32,7 @@ from repro.net import MessageTrace
 from repro.obs import DISABLED, FetchActual, Observability, obs_of
 from repro.query.localizer import Fetch, GlobalPlan
 from repro.schema.federation import Federation
+from repro.sql import ast, to_sql
 from repro.storage import Catalog, Column, TableSchema
 from repro.storage.types import FLOAT, INTEGER, DataType, TypeKind
 
@@ -110,16 +114,64 @@ class _Stage:
     fetches: list[Fetch] = field(default_factory=list)
 
 
-class GlobalExecutor:
-    """Runs GlobalPlans for one federation."""
+@dataclass
+class _FetchOutcome:
+    """What one fetch produced, collected off a worker or inline."""
 
-    def __init__(self, federation: Federation, obs: Observability | None = None):
+    fetch: Fetch
+    result: ResultSet | None = None
+    actual: FetchActual | None = None
+    degraded: bool = False
+    error: BaseException | None = None
+
+
+class GlobalExecutor:
+    """Runs GlobalPlans for one federation.
+
+    Independent fetches of one stage run concurrently on a bounded thread
+    pool (one worker per *site*, so a single gateway never sees two fetches
+    of the same query at once).  All simulated accounting is
+    interleaving-independent — per-branch sums feeding a max — so parallel
+    execution produces bit-identical simulated cost, bytes, and rows to
+    sequential execution (``parallel_fetches=1``).
+    """
+
+    def __init__(
+        self,
+        federation: Federation,
+        obs: Observability | None = None,
+        parallel_fetches: int = 4,
+        fragment_cache: FragmentCache | None = None,
+    ):
         self.federation = federation
         self._obs = obs
         #: Transient-loss resilience: each fetch retries dropped messages
         #: up to this many times, with exponential simulated backoff.
         self.fetch_retry_limit = 2
         self.fetch_retry_backoff_s = 0.01
+        #: Max fetch worker threads per stage; <= 1 disables threading.
+        self.parallel_fetches = parallel_fetches
+        #: Optional federation-site fragment cache (shared across queries;
+        #: bypassed inside global transactions).
+        self.fragment_cache = fragment_cache
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    def close(self) -> None:
+        """Shut down the fetch worker pool (idempotent)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=max(2, self.parallel_fetches),
+                    thread_name_prefix="myriad-fetch",
+                )
+            return self._pool
 
     @property
     def gateways(self) -> dict[str, Gateway]:
@@ -161,81 +213,69 @@ class GlobalExecutor:
         engine = LocalEngine(
             catalog, functions=self.federation.functions.as_dict()
         )
+        use_cache = self.fragment_cache is not None and global_id is None
 
         fetch_results: dict[int, ResultSet] = {}
         fetch_actuals: dict[int, FetchActual] = {}
         fetched_rows = 0
         for stage_index, stage in enumerate(self._stages(plan)):
             with obs.span("execute.stage", stage=stage_index) as stage_span:
+                groups = self._site_groups(stage)
+                run_parallel = self.parallel_fetches > 1 and len(groups) > 1
                 trace.begin_parallel()
                 # end_parallel() must run even when a fetch raises
                 # (MessageDropped, GatewayTimeout, ...): a caller-supplied
                 # trace outlives this call, and an unbalanced parallel
                 # section would swallow every later cost it records.
                 try:
-                    for fetch in stage.fetches:
-                        if fetch.site in missing:
-                            fetch_results[fetch.index] = (
-                                self._degraded_fragment(fetch, obs)
+                    if run_parallel:
+                        outcomes = self._run_stage_parallel(
+                            groups,
+                            fetch_results,
+                            trace,
+                            timeout,
+                            global_id,
+                            allow_partial,
+                            missing,
+                            health,
+                            obs,
+                            stage_span,
+                            use_cache,
+                        )
+                    else:
+                        outcomes = [
+                            self._run_one(
+                                fetch,
+                                fetch_results,
+                                trace,
+                                timeout,
+                                global_id,
+                                allow_partial,
+                                missing,
+                                health,
+                                obs,
+                                stage_span,
+                                use_cache,
                             )
-                            continue
-                        if (
-                            allow_partial
-                            and health is not None
-                            and not health.allow(fetch.site)
-                        ):
-                            missing.add(fetch.site)
-                            fetch_results[fetch.index] = (
-                                self._degraded_fragment(fetch, obs)
-                            )
-                            continue
-                        branch_name = f"{fetch.site}:{fetch.binding}"
-                        records_before = len(trace.records)
-                        wall_start = time.perf_counter()
-                        with obs.span(
-                            "execute.fetch",
-                            site=fetch.site,
-                            export=fetch.export,
-                            binding=fetch.binding,
-                        ) as fetch_span:
-                            try:
-                                with trace.branch(branch_name):
-                                    result = self._fetch_with_retry(
-                                        fetch,
-                                        fetch_results,
-                                        trace,
-                                        timeout,
-                                        global_id,
-                                    )
-                            except (MessageDropped, CircuitOpenError):
-                                if not allow_partial:
-                                    raise
-                                missing.add(fetch.site)
-                                fetch_results[fetch.index] = (
-                                    self._degraded_fragment(fetch, obs)
-                                )
-                                continue
-                            actual = FetchActual(
-                                rows=len(result.rows),
-                                bytes=sum(
-                                    record.payload_bytes
-                                    for record in trace.records[
-                                        records_before:
-                                    ]
-                                ),
-                                messages=len(trace.records) - records_before,
-                                sim_s=trace.branch_elapsed(branch_name),
-                                wall_s=time.perf_counter() - wall_start,
-                            )
-                            fetch_span.set_sim(actual.sim_s)
-                            fetch_span.tag(
-                                rows=actual.rows, bytes=actual.bytes
-                            )
-                        fetch_actuals[fetch.index] = actual
-                        fetch_results[fetch.index] = result
-                        fetched_rows += len(result.rows)
+                            for fetch in stage.fetches
+                        ]
+                    # Workers capture failures instead of raising (every
+                    # branch must finish before the section closes); the
+                    # earliest failed fetch in plan order wins, matching
+                    # what sequential execution would have raised.
+                    for outcome in outcomes:
+                        if outcome.error is not None:
+                            raise outcome.error
                 finally:
                     trace.end_parallel()
+                for outcome in outcomes:
+                    fetch = outcome.fetch
+                    fetch_results[fetch.index] = outcome.result
+                    if outcome.degraded:
+                        continue
+                    if outcome.actual is not None:
+                        fetch_actuals[fetch.index] = outcome.actual
+                    fetched_rows += len(outcome.result.rows)
                 stage_span.tag(fetches=len(stage.fetches))
             for fetch in stage.fetches:
                 self._register_fragment(
@@ -279,7 +319,7 @@ class GlobalExecutor:
     def _fetch_with_retry(
         self,
         fetch: Fetch,
-        fetch_results: dict[int, ResultSet],
+        shipped: ast.Select,
         trace: MessageTrace,
         timeout: float | None,
         global_id: object | None,
@@ -292,7 +332,8 @@ class GlobalExecutor:
         :class:`~repro.errors.MessageDropped` is transient; a refused
         circuit fails immediately.
         """
-        network = self.gateways[fetch.site].network
+        gateway = self.gateways[fetch.site]
+        network = gateway.network
         last_error: MessageDropped | None = None
         for attempt in range(self.fetch_retry_limit + 1):
             if attempt:
@@ -301,8 +342,8 @@ class GlobalExecutor:
                 trace.add_compute(backoff)
                 network.advance(backoff)
             try:
-                return self._run_fetch(
-                    fetch, fetch_results, trace, timeout, global_id
+                return gateway.execute_query(
+                    shipped, trace=trace, timeout=timeout, global_id=global_id
                 )
             except MessageDropped as error:
                 last_error = error
@@ -337,15 +378,190 @@ class GlobalExecutor:
             stages.append(stage)
         return stages
 
-    def _run_fetch(
+    def _site_groups(self, stage: _Stage) -> list[tuple[str, list[Fetch]]]:
+        """Stage fetches grouped by site, preserving first-seen order.
+
+        One worker per group: a gateway never runs two fetches of the same
+        query concurrently, and within a site the sequential fetch order
+        (hence accounting order) is preserved exactly.
+        """
+        groups: dict[str, list[Fetch]] = {}
+        for fetch in stage.fetches:
+            groups.setdefault(fetch.site, []).append(fetch)
+        return list(groups.items())
+
+    def _run_stage_parallel(
+        self,
+        groups: list[tuple[str, list[Fetch]]],
+        fetch_results: dict[int, ResultSet],
+        trace: MessageTrace,
+        timeout: float | None,
+        global_id: object | None,
+        allow_partial: bool,
+        missing: set[str],
+        health,
+        obs: Observability,
+        stage_span,
+        use_cache: bool,
+    ) -> list[_FetchOutcome]:
+        """Run one stage's site groups on the worker pool.
+
+        Returns outcomes in the stage's original fetch order.  Every
+        future is awaited (even after a failure) so no branch is still
+        recording when the caller closes the parallel section.
+        """
+        pool = self._ensure_pool()
+
+        def run_group(fetches: list[Fetch]) -> list[_FetchOutcome]:
+            outcomes = []
+            for fetch in fetches:
+                outcome = self._run_one(
+                    fetch,
+                    fetch_results,
+                    trace,
+                    timeout,
+                    global_id,
+                    allow_partial,
+                    missing,
+                    health,
+                    obs,
+                    stage_span,
+                    use_cache,
+                    capture_errors=True,
+                )
+                outcomes.append(outcome)
+                if outcome.error is not None:
+                    # Fatal for the whole query: stop burning messages on
+                    # this site; remaining group fetches never run (same
+                    # as sequential execution after a raise).
+                    break
+            return outcomes
+
+        futures = [pool.submit(run_group, fetches) for _, fetches in groups]
+        by_index: dict[int, _FetchOutcome] = {}
+        for future in futures:
+            for outcome in future.result():
+                by_index[outcome.fetch.index] = outcome
+        ordered = []
+        for _, fetches in groups:
+            for fetch in fetches:
+                if fetch.index in by_index:
+                    ordered.append(by_index[fetch.index])
+        ordered.sort(key=lambda o: o.fetch.index)
+        return ordered
+
+    def _run_one(
         self,
         fetch: Fetch,
         fetch_results: dict[int, ResultSet],
         trace: MessageTrace,
         timeout: float | None,
         global_id: object | None,
-    ) -> ResultSet:
-        gateway = self.gateways[fetch.site]
+        allow_partial: bool,
+        missing: set[str],
+        health,
+        obs: Observability,
+        stage_span,
+        use_cache: bool,
+        capture_errors: bool = False,
+    ) -> _FetchOutcome:
+        """One fetch end to end: degrade, cache lookup, ship, cache store.
+
+        With ``capture_errors`` (worker mode) fatal exceptions come back
+        in the outcome instead of raising, so sibling branches finish and
+        the caller re-raises deterministically.
+        """
+        outcome = _FetchOutcome(fetch=fetch)
+        try:
+            if fetch.site in missing:
+                outcome.degraded = True
+                outcome.result = self._degraded_fragment(fetch, obs)
+                return outcome
+            if (
+                allow_partial
+                and health is not None
+                and not health.allow(fetch.site)
+            ):
+                missing.add(fetch.site)
+                outcome.degraded = True
+                outcome.result = self._degraded_fragment(fetch, obs)
+                return outcome
+            shipped = self._shipped_query(fetch, fetch_results)
+            gateway = self.gateways[fetch.site]
+            shipped_sql: str | None = None
+            version_before: tuple | None = None
+            if use_cache:
+                shipped_sql = to_sql(shipped)
+                version_before = gateway.data_version(fetch.export)
+                hit = self.fragment_cache.lookup(
+                    fetch.site, fetch.export, shipped_sql, version_before
+                )
+                if hit is not None:
+                    obs.metrics.inc("fragcache.hit", site=fetch.site)
+                    outcome.result = ResultSet(
+                        list(hit.columns), list(hit.rows)
+                    )
+                    outcome.actual = FetchActual(
+                        rows=len(hit.rows), cached=True
+                    )
+                    return outcome
+                obs.metrics.inc("fragcache.miss", site=fetch.site)
+            branch_name = f"{fetch.site}:{fetch.binding}"
+            wall_start = time.perf_counter()
+            with obs.span(
+                "execute.fetch",
+                parent=stage_span,
+                site=fetch.site,
+                export=fetch.export,
+                binding=fetch.binding,
+            ) as fetch_span:
+                try:
+                    with trace.branch(branch_name) as branch:
+                        result = self._fetch_with_retry(
+                            fetch, shipped, trace, timeout, global_id
+                        )
+                except (MessageDropped, CircuitOpenError):
+                    if not allow_partial:
+                        raise
+                    missing.add(fetch.site)
+                    outcome.degraded = True
+                    outcome.result = self._degraded_fragment(fetch, obs)
+                    return outcome
+                actual = FetchActual(
+                    rows=len(result.rows),
+                    bytes=branch.payload_bytes,
+                    messages=len(branch.records),
+                    sim_s=trace.branch_elapsed(branch_name),
+                    wall_s=time.perf_counter() - wall_start,
+                )
+                fetch_span.set_sim(actual.sim_s)
+                fetch_span.tag(rows=actual.rows, bytes=actual.bytes)
+            if use_cache:
+                # Degraded fragments never reach this store (they return
+                # above); a version moved by a concurrent commit between
+                # capture and arrival is rejected inside store().
+                self.fragment_cache.store(
+                    fetch.site,
+                    fetch.export,
+                    shipped_sql,
+                    version_before,
+                    gateway.data_version(fetch.export),
+                    result.columns,
+                    result.rows,
+                )
+            outcome.result = result
+            outcome.actual = actual
+            return outcome
+        except BaseException as error:
+            if not capture_errors:
+                raise
+            outcome.error = error
+            return outcome
+
+    def _shipped_query(
+        self, fetch: Fetch, fetch_results: dict[int, ResultSet]
+    ) -> ast.Select:
+        """Build the SELECT shipped for this fetch (semijoin keys bound)."""
         in_list: list[object] | None = None
         if fetch.semijoin is not None:
             source = fetch_results[fetch.semijoin.source_index]
@@ -357,10 +573,7 @@ class GlobalExecutor:
                     continue
                 seen.add(value)
                 in_list.append(value)
-        shipped = fetch.shipped_query(in_list)
-        return gateway.execute_query(
-            shipped, trace=trace, timeout=timeout, global_id=global_id
-        )
+        return fetch.shipped_query(in_list)
 
     def _register_fragment(
         self, catalog: Catalog, fetch: Fetch, result: ResultSet

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import hashlib
 
+from repro.cache import FragmentCache, PlanCache
 from repro.errors import FederationError
 from repro.net import MessageTrace, Network
 from repro.obs import Observability, obs_of
@@ -36,6 +37,9 @@ class GlobalQueryProcessor:
         federation: Federation,
         network: Network,
         default_optimizer: str = "cost",
+        parallel_fetches: int = 4,
+        plan_cache_size: int = 64,
+        fragment_cache: bool | int = True,
     ):
         self.federation = federation
         self.network = network
@@ -54,7 +58,30 @@ class GlobalQueryProcessor:
         if default_optimizer not in self.optimizers:
             raise FederationError(f"unknown optimizer {default_optimizer!r}")
         self.default_optimizer = default_optimizer
-        self.executor = GlobalExecutor(federation)
+        #: Compiled-plan LRU; 0 disables it.
+        self.plan_cache = (
+            PlanCache(plan_cache_size) if plan_cache_size > 0 else None
+        )
+        frag_cache = None
+        if fragment_cache:
+            frag_cache = FragmentCache(
+                fragment_cache if isinstance(fragment_cache, int)
+                and not isinstance(fragment_cache, bool)
+                else 128
+            )
+        self.executor = GlobalExecutor(
+            federation,
+            parallel_fetches=parallel_fetches,
+            fragment_cache=frag_cache,
+        )
+
+    @property
+    def fragment_cache(self) -> FragmentCache | None:
+        return self.executor.fragment_cache
+
+    def close(self) -> None:
+        """Release executor resources (fetch worker pool)."""
+        self.executor.close()
 
     @property
     def obs(self) -> Observability:
@@ -74,15 +101,51 @@ class GlobalQueryProcessor:
             )
         return statement
 
+    def _plan_cache_key(
+        self, sql: str, optimizer_name: str
+    ) -> tuple | None:
+        """Cache key covering everything a compiled plan depends on.
+
+        Besides the SQL text and optimizer, the key embeds the
+        federation's schema version and every gateway's statistics
+        version: redefining a relation or committing DML changes the key,
+        so stale plans die by lookup miss (and eventually LRU eviction)
+        rather than by explicit flush.
+        """
+        return (
+            sql,
+            optimizer_name,
+            self.federation.schema_version,
+            tuple(
+                (site, gateway.stats_version)
+                for site, gateway in sorted(self.federation.gateways.items())
+            ),
+        )
+
     def plan(self, sql: str | ast.Query, optimizer: str | None = None) -> GlobalPlan:
         obs = self.obs
+        optimizer_key = optimizer or self.default_optimizer
+        chosen = self.optimizers[optimizer_key]
+        cache_key = None
+        if self.plan_cache is not None and isinstance(sql, str):
+            # Key on the registry name, not ``chosen.name``: the cost
+            # optimizer's feature-flag variants all report name "cost" but
+            # compile different plans.
+            cache_key = self._plan_cache_key(sql, optimizer_key)
+            cached = self.plan_cache.get(cache_key)
+            if cached is not None:
+                obs.metrics.inc("plancache.hit", optimizer=chosen.name)
+                with obs.span("query.plan_cached", optimizer=chosen.name):
+                    return cached
+            obs.metrics.inc("plancache.miss", optimizer=chosen.name)
         query = self.parse(sql) if isinstance(sql, str) else sql
         with obs.span("query.expand", federation=self.federation.name):
             expanded = self.federation.expand(query)
-        chosen = self.optimizers[optimizer or self.default_optimizer]
         with obs.span("query.plan", optimizer=chosen.name) as span:
             plan = chosen.plan(expanded)
             span.tag(fetches=len(plan.fetches))
+        if cache_key is not None:
+            self.plan_cache.put(cache_key, plan)
         return plan
 
     def explain(self, sql: str, optimizer: str | None = None) -> str:

@@ -24,6 +24,10 @@ class Federation:
         self.gateways = gateways
         self.functions: FunctionRegistry = standard_registry()
         self.relations: dict[str, IntegratedRelation] = {}
+        #: Bumped on every integrated-relation (re)definition or drop; part
+        #: of the global plan-cache key, so schema changes implicitly flush
+        #: every plan compiled against the old schema.
+        self.schema_version = 0
 
     # ------------------------------------------------------------------
     # Schema management (what the paper's query interface lets DBAs do)
@@ -38,6 +42,7 @@ class Federation:
             )
         self._validate_sources(relation)
         self.relations[key] = relation
+        self.schema_version += 1
         return relation
 
     def define_relation(self, name: str, sql: str) -> IntegratedRelation:
@@ -51,6 +56,7 @@ class Federation:
                 f"no integrated relation {name!r} in federation {self.name!r}"
             )
         del self.relations[name.lower()]
+        self.schema_version += 1
 
     def replace_relation(self, relation: IntegratedRelation) -> IntegratedRelation:
         self.relations.pop(relation.name.lower(), None)

@@ -1,9 +1,11 @@
 """Secondary indexes: hash (equality) and ordered (range).
 
-Indexes map a key tuple (values of the indexed columns) to the set of RIDs
-holding that key.  The ordered index keeps keys in a sorted list maintained
-with ``bisect`` and supports range scans, standing in for the B-tree a disk
-system would use.
+Indexes map a key tuple (values of the indexed columns) to the RIDs holding
+that key.  Postings are kept as sorted lists maintained with ``bisect`` at
+insert time, so scans that need deterministic RID order (``IndexScan``)
+read them straight through instead of re-sorting on every lookup.  The
+ordered index additionally keeps keys in a sorted list and supports range
+scans, standing in for the B-tree a disk system would use.
 """
 
 from __future__ import annotations
@@ -22,14 +24,14 @@ def _sort_key(key: Key) -> tuple:
 
 
 class Index:
-    """Base class: maintains key → {rid} plus uniqueness enforcement."""
+    """Base class: maintains key → sorted [rid] plus uniqueness enforcement."""
 
     def __init__(self, name: str, table: str, columns: list[str], unique: bool = False):
         self.name = name
         self.table = table
         self.columns = list(columns)
         self.unique = unique
-        self._entries: dict[Key, set[int]] = {}
+        self._entries: dict[Key, list[int]] = {}
 
     def __len__(self) -> int:
         return sum(len(rids) for rids in self._entries.values())
@@ -41,20 +43,26 @@ class Index:
     def insert(self, key: Key, rid: int) -> None:
         rids = self._entries.get(key)
         if rids is None:
-            self._entries[key] = {rid}
+            self._entries[key] = [rid]
             self._key_added(key)
             return
         if self.unique and not _key_has_null(key):
             raise IntegrityError(
                 f"unique index {self.name!r} violation on key {key!r}"
             )
-        rids.add(rid)
+        position = bisect.bisect_left(rids, rid)
+        if position < len(rids) and rids[position] == rid:
+            return
+        rids.insert(position, rid)
 
     def delete(self, key: Key, rid: int) -> None:
         rids = self._entries.get(key)
-        if rids is None or rid not in rids:
+        if rids is None:
             return
-        rids.discard(rid)
+        position = bisect.bisect_left(rids, rid)
+        if position >= len(rids) or rids[position] != rid:
+            return
+        rids.pop(position)
         if not rids:
             del self._entries[key]
             self._key_removed(key)
@@ -62,6 +70,10 @@ class Index:
     def lookup(self, key: Key) -> set[int]:
         """RIDs whose indexed columns equal ``key`` exactly."""
         return set(self._entries.get(key, ()))
+
+    def sorted_rids(self, key: Key) -> tuple[int, ...]:
+        """RIDs for ``key`` in ascending order — no per-call sort."""
+        return tuple(self._entries.get(key, ()))
 
     def contains_key(self, key: Key) -> bool:
         return key in self._entries
@@ -113,6 +125,27 @@ class OrderedIndex(Index):
         ``None`` bounds are open.  Keys containing NULL never match a range
         (SQL comparison semantics).
         """
+        for key in self._range_keys(low, high, low_inclusive, high_inclusive):
+            yield key, set(self._entries[key])
+
+    def range_scan_sorted(
+        self,
+        low: Key | None = None,
+        high: Key | None = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Iterator[tuple[Key, tuple[int, ...]]]:
+        """Like :meth:`range_scan` but yields RIDs in ascending order."""
+        for key in self._range_keys(low, high, low_inclusive, high_inclusive):
+            yield key, tuple(self._entries[key])
+
+    def _range_keys(
+        self,
+        low: Key | None,
+        high: Key | None,
+        low_inclusive: bool,
+        high_inclusive: bool,
+    ) -> Iterator[Key]:
         if low is None:
             start = 0
         else:
@@ -132,7 +165,7 @@ class OrderedIndex(Index):
                     return
             if _key_has_null(key):
                 continue
-            yield key, set(self._entries[key])
+            yield key
 
 
 class _Infinity:

@@ -22,6 +22,7 @@ def build_two_site_join(
     seed: int = 7,
     query_timeout: float | None = 5.0,
     observability: bool = True,
+    **system_kwargs,
 ) -> MyriadSystem:
     """Two sites, one relation each, joinable on ``k``.
 
@@ -37,7 +38,9 @@ def build_two_site_join(
     """
     rng = random.Random(seed)
     system = MyriadSystem(
-        query_timeout=query_timeout, observability=observability
+        query_timeout=query_timeout,
+        observability=observability,
+        **system_kwargs,
     )
     s1 = system.add_postgres("s1")
     s2 = system.add_oracle("s2")
@@ -94,6 +97,7 @@ def build_partitioned_sites(
     seed: int = 11,
     query_timeout: float | None = 5.0,
     observability: bool = True,
+    **system_kwargs,
 ) -> MyriadSystem:
     """One relation horizontally partitioned across N sites.
 
@@ -102,10 +106,15 @@ def build_partitioned_sites(
     Alternating sites are Oracle- and Postgres-dialect, so scale-out tests
     also cross dialects.  ``observability=False`` builds the system with
     tracing/metrics off — the baseline of the E12 overhead benchmark.
+    Extra keyword arguments (``network``, ``parallel_fetches``,
+    ``fragment_cache``, ...) pass straight to :class:`MyriadSystem` — the
+    E15 parallelism/caching benchmark uses them.
     """
     rng = random.Random(seed)
     system = MyriadSystem(
-        query_timeout=query_timeout, observability=observability
+        query_timeout=query_timeout,
+        observability=observability,
+        **system_kwargs,
     )
     pad = "x" * payload_width
 

@@ -1,0 +1,197 @@
+"""Performance-layer tests: parallel fetch determinism, thread-safety,
+and sorted index postings.
+
+The contract under test: threaded fetch execution changes *wall-clock*
+behaviour only.  Simulated cost, bytes, rows, and message counts must be
+bit-identical to sequential execution, and shared structures (metrics,
+span trees, network counters) must stay exact under concurrent queries.
+"""
+
+import threading
+
+import pytest
+
+from repro.storage.index import HashIndex, OrderedIndex
+from repro.workloads import build_partitioned_sites, build_two_site_join
+
+QUERIES = [
+    "SELECT k, grp, val FROM measurements WHERE grp < 4",
+    "SELECT grp, COUNT(*), SUM(val) FROM measurements GROUP BY grp "
+    "ORDER BY grp",
+    "SELECT site, MAX(val) FROM measurements GROUP BY site ORDER BY site",
+    "SELECT COUNT(*) FROM measurements",
+]
+
+
+def _build(parallel_fetches):
+    return build_partitioned_sites(
+        4,
+        30,
+        seed=11,
+        parallel_fetches=parallel_fetches,
+        fragment_cache=False,
+    )
+
+
+class TestParallelDeterminism:
+    """Parallel execution is an optimisation, not a semantics change."""
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_bit_identical_to_sequential(self, sql):
+        with _build(1) as sequential, _build(4) as parallel:
+            seq = sequential.query("synth", sql)
+            par = parallel.query("synth", sql)
+            assert par.rows == seq.rows  # same order, not just same set
+            assert par.columns == seq.columns
+            assert par.elapsed_s == seq.elapsed_s  # exact, no tolerance
+            assert par.bytes_shipped == seq.bytes_shipped
+            assert par.fetched_rows == seq.fetched_rows
+            assert par.trace.message_count == seq.trace.message_count
+
+    def test_semijoin_stages_identical(self):
+        sql = (
+            "SELECT l.k, r.val FROM lhs l, rhs r "
+            "WHERE l.k = r.k AND l.flt < 0.3"
+        )
+        seq_sys = build_two_site_join(
+            60, 120, parallel_fetches=1, fragment_cache=False
+        )
+        par_sys = build_two_site_join(
+            60, 120, parallel_fetches=4, fragment_cache=False
+        )
+        with seq_sys, par_sys:
+            seq = seq_sys.query("synth", sql)
+            par = par_sys.query("synth", sql)
+            assert par.rows == seq.rows
+            assert par.elapsed_s == seq.elapsed_s
+            assert par.bytes_shipped == seq.bytes_shipped
+
+    def test_network_totals_identical(self):
+        with _build(1) as sequential, _build(4) as parallel:
+            for sql in QUERIES:
+                sequential.query("synth", sql)
+                parallel.query("synth", sql)
+            assert (
+                parallel.network.total_messages
+                == sequential.network.total_messages
+            )
+            assert (
+                parallel.network.total_bytes
+                == sequential.network.total_bytes
+            )
+            assert parallel.network.now_s == sequential.network.now_s
+
+    def test_trace_balanced_after_parallel_run(self):
+        with _build(4) as system:
+            result = system.query("synth", QUERIES[0])
+            assert result.trace.balanced
+
+
+def _walk(span, seen):
+    assert id(span) not in seen, "span appears twice in one tree"
+    seen.add(id(span))
+    for child in span.children:
+        assert child.parent is span, "child points at the wrong parent"
+        _walk(child, seen)
+
+
+class TestConcurrentQueries:
+    """N threads × M queries against ONE system: exact shared accounting."""
+
+    THREADS = 6
+    PER_THREAD = 8
+
+    def test_counters_and_spans_survive_storm(self):
+        with build_partitioned_sites(4, 20, seed=3) as system:
+            expected = {
+                sql: system.query("synth", sql).rows for sql in QUERIES
+            }
+            system.metrics.reset()
+            errors = []
+
+            def storm(thread_index):
+                try:
+                    for i in range(self.PER_THREAD):
+                        sql = QUERIES[(thread_index + i) % len(QUERIES)]
+                        result = system.query("synth", sql)
+                        assert result.rows == expected[sql]
+                        assert result.trace.balanced
+                except BaseException as exc:  # noqa: BLE001 - reported below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=storm, args=(t,))
+                for t in range(self.THREADS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+
+            total = self.THREADS * self.PER_THREAD
+            metrics = system.metrics
+            assert metrics.counter_total("query.executed") == total
+            # Every query over `measurements` fans out to exactly 4 fetches;
+            # each one either hits or misses the fragment cache — nothing
+            # lost, nothing double-counted.
+            assert (
+                metrics.counter_total("fragcache.hit")
+                + metrics.counter_total("fragcache.miss")
+                == total * 4
+            )
+            assert (
+                metrics.counter_total("plancache.hit")
+                + metrics.counter_total("plancache.miss")
+                == total
+            )
+
+            # No span tree corrupted: parent/child links are consistent and
+            # worker-thread fetch spans landed under a stage of their tree.
+            for root in list(system.tracer.roots):
+                _walk(root, set())
+                if root.name != "query.execute":
+                    continue
+                stages = root.find("execute.stage")
+                for fetch_span in root.find("execute.fetch"):
+                    assert fetch_span.parent in stages
+
+
+class TestSortedPostings:
+    """Index postings stay sorted at insert; scans never re-sort."""
+
+    def test_sorted_rids_ascending(self):
+        index = HashIndex("i", "t", ["k"])
+        for rid in (42, 7, 19, 3, 26):
+            index.insert((1,), rid)
+        assert index.sorted_rids((1,)) == (3, 7, 19, 26, 42)
+        assert index.sorted_rids((9,)) == ()
+        assert index.lookup((1,)) == {3, 7, 19, 26, 42}
+
+    def test_duplicate_insert_ignored(self):
+        index = HashIndex("i", "t", ["k"])
+        index.insert((1,), 5)
+        index.insert((1,), 5)
+        assert index.sorted_rids((1,)) == (5,)
+        assert len(index) == 1
+
+    def test_delete_keeps_order(self):
+        index = HashIndex("i", "t", ["k"])
+        for rid in (8, 2, 6, 4):
+            index.insert((1,), rid)
+        index.delete((1,), 6)
+        index.delete((1,), 99)  # absent: no-op
+        assert index.sorted_rids((1,)) == (2, 4, 8)
+
+    def test_range_scan_sorted(self):
+        index = OrderedIndex("i", "t", ["k"])
+        for key in (3, 1, 2):
+            for rid in (30 + key, 10 + key, 20 + key):
+                index.insert((key,), rid)
+        got = list(index.range_scan_sorted((1,), (2,)))
+        assert got == [
+            ((1,), (11, 21, 31)),
+            ((2,), (12, 22, 32)),
+        ]
+        # set-returning API unchanged
+        assert dict(index.range_scan((1,), (1,))) == {(1,): {11, 21, 31}}
