@@ -1,0 +1,245 @@
+"""E16 — Concurrent serving layer + MVCC snapshot reads.
+
+Claims validated:
+
+1. **Scale.** A :class:`~repro.server.FederationServer` sustains 100+
+   concurrent client sessions (``E16_SESSIONS`` env var; CI runs a reduced
+   count) issuing a mixed read/write workload against a 2-site bank.
+2. **Snapshot consistency.** Every read — autocommit or ``BEGIN READ
+   ONLY`` — observes the conserved total balance: writers move money
+   between accounts *within one site per transaction*, so any per-DBMS
+   snapshot sums to the invariant.  Zero anomalous sums allowed.
+3. **No read-write deadlock aborts.** MVCC readers acquire no table locks,
+   so no reader is ever timed out or chosen as a deadlock victim.  The
+   run fails on a single reader abort.
+4. **Throughput.** Read-only QPS under concurrent writers beats the pure
+   2PL baseline (the same system built with ``mvcc_reads=False``), where
+   readers convoy behind writer X locks.
+
+The results table lands in ``benchmarks/results/e16_sessions.txt`` with an
+``invariants=ok`` marker CI greps for, plus p50/p95/p99 read latencies.
+"""
+
+import os
+import threading
+import time
+
+from conftest import emit
+
+from repro.workloads import build_bank_sites, total_balance
+
+SESSIONS = int(os.environ.get("E16_SESSIONS", "100"))
+READS_PER_SESSION = int(os.environ.get("E16_OPS", "6"))
+WRITE_TXNS = 6
+WRITE_HOLD_S = 0.01  # lock hold time per writer txn (models think time)
+ACCOUNTS_PER_SITE = 50
+SITES = 2
+SUM_SQL = "SELECT SUM(balance) FROM accounts"
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(int(len(ordered) * fraction), len(ordered) - 1)
+    return ordered[index]
+
+
+def _build(mvcc_reads: bool):
+    system = build_bank_sites(
+        SITES,
+        ACCOUNTS_PER_SITE,
+        initial_balance=100.0,
+        query_timeout=30.0,
+        mvcc_reads=mvcc_reads,
+        # Force every read to the gateways: a cached fragment would dodge
+        # both the snapshot and the 2PL lock, voiding the comparison.
+        fragment_cache=False,
+    )
+    fed = system.federation("bank")
+    for index in range(SITES):
+        fed.define_relation(
+            f"accounts_b{index}",
+            f"SELECT acct, balance FROM b{index}.account",
+        )
+    return system
+
+
+def _run_storm(system, session_count: int) -> dict:
+    """Drive the mixed workload; returns metrics + invariant violations."""
+    writer_count = max(2, session_count // 5)
+    reader_count = session_count - writer_count
+    server = system.create_server(max_sessions=session_count + 4)
+    initial_total = total_balance(system)
+
+    latencies: list[float] = []
+    latency_lock = threading.Lock()
+    bad_sums: list[float] = []
+    reader_aborts: list[Exception] = []
+    writer_errors: list[Exception] = []
+    barrier = threading.Barrier(session_count + 1)
+
+    def reader(index: int):
+        session = server.connect()
+        read_only = index % 2 == 0
+        try:
+            barrier.wait()
+            with session:
+                local: list[float] = []
+                for _ in range(READS_PER_SESSION):
+                    start = time.perf_counter()
+                    if read_only:
+                        session.execute("bank", "BEGIN READ ONLY")
+                    total = float(session.query("bank", SUM_SQL).scalar())
+                    if read_only:
+                        session.execute("bank", "COMMIT")
+                    local.append(time.perf_counter() - start)
+                    if total != initial_total:
+                        bad_sums.append(total)
+                with latency_lock:
+                    latencies.extend(local)
+        except Exception as error:
+            reader_aborts.append(error)
+
+    def writer(seed: int):
+        session = server.connect()
+        try:
+            barrier.wait()
+            with session:
+                for i in range(WRITE_TXNS):
+                    site = (seed + i) % SITES
+                    a = site * ACCOUNTS_PER_SITE + (seed % ACCOUNTS_PER_SITE)
+                    b = site * ACCOUNTS_PER_SITE + (
+                        (seed + 13) % ACCOUNTS_PER_SITE
+                    )
+                    session.begin()
+                    session.execute(
+                        "bank",
+                        f"UPDATE accounts_b{site} SET balance = "
+                        f"balance - 1 WHERE acct = {a}",
+                    )
+                    time.sleep(WRITE_HOLD_S)
+                    session.execute(
+                        "bank",
+                        f"UPDATE accounts_b{site} SET balance = "
+                        f"balance + 1 WHERE acct = {b}",
+                    )
+                    session.commit()
+        except Exception as error:
+            writer_errors.append(error)
+
+    reader_threads = [
+        threading.Thread(target=reader, args=(index,))
+        for index in range(reader_count)
+    ]
+    writer_threads = [
+        threading.Thread(target=writer, args=(index,))
+        for index in range(writer_count)
+    ]
+    for thread in reader_threads + writer_threads:
+        thread.start()
+    start = time.perf_counter()
+    barrier.wait()
+    for thread in reader_threads:
+        thread.join()
+    # Read QPS is measured over the readers' own wall: under 2PL they
+    # convoy behind writer X locks; under MVCC they never wait.
+    reader_wall = time.perf_counter() - start
+    for thread in writer_threads:
+        thread.join()
+    wall = time.perf_counter() - start
+
+    stats = server.stats()
+    locks_left = sum(
+        len(entries) for entries in system.lock_table().values()
+    )
+    return {
+        "sessions": session_count,
+        "readers": reader_count,
+        "writers": writer_count,
+        "reads": reader_count * READS_PER_SESSION,
+        "wall_s": wall,
+        "read_qps": (reader_count * READS_PER_SESSION) / reader_wall,
+        "p50_ms": _percentile(latencies, 0.50) * 1000,
+        "p95_ms": _percentile(latencies, 0.95) * 1000,
+        "p99_ms": _percentile(latencies, 0.99) * 1000,
+        "bad_sums": len(bad_sums),
+        "reader_aborts": len(reader_aborts),
+        "writer_errors": len(writer_errors),
+        "locks_left": locks_left,
+        "peak_sessions": stats["peak"],
+        "commits_expected": writer_count * WRITE_TXNS,
+        "balance_ok": total_balance(system) == initial_total,
+    }
+
+
+def test_e16_sessions(benchmark):
+    mvcc_system = _build(mvcc_reads=True)
+    mvcc = _run_storm(mvcc_system, SESSIONS)
+
+    baseline_system = _build(mvcc_reads=False)
+    baseline = _run_storm(baseline_system, SESSIONS)
+
+    invariants_ok = (
+        mvcc["bad_sums"] == 0
+        and mvcc["reader_aborts"] == 0
+        and mvcc["writer_errors"] == 0
+        and mvcc["locks_left"] == 0
+        and mvcc["balance_ok"]
+        and mvcc["peak_sessions"] >= SESSIONS
+        and mvcc["read_qps"] > baseline["read_qps"]
+    )
+
+    def row(mode, run):
+        return (
+            mode,
+            run["sessions"],
+            run["reads"],
+            run["read_qps"],
+            run["p50_ms"],
+            run["p95_ms"],
+            run["p99_ms"],
+            run["bad_sums"],
+            run["reader_aborts"],
+            run["locks_left"],
+        )
+
+    emit(
+        "E16_SESSIONS",
+        f"{SESSIONS} concurrent sessions, {READS_PER_SESSION} reads each, "
+        f"mixed writers ({SITES}-site bank) — "
+        f"invariants={'ok' if invariants_ok else 'VIOLATED'}",
+        [
+            "mode",
+            "sessions",
+            "reads",
+            "read_qps",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+            "bad_sums",
+            "rd_aborts",
+            "locks_left",
+        ],
+        [row("mvcc", mvcc), row("2pl-baseline", baseline)],
+    )
+
+    # Claim 2: snapshot consistency — every read saw the conserved total.
+    assert mvcc["bad_sums"] == 0, f"{mvcc['bad_sums']} inconsistent sums"
+    # Claim 3: zero read-write deadlock aborts (readers take no locks).
+    assert mvcc["reader_aborts"] == 0
+    assert mvcc["writer_errors"] == 0
+    # Claim 1: the pool really held the full session count at once.
+    assert mvcc["peak_sessions"] >= SESSIONS
+    # Bookkeeping: no orphaned locks, money conserved.
+    assert mvcc["locks_left"] == 0
+    assert mvcc["balance_ok"]
+    # Claim 4: MVCC read throughput beats the 2PL-read baseline.
+    assert mvcc["read_qps"] > baseline["read_qps"], (
+        f"mvcc {mvcc['read_qps']:.0f} qps <= "
+        f"baseline {baseline['read_qps']:.0f} qps"
+    )
+
+    baseline_system.close()
+    with mvcc_system:
+        benchmark(lambda: mvcc_system.query("bank", SUM_SQL))

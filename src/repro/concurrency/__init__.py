@@ -1,6 +1,7 @@
 """Concurrency control: 2PL lock manager, WAL, local transactions."""
 
 from repro.concurrency.locks import LockManager, LockMode
+from repro.concurrency.mvcc import Snapshot
 from repro.concurrency.transactions import (
     LocalTransaction,
     LocalTransactionManager,
@@ -12,6 +13,7 @@ from repro.concurrency.wal import LogRecord, LogRecordType, WriteAheadLog
 __all__ = [
     "LockManager",
     "LockMode",
+    "Snapshot",
     "LocalTransaction",
     "LocalTransactionManager",
     "TxnMutator",

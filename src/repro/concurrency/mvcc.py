@@ -1,0 +1,147 @@
+"""Multi-version snapshot reads layered over the strict-2PL storage.
+
+The component DBMSs keep strict 2PL + undo for writers (table-granularity
+exclusive locks guarantee at most one uncommitted writer per table), which
+makes an InnoDB-style read view cheap to bolt on top:
+
+- every committing transaction that wrote rows is stamped by a per-DBMS
+  commit counter (``LocalTransactionManager._commit_ts``) and *publishes*
+  the new committed value of each touched RID into the table's version
+  chain (``Table.versions``) before releasing its locks;
+- while a writer is still uncommitted, each touched RID carries a *pending
+  marker* (``Table.uncommitted``) recording the last committed value, set
+  before the in-place mutation, so readers never see dirty data;
+- a :class:`Snapshot` is just the commit counter value at ``begin``: a RID's
+  visible value is the latest chain entry stamped at or before the snapshot,
+  falling back to the pending marker's committed value, falling back to the
+  live heap.
+
+Readers take **no locks** and touch **no WAL**: version chains are immutable
+tuples replaced wholesale (publish and GC swap the whole tuple under the
+transaction manager's mutex), so a reader holding a stale tuple still sees a
+consistent committed prefix.  Chains are pruned against the oldest active
+snapshot on every publish and by a periodic vacuum.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.storage.schema import Row
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.concurrency.transactions import LocalTransactionManager
+    from repro.storage.table import Table
+
+#: Version-chain type: ascending ``(commit_ts, value)`` entries; a ``None``
+#: value records a committed delete.
+Chain = tuple[tuple[int, "Row | None"], ...]
+
+_MISSING = object()
+
+
+def visible_value(table: "Table", rid: int, ts: int) -> Row | None:
+    """The committed value of ``rid`` as of commit timestamp ``ts``.
+
+    Returns ``None`` when the row did not exist (or was deleted) at ``ts``.
+    """
+    chain = table.versions.get(rid)
+    if chain is not None:
+        value = _MISSING
+        for entry_ts, entry_value in chain:
+            if entry_ts <= ts:
+                value = entry_value
+            else:
+                break
+        if value is not _MISSING:
+            return value
+        # Every entry is newer than the snapshot and the pre-chain baseline
+        # was pruned: only possible for snapshots older than the GC horizon,
+        # which registered snapshots never are.
+        return None
+    marker = table.uncommitted.get(rid)
+    if marker is not None:
+        return marker[1]
+    return table.rows.get(rid)
+
+
+def prune_chain(chain: Chain, horizon: int) -> Chain:
+    """Drop entries no active snapshot can need.
+
+    Keeps the latest entry stamped at or before ``horizon`` (the oldest
+    active snapshot still resolves through it) plus everything newer.
+    """
+    keep_from = 0
+    for position, (entry_ts, _) in enumerate(chain):
+        if entry_ts <= horizon:
+            keep_from = position
+        else:
+            break
+    return chain[keep_from:] if keep_from else chain
+
+
+class Snapshot:
+    """A read view over one component DBMS, pinned at a commit timestamp.
+
+    Obtained from :meth:`LocalTransactionManager.begin_snapshot`; must be
+    released (``release()`` or the context-manager protocol) so version GC
+    can advance past it.
+    """
+
+    __slots__ = ("manager", "snapshot_id", "ts", "_released")
+
+    def __init__(
+        self, manager: "LocalTransactionManager", snapshot_id: int, ts: int
+    ):
+        self.manager = manager
+        self.snapshot_id = snapshot_id
+        self.ts = ts
+        self._released = False
+
+    def release(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        self.manager.release_snapshot(self)
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.release()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Snapshot(id={self.snapshot_id}, ts={self.ts})"
+
+    # -- visibility ------------------------------------------------------
+
+    def visible_get(self, table: "Table", rid: int) -> Row | None:
+        """The value of ``rid`` visible to this snapshot, or ``None``."""
+        return visible_value(table, rid, self.ts)
+
+    def visible_items(self, table: "Table") -> Iterator[tuple[int, Row]]:
+        """Yield visible ``(rid, row)`` pairs in RID (insertion) order."""
+        candidates = set(table.rows)
+        if table.versions:
+            candidates.update(table.versions)
+        if table.uncommitted:
+            candidates.update(table.uncommitted)
+        for rid in sorted(candidates):
+            row = visible_value(table, rid, self.ts)
+            if row is not None:
+                yield rid, row
+
+    def changed_rids(self, table: "Table") -> set[int]:
+        """RIDs whose live heap/index state may differ from this snapshot.
+
+        The union of uncommitted-writer markers and chains whose newest
+        entry postdates the snapshot — exactly the RIDs an index scan must
+        re-check against visible values (the set is small: GC bounds it by
+        the churn since the oldest active snapshot).
+        """
+        changed = set(table.uncommitted)
+        for rid, chain in list(table.versions.items()):
+            if chain and chain[-1][0] > self.ts:
+                changed.add(rid)
+        return changed

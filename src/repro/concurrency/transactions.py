@@ -13,6 +13,7 @@ import threading
 from dataclasses import dataclass, field
 
 from repro.concurrency.locks import LockManager, LockMode
+from repro.concurrency.mvcc import Snapshot, prune_chain
 from repro.concurrency.wal import LogRecordType, WriteAheadLog
 from repro.engine.executor import Mutator
 from repro.errors import TransactionError
@@ -42,6 +43,9 @@ class LocalTransaction:
     undo: list[_UndoEntry] = field(default_factory=list)
     #: Set when this local transaction is a branch of a global transaction.
     global_id: object | None = None
+    #: Table → RIDs this transaction wrote; drives MVCC version publish on
+    #: commit and pending-marker cleanup on abort.
+    mvcc_writes: dict[Table, set[int]] = field(default_factory=dict)
 
     def require_active(self) -> None:
         if self.state is not TxnState.ACTIVE:
@@ -68,7 +72,21 @@ class LocalTransactionManager:
         self._durable_prepared: dict[object, LocalTransaction] = {}
         self._mutex = threading.Lock()
         self._counter = 0
-        # Experiment counters
+        # MVCC: commit-timestamp counter, active read views, and the tables
+        # holding version chains (for vacuum).  All guarded by _mutex.
+        self._commit_ts = 0
+        self._active_snapshots: dict[int, int] = {}
+        self._snapshot_counter = 0
+        self._snapshot_releases = 0
+        self._versioned_tables: set[Table] = set()
+        #: Last commit timestamp that wrote each table (by lowercase name).
+        #: The gateways fold this into their fragment-cache data versions so
+        #: purely *local* commits — invisible to the federation — still
+        #: invalidate cached fragments.
+        self._table_commit_ts: dict[str, int] = {}
+        #: Run a full vacuum every N snapshot releases (0 disables).
+        self.vacuum_interval = 64
+        # Experiment counters, guarded by _mutex (sessions are concurrent).
         self.commits = 0
         self.aborts = 0
 
@@ -108,21 +126,28 @@ class LocalTransactionManager:
         self.wal.append(LogRecordType.COMMIT, txn.txn_id, flush=True)
         txn.state = TxnState.COMMITTED
         txn.undo.clear()
-        self.locks.release_all(txn.txn_id)
+        # Publish the new committed versions *before* releasing locks and
+        # under the same mutex that stamps snapshots: a snapshot taken at
+        # ts >= this commit is guaranteed to see every one of its writes.
         with self._mutex:
+            if txn.mvcc_writes:
+                self._commit_ts += 1
+                self._publish_versions_locked(txn, self._commit_ts)
             self._transactions.pop(txn.txn_id, None)
-        self.commits += 1
+            self.commits += 1
+        self.locks.release_all(txn.txn_id)
 
     def abort(self, txn: LocalTransaction) -> None:
         if txn.state in (TxnState.COMMITTED, TxnState.ABORTED):
             return
         self._rollback_changes(txn)
+        self._discard_pending(txn)
         self.wal.append(LogRecordType.ABORT, txn.txn_id, flush=True)
         txn.state = TxnState.ABORTED
         self.locks.release_all(txn.txn_id)
         with self._mutex:
             self._transactions.pop(txn.txn_id, None)
-        self.aborts += 1
+            self.aborts += 1
 
     def _rollback_changes(self, txn: LocalTransaction) -> None:
         for entry in reversed(txn.undo):
@@ -134,6 +159,112 @@ class LocalTransactionManager:
             elif entry.kind == "update":
                 entry.table.update(entry.rid, entry.old_row)
         txn.undo.clear()
+
+    def _discard_pending(self, txn: LocalTransaction) -> None:
+        """Drop an aborted writer's pending markers (after undo restored
+        the heap, so readers fall through to the committed values)."""
+        for table, rids in txn.mvcc_writes.items():
+            for rid in rids:
+                table.clear_pending(rid)
+        txn.mvcc_writes.clear()
+
+    # ------------------------------------------------------------------
+    # MVCC snapshots and version GC
+    # ------------------------------------------------------------------
+
+    @property
+    def commit_ts(self) -> int:
+        """Current commit-timestamp counter (stamped on writing commits)."""
+        return self._commit_ts
+
+    def begin_snapshot(self) -> Snapshot:
+        """Open a read view pinned at the current commit timestamp."""
+        with self._mutex:
+            self._snapshot_counter += 1
+            snapshot = Snapshot(self, self._snapshot_counter, self._commit_ts)
+            self._active_snapshots[snapshot.snapshot_id] = snapshot.ts
+        return snapshot
+
+    def release_snapshot(self, snapshot: Snapshot) -> None:
+        with self._mutex:
+            if self._active_snapshots.pop(snapshot.snapshot_id, None) is None:
+                return
+            self._snapshot_releases += 1
+            if (
+                self.vacuum_interval
+                and self._snapshot_releases % self.vacuum_interval == 0
+            ):
+                self._vacuum_locked()
+
+    def active_snapshots(self) -> int:
+        with self._mutex:
+            return len(self._active_snapshots)
+
+    def oldest_snapshot_ts(self) -> int:
+        """GC horizon: the oldest active read view (or "now" if none)."""
+        with self._mutex:
+            return min(self._active_snapshots.values(), default=self._commit_ts)
+
+    def vacuum(self) -> None:
+        """Prune every version chain against the oldest active snapshot."""
+        with self._mutex:
+            self._vacuum_locked()
+
+    def table_commit_ts(self, table_name: str) -> int:
+        """Commit timestamp of the last committed write to ``table_name``."""
+        with self._mutex:
+            return self._table_commit_ts.get(table_name.lower(), 0)
+
+    def _publish_versions_locked(
+        self, txn: LocalTransaction, commit_ts: int
+    ) -> None:
+        horizon = min(self._active_snapshots.values(), default=commit_ts)
+        for table, rids in txn.mvcc_writes.items():
+            self._table_commit_ts[table.name.lower()] = commit_ts
+            for rid in rids:
+                marker = table.uncommitted.get(rid)
+                chain = table.versions.get(rid)
+                value = table.rows.get(rid)
+                if chain is None:
+                    # Baseline entry (ts 0) carries the pre-chain committed
+                    # value so older snapshots keep resolving.
+                    old = marker[1] if marker is not None else None
+                    chain = ((0, old), (commit_ts, value))
+                else:
+                    chain = chain + ((commit_ts, value),)
+                chain = prune_chain(chain, horizon)
+                if len(chain) == 1 and chain[0][0] <= horizon:
+                    # Nothing older than the horizon needs history and the
+                    # single entry equals the live heap: drop the chain.
+                    table.versions.pop(rid, None)
+                else:
+                    table.versions[rid] = chain
+                # Only after the chain is in place may the marker go: a
+                # racing reader must never fall through to the new heap
+                # value with a pre-commit snapshot.
+                table.uncommitted.pop(rid, None)
+            if table.versions:
+                self._versioned_tables.add(table)
+        txn.mvcc_writes.clear()
+
+    def _vacuum_locked(self) -> None:
+        horizon = min(self._active_snapshots.values(), default=self._commit_ts)
+        for table in list(self._versioned_tables):
+            for rid in list(table.versions):
+                chain = table.versions.get(rid)
+                if chain is None:  # pragma: no cover - racing publish
+                    continue
+                pruned = prune_chain(chain, horizon)
+                if (
+                    len(pruned) == 1
+                    and pruned[0][0] <= horizon
+                    and rid not in table.uncommitted
+                ):
+                    table.versions.pop(rid, None)
+                elif pruned is not chain:
+                    table.versions[rid] = pruned
+            if not table.versions:
+                self._versioned_tables.discard(table)
 
     # ------------------------------------------------------------------
     # Two-phase-commit participant interface (used by the gateways)
@@ -196,10 +327,12 @@ class LocalTransactionManager:
                 survivors.append(txn.txn_id)
             else:
                 self._rollback_changes(txn)
+                self._discard_pending(txn)
                 self.wal.append(LogRecordType.ABORT, txn.txn_id, flush=True)
                 txn.state = TxnState.ABORTED
                 self.locks.release_all(txn.txn_id)
-                self.aborts += 1
+                with self._mutex:
+                    self.aborts += 1
         return survivors
 
     def forgotten_prepared(self) -> list[object]:
@@ -253,9 +386,15 @@ class TxnMutator(Mutator):
 
     # -- mutations with undo logging ---------------------------------------
 
+    def _track_write(self, table: Table, rid: int) -> None:
+        self.txn.mvcc_writes.setdefault(table, set()).add(rid)
+
     def insert(self, table: Table, row: Row) -> int:
         self.write_lock(table)
-        rid = table.insert(row)
+        # The pending marker is registered inside insert(), before the row
+        # reaches the heap, so snapshot readers never see it uncommitted.
+        rid = table.insert(row, pending_owner=self.txn.txn_id)
+        self._track_write(table, rid)
         self.txn.undo.append(_UndoEntry("insert", table, rid))
         self.manager.wal.append(
             LogRecordType.INSERT, self.txn.txn_id, (table.name, rid)
@@ -264,6 +403,8 @@ class TxnMutator(Mutator):
 
     def delete(self, table: Table, rid: int) -> Row:
         self.write_lock(table)
+        table.mark_pending(rid, self.txn.txn_id)
+        self._track_write(table, rid)
         old_row = table.delete(rid)
         self.txn.undo.append(_UndoEntry("delete", table, rid, old_row))
         self.manager.wal.append(
@@ -273,6 +414,10 @@ class TxnMutator(Mutator):
 
     def update(self, table: Table, rid: int, new_row: Row):
         self.write_lock(table)
+        # Mark (and track) before mutating: if the update itself fails the
+        # marker still resolves at commit/abort instead of leaking.
+        table.mark_pending(rid, self.txn.txn_id)
+        self._track_write(table, rid)
         old_row, new = table.update(rid, new_row)
         self.txn.undo.append(_UndoEntry("update", table, rid, old_row))
         self.manager.wal.append(

@@ -134,8 +134,14 @@ class LocalEngine:
         statement: str | ast.Statement,
         params: list[object] | None = None,
         mutator: Mutator | None = None,
+        snapshot=None,
     ) -> ResultSet | int:
-        """Run one statement.  Queries return ResultSet; DML returns counts."""
+        """Run one statement.  Queries return ResultSet; DML returns counts.
+
+        With ``snapshot`` (a :class:`repro.concurrency.Snapshot`) the
+        statement must be a query: it executes against the snapshot's read
+        view without acquiring any table locks.
+        """
         if isinstance(statement, str):
             statement = parse_statement(statement)
         if params:
@@ -143,7 +149,13 @@ class LocalEngine:
         mutator = mutator or self.mutator
 
         if isinstance(statement, (ast.Select, ast.SetOperation)):
-            return self.execute_query(statement, mutator=mutator)
+            return self.execute_query(
+                statement, mutator=mutator, snapshot=snapshot
+            )
+        if snapshot is not None:
+            raise ExecutionError(
+                "only queries may execute against a read-only snapshot"
+            )
         if isinstance(statement, ast.Insert):
             return self._execute_insert(statement, mutator)
         if isinstance(statement, ast.Update):
@@ -177,11 +189,17 @@ class LocalEngine:
         mutator: Mutator | None = None,
         outer: Scope | None = None,
         outer_rows: tuple[tuple, ...] = (),
+        snapshot=None,
     ) -> ResultSet:
         mutator = mutator or self.mutator
-        self._lock_query_tables(query, mutator)
+        if snapshot is None:
+            self._lock_query_tables(query, mutator)
         plan = self.planner.plan_query(query, outer)
-        ctx = ops.ExecContext(env=self._make_env(mutator), outer_rows=outer_rows)
+        ctx = ops.ExecContext(
+            env=self._make_env(mutator, snapshot),
+            outer_rows=outer_rows,
+            snapshot=snapshot,
+        )
         rows = list(plan.rows(ctx))
         self.last_report = ExecutionReport(ctx.rows_scanned, len(rows))
         return ResultSet([c.name for c in plan.schema], rows)
@@ -199,14 +217,15 @@ class LocalEngine:
     # Environment / subqueries
     # ------------------------------------------------------------------
 
-    def _make_env(self, mutator: Mutator) -> EvalEnv:
+    def _make_env(self, mutator: Mutator, snapshot=None) -> EvalEnv:
         env = EvalEnv(functions=dict(self.functions), now=self._now())
         cache: dict[int, list[tuple]] = {}
 
         def run_subquery(
             query: ast.Query, scope: Scope, outer_rows: tuple[tuple, ...]
         ) -> list[tuple]:
-            self._lock_query_tables(query, mutator)
+            if snapshot is None:
+                self._lock_query_tables(query, mutator)
             recorder = _RecordingScope(scope)
             plan = self.planner.plan_query(query, recorder)
             key = id(query)
@@ -216,7 +235,9 @@ class LocalEngine:
             # the recorder).
             if not recorder.consulted and key in cache:
                 return cache[key]
-            ctx = ops.ExecContext(env=env, outer_rows=outer_rows)
+            ctx = ops.ExecContext(
+                env=env, outer_rows=outer_rows, snapshot=snapshot
+            )
             rows = list(plan.rows(ctx))
             if not recorder.consulted:
                 cache[key] = rows

@@ -38,9 +38,16 @@ class ExecContext:
     outer_rows: tuple[tuple, ...] = ()
     rows_scanned: int = 0
     rows_emitted: int = 0
+    #: When set (a :class:`repro.concurrency.Snapshot`), scans read the
+    #: snapshot's visible versions instead of the live heap — lock-free.
+    snapshot: object | None = None
 
     def child(self, extra_outer: tuple) -> "ExecContext":
-        clone = ExecContext(self.env, (extra_outer, *self.outer_rows))
+        clone = ExecContext(
+            self.env,
+            (extra_outer, *self.outer_rows),
+            snapshot=self.snapshot,
+        )
         return clone
 
 
@@ -86,6 +93,11 @@ class SeqScan(Operator):
         ]
 
     def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        if ctx.snapshot is not None:
+            for _, row in ctx.snapshot.visible_items(self.table):
+                ctx.rows_scanned += 1
+                yield row
+            return
         for _, row in self.table.scan():
             ctx.rows_scanned += 1
             yield row
@@ -126,6 +138,9 @@ class IndexScan(Operator):
         ]
 
     def rows(self, ctx: ExecContext) -> Iterator[tuple]:
+        if ctx.snapshot is not None:
+            yield from self._snapshot_rows(ctx, ctx.snapshot)
+            return
         # Postings are kept sorted at insert time, so both paths read RIDs
         # straight through without a per-lookup sort.
         if self.equal_key is not None:
@@ -133,18 +148,85 @@ class IndexScan(Operator):
                 ctx.rows_scanned += 1
                 yield self.table.rows[rid]
             return
+        for _, rids in self._range_postings():
+            for rid in rids:
+                ctx.rows_scanned += 1
+                yield self.table.rows[rid]
+
+    def _range_postings(self):
         from repro.storage.index import OrderedIndex
 
         if not isinstance(self.index, OrderedIndex):
             raise ExecutionError(
                 f"index {self.index.name!r} does not support range scans"
             )
-        for _, rids in self.index.range_scan_sorted(
+        return self.index.range_scan_sorted(
             self.low, self.high, self.low_inclusive, self.high_inclusive
-        ):
-            for rid in rids:
-                ctx.rows_scanned += 1
-                yield self.table.rows[rid]
+        )
+
+    def _snapshot_rows(
+        self, ctx: ExecContext, snapshot
+    ) -> Iterator[tuple]:
+        """Index scan through a read view.
+
+        The index reflects the *live* heap (latest committed plus any
+        uncommitted writer), so RIDs whose state may postdate the snapshot
+        — ``snapshot.changed_rids`` — are excluded from the index walk and
+        re-checked one by one against their visible values.  The set is
+        small (bounded by churn since the oldest active snapshot), so the
+        scan keeps its index cost profile.
+        """
+        changed = snapshot.changed_rids(self.table)
+        if self.equal_key is not None:
+            candidates = self.index.sorted_rids(self.equal_key)
+        else:
+            candidates = [
+                rid for _, rids in self._range_postings() for rid in rids
+            ]
+        for rid in candidates:
+            if rid in changed:
+                continue
+            row = self.table.rows.get(rid)
+            if row is None:  # pragma: no cover - concurrent change races
+                continue
+            ctx.rows_scanned += 1
+            yield row
+        if not changed:
+            return
+        positions = [
+            self.table.schema.column_index(c) for c in self.index.columns
+        ]
+        for rid in sorted(changed):
+            row = snapshot.visible_get(self.table, rid)
+            if row is None:
+                continue
+            key = tuple(row[p] for p in positions)
+            if not self._key_matches(key):
+                continue
+            ctx.rows_scanned += 1
+            yield row
+
+    def _key_matches(self, key: tuple) -> bool:
+        """Equality/range predicate on a recomputed key (mirrors the
+        ordered index's prefix comparison semantics)."""
+        from repro.storage.index import _key_has_null, _sort_key
+
+        if self.equal_key is not None:
+            return key == self.equal_key
+        if _key_has_null(key):
+            return False
+        sortable = _sort_key(key)
+        if self.low is not None:
+            low = _sort_key(self.low)
+            prefix = sortable[: len(low)]
+            if prefix < low or (not self.low_inclusive and prefix <= low):
+                return False
+        if self.high is not None:
+            high = _sort_key(self.high)
+            prefix = sortable[: len(high)]
+            if prefix > high or (not self.high_inclusive and prefix >= high):
+                return False
+        return True
 
     def _describe(self) -> str:
         if self.equal_key is not None:

@@ -114,6 +114,11 @@ class FederationError(MyriadError):
     """Errors in federation/schema-integration definitions."""
 
 
+class ServerError(FederationError):
+    """Serving-layer failures: pool exhausted, closed server/session, or
+    misuse of a client session (e.g. DML in a read-only transaction)."""
+
+
 class GatewayError(MyriadError):
     """Errors raised by a gateway (translation failure, export violation)."""
 

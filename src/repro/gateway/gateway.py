@@ -80,6 +80,8 @@ class Gateway:
         # Experiment counters
         self.queries_executed = 0
         self.timeouts = 0
+        #: Fragment fetches served from an MVCC snapshot (lock-free reads).
+        self.snapshot_reads = 0
         # Fault-injection hooks (testing/benchmarks): vote NO on the next N
         # prepares / swallow the next N commit decisions (simulating a
         # participant crash between phases).
@@ -162,19 +164,27 @@ class Gateway:
     # Fragment-cache versioning
     # ------------------------------------------------------------------
 
-    def data_version(self, export_name: str) -> tuple[int, int]:
+    def data_version(self, export_name: str) -> tuple[int, int, int]:
         """Version token for one export's underlying data.
 
         Changes whenever a write to the export's local table *commits*
         (or whenever the export itself is redefined), so the federation's
-        fragment cache can compare-and-reuse shipped fragments.
+        fragment cache can compare-and-reuse shipped fragments.  The third
+        component is the component DBMS's own per-table commit stamp, which
+        moves on *local-application* commits the gateway never sees —
+        without it a cached fragment would outlive an autonomous write.
         """
         try:
             local = self.exports.get(export_name).local_table.lower()
         except GatewayError:
             local = export_name.lower()
+        local_ts = self.dbms.transactions.table_commit_ts(local)
         with self._mutex:
-            return (self._export_epoch, self._table_versions.get(local, 0))
+            return (
+                self._export_epoch,
+                self._table_versions.get(local, 0),
+                local_ts,
+            )
 
     def _record_write(self, global_id: object, local_table: str | None) -> None:
         with self._mutex:
@@ -241,6 +251,12 @@ class Gateway:
             )
             with self._mutex:
                 self.queries_executed += 1
+                # Non-transactional fetches ran on a throwaway autocommit
+                # session: with MVCC enabled that was a snapshot read.
+                if global_id is None and getattr(
+                    self.dbms, "mvcc_reads", False
+                ):
+                    self.snapshot_reads += 1
             sim_latency = request_cost + compute_cost + reply_cost
             span.set_sim(sim_latency).tag(
                 rows=len(result.rows), bytes=result_bytes

@@ -40,6 +40,7 @@ class MyriadSystem:
         parallel_fetches: int = 4,
         plan_cache_size: int = 64,
         fragment_cache: bool | int = True,
+        mvcc_reads: bool = True,
     ):
         self.network = network or Network()
         # One observability handle serves the whole installation; every
@@ -69,6 +70,11 @@ class MyriadSystem:
         self.parallel_fetches = parallel_fetches
         self.plan_cache_size = plan_cache_size
         self.fragment_cache = fragment_cache
+        #: Default for components built via add_oracle/add_postgres: MVCC
+        #: snapshot reads (autocommit SELECTs take no table locks).  See
+        #: README "Serving & MVCC".
+        self.mvcc_reads = mvcc_reads
+        self._server = None
         self.transactions = GlobalTransactionManager(
             self.gateways, query_timeout=query_timeout, obs=self.obs
         )
@@ -111,6 +117,9 @@ class MyriadSystem:
         if self._closed:
             return
         self._closed = True
+        if self._server is not None:
+            self._server.close()
+            self._server = None
         if self._deadlock_monitor is not None:
             self._deadlock_monitor.stop()
             self._deadlock_monitor = None
@@ -227,10 +236,12 @@ class MyriadSystem:
 
     def add_oracle(self, name: str, **kwargs) -> Gateway:
         """Create and register an Oracle-dialect component DBMS."""
+        kwargs.setdefault("mvcc_reads", self.mvcc_reads)
         return self.add_component(OracleDBMS(name, **kwargs))
 
     def add_postgres(self, name: str, **kwargs) -> Gateway:
         """Create and register a Postgres-dialect component DBMS."""
+        kwargs.setdefault("mvcc_reads", self.mvcc_reads)
         return self.add_component(PostgresDBMS(name, **kwargs))
 
     def component(self, site: str) -> LocalDBMS:
@@ -318,6 +329,27 @@ class MyriadSystem:
         self, federation_name: str, sql: str, optimizer: str | None = None
     ) -> str:
         return self.processor(federation_name).explain(sql, optimizer)
+
+    # ------------------------------------------------------------------
+    # Serving layer
+    # ------------------------------------------------------------------
+
+    def create_server(self, max_sessions: int = 256):
+        """The system-owned :class:`~repro.server.FederationServer`.
+
+        Created on first call (``max_sessions`` applies then); subsequent
+        calls return the same server.  :meth:`close` shuts it down.
+        """
+        if self._server is None:
+            from repro.server import FederationServer
+
+            self._server = FederationServer(self, max_sessions=max_sessions)
+        return self._server
+
+    @property
+    def server(self):
+        """The serving layer, or ``None`` if ``create_server`` never ran."""
+        return self._server
 
     # ------------------------------------------------------------------
     # Global transactions

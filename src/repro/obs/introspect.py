@@ -169,10 +169,16 @@ def federation_stats(system) -> dict:
                 "exports": gateway.export_names(),
                 "queries_executed": gateway.queries_executed,
                 "timeouts": gateway.timeouts,
+                "snapshot_reads": gateway.snapshot_reads,
                 "open_branches": len(gateway.branch_states()),
             }
             for site, gateway in sorted(system.gateways.items())
         },
+        "sessions": (
+            system._server.stats()
+            if getattr(system, "_server", None) is not None
+            else {}
+        ),
         "federations": {
             federation.name: {"relations": sorted(federation.relations)}
             for federation in system.federations.values()
@@ -227,6 +233,16 @@ def render_dashboard(snapshot: dict) -> str:
     for name, info in stats.get("federations", {}).items():
         lines.append(
             f"federation {name}: relations={','.join(info['relations']) or '-'}"
+        )
+    sessions = stats.get("sessions") or {}
+    if sessions:
+        lines.append(
+            f"sessions: open={sessions.get('open', 0)} "
+            f"peak={sessions.get('peak', 0)} "
+            f"queries={sessions.get('queries', 0)} "
+            f"updates={sessions.get('updates', 0)} "
+            f"commits={sessions.get('commits', 0)} "
+            f"aborts={sessions.get('aborts', 0)}"
         )
     net = stats.get("network", {})
     lines.append(

@@ -1,0 +1,5 @@
+"""Serving layer: concurrent client sessions over one MyriadSystem."""
+
+from repro.server.server import ClientSession, FederationServer, SessionPool
+
+__all__ = ["ClientSession", "FederationServer", "SessionPool"]

@@ -1,0 +1,310 @@
+"""Concurrent serving layer: many client sessions over one MyriadSystem.
+
+The paper's MYRIAD sat behind a client/server interface where many
+applications queried the federation at once.  :class:`FederationServer`
+models that tier: it hands out independent :class:`ClientSession` objects
+over a single :class:`~repro.myriad.MyriadSystem`, each with its own
+transaction context, so one thread per client can issue autocommit queries,
+DML, and explicit global transactions concurrently.
+
+The server itself is thin by design — the heavy lifting is the PR 5
+thread-safety work (network, gateways, WAL, plan/fragment caches) plus the
+MVCC snapshot reads in the component DBMSs: autocommit SELECTs never take
+table locks, so read traffic scales with threads instead of convoying
+behind writers.
+
+Caveats (documented, not hidden):
+
+- ``BEGIN READ ONLY`` on a client session is federation-level: each
+  statement reads a per-DBMS-consistent snapshot, but different statements
+  (and different sites within one statement) may observe different commit
+  points.  Single-site reads are fully snapshot-consistent.
+- Direct local writes at a component (local autonomy) are visible to the
+  next snapshot, exactly as live reads were before.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import TYPE_CHECKING
+
+from repro.errors import MyriadError, ServerError, TransactionAborted
+from repro.sql import ast, parse_statement
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.myriad import MyriadSystem
+    from repro.query import GlobalResult
+    from repro.txn import GlobalTransaction
+
+#: Counter fields aggregated from sessions into the server totals.
+_STAT_FIELDS = ("queries", "updates", "commits", "aborts", "errors")
+
+
+class ClientSession:
+    """One client's connection to the federation server.
+
+    Sessions are single-client objects: use one thread per session (the
+    internal lock only turns accidental sharing into serialisation).
+    Transaction state is per-session — an explicit ``BEGIN`` opens a global
+    transaction whose branches live in the gateways' per-``global_id``
+    local sessions, so concurrent clients never share locks or undo.
+    """
+
+    def __init__(self, server: "FederationServer", session_id: str):
+        self.server = server
+        self.system: "MyriadSystem" = server.system
+        self.session_id = session_id
+        self._lock = threading.RLock()
+        self._txn: "GlobalTransaction | None" = None
+        self._read_only = False
+        self._closed = False
+        # Per-session metrics.
+        self.queries = 0
+        self.updates = 0
+        self.commits = 0
+        self.aborts = 0
+        self.errors = 0
+
+    # -- transaction control ---------------------------------------------
+
+    def begin(self, read_only: bool = False) -> "GlobalTransaction | None":
+        """Open an explicit transaction (``None`` for read-only)."""
+        with self._lock:
+            self._require_open()
+            if self._txn is not None or self._read_only:
+                raise ServerError(
+                    f"session {self.session_id} already has an open transaction"
+                )
+            if read_only:
+                self._read_only = True
+                return None
+            self._txn = self.system.begin_transaction()
+            return self._txn
+
+    def commit(self) -> None:
+        with self._lock:
+            self._require_open()
+            if self._read_only:
+                self._read_only = False
+                self.commits += 1
+                return
+            if self._txn is None:
+                return
+            txn, self._txn = self._txn, None
+            try:
+                txn.commit()
+            except Exception:
+                self.aborts += 1
+                self.errors += 1
+                raise
+            self.commits += 1
+
+    def rollback(self) -> None:
+        with self._lock:
+            self._require_open()
+            if self._read_only:
+                self._read_only = False
+                self.aborts += 1
+                return
+            if self._txn is None:
+                return
+            txn, self._txn = self._txn, None
+            txn.abort()
+            self.aborts += 1
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn is not None or self._read_only
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- statement execution ----------------------------------------------
+
+    def execute(self, federation: str, sql: str):
+        """Run one statement against ``federation``.
+
+        Transaction-control statements manage this session's transaction;
+        SELECTs return a :class:`~repro.query.GlobalResult` (snapshot reads
+        when autocommit or read-only); DML returns the affected-row count.
+        """
+        statement = parse_statement(sql)
+        with self._lock:
+            self._require_open()
+            if isinstance(statement, ast.BeginTransaction):
+                self.begin(read_only=statement.read_only)
+                return 0
+            if isinstance(statement, ast.CommitTransaction):
+                self.commit()
+                return 0
+            if isinstance(statement, ast.RollbackTransaction):
+                self.rollback()
+                return 0
+            try:
+                if isinstance(statement, (ast.Select, ast.SetOperation)):
+                    self.queries += 1
+                    if self._txn is not None:
+                        return self.system.transactional_query(
+                            self._txn, federation, sql
+                        )
+                    return self.system.query(federation, sql)
+                if self._read_only:
+                    raise ServerError(
+                        f"session {self.session_id}: read-only transaction "
+                        f"cannot execute {type(statement).__name__}"
+                    )
+                self.updates += 1
+                if self._txn is not None:
+                    return self.system.transactional_update(
+                        self._txn, federation, sql
+                    )
+                return self.system.update(federation, sql)
+            except TransactionAborted:
+                # The coordinator already aborted the global transaction
+                # (timeout/deadlock victim): drop our handle to it.
+                if self._txn is not None:
+                    self._txn = None
+                    self.aborts += 1
+                self.errors += 1
+                raise
+            except ServerError:
+                raise
+            except MyriadError:
+                self.errors += 1
+                raise
+
+    def query(self, federation: str, sql: str) -> "GlobalResult":
+        result = self.execute(federation, sql)
+        if isinstance(result, int):
+            raise ServerError("statement did not produce rows")
+        return result
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Abort any open transaction and return the slot to the server."""
+        with self._lock:
+            if self._closed:
+                return
+            try:
+                if self.in_transaction:
+                    self.rollback()
+            finally:
+                self._closed = True
+                self.server._release(self)
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ServerError(f"session {self.session_id} is closed")
+
+    def stats(self) -> dict:
+        """This session's counters (one row of ``server.stats()``)."""
+        with self._lock:
+            return {
+                "session_id": self.session_id,
+                "in_transaction": self.in_transaction,
+                **{name: getattr(self, name) for name in _STAT_FIELDS},
+            }
+
+    def __enter__(self) -> "ClientSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+class FederationServer:
+    """Thread-based session pool over one :class:`MyriadSystem`.
+
+    ``connect()`` hands out a :class:`ClientSession` per client (bounded by
+    ``max_sessions``); closing a session frees its slot and folds its
+    counters into the server totals.  Obtain one via
+    :meth:`MyriadSystem.create_server`, which also closes it on system
+    shutdown.
+    """
+
+    def __init__(self, system: "MyriadSystem", max_sessions: int = 256):
+        self.system = system
+        self.max_sessions = max_sessions
+        self._lock = threading.Lock()
+        self._sessions: dict[str, ClientSession] = {}
+        self._session_seq = itertools.count(1)
+        self._closed = False
+        self.total_connected = 0
+        self.peak_sessions = 0
+        self._retired = {name: 0 for name in _STAT_FIELDS}
+
+    # -- session management ------------------------------------------------
+
+    def connect(self) -> ClientSession:
+        with self._lock:
+            if self._closed:
+                raise ServerError("federation server is closed")
+            if len(self._sessions) >= self.max_sessions:
+                raise ServerError(
+                    f"session pool exhausted ({self.max_sessions} sessions)"
+                )
+            session = ClientSession(self, f"client-{next(self._session_seq)}")
+            self._sessions[session.session_id] = session
+            self.total_connected += 1
+            self.peak_sessions = max(self.peak_sessions, len(self._sessions))
+        return session
+
+    def _release(self, session: ClientSession) -> None:
+        with self._lock:
+            if self._sessions.pop(session.session_id, None) is None:
+                return
+            for name in _STAT_FIELDS:
+                self._retired[name] += getattr(session, name)
+
+    def sessions(self) -> list[ClientSession]:
+        with self._lock:
+            return list(self._sessions.values())
+
+    @property
+    def open_sessions(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    # -- aggregate metrics -------------------------------------------------
+
+    def stats(self) -> dict:
+        """Pool shape plus counters summed over open and closed sessions."""
+        with self._lock:
+            totals = dict(self._retired)
+            for session in self._sessions.values():
+                for name in _STAT_FIELDS:
+                    totals[name] += getattr(session, name)
+            return {
+                "open": len(self._sessions),
+                "peak": self.peak_sessions,
+                "max": self.max_sessions,
+                "total_connected": self.total_connected,
+                **totals,
+            }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every session (aborting open transactions); idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            sessions = list(self._sessions.values())
+        for session in sessions:
+            session.close()
+
+    def __enter__(self) -> "FederationServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+#: The pool *is* the server in this model; alias kept for API clarity.
+SessionPool = FederationServer

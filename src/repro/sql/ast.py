@@ -407,7 +407,8 @@ class CreateIndex(Statement):
 
 @dataclass(eq=True)
 class BeginTransaction(Statement):
-    pass
+    #: ``BEGIN READ ONLY``: run against an MVCC snapshot, lock-free.
+    read_only: bool = False
 
 
 @dataclass(eq=True)

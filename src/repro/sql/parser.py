@@ -86,6 +86,17 @@ class Parser:
         if not self._accept_keyword(keyword):
             raise self._error(f"expected {keyword}")
 
+    def _accept_soft_keyword(self, word: str) -> bool:
+        """Accept a non-reserved word matched by value (e.g. READ, ONLY)."""
+        token = self.current
+        if (
+            token.type is TokenType.IDENTIFIER
+            and token.value.upper() == word
+        ):
+            self._advance()
+            return True
+        return False
+
     def _at_punct(self, value: str) -> bool:
         return self.current.matches(TokenType.PUNCTUATION, value)
 
@@ -155,6 +166,12 @@ class Parser:
             return self._parse_drop()
         if self._accept_keyword("BEGIN"):
             self._accept_keyword("TRANSACTION", "WORK")
+            # READ ONLY are soft keywords (still usable as identifiers
+            # elsewhere), so match them as identifier tokens by value.
+            if self._accept_soft_keyword("READ"):
+                if not self._accept_soft_keyword("ONLY"):
+                    raise self._error("expected ONLY after READ")
+                return ast.BeginTransaction(read_only=True)
             return ast.BeginTransaction()
         if self._accept_keyword("COMMIT"):
             self._accept_keyword("TRANSACTION", "WORK")

@@ -69,7 +69,7 @@ class SQLPrinter:
                 f"ON {self._ident(statement.table)} ({columns})"
             )
         if isinstance(statement, ast.BeginTransaction):
-            return "BEGIN"
+            return "BEGIN READ ONLY" if statement.read_only else "BEGIN"
         if isinstance(statement, ast.CommitTransaction):
             return "COMMIT"
         if isinstance(statement, ast.RollbackTransaction):

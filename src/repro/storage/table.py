@@ -21,6 +21,13 @@ class Table:
     Concurrency control is *not* handled here — the lock manager in
     :mod:`repro.concurrency` serialises access above this layer, which is
     how the real MYRIAD relied on each component DBMS's own 2PL.
+
+    For snapshot readers (which bypass the lock manager entirely) the table
+    additionally carries MVCC side state maintained by the transaction
+    layer: ``versions`` maps RID → immutable chain of committed
+    ``(commit_ts, value)`` entries, and ``uncommitted`` maps RID → ``(owner
+    txn id, last committed value)`` while a writer's change is in flight.
+    See :mod:`repro.concurrency.mvcc`.
     """
 
     def __init__(self, schema: TableSchema):
@@ -28,6 +35,10 @@ class Table:
         self.rows: dict[int, Row] = {}
         self.next_rid = 1
         self.indexes: dict[str, Index] = {}
+        #: RID → committed version chain (ascending commit-ts tuples).
+        self.versions: dict[int, tuple] = {}
+        #: RID → (writer txn id, last committed value) pending markers.
+        self.uncommitted: dict[int, tuple] = {}
         if schema.primary_key:
             self.create_index(
                 f"__pk_{schema.name}", schema.primary_key, unique=True, ordered=True
@@ -73,8 +84,15 @@ class Table:
 
     # -- mutation ----------------------------------------------------------
 
-    def insert(self, values: list[object] | Row) -> int:
-        """Validate and insert one row; returns its RID."""
+    def insert(
+        self, values: list[object] | Row, pending_owner: object | None = None
+    ) -> int:
+        """Validate and insert one row; returns its RID.
+
+        ``pending_owner`` (a transaction id) registers the pending marker
+        *before* the row becomes visible in the heap, so snapshot readers
+        never observe the uncommitted insert.
+        """
         row = self.schema.validate_row(values)
         key = self.schema.key_of(row)
         if key is not None and any(value is None for value in key):
@@ -93,6 +111,9 @@ class Table:
             for index in inserted:
                 index.delete(self._index_key(index, row), rid)
             raise
+        if pending_owner is not None:
+            # Fresh RID: committed value is "absent".
+            self.uncommitted[rid] = (pending_owner, None)
         self.rows[rid] = row
         return rid
 
@@ -141,9 +162,30 @@ class Table:
         self.rows[rid] = row
         self.next_rid = max(self.next_rid, rid + 1)
 
+    def mark_pending(self, rid: int, owner: object) -> None:
+        """Record the committed pre-image of ``rid`` before mutating it.
+
+        Idempotent per RID: the first marker (set by the single uncommitted
+        writer the exclusive table lock allows) wins, so a transaction
+        touching the same RID repeatedly keeps the true committed value.
+        """
+        if rid not in self.uncommitted:
+            self.uncommitted[rid] = (owner, self.rows.get(rid))
+
+    def clear_pending(self, rid: int) -> None:
+        """Drop a pending marker (after the writer resolved and undid/won)."""
+        self.uncommitted.pop(rid, None)
+
     def truncate(self) -> None:
-        """Remove all rows (keeps schema and empty indexes)."""
+        """Remove all rows (keeps schema and empty indexes).
+
+        Not MVCC-safe: version chains and pending markers are discarded,
+        so concurrent snapshot readers would observe the truncation.  Only
+        used by workload resets, never under concurrent traffic.
+        """
         self.rows.clear()
+        self.versions.clear()
+        self.uncommitted.clear()
         for name, index in list(self.indexes.items()):
             klass = type(index)
             self.indexes[name] = klass(

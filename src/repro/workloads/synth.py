@@ -155,14 +155,18 @@ def build_bank_sites(
     accounts_per_site: int,
     initial_balance: float = 1000.0,
     query_timeout: float | None = 0.5,
+    **system_kwargs,
 ) -> MyriadSystem:
     """Bank accounts spread over N sites, for transaction experiments.
 
     Site ``b<i>`` holds table ``account(acct INTEGER PRIMARY KEY,
     balance FLOAT)``.  Used by the 2PC-overhead and deadlock benchmarks:
     transfers between sites become multi-site global transactions.
+    Extra keyword arguments (``mvcc_reads``, ``parallel_fetches``, ...)
+    pass straight to :class:`MyriadSystem` — the E16 serving benchmark
+    uses ``mvcc_reads=False`` for its 2PL-read baseline.
     """
-    system = MyriadSystem(query_timeout=query_timeout)
+    system = MyriadSystem(query_timeout=query_timeout, **system_kwargs)
     for index in range(site_count):
         site = f"b{index}"
         gateway = (

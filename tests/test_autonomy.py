@@ -121,17 +121,31 @@ class TestCoexistence:
         local.begin()
         local.execute("UPDATE parts SET qty = qty + 1 WHERE pno = 1")
 
-        # The federation's read now times out (the local app holds 2PL locks).
+        # An autocommit federation read no longer blocks behind the local
+        # writer: it runs on an MVCC snapshot and sees the committed state.
+        stock = system.query(
+            "supply", "SELECT stock FROM parts_view WHERE part_no = 1"
+        ).scalar()
+        assert stock == 500
+
+        # A *transactional* federation read still takes 2PL locks, so it
+        # times out behind the local writer (the paper's global-deadlock
+        # signal) — local autonomy keeps priority.
         from repro.errors import GatewayTimeout
 
+        gateway = system.gateway("plant")
+        gateway.begin("g-read")
         with pytest.raises(GatewayTimeout):
-            system.gateway("plant").execute_query(
-                "SELECT * FROM catalog", timeout=0.05
+            gateway.execute_query(
+                "SELECT * FROM catalog", timeout=0.05, global_id="g-read"
             )
+        gateway.abort("g-read")
 
         local.commit()
-        result = system.query("supply", "SELECT COUNT(*) FROM parts_view")
-        assert result.scalar() >= 2
+        result = system.query(
+            "supply", "SELECT stock FROM parts_view WHERE part_no = 1"
+        )
+        assert result.scalar() == 501
 
     def test_global_txn_blocks_local_then_proceeds(self, system):
         txn = system.begin_transaction()

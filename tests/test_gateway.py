@@ -131,10 +131,20 @@ class TestTimeouts:
         blocker = ora.connect()
         blocker.begin()
         blocker.execute("UPDATE employees SET salary = 1 WHERE eno = 1")
+        # Autocommit reads run on an MVCC snapshot: no lock wait, and the
+        # uncommitted local write stays invisible.
+        result = gateway.execute_query("SELECT * FROM emp", timeout=0.05)
+        assert len(result) == 3
+        # A transactional (2PL) read still waits and times out — the
+        # paper's presumed-deadlock signal.
+        gateway.begin("G-t")
         with pytest.raises(GatewayTimeout) as exc:
-            gateway.execute_query("SELECT * FROM emp", timeout=0.05)
+            gateway.execute_query(
+                "SELECT * FROM emp", timeout=0.05, global_id="G-t"
+            )
         assert exc.value.site == "ora"
         assert gateway.timeouts == 1
+        gateway.abort("G-t")
         blocker.rollback()
 
     def test_no_timeout_when_unblocked(self, setup):

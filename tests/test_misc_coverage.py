@@ -110,8 +110,15 @@ class TestGatewayDefaults:
         blocker = dbms.connect()
         blocker.begin()
         blocker.execute("UPDATE t SET a = 2")
+        # Autocommit reads are snapshot reads now: no lock wait, old value.
+        assert gateway.execute_query("SELECT * FROM t").rows == [(1,)]
+        # A transactional (locking) read picks up the gateway default.
+        gateway.begin("g1")
         with pytest.raises(GatewayTimeout):
-            gateway.execute_query("SELECT * FROM t")  # no explicit timeout
+            gateway.execute_query(
+                "SELECT * FROM t", global_id="g1"
+            )  # no explicit timeout
+        gateway.abort("g1")
         blocker.rollback()
 
     def test_explicit_timeout_overrides_default(self):

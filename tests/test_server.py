@@ -1,0 +1,259 @@
+"""The concurrent serving layer (PR 6 tentpole) and the session storm test.
+
+``FederationServer`` hands out per-client sessions over one MyriadSystem;
+the storm test (satellite 4) drives N threads × M statements in mixed
+transaction modes and checks exact counter totals, no orphaned locks, and
+snapshot repeatability while writers commit.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import ServerError
+from repro.myriad import MyriadSystem
+from repro.server import ClientSession, FederationServer, SessionPool
+from repro.workloads import build_bank_sites, total_balance
+
+
+@pytest.fixture
+def system():
+    sys_ = MyriadSystem()
+    gw = sys_.add_postgres("s1")
+    gw.dbms.execute("CREATE TABLE t (k INTEGER PRIMARY KEY, v INTEGER)")
+    gw.dbms.execute("INSERT INTO t VALUES (1, 10)")
+    gw.dbms.execute("INSERT INTO t VALUES (2, 20)")
+    gw.export_table("t", "t")
+    fed = sys_.create_federation("f")
+    fed.define_relation("rel", "SELECT k, v FROM s1.t")
+    yield sys_
+    sys_.close()
+
+
+class TestServerAPI:
+    def test_connect_query_close(self, system):
+        server = system.create_server(max_sessions=4)
+        session = server.connect()
+        assert isinstance(session, ClientSession)
+        result = session.query("f", "SELECT SUM(v) FROM rel")
+        assert result.scalar() == 30
+        assert session.stats()["queries"] == 1
+        session.close()
+        assert server.open_sessions == 0
+        assert server.stats()["queries"] == 1  # folded into retired totals
+
+    def test_create_server_idempotent_and_property(self, system):
+        server = system.create_server(max_sessions=4)
+        assert system.create_server() is server
+        assert system.server is server
+
+    def test_pool_exhaustion(self, system):
+        server = system.create_server(max_sessions=2)
+        a = server.connect()
+        server.connect()
+        with pytest.raises(ServerError):
+            server.connect()
+        a.close()
+        server.connect()  # freed slot is reusable
+
+    def test_closed_session_rejects_work(self, system):
+        server = system.create_server()
+        session = server.connect()
+        session.close()
+        with pytest.raises(ServerError):
+            session.execute("f", "SELECT * FROM rel")
+        session.close()  # idempotent
+
+    def test_explicit_transaction_commit(self, system):
+        server = system.create_server()
+        with server.connect() as session:
+            session.execute("f", "BEGIN")
+            assert session.in_transaction
+            session.execute("f", "UPDATE rel SET v = v + 1 WHERE k = 1")
+            session.execute("f", "COMMIT")
+            assert not session.in_transaction
+            assert session.query("f", "SELECT v FROM rel WHERE k = 1").scalar() == 11
+        stats = server.stats()
+        assert stats["commits"] == 1 and stats["updates"] == 1
+
+    def test_rollback_discards_writes(self, system):
+        server = system.create_server()
+        with server.connect() as session:
+            session.begin()
+            session.execute("f", "UPDATE rel SET v = 0 WHERE k = 2")
+            session.rollback()
+            assert session.query("f", "SELECT v FROM rel WHERE k = 2").scalar() == 20
+
+    def test_read_only_session_rejects_dml(self, system):
+        server = system.create_server()
+        with server.connect() as session:
+            session.execute("f", "BEGIN READ ONLY")
+            assert session.query("f", "SELECT SUM(v) FROM rel").scalar() == 30
+            with pytest.raises(ServerError):
+                session.execute("f", "UPDATE rel SET v = 0 WHERE k = 1")
+            session.execute("f", "COMMIT")
+
+    def test_close_aborts_open_transaction(self, system):
+        server = system.create_server()
+        session = server.connect()
+        session.begin()
+        session.execute("f", "UPDATE rel SET v = -1 WHERE k = 1")
+        session.close()
+        fresh = server.connect()
+        assert fresh.query("f", "SELECT v FROM rel WHERE k = 1").scalar() == 10
+        assert server.stats()["aborts"] == 1
+        # No branch locks left behind.
+        assert all(not locks for locks in system.lock_table().values())
+
+    def test_server_close_is_idempotent_and_closes_sessions(self, system):
+        server = system.create_server()
+        session = server.connect()
+        server.close()
+        assert session.closed
+        server.close()
+        with pytest.raises(ServerError):
+            server.connect()
+
+    def test_system_close_closes_server(self):
+        sys_ = MyriadSystem()
+        server = sys_.create_server()
+        session = server.connect()
+        sys_.close()
+        assert session.closed
+        assert sys_.server is None
+
+    def test_sessions_in_federation_stats(self, system):
+        server = system.create_server(max_sessions=8)
+        with server.connect() as session:
+            session.query("f", "SELECT * FROM rel")
+            stats = system.federation_stats()["sessions"]
+            assert stats["open"] == 1
+            assert stats["max"] == 8
+            assert stats["queries"] == 1
+
+    def test_session_pool_alias(self):
+        assert SessionPool is FederationServer
+
+
+class TestSessionStorm:
+    """N threads × M statements, mixed modes, exact invariants at the end."""
+
+    READERS = 6
+    READS = 15
+    WRITERS = 4
+    WRITE_TXNS = 8
+
+    def test_storm(self):
+        system = build_bank_sites(
+            2, 16, initial_balance=100.0, query_timeout=10.0
+        )
+        # The union relation is read-only; writers go through per-site
+        # single-export relations (which are updatable).
+        fed = system.federation("bank")
+        for site in ("b0", "b1"):
+            fed.define_relation(
+                f"accounts_{site}",
+                f"SELECT acct, balance FROM {site}.account",
+            )
+        server = system.create_server(max_sessions=32)
+        initial_total = total_balance(system)
+        errors: list[Exception] = []
+        bad_sums: list[float] = []
+        barrier = threading.Barrier(self.READERS + self.WRITERS + 1)
+
+        def reader(use_read_only: bool):
+            try:
+                session = server.connect()
+                barrier.wait()
+                with session:
+                    for i in range(self.READS):
+                        if use_read_only:
+                            session.execute("bank", "BEGIN READ ONLY")
+                        total = session.query(
+                            "bank", "SELECT SUM(balance) FROM accounts"
+                        ).scalar()
+                        if use_read_only:
+                            session.execute("bank", "COMMIT")
+                        if float(total) != initial_total:
+                            bad_sums.append(float(total))
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        def writer(seed: int):
+            try:
+                session = server.connect()
+                barrier.wait()
+                with session:
+                    for i in range(self.WRITE_TXNS):
+                        # Move money between two accounts at the SAME site in
+                        # one transaction: any snapshot preserves the total.
+                        site = (seed + i) % 2
+                        a = site * 16 + (seed % 16)
+                        b = site * 16 + ((seed + 7) % 16)
+                        session.begin()
+                        session.execute(
+                            "bank",
+                            f"UPDATE accounts_b{site} SET balance = "
+                            f"balance - 5 WHERE acct = {a}",
+                        )
+                        session.execute(
+                            "bank",
+                            f"UPDATE accounts_b{site} SET balance = "
+                            f"balance + 5 WHERE acct = {b}",
+                        )
+                        if i % 4 == 3:
+                            session.rollback()
+                        else:
+                            session.commit()
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=reader, args=(index % 2 == 0,))
+            for index in range(self.READERS)
+        ] + [
+            threading.Thread(target=writer, args=(index,))
+            for index in range(self.WRITERS)
+        ]
+        for thread in threads:
+            thread.start()
+
+        # Snapshot repeatability mid-update, at a component DBMS: one
+        # read-only transaction's repeated reads agree while writers
+        # commit around it.
+        local = system.component("b0").connect()
+        barrier.wait()
+        local.begin(read_only=True)
+        first = local.execute("SELECT SUM(balance) FROM account").scalar()
+        for thread in threads:
+            thread.join()
+        second = local.execute("SELECT SUM(balance) FROM account").scalar()
+        assert first == second
+        local.commit()
+
+        assert errors == []
+        assert bad_sums == []
+
+        # Exact counter totals: every statement is accounted for.
+        stats = server.stats()
+        ro_readers = (self.READERS + 1) // 2
+        expected_commits = (
+            self.WRITERS * (self.WRITE_TXNS - self.WRITE_TXNS // 4)
+            + ro_readers * self.READS  # read-only COMMITs count too
+        )
+        expected_aborts = self.WRITERS * (self.WRITE_TXNS // 4)
+        assert stats["queries"] == self.READERS * self.READS
+        assert stats["updates"] == self.WRITERS * self.WRITE_TXNS * 2
+        assert stats["commits"] == expected_commits
+        assert stats["aborts"] == expected_aborts
+        assert stats["errors"] == 0
+        assert stats["total_connected"] == self.READERS + self.WRITERS
+
+        # Money conserved, no orphaned locks anywhere.
+        assert total_balance(system) == initial_total
+        assert all(not locks for locks in system.lock_table().values())
+        for site in ("b0", "b1"):
+            manager = system.component(site).transactions
+            assert manager.active_transactions() == []
+            assert manager.active_snapshots() == 0
+        system.close()
