@@ -7,7 +7,11 @@ key is unchanged.  The key therefore includes the federation's
 ``schema_version`` (bumped on any relation (re)definition) and every
 gateway's ``stats_version`` (bumped when its statistics cache is
 invalidated): redefining a schema or committing DML flushes affected
-entries implicitly by changing the key.
+entries implicitly by changing the key.  With adaptive feedback enabled
+the key also carries the ``runtime_stats_version`` of the federation's
+:class:`~repro.query.feedback.RuntimeStatsStore`, so plans compiled from
+superseded learned cardinalities expire the same way — and stop expiring
+once the learned estimates converge.
 
 Plans are mutated during execution (fragment registration annotates
 them), so the cache stores and returns deep copies — the cached master is

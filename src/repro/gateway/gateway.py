@@ -63,6 +63,10 @@ class Gateway:
         network.add_site(FEDERATION_SITE)
         self._txn_sessions: dict[object, Session] = {}
         self._stats_cache: dict[str, TableStats] = {}
+        #: Per-export single-flight locks: concurrent statistics misses for
+        #: one export must not double-run the export view (and must not
+        #: let a stale recomputation overwrite a fresher ``refresh=True``).
+        self._stats_flights: dict[str, threading.Lock] = {}
         #: Narrow mutex for the gateway's shared maps/counters.  Never held
         #: across a network send or a local execution — parallel fetches
         #: must not convoy behind a branch stuck in a lock wait.
@@ -142,18 +146,39 @@ class Gateway:
         return self.exports.export_schema_of(name, local_schema)
 
     def export_stats(self, name: str, refresh: bool = False) -> TableStats:
-        """Statistics of an export view (computed by running the view)."""
+        """Statistics of an export view (computed by running the view).
+
+        Recomputation is **single-flight per export**: concurrent cache
+        misses serialise on a per-key lock, so the view scan runs once and
+        late arrivals reuse the result — and a plain miss that raced past
+        a ``refresh=True`` caller can never overwrite the fresher
+        statistics with its stale scan.  A refresh replaces the cached
+        statistics *and* bumps ``stats_version``: plans compiled from the
+        superseded statistics die in the plan cache by key change.
+        """
         key = name.lower()
         if not refresh:
             with self._mutex:
                 if key in self._stats_cache:
                     return self._stats_cache[key]
-        relation = self.exports.get(name)
-        result = self.dbms.execute(relation.as_query())
-        stats = analyze_rows(relation.name, result.columns, result.rows)
         with self._mutex:
-            self._stats_cache[key] = stats
-        return stats
+            flight = self._stats_flights.setdefault(key, threading.Lock())
+        with flight:
+            if not refresh:
+                # A concurrent miss (or refresh) computed it while this
+                # caller waited for the flight lock: reuse, don't re-scan.
+                with self._mutex:
+                    if key in self._stats_cache:
+                        return self._stats_cache[key]
+            relation = self.exports.get(name)
+            result = self.dbms.execute(relation.as_query())
+            stats = analyze_rows(relation.name, result.columns, result.rows)
+            with self._mutex:
+                replacing = refresh and key in self._stats_cache
+                self._stats_cache[key] = stats
+                if replacing:
+                    self.stats_version += 1
+            return stats
 
     def invalidate_stats(self) -> None:
         with self._mutex:

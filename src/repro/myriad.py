@@ -41,6 +41,9 @@ class MyriadSystem:
         plan_cache_size: int = 64,
         fragment_cache: bool | int = True,
         mvcc_reads: bool = True,
+        adaptive_feedback: bool = False,
+        adaptive_replan: bool = False,
+        replan_threshold: float = 3.0,
     ):
         self.network = network or Network()
         # One observability handle serves the whole installation; every
@@ -70,6 +73,17 @@ class MyriadSystem:
         self.parallel_fetches = parallel_fetches
         self.plan_cache_size = plan_cache_size
         self.fragment_cache = fragment_cache
+        #: Adaptive optimization knobs (experiment E17).  Both default
+        #: OFF: with them off, planning and simulated accounting are
+        #: bit-identical to the non-adaptive system.
+        #: ``adaptive_feedback`` learns per-(site, export, predicate
+        #: shape) cardinalities from EXPLAIN ANALYZE actuals and blends
+        #: them into cost estimates; ``adaptive_replan`` re-optimizes the
+        #: remaining stages mid-query when a fetch's actuals diverge from
+        #: estimates by ``replan_threshold``x or a site's breaker opens.
+        self.adaptive_feedback = adaptive_feedback
+        self.adaptive_replan = adaptive_replan
+        self.replan_threshold = replan_threshold
         #: Default for components built via add_oracle/add_postgres: MVCC
         #: snapshot reads (autocommit SELECTs take no table locks).  See
         #: README "Serving & MVCC".
@@ -301,6 +315,9 @@ class MyriadSystem:
                 parallel_fetches=self.parallel_fetches,
                 plan_cache_size=self.plan_cache_size,
                 fragment_cache=self.fragment_cache,
+                adaptive_feedback=self.adaptive_feedback,
+                adaptive_replan=self.adaptive_replan,
+                replan_threshold=self.replan_threshold,
             )
         return self._processors[key]
 

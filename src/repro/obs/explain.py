@@ -67,11 +67,15 @@ def render_explain_analyze(result) -> str:
     )
     for fetch in plan.fetches:
         lines.append("  " + plan.fetch_summary(fetch))
+        replanned = (
+            " (replanned)" if getattr(fetch, "replanned", False) else ""
+        )
         lines.append(
-            "    est:    rows={} bytes={} time={}".format(
+            "    est:    rows={} bytes={} time={}{}".format(
                 _fmt_est(fetch.est_rows),
                 _fmt_est(fetch.est_bytes),
                 _fmt_est(fetch.est_cost_s, "ms"),
+                replanned,
             )
         )
         actual = result.fetch_actuals.get(fetch.index)

@@ -151,6 +151,11 @@ class GlobalExecutor:
         self.fetch_retry_backoff_s = 0.01
         #: Max fetch worker threads per stage; <= 1 disables threading.
         self.parallel_fetches = parallel_fetches
+        #: Mid-query re-planning trigger: a completed fetch whose actual
+        #: row count diverges from its estimate by at least this factor
+        #: (either direction) re-optimizes the remaining stages — when a
+        #: replanner was passed to :meth:`execute`.
+        self.replan_threshold = 3.0
         #: Optional federation-site fragment cache (shared across queries;
         #: bypassed inside global transactions).
         self.fragment_cache = fragment_cache
@@ -193,6 +198,7 @@ class GlobalExecutor:
         global_id: object | None = None,
         allow_partial: bool = False,
         skip_sites: set[str] | None = None,
+        replanner=None,
     ) -> GlobalResult:
         """Run one global plan.
 
@@ -204,6 +210,15 @@ class GlobalExecutor:
         back ``degraded`` with the site listed in ``missing_sites``.
         ``skip_sites`` pre-seeds that set (sites the caller already found
         dead, e.g. while opening transaction branches).
+
+        ``replanner`` (an optimizer with a ``replan`` method) switches on
+        **adaptive mid-query re-planning**: after each stage, if a
+        completed fetch's actual rows diverged from its estimate beyond
+        ``replan_threshold`` — or a remaining site's circuit breaker
+        opened — the not-yet-executed fetches are re-optimized with the
+        measured actuals pinned.  Stages are scheduled dynamically, so a
+        revised dependency graph takes effect immediately.  Without a
+        replanner the schedule is identical to the non-adaptive executor.
         """
         trace = trace or MessageTrace()
         obs = self.obs
@@ -218,7 +233,11 @@ class GlobalExecutor:
         fetch_results: dict[int, ResultSet] = {}
         fetch_actuals: dict[int, FetchActual] = {}
         fetched_rows = 0
-        for stage_index, stage in enumerate(self._stages(plan)):
+        remaining = {fetch.index: fetch for fetch in plan.fetches}
+        done: set[int] = set()
+        stage_index = 0
+        while remaining:
+            stage = self._next_stage(remaining, done)
             with obs.span("execute.stage", stage=stage_index) as stage_span:
                 groups = self._site_groups(stage)
                 run_parallel = self.parallel_fetches > 1 and len(groups) > 1
@@ -281,6 +300,24 @@ class GlobalExecutor:
                 self._register_fragment(
                     catalog, fetch, fetch_results[fetch.index]
                 )
+                del remaining[fetch.index]
+                done.add(fetch.index)
+            if replanner is not None and remaining:
+                self._maybe_replan(
+                    plan,
+                    stage,
+                    stage_index,
+                    replanner,
+                    remaining,
+                    done,
+                    fetch_results,
+                    fetch_actuals,
+                    missing,
+                    health,
+                    obs,
+                    trace,
+                )
+            stage_index += 1
 
         with obs.span("execute.residual") as residual_span:
             result = engine.execute_query(plan.query)
@@ -377,6 +414,115 @@ class GlobalExecutor:
                 done.add(fetch.index)
             stages.append(stage)
         return stages
+
+    def _next_stage(
+        self, remaining: dict[int, Fetch], done: set[int]
+    ) -> _Stage:
+        """The currently-ready fetches: no dependency, or source done.
+
+        Equivalent to one iteration of :meth:`_stages`, but computed
+        against the *live* plan so mid-query re-planning (which rewires
+        semijoin dependencies of unexecuted fetches) takes effect on the
+        very next stage.
+        """
+        stage = _Stage()
+        for fetch in remaining.values():
+            dependency = (
+                fetch.semijoin.source_index
+                if fetch.semijoin is not None
+                else None
+            )
+            if dependency is None or dependency in done:
+                stage.fetches.append(fetch)
+        if not stage.fetches:
+            raise FederationError(
+                "cyclic semijoin dependencies in global plan"
+            )
+        return stage
+
+    def _maybe_replan(
+        self,
+        plan: GlobalPlan,
+        stage: _Stage,
+        stage_index: int,
+        replanner,
+        remaining: dict[int, Fetch],
+        done: set[int],
+        fetch_results: dict[int, ResultSet],
+        fetch_actuals: dict[int, FetchActual],
+        missing: set[str],
+        health,
+        obs: Observability,
+        trace: MessageTrace,
+    ) -> None:
+        """Re-optimize remaining stages if this stage's actuals diverged.
+
+        Triggers when a just-completed fetch's measured row count is off
+        from its estimate by ``replan_threshold``× in either direction, or
+        when a remaining site's circuit breaker has opened (pure state
+        check — probe admission stays with the fetch path).  Delegates the
+        actual plan surgery to ``replanner.replan`` with completed fetches
+        pinned and exact key counts read off the materialised fragments.
+        """
+        trigger: str | None = None
+        for fetch in stage.fetches:
+            actual = fetch_actuals.get(fetch.index)
+            if actual is None or fetch.est_rows is None:
+                continue
+            ratio = max(
+                (actual.rows + 1.0) / (fetch.est_rows + 1.0),
+                (fetch.est_rows + 1.0) / (actual.rows + 1.0),
+            )
+            if ratio >= self.replan_threshold:
+                trigger = (
+                    f"divergence: fetch #{fetch.index} estimated "
+                    f"{fetch.est_rows:.0f} rows, measured {actual.rows} "
+                    f"({ratio:.1f}x)"
+                )
+                break
+        if trigger is None and health is not None:
+            for fetch in remaining.values():
+                if fetch.site not in missing and health.is_blocked(fetch.site):
+                    trigger = f"breaker open: site {fetch.site!r}"
+                    break
+        if trigger is None:
+            return
+
+        # Degraded fetches count as executed (they must stay pinned) but
+        # carry (0, 0) and are refused as key sources via key_count=None.
+        executed: dict[int, tuple[float, float]] = {}
+        for index in done:
+            actual = fetch_actuals.get(index)
+            executed[index] = (
+                (float(actual.rows), float(actual.bytes))
+                if actual is not None
+                else (0.0, 0.0)
+            )
+
+        def key_count(index: int, column: str) -> int | None:
+            if fetch_actuals.get(index) is None:
+                return None  # degraded fragment: not a usable key source
+            result = fetch_results.get(index)
+            if result is None:
+                return None
+            try:
+                values = result.column(column)
+            except ExecutionError:
+                return None
+            return len({value for value in values if value is not None})
+
+        notes = replanner.replan(
+            plan, executed, key_count, stage=stage_index
+        )
+        if notes:
+            obs.metrics.inc("query.replans")
+            obs.emit(
+                "query.replan",
+                stage=stage_index,
+                trigger=trigger,
+                changes=len(notes),
+                sim_s=trace.elapsed_s,
+            )
 
     def _site_groups(self, stage: _Stage) -> list[tuple[str, list[Fetch]]]:
         """Stage fetches grouped by site, preserving first-seen order.

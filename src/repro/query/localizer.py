@@ -64,6 +64,9 @@ class Fetch:
     est_rows: float | None = None
     est_bytes: float | None = None
     est_cost_s: float | None = None
+    #: True when mid-query re-planning changed this fetch after execution
+    #: started (its estimates were re-derived from measured actuals).
+    replanned: bool = False
 
     def shipped_query(self, in_list: list[object] | None = None) -> ast.Select:
         """The SELECT sent to the gateway (export-relation namespace)."""

@@ -35,10 +35,13 @@ class CostBasedOptimizer:
         network: Network,
         enable_semijoin: bool = True,
         enable_aggregate_pushdown: bool = True,
+        runtime_stats=None,
     ):
         self.gateways = gateways
         self.localizer = Localizer(gateways)
-        self.cost_model = CostModel(gateways, network)
+        self.cost_model = CostModel(
+            gateways, network, runtime_stats=runtime_stats
+        )
         self.enable_semijoin = enable_semijoin
         self.enable_aggregate_pushdown = enable_aggregate_pushdown
 
@@ -119,6 +122,163 @@ class CostBasedOptimizer:
                 f"#{source_index}.{source_col} "
                 f"(est. benefit {benefit * 1000:.2f}ms)"
             )
+
+    # ------------------------------------------------------------------
+    # Mid-query re-planning (adaptive execution)
+    # ------------------------------------------------------------------
+
+    def replan(
+        self,
+        plan: GlobalPlan,
+        executed: dict[int, tuple[float, float]],
+        key_count,
+        stage: int = 0,
+    ) -> list[str]:
+        """Re-optimize the not-yet-executed fetches of a running plan.
+
+        ``executed`` maps completed fetch indices to their measured
+        ``(rows, bytes)``; ``key_count(index, column)`` returns the exact
+        distinct non-null key count inside a completed fragment (the
+        executor counts it from the materialised rows).  Completed fetches
+        are pinned — only the semijoin choices of remaining fetches are
+        revisited, with *actual* key counts replacing the estimates that
+        turned out wrong:
+
+        - a planned reduction whose measured benefit went negative (the
+          source produced far more keys than estimated) is dropped,
+        - a skipped reduction whose source has now materialised small is
+          added (its keys are already at the federation site, so the
+          serialisation penalty the planner charged no longer applies).
+
+        Mutates ``plan`` in place and returns one note per change (empty
+        list ⇒ the remaining plan stands).  Appended notes render in
+        EXPLAIN / EXPLAIN ANALYZE, and changed fetches are flagged
+        ``replanned``.
+        """
+        notes: list[str] = []
+        changed: set[int] = set()
+        for fetch in plan.fetches:
+            if fetch.index in executed or fetch.whole_query is not None:
+                continue
+            if (
+                fetch.semijoin is not None
+                and fetch.semijoin.source_index in executed
+            ):
+                spec = fetch.semijoin
+                source = plan.fetches[spec.source_index]
+                keys = key_count(spec.source_index, spec.source_column)
+                if keys is None:
+                    # Degraded source: its (empty) key set already reduces
+                    # the shipped query to nothing — leave the plan alone.
+                    continue
+                benefit = self.cost_model.semijoin_benefit(
+                    source.site,
+                    source.export,
+                    source.predicate,
+                    spec.source_column,
+                    fetch.site,
+                    fetch.export,
+                    fetch.predicate,
+                    fetch.columns,
+                    spec.target_column,
+                    shipped_keys_override=keys,
+                    source_available=True,
+                )
+                if benefit <= 0:
+                    fetch.semijoin = None
+                    fetch.replanned = True
+                    changed.add(fetch.index)
+                    notes.append(
+                        f"replan@stage{stage}: drop semijoin on fetch "
+                        f"#{fetch.index} (source #{spec.source_index} "
+                        f"produced {keys} keys; revised benefit "
+                        f"{benefit * 1000:.2f}ms)"
+                    )
+            if (
+                self.enable_semijoin
+                and fetch.semijoin is None
+                and not fetch.protected
+            ):
+                addition = self._best_late_semijoin(
+                    plan, fetch, executed, key_count
+                )
+                if addition is not None:
+                    benefit, spec, keys = addition
+                    fetch.semijoin = spec
+                    fetch.replanned = True
+                    changed.add(fetch.index)
+                    notes.append(
+                        f"replan@stage{stage}: add semijoin on fetch "
+                        f"#{fetch.index} from materialised "
+                        f"#{spec.source_index}.{spec.source_column} "
+                        f"({keys} keys, est. benefit {benefit * 1000:.2f}ms)"
+                    )
+        if changed:
+            from repro.query.cost import annotate_fetch_estimates
+
+            annotate_fetch_estimates(plan, self.cost_model, only=changed)
+            plan.notes.extend(notes)
+        return notes
+
+    def _best_late_semijoin(
+        self,
+        plan: GlobalPlan,
+        fetch: Fetch,
+        executed: dict[int, tuple[float, float]],
+        key_count,
+    ) -> tuple[float, SemiJoinSpec, int] | None:
+        """Best positive-benefit reduction of ``fetch`` by an executed one.
+
+        Only *already-executed* sources are considered: their key sets are
+        known exactly, they add no new dependencies (so no cycles), and
+        their keys are already at the federation site.
+        """
+        best: tuple[float, SemiJoinSpec, int] | None = None
+        for edge in plan.join_edges:
+            pairs = (
+                (edge.left_fetch, edge.left_column,
+                 edge.right_fetch, edge.right_column),
+                (edge.right_fetch, edge.right_column,
+                 edge.left_fetch, edge.left_column),
+            )
+            for source_index, source_col, target_index, target_col in pairs:
+                if target_index != fetch.index:
+                    continue
+                if source_index not in executed:
+                    continue
+                source = plan.fetches[source_index]
+                if source.site == fetch.site:
+                    continue  # same gateway; nothing to save
+                # The key column must actually have been shipped.
+                if source_col.lower() not in (
+                    c.lower() for c in source.columns
+                ):
+                    continue
+                keys = key_count(source_index, source_col)
+                if keys is None:
+                    continue
+                benefit = self.cost_model.semijoin_benefit(
+                    source.site,
+                    source.export,
+                    source.predicate,
+                    source_col,
+                    fetch.site,
+                    fetch.export,
+                    fetch.predicate,
+                    fetch.columns,
+                    target_col,
+                    shipped_keys_override=keys,
+                    source_available=True,
+                )
+                if benefit <= 0:
+                    continue
+                if best is None or benefit > best[0]:
+                    best = (
+                        benefit,
+                        SemiJoinSpec(source_index, source_col, target_col),
+                        keys,
+                    )
+        return best
 
     def _would_cycle(
         self, plan: GlobalPlan, source_index: int, target_index: int

@@ -14,6 +14,11 @@ from repro.errors import FederationError
 from repro.net import MessageTrace, Network
 from repro.obs import Observability, obs_of
 from repro.query.executor import GlobalExecutor, GlobalResult
+from repro.query.feedback import (
+    RuntimeStatsStore,
+    fetch_rows_shape,
+    fetch_shape,
+)
 from repro.query.localizer import GlobalPlan
 from repro.query.optimizer import CostBasedOptimizer, SimpleOptimizer
 from repro.schema.federation import Federation
@@ -40,19 +45,42 @@ class GlobalQueryProcessor:
         parallel_fetches: int = 4,
         plan_cache_size: int = 64,
         fragment_cache: bool | int = True,
+        adaptive_feedback: bool = False,
+        adaptive_replan: bool = False,
+        replan_threshold: float = 3.0,
     ):
         self.federation = federation
         self.network = network
+        #: Learned per-(site, export, predicate-shape) cardinalities, fed
+        #: by EXPLAIN ANALYZE actuals after every execution.  ``None``
+        #: (the default) keeps planning bit-identical to the non-adaptive
+        #: system.
+        self.runtime_stats = (
+            RuntimeStatsStore() if adaptive_feedback else None
+        )
+        #: Re-optimize remaining stages mid-query when actuals diverge.
+        #: Requires a cost-based optimizer for the query; independent of
+        #: ``adaptive_feedback`` (re-planning uses exact measured key
+        #: counts, not the learned store).
+        self.adaptive_replan = adaptive_replan
         self.optimizers = {
             "simple": SimpleOptimizer(federation.gateways),
-            "cost": CostBasedOptimizer(federation.gateways, network),
+            "cost": CostBasedOptimizer(
+                federation.gateways,
+                network,
+                runtime_stats=self.runtime_stats,
+            ),
             "cost-nosemijoin": CostBasedOptimizer(
-                federation.gateways, network, enable_semijoin=False
+                federation.gateways,
+                network,
+                enable_semijoin=False,
+                runtime_stats=self.runtime_stats,
             ),
             "cost-noaggpush": CostBasedOptimizer(
                 federation.gateways,
                 network,
                 enable_aggregate_pushdown=False,
+                runtime_stats=self.runtime_stats,
             ),
         }
         if default_optimizer not in self.optimizers:
@@ -74,6 +102,7 @@ class GlobalQueryProcessor:
             parallel_fetches=parallel_fetches,
             fragment_cache=frag_cache,
         )
+        self.executor.replan_threshold = replan_threshold
 
     @property
     def fragment_cache(self) -> FragmentCache | None:
@@ -110,7 +139,11 @@ class GlobalQueryProcessor:
         federation's schema version and every gateway's statistics
         version: redefining a relation or committing DML changes the key,
         so stale plans die by lookup miss (and eventually LRU eviction)
-        rather than by explicit flush.
+        rather than by explicit flush.  With adaptive feedback on, the
+        runtime-stats version rides along too: plans compiled from
+        superseded learned cardinalities die the same way, and once the
+        learned estimates converge the version stops moving and cache
+        hits resume.
         """
         return (
             sql,
@@ -120,6 +153,9 @@ class GlobalQueryProcessor:
                 (site, gateway.stats_version)
                 for site, gateway in sorted(self.federation.gateways.items())
             ),
+            self.runtime_stats.version
+            if self.runtime_stats is not None
+            else None,
         )
 
     def plan(self, sql: str | ast.Query, optimizer: str | None = None) -> GlobalPlan:
@@ -168,7 +204,14 @@ class GlobalQueryProcessor:
         with obs.span(
             "query.execute", federation=self.federation.name
         ) as span:
+            optimizer_key = optimizer or self.default_optimizer
+            chosen = self.optimizers[optimizer_key]
             plan = self.plan(sql, optimizer)
+            replanner = (
+                chosen
+                if self.adaptive_replan and hasattr(chosen, "replan")
+                else None
+            )
             sim_before = trace.elapsed_s if trace is not None else 0.0
             result = self.executor.execute(
                 plan,
@@ -176,10 +219,13 @@ class GlobalQueryProcessor:
                 timeout=timeout,
                 global_id=global_id,
                 allow_partial=allow_partial,
+                replanner=replanner,
             )
             sim_elapsed = result.trace.elapsed_s - sim_before
             span.set_sim(sim_elapsed)
             span.tag(strategy=plan.strategy, rows=len(result.rows))
+        if self.runtime_stats is not None:
+            self._record_actuals(plan, result)
         metrics = obs.metrics
         metrics.inc("query.executed", strategy=plan.strategy)
         metrics.inc("query.rows_fetched", result.fetched_rows)
@@ -197,3 +243,39 @@ class GlobalQueryProcessor:
                 threshold_s=threshold,
             )
         return result
+
+    def _record_actuals(self, plan: GlobalPlan, result: GlobalResult) -> None:
+        """Feed EXPLAIN ANALYZE actuals into the runtime-statistics store.
+
+        Each executed fetch is recorded under its exact fragment shape
+        (rows *and* wire bytes) and under its projection-independent rows
+        shape, so a later plan shipping a different column set of the
+        same predicate still reuses the learned cardinality.  Fragments
+        served from the fragment cache are skipped: a hit implies the
+        data version is unchanged, so they carry no new information — and
+        their zero wire bytes must not erode the learned row widths.
+        Degraded (skipped-site) fetches are not recorded either.
+        """
+        store = self.runtime_stats
+        bumped = False
+        for fetch in plan.fetches:
+            actual = result.fetch_actuals.get(fetch.index)
+            if actual is None or actual.cached:
+                continue
+            rows = float(actual.rows)
+            bytes_ = float(actual.bytes)
+            bumped |= store.observe(
+                fetch.site, fetch.export, fetch_shape(fetch), rows, bytes_
+            )
+            bumped |= store.observe(
+                fetch.site, fetch.export, fetch_rows_shape(fetch), rows, bytes_
+            )
+        if bumped:
+            obs = self.obs
+            obs.metrics.inc("query.feedback_version_bumps")
+            obs.emit(
+                "query.feedback",
+                federation=self.federation.name,
+                runtime_stats_version=store.version,
+                entries=len(store),
+            )

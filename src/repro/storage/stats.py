@@ -30,6 +30,9 @@ class ColumnStats:
     maximum: object = None
     histogram: list[int] = field(default_factory=list)  # equi-width buckets
     histogram_bounds: tuple[float, float] | None = None
+    #: Average stored width of this column in bytes (0.0 = unknown, e.g.
+    #: statistics loaded from an older snapshot without per-column widths).
+    avg_bytes: float = 0.0
 
     def null_fraction(self, row_count: int) -> float:
         if row_count == 0:
@@ -123,11 +126,14 @@ def analyze_rows(
     stats = TableStats(table_name=table_name, row_count=len(rows))
 
     values_by_column: list[list[object]] = [[] for _ in column_names]
+    bytes_by_column: list[int] = [0 for _ in column_names]
     total_bytes = 0
     for row in rows:
         for position, value in enumerate(row):
             values_by_column[position].append(value)
-            total_bytes += _estimate_value_bytes(value)
+            value_bytes = _estimate_value_bytes(value)
+            bytes_by_column[position] += value_bytes
+            total_bytes += value_bytes
     if rows:
         stats.avg_row_bytes = total_bytes / len(rows)
 
@@ -138,6 +144,7 @@ def analyze_rows(
             name=name,
             distinct=len(set(map(_hashable, non_null))),
             null_count=len(values) - len(non_null),
+            avg_bytes=bytes_by_column[position] / len(rows) if rows else 0.0,
         )
         if non_null:
             try:

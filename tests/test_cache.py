@@ -180,6 +180,38 @@ class TestPlanCache:
         # stats version moved → plans recompile against fresh statistics
         assert bank.metrics.counter_total("plancache.miss") == 2
 
+    def test_stats_refresh_flushes(self, bank):
+        # regression companion to the gateway stats_version fix: an
+        # explicit statistics refresh must expire compiled plans
+        bank.query("bank", BALANCES)
+        bank.gateway("b0").export_stats("account", refresh=True)
+        bank.query("bank", BALANCES)
+        assert bank.metrics.counter_total("plancache.miss") == 2
+        assert bank.metrics.counter_total("plancache.hit") == 0
+
+    def test_runtime_stats_version_moves_the_key(self):
+        with build_bank_sites(2, 2, adaptive_feedback=True) as system:
+            processor = system.processor("bank")
+            key_before = processor._plan_cache_key(BALANCES, "cost")
+            system.query("bank", BALANCES)
+            # first execution learned fresh entries → version bumped →
+            # plans compiled against the old estimates expire by key
+            key_after = processor._plan_cache_key(BALANCES, "cost")
+            assert processor.runtime_stats.version > 0
+            assert key_before != key_after
+
+    def test_adaptive_feedback_converges_to_cache_hits(self):
+        with build_bank_sites(
+            2, 2, adaptive_feedback=True, fragment_cache=False
+        ) as system:
+            system.query("bank", BALANCES)  # miss: cold cache
+            system.query("bank", BALANCES)  # miss: version moved after run 1
+            assert system.metrics.counter_total("plancache.miss") == 2
+            # run 2 re-observed identical actuals: no drift, no bump — the
+            # learned estimates converged and caching resumes
+            system.query("bank", BALANCES)
+            assert system.metrics.counter_total("plancache.hit") == 1
+
     def test_disabled_by_knob(self):
         with build_bank_sites(2, 2) as system:
             pass  # default system: cache on

@@ -82,6 +82,42 @@ class TestSelectivity:
         )
         assert sel == pytest.approx(0.9)
 
+    def test_in_list_uses_column_stats(self, model):
+        # regression: IN used to charge the System-R default (0.1) per
+        # item even when per-column statistics existed
+        cost_model, _ = model
+        stats = cost_model.export_stats("s", "rel")
+        sel = cost_model.predicate_selectivity(
+            stats, parse_expression("grp IN (1, 2, 3)")
+        )
+        assert sel == pytest.approx(0.3)
+
+    def test_in_list_over_key_column_is_selective(self, model):
+        cost_model, _ = model
+        stats = cost_model.export_stats("s", "rel")
+        sel = cost_model.predicate_selectivity(
+            stats, parse_expression("k IN (1, 2, 3, 4)")
+        )
+        assert sel == pytest.approx(4 / 200)
+
+    def test_in_list_dedupes_duplicate_literals(self, model):
+        # regression: generated semijoin key lists repeat literals; each
+        # occurrence used to count as a fresh disjunct
+        cost_model, _ = model
+        stats = cost_model.export_stats("s", "rel")
+        deduped = cost_model.predicate_selectivity(
+            stats, parse_expression("grp IN (1, 1, 1)")
+        )
+        assert deduped == pytest.approx(0.1)
+
+    def test_not_in_complements(self, model):
+        cost_model, _ = model
+        stats = cost_model.export_stats("s", "rel")
+        sel = cost_model.predicate_selectivity(
+            stats, parse_expression("grp NOT IN (1, 2)")
+        )
+        assert sel == pytest.approx(0.8)
+
     def test_never_zero_or_above_one(self, model):
         cost_model, _ = model
         stats = cost_model.export_stats("s", "rel")
@@ -112,6 +148,22 @@ class TestFragmentEstimates:
         narrow = cost_model.estimate_fragment("s", "rel", ["k"], None)
         assert narrow.row_bytes < wide.row_bytes
         assert narrow.total_bytes < wide.total_bytes
+
+    def test_projected_width_uses_per_column_byte_stats(self, model):
+        # regression: a projection used to be charged an even share of
+        # avg_row_bytes per column regardless of the columns' real widths
+        cost_model, _ = model
+        stats = cost_model.export_stats("s", "rel")
+        # k INTEGER → 8 bytes; name 'n0'..'n3' → 2 + 4 = 6 bytes
+        key_only = cost_model.estimate_fragment("s", "rel", ["k"], None)
+        name_only = cost_model.estimate_fragment("s", "rel", ["name"], None)
+        assert key_only.row_bytes == pytest.approx(8.0)
+        assert name_only.row_bytes == pytest.approx(6.0)
+        # all columns together reproduce the full row width
+        every = cost_model.estimate_fragment(
+            "s", "rel", ["k", "grp", "val", "name"], None
+        )
+        assert every.row_bytes == pytest.approx(stats.avg_row_bytes)
 
     def test_fetch_cost_monotone_in_size(self, model):
         cost_model, _ = model

@@ -124,6 +124,61 @@ class TestQueryShipping:
         assert gateway.export_stats("emp").row_count == 3  # cached
         assert gateway.export_stats("emp", refresh=True).row_count == 4
 
+    def test_export_stats_refresh_bumps_stats_version(self, setup):
+        # regression: refresh=True replaced the cached statistics without
+        # bumping stats_version, so plans compiled from the superseded
+        # statistics kept being served from the plan cache
+        _, ora, gateway = setup
+        gateway.export_stats("emp")
+        before = gateway.stats_version
+        gateway.export_stats("emp", refresh=True)
+        assert gateway.stats_version == before + 1
+        # a refresh that computed nothing new still moved the version: the
+        # cached value it replaced could have driven a compiled plan
+        gateway.export_stats("emp", refresh=True)
+        assert gateway.stats_version == before + 2
+
+    def test_export_stats_first_computation_does_not_bump(self, setup):
+        _, _, gateway = setup
+        before = gateway.stats_version
+        gateway.export_stats("emp")
+        gateway.export_stats("emp")  # cached: no recomputation either
+        assert gateway.stats_version == before
+
+    def test_export_stats_cache_miss_single_flight(self, setup):
+        # regression: concurrent first reads each ran the export view and
+        # raced their results into the cache
+        import threading
+        import time
+
+        _, ora, gateway = setup
+        scans = []
+        original = ora.execute
+
+        def counted(*args, **kwargs):
+            scans.append(threading.get_ident())
+            time.sleep(0.02)  # widen the race window
+            return original(*args, **kwargs)
+
+        ora.execute = counted
+        try:
+            results = []
+            threads = [
+                threading.Thread(
+                    target=lambda: results.append(gateway.export_stats("emp"))
+                )
+                for _ in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            ora.execute = original
+        assert len(scans) == 1  # one view scan served every caller
+        assert len(results) == 8
+        assert all(stats.row_count == 3 for stats in results)
+
 
 class TestTimeouts:
     def test_timeout_becomes_gateway_timeout(self, setup):
