@@ -248,6 +248,7 @@ class Gateway:
         from_site: str = FEDERATION_SITE,
         timeout: float | None = None,
         global_id: object | None = None,
+        request_id: str | None = None,
     ) -> ResultSet:
         """Translate, run locally, and ship back one query fragment."""
         if isinstance(query, str):
@@ -260,8 +261,15 @@ class Gateway:
 
         obs = self.obs
         with obs.span("gateway.query", site=self.site) as span:
+            if request_id is not None:
+                span.tag(request=request_id)
             request_cost = self.network.send(
-                from_site, self.site, len(sql_text.encode()), "query", trace
+                from_site,
+                self.site,
+                len(sql_text.encode()),
+                "query",
+                trace,
+                request_id=request_id,
             )
             session = self._session_for(global_id)
             result = self._run_local(session, sql_text, timeout)
@@ -272,7 +280,12 @@ class Gateway:
                 trace.add_compute(compute_cost)
             result_bytes = estimate_rows_bytes(result.rows)
             reply_cost = self.network.send(
-                self.site, from_site, result_bytes, "result", trace
+                self.site,
+                from_site,
+                result_bytes,
+                "result",
+                trace,
+                request_id=request_id,
             )
             with self._mutex:
                 self.queries_executed += 1
@@ -290,6 +303,9 @@ class Gateway:
         metrics.inc("site.rows_shipped", len(result.rows), site=self.site)
         metrics.inc("site.bytes_shipped", result_bytes, site=self.site)
         metrics.observe("gateway.fetch_latency_s", sim_latency, site=self.site)
+        # Per-site rolling window: the ops console's QPS / p95 per site.
+        obs.window.inc("site.requests", site=self.site)
+        obs.window.observe("site.latency_s", sim_latency, site=self.site)
         return ResultSet(result.columns, _normalize_rows(result.rows))
 
     def execute_update(

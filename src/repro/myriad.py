@@ -44,14 +44,23 @@ class MyriadSystem:
         adaptive_feedback: bool = False,
         adaptive_replan: bool = False,
         replan_threshold: float = 3.0,
+        slow_query_threshold_s: float | None = 1.0,
+        trace_sample_rate: float = 1.0,
     ):
         self.network = network or Network()
         # One observability handle serves the whole installation; every
         # subsystem reaches it through the shared network.  A caller-built
-        # network that already carries a handle keeps it.
+        # network that already carries a handle keeps it (and keeps its
+        # own threshold/sampling settings).
         if self.network.obs is None:
-            self.network.obs = Observability(enabled=observability)
+            self.network.obs = Observability(
+                enabled=observability,
+                slow_query_threshold_s=slow_query_threshold_s,
+                trace_sample_rate=trace_sample_rate,
+            )
         self.obs: Observability = self.network.obs
+        # Windowed metrics and SLO burn rates run on the simulated clock.
+        self.obs.bind_clock(lambda: self.network.now_s)
         if self.network.faults is not None and self.network.faults.obs is None:
             self.network.faults.obs = self.obs
         # Per-site circuit breakers, fed by every message outcome on the
@@ -168,6 +177,40 @@ class MyriadSystem:
     def events(self):
         """System-wide structured event log (2PC, deadlocks, faults, WAL)."""
         return self.obs.events
+
+    @property
+    def slow_query_threshold_s(self) -> float | None:
+        """Simulated-latency threshold for ``query.slow`` events."""
+        return self.obs.slow_query_threshold_s
+
+    @slow_query_threshold_s.setter
+    def slow_query_threshold_s(self, value: float | None) -> None:
+        self.obs.slow_query_threshold_s = value
+
+    def add_slo(
+        self,
+        name: str,
+        objective: float = 0.999,
+        kind: str = "availability",
+        threshold_s: float | None = None,
+        rules=None,
+    ):
+        """Register an SLO over this installation's request stream.
+
+        ``kind="availability"`` counts failed/degraded queries against the
+        objective; ``kind="latency"`` additionally counts queries slower
+        than ``threshold_s`` (simulated).  Burn-rate alert rules default to
+        :data:`repro.obs.slo.DEFAULT_RULES`; pass
+        :class:`~repro.obs.BurnRateRule` tuples to override.  See README
+        "Operating MYRIAD".
+        """
+        return self.obs.add_slo(
+            name,
+            objective=objective,
+            kind=kind,
+            threshold_s=threshold_s,
+            rules=rules,
+        )
 
     def observability_report(self, last_spans: int | None = 8) -> str:
         """Text dump of metrics, the event tail, and recent span trees.
@@ -328,18 +371,22 @@ class MyriadSystem:
         optimizer: str | None = None,
         timeout: float | None = None,
         allow_partial: bool = False,
+        request_id: str | None = None,
     ) -> GlobalResult:
         """Run a global SELECT against one federation (autocommit read).
 
         With ``allow_partial=True``, unreachable sites degrade the result
         (``result.degraded`` / ``result.missing_sites``) instead of
         raising — the paper's partial-availability posture for reads.
+        ``request_id`` lets a serving layer thread its correlation id
+        through; direct callers get one minted (``result.request_id``).
         """
         return self.processor(federation_name).execute(
             sql,
             optimizer=optimizer,
             timeout=timeout,
             allow_partial=allow_partial,
+            request_id=request_id,
         )
 
     def explain(
@@ -384,6 +431,7 @@ class MyriadSystem:
         sql: str,
         optimizer: str | None = None,
         allow_partial: bool = False,
+        request_id: str | None = None,
     ) -> GlobalResult:
         """Federation SELECT under a global transaction (locks held)."""
         return self.transactions.run_global_query(
@@ -392,6 +440,7 @@ class MyriadSystem:
             sql,
             optimizer,
             allow_partial=allow_partial,
+            request_id=request_id,
         )
 
     def transactional_update(

@@ -48,6 +48,9 @@ class MessageRecord:
     payload_bytes: int
     purpose: str
     cost_s: float
+    #: Request the message belongs to (``req-...``), when the sender was
+    #: executing on behalf of one — joins wire traffic to spans/events.
+    request_id: str | None = None
 
 
 class MessageTrace:
@@ -501,6 +504,7 @@ class Network:
         payload_bytes: int,
         purpose: str,
         trace: MessageTrace | None = None,
+        request_id: str | None = None,
     ) -> float:
         """Account one message; returns its virtual cost in seconds."""
         if source not in self._sites:
@@ -556,7 +560,14 @@ class Network:
             metrics.inc("net.bytes", payload_bytes, purpose=purpose)
         if trace is not None:
             trace.add(
-                MessageRecord(source, destination, payload_bytes, purpose, cost)
+                MessageRecord(
+                    source,
+                    destination,
+                    payload_bytes,
+                    purpose,
+                    cost,
+                    request_id=request_id,
+                )
             )
         return cost
 

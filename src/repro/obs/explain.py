@@ -49,7 +49,13 @@ def render_explain_analyze(result) -> str:
     plan = result.plan
     trace = result.trace
     missing = set(getattr(result, "missing_sites", ()) or ())
-    lines = [f"EXPLAIN ANALYZE GlobalPlan[{plan.strategy}]"]
+    header = f"EXPLAIN ANALYZE GlobalPlan[{plan.strategy}]"
+    request_id = getattr(result, "request_id", None)
+    if request_id is not None:
+        # The same id is on the execution's spans, events, and message
+        # records, so a debug bundle joins this report to its trace.
+        header += f" request={request_id}"
+    lines = [header]
     if getattr(result, "degraded", False):
         lines.append(
             "  DEGRADED: partial result, missing sites: "

@@ -61,6 +61,12 @@ def _collect_tracks(roots: list[Span]) -> list[str]:
     return ["coordinator"] + ordered
 
 
+def _span_request(span: Span, inherited: str | None) -> str | None:
+    """The request id in effect for a span (own tag, else ancestor's)."""
+    own = span.tags.get("request")
+    return str(own) if own is not None else inherited
+
+
 def _sim_dur(span: Span) -> float:
     """Simulated duration of a span: its own, else the sum of its children."""
     if span.sim_s is not None:
@@ -101,8 +107,17 @@ def spans_to_chrome_trace(tracer: Tracer, clock: str = "wall") -> dict:
     ]
     span_events: list[dict] = []
 
-    def emit(span: Span, start_us: float, dur_us: float) -> None:
+    def emit(
+        span: Span,
+        start_us: float,
+        dur_us: float,
+        request: str | None = None,
+    ) -> None:
         args = {str(key): str(value) for key, value in span.tags.items()}
+        # Children inherit the nearest ancestor's request id, so every
+        # event of one request's tree is joinable in Perfetto by args.
+        if request is not None and "request" not in args:
+            args["request"] = request
         if span.error is not None:
             args["error"] = span.error
         span_events.append(
@@ -130,19 +145,23 @@ def spans_to_chrome_trace(tracer: Tracer, clock: str = "wall") -> dict:
             collect_starts(root)
         base = min(starts, default=0.0)
 
-        def walk_wall(span: Span) -> None:
-            emit(span, (span._start - base) * 1e6, span.wall_s * 1e6)
+        def walk_wall(span: Span, request: str | None = None) -> None:
+            request = _span_request(span, request)
+            emit(span, (span._start - base) * 1e6, span.wall_s * 1e6, request)
             for child in span.children:
-                walk_wall(child)
+                walk_wall(child, request)
 
         for root in roots:
             walk_wall(root)
     else:
         cursor = 0.0
 
-        def walk_sim(span: Span, start_s: float) -> None:
+        def walk_sim(
+            span: Span, start_s: float, request: str | None = None
+        ) -> None:
+            request = _span_request(span, request)
             duration = _sim_dur(span)
-            emit(span, start_s * 1e6, duration * 1e6)
+            emit(span, start_s * 1e6, duration * 1e6, request)
             child_total = sum(_sim_dur(child) for child in span.children)
             # Concurrent branches can sum past the parent's (max-based)
             # extent; scale them to fit so nesting stays visually sane and
@@ -152,7 +171,7 @@ def spans_to_chrome_trace(tracer: Tracer, clock: str = "wall") -> dict:
                 scale = duration / child_total
             offset = 0.0
             for child in span.children:
-                walk_sim(child, start_s + offset * scale)
+                walk_sim(child, start_s + offset * scale, request)
                 offset += _sim_dur(child)
 
         for root in roots:
@@ -360,6 +379,8 @@ def _system_config(system) -> dict:
         "query_timeout": system.transactions.query_timeout,
         "fault_injector": system.network.faults is not None,
         "slow_query_threshold_s": system.obs.slow_query_threshold_s,
+        "trace_sample_rate": system.obs.tracer.sample_rate,
+        "slos": sorted(system.obs.slos),
     }
 
 
@@ -379,6 +400,12 @@ def dump_debug_bundle(system, directory) -> Path:
             "(construct the system with observability=True)"
         )
     from repro.obs.introspect import introspection_snapshot
+
+    # Publish the rolling-window gauges *before* rendering anything: the
+    # metrics files below are built first, but the report also publishes
+    # these gauges, and both must agree (selftest compares them byte for
+    # byte).  Re-publishing at a fixed simulated clock is idempotent.
+    obs.publish_window_gauges()
 
     path = Path(directory)
     path.mkdir(parents=True, exist_ok=True)
@@ -410,6 +437,7 @@ def dump_debug_bundle(system, directory) -> Path:
         "events_dropped": obs.events.dropped,
         "span_roots": len(obs.tracer.roots),
         "spans_dropped": obs.tracer.dropped,
+        "spans_sampled_out": obs.tracer.sampled_out,
     }
     (path / "MANIFEST.json").write_text(json.dumps(manifest, indent=2) + "\n")
     return path

@@ -152,11 +152,72 @@ def _is_divergent(
 # ---------------------------------------------------------------------------
 
 
+def _mvcc_stats(dbms) -> dict:
+    """Snapshot-horizon facts for one component DBMS (empty if no MVCC)."""
+    manager = getattr(dbms, "transactions", None)
+    if manager is None:
+        return {}
+    commit_ts = manager.commit_ts
+    oldest = manager.oldest_snapshot_ts()
+    return {
+        "commit_ts": commit_ts,
+        "active_snapshots": manager.active_snapshots(),
+        "oldest_snapshot_ts": oldest,
+        # How far version GC is held back by the oldest open read view,
+        # in commit timestamps; 0 means vacuum can prune to "now".
+        "snapshot_horizon_age": commit_ts - oldest,
+    }
+
+
+def _window_stats(obs) -> dict:
+    """Rolling per-federation and per-site rates from the windowed ring."""
+    window = obs.window
+    span = window.window_s
+    out: dict = {"window_s": span, "federations": {}, "sites": {}}
+    for labels in window.label_sets("query.requests"):
+        requests = window.count("query.requests", **labels)
+        errors = window.count("query.errors", **labels)
+        summary = window.summary("query.latency_s", **labels)
+        out["federations"][labels.get("federation", "")] = {
+            "requests": requests,
+            "qps": requests / span,
+            "error_rate": errors / requests if requests else 0.0,
+            "latency_p50_s": summary["p50"] if summary else None,
+            "latency_p95_s": summary["p95"] if summary else None,
+            "latency_p99_s": summary["p99"] if summary else None,
+        }
+    for labels in window.label_sets("site.requests"):
+        requests = window.count("site.requests", **labels)
+        summary = window.summary("site.latency_s", **labels)
+        out["sites"][labels.get("site", "")] = {
+            "requests": requests,
+            "qps": requests / span,
+            "latency_p95_s": summary["p95"] if summary else None,
+        }
+    return out
+
+
+def _cache_stats(metrics) -> dict:
+    """Hit ratios of the global plan cache and the fragment caches."""
+    out = {}
+    for cache in ("plancache", "fragcache"):
+        hits = metrics.counter_total(f"{cache}.hit")
+        misses = metrics.counter_total(f"{cache}.miss")
+        lookups = hits + misses
+        out[cache] = {
+            "hits": hits,
+            "misses": misses,
+            "hit_ratio": hits / lookups if lookups else None,
+        }
+    return out
+
+
 def federation_stats(system) -> dict:
     """One JSON-safe dict of the installation's shape and counters."""
     gtm = system.transactions
     network = system.network
     health = getattr(network, "health", None)
+    obs = system.obs
     return {
         "health": (
             health.snapshot(sites=system.gateways)
@@ -171,9 +232,14 @@ def federation_stats(system) -> dict:
                 "timeouts": gateway.timeouts,
                 "snapshot_reads": gateway.snapshot_reads,
                 "open_branches": len(gateway.branch_states()),
+                "mvcc": _mvcc_stats(system.components[site]),
             }
             for site, gateway in sorted(system.gateways.items())
         },
+        "windows": _window_stats(obs),
+        "slos": [slo.status() for _, slo in sorted(obs.slos.items())],
+        "alerts": obs.active_alerts(),
+        "caches": _cache_stats(obs.metrics),
         "sessions": (
             system._server.stats()
             if getattr(system, "_server", None) is not None
@@ -216,6 +282,82 @@ def introspection_snapshot(system) -> dict:
 # ---------------------------------------------------------------------------
 
 
+def _fmt_ms(value) -> str:
+    return f"{value * 1000:.3f}ms" if value is not None else "-"
+
+
+def _render_ops_window(lines: list[str], stats: dict) -> None:
+    """The live-operations section: rolling rates, caches, MVCC, SLOs.
+
+    All lookups are defensive (``.get``) so dashboards render for bundles
+    written before these fields existed.
+    """
+    windows = stats.get("windows") or {}
+    slos = stats.get("slos") or []
+    alerts = stats.get("alerts") or []
+    caches = stats.get("caches") or {}
+    if not (windows or slos or caches):
+        return
+    lines.append("")
+    lines.append(
+        f"== ops window (last {windows.get('window_s', 0):g}s simulated) =="
+    )
+    for fed, row in sorted((windows.get("federations") or {}).items()):
+        lines.append(
+            f"federation {fed or '-'}: qps={row.get('qps', 0.0):.2f} "
+            f"error_rate={row.get('error_rate', 0.0) * 100:.2f}% "
+            f"p50={_fmt_ms(row.get('latency_p50_s'))} "
+            f"p95={_fmt_ms(row.get('latency_p95_s'))} "
+            f"p99={_fmt_ms(row.get('latency_p99_s'))}"
+        )
+    health = stats.get("health", {})
+    for site, row in sorted((windows.get("sites") or {}).items()):
+        breaker = (health.get(site) or {}).get("state", "-")
+        lines.append(
+            f"site {site}: qps={row.get('qps', 0.0):.2f} "
+            f"p95={_fmt_ms(row.get('latency_p95_s'))} "
+            f"breaker={breaker.upper()}"
+        )
+    for name, row in sorted(caches.items()):
+        ratio = row.get("hit_ratio")
+        ratio_text = f"{ratio * 100:.1f}%" if ratio is not None else "-"
+        lines.append(
+            f"cache {name}: hit_ratio={ratio_text} "
+            f"(hits={row.get('hits', 0):g} misses={row.get('misses', 0):g})"
+        )
+    for site, info in sorted((stats.get("sites") or {}).items()):
+        mvcc = info.get("mvcc") or {}
+        if mvcc:
+            lines.append(
+                f"mvcc {site}: commit_ts={mvcc.get('commit_ts', 0)} "
+                f"snapshots={mvcc.get('active_snapshots', 0)} "
+                f"horizon_age={mvcc.get('snapshot_horizon_age', 0)}"
+            )
+    for status in slos:
+        worst = max(
+            (rule.get("burn_long", 0.0) for rule in status.get("rules", [])),
+            default=0.0,
+        )
+        state = "FIRING" if status.get("alert_active") else "ok"
+        lines.append(
+            f"slo {status.get('name', '?')} "
+            f"[{status.get('kind', '?')} "
+            f"{status.get('objective', 0.0) * 100:g}%]: {state} "
+            f"worst_burn={worst:.2f} fired={status.get('fired', 0)} "
+            f"cleared={status.get('cleared', 0)}"
+        )
+    for alert in alerts:
+        firing = [
+            rule for rule in alert.get("rules", []) if rule.get("firing")
+        ]
+        rule = firing[0] if firing else {}
+        lines.append(
+            f"ALERT {alert.get('name', '?')}: rule={rule.get('rule', '-')} "
+            f"burn_long={rule.get('burn_long', 0.0):.2f} "
+            f"burn_short={rule.get('burn_short', 0.0):.2f}"
+        )
+
+
 def render_dashboard(snapshot: dict) -> str:
     """Format an :func:`introspection_snapshot` as the CLI's dashboard."""
     lines: list[str] = []
@@ -237,7 +379,8 @@ def render_dashboard(snapshot: dict) -> str:
     sessions = stats.get("sessions") or {}
     if sessions:
         lines.append(
-            f"sessions: open={sessions.get('open', 0)} "
+            f"sessions: open={sessions.get('open', 0)}"
+            f"/{sessions.get('max', 0)} "
             f"peak={sessions.get('peak', 0)} "
             f"queries={sessions.get('queries', 0)} "
             f"updates={sessions.get('updates', 0)} "
@@ -272,6 +415,8 @@ def render_dashboard(snapshot: dict) -> str:
         "transactions: "
         + " ".join(f"{key}={value}" for key, value in txn.items())
     )
+
+    _render_ops_window(lines, stats)
 
     lines.append("")
     lines.append("== lock table ==")

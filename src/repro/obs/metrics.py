@@ -2,8 +2,16 @@
 
 Zero-dependency and deliberately simple: metrics are identified by a name
 plus sorted ``(label, value)`` pairs, histogram percentiles are computed on
-read (recording is an O(1) append), and everything is guarded by one lock so
-the deadlock monitor's thread can record sweeps concurrently with queries.
+read (recording is O(1)), and everything is guarded by one lock so the
+deadlock monitor's thread can record sweeps concurrently with queries.
+
+Histogram series are *bounded*: each keeps exact count / sum / min / max
+forever, but retains at most ``histogram_cap`` samples via a deterministic
+Algorithm-R reservoir (seeded from the series key, so two identically-fed
+registries stay byte-identical).  Up to the cap, percentiles are exact
+nearest-rank; past it they are nearest-rank over a uniform sample of the
+full history — an approximation whose error shrinks as the cap grows, while
+memory stays O(cap) per series no matter how long the system serves.
 
 A disabled registry (``MetricsRegistry(enabled=False)``) turns every
 recording call into an immediate return, which is what the E12 benchmark
@@ -12,7 +20,10 @@ measures the overhead of.
 
 from __future__ import annotations
 
+import math
+import random
 import threading
+import zlib
 
 #: Key identifying one metric series: (name, ((label, value), ...)).
 MetricKey = tuple
@@ -41,15 +52,71 @@ def percentile(values: list[float], pct: float) -> float:
     return ordered[rank]
 
 
+class _Histogram:
+    """One bounded histogram series: exact aggregates + sample reservoir."""
+
+    __slots__ = ("count", "total", "mn", "mx", "samples", "_rng")
+
+    def __init__(self, seed: int):
+        self.count = 0
+        self.total = 0.0
+        self.mn = math.inf
+        self.mx = -math.inf
+        self.samples: list[float] = []
+        # Per-series RNG seeded from the series key: replacement decisions
+        # are deterministic across runs and across identically-fed
+        # registries (reports and bundles stay reproducible).
+        self._rng = random.Random(seed)
+
+    def observe(self, value: float, cap: int) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.mn:
+            self.mn = value
+        if value > self.mx:
+            self.mx = value
+        if len(self.samples) < cap:
+            self.samples.append(value)
+        else:
+            # Algorithm R: keep each of the `count` observations with equal
+            # probability cap/count.
+            slot = self._rng.randrange(self.count)
+            if slot < cap:
+                self.samples[slot] = value
+
+    def snapshot(self) -> tuple[int, float, float, float, list[float]]:
+        return (self.count, self.total, self.mn, self.mx, list(self.samples))
+
+
+def _summarize(
+    snap: tuple[int, float, float, float, list[float]]
+) -> dict[str, float] | None:
+    count, total, mn, mx, samples = snap
+    if not count:
+        return None
+    summary = {
+        "count": float(count),
+        "min": mn,
+        "max": mx,
+        "mean": total / count,
+    }
+    for pct in PERCENTILES:
+        summary[f"p{pct:g}"] = percentile(samples, pct)
+    return summary
+
+
 class MetricsRegistry:
     """Federation-wide counters, gauges, and latency histograms."""
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True, histogram_cap: int = 512):
         self.enabled = enabled
+        if histogram_cap < 1:
+            raise ValueError("histogram_cap must be at least 1")
+        self.histogram_cap = histogram_cap
         self._lock = threading.Lock()
         self._counters: dict[MetricKey, float] = {}
         self._gauges: dict[MetricKey, float] = {}
-        self._histograms: dict[MetricKey, list[float]] = {}
+        self._histograms: dict[MetricKey, _Histogram] = {}
 
     # -- recording ---------------------------------------------------------
 
@@ -72,7 +139,12 @@ class MetricsRegistry:
             return
         key = _key(name, labels)
         with self._lock:
-            self._histograms.setdefault(key, []).append(value)
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = _Histogram(
+                    zlib.crc32(repr(key).encode())
+                )
+            hist.observe(value, self.histogram_cap)
 
     # -- reading -----------------------------------------------------------
 
@@ -97,20 +169,16 @@ class MetricsRegistry:
     def histogram_summary(
         self, name: str, **labels: object
     ) -> dict[str, float] | None:
-        """count/min/max/mean/p50/p95/p99 of one histogram series."""
+        """count/min/max/mean/p50/p95/p99 of one histogram series.
+
+        count/min/max/mean are exact over the full history; percentiles
+        are nearest-rank over the series' reservoir (exact until the
+        series exceeds ``histogram_cap`` observations).
+        """
         with self._lock:
-            values = list(self._histograms.get(_key(name, labels), ()))
-        if not values:
-            return None
-        summary = {
-            "count": float(len(values)),
-            "min": min(values),
-            "max": max(values),
-            "mean": sum(values) / len(values),
-        }
-        for pct in PERCENTILES:
-            summary[f"p{pct:g}"] = percentile(values, pct)
-        return summary
+            hist = self._histograms.get(_key(name, labels))
+            snap = hist.snapshot() if hist is not None else None
+        return _summarize(snap) if snap is not None else None
 
     def counter_series(self) -> list[tuple[str, dict[str, str], float]]:
         """Every counter as ``(name, labels, value)``, sorted (exporters)."""
@@ -125,32 +193,44 @@ class MetricsRegistry:
         return [(name, dict(labels), value) for (name, labels), value in items]
 
     def histogram_series(self) -> list[tuple[str, dict[str, str], dict]]:
-        """Every histogram as ``(name, labels, summary)``, sorted."""
+        """Every histogram as ``(name, labels, summary)``, sorted.
+
+        All series are snapshotted in **one** critical section, so the
+        result is a consistent point-in-time view even while recorders
+        are running (and the lock is taken once, not once per series).
+        """
         with self._lock:
-            keys = sorted(self._histograms)
+            snaps = sorted(
+                (key, hist.snapshot())
+                for key, hist in self._histograms.items()
+            )
         out = []
-        for name, labels in keys:
-            summary = self.histogram_summary(name, **dict(labels))
+        for (name, labels), snap in snaps:
+            summary = _summarize(snap)
             if summary is not None:
                 out.append((name, dict(labels), summary))
         return out
 
     def snapshot(self) -> dict[str, dict]:
-        """Plain-dict dump of every series (stable ordering for reports)."""
+        """Plain-dict dump of every series (stable ordering for reports).
+
+        Counters, gauges, and every histogram are captured in a single
+        critical section — one consistent cut across all three kinds.
+        """
         with self._lock:
             counters = dict(self._counters)
             gauges = dict(self._gauges)
-            histogram_keys = list(self._histograms)
+            histograms = {
+                key: hist.snapshot()
+                for key, hist in self._histograms.items()
+            }
         out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
         for key in sorted(counters):
             out["counters"][_label_text(key)] = counters[key]
         for key in sorted(gauges):
             out["gauges"][_label_text(key)] = gauges[key]
-        for key in sorted(histogram_keys):
-            name, labels = key
-            out["histograms"][_label_text(key)] = self.histogram_summary(
-                name, **dict(labels)
-            )
+        for key in sorted(histograms):
+            out["histograms"][_label_text(key)] = _summarize(histograms[key])
         return out
 
     def reset(self) -> None:

@@ -29,10 +29,14 @@ def build_demo_system():
     from repro.errors import TwoPhaseCommitError
     from repro.workloads import build_bank_sites
 
-    system = build_bank_sites(3, 4, query_timeout=2.0)
-    # Make the demo's queries cross the slow-query threshold so the event
-    # log has query.slow entries to show.
-    system.obs.slow_query_threshold_s = 0.0
+    # slow_query_threshold_s=0 makes every query cross the slow-query
+    # threshold so the event log has query.slow entries to show.
+    system = build_bank_sites(
+        3, 4, query_timeout=2.0, slow_query_threshold_s=0.0
+    )
+    # A demo SLO so the ops-window section of the dashboard has burn-rate
+    # rows (the healthy demo traffic never fires the alert).
+    system.add_slo("availability", objective=0.99)
 
     system.query("bank", "SELECT COUNT(*) FROM accounts")
     system.query("bank", "SELECT SUM(balance) FROM accounts")
@@ -100,7 +104,8 @@ def _print_bundle(bundle) -> None:
         f"events: {manifest['events']} recorded, "
         f"{manifest['events_dropped']} dropped; "
         f"span roots: {manifest['span_roots']} retained, "
-        f"{manifest['spans_dropped']} dropped"
+        f"{manifest['spans_dropped']} dropped, "
+        f"{manifest.get('spans_sampled_out', 0)} sampled out"
     )
     print(f"config: {json.dumps(bundle.config, sort_keys=True)}")
 

@@ -1,0 +1,248 @@
+"""Service-level objectives with multi-window burn-rate alerting.
+
+An :class:`SLO` tracks one target over the request stream — availability
+("99.9% of queries succeed") or latency ("99% finish under 20 simulated
+ms") — and converts recent failures into *error-budget burn rate*: a burn
+of 1.0 spends the budget exactly over the objective period, 14.4 spends it
+fourteen times as fast.  Each :class:`BurnRateRule` pairs a long window
+(sensitivity) with a short window (reset speed): the alert fires only when
+**both** exceed the rule's factor, so a stale spike cannot keep an alert up
+once the short window has recovered — the standard SRE multi-window,
+multi-burn-rate construction.
+
+Bookkeeping is an exact ring of (total, bad) counts per clock-aligned
+bucket on the simulated clock — no sampling, bounded memory.  Transitions
+emit ``slo.burn`` events (``state=firing`` / ``state=cleared``) and every
+evaluation refreshes the ``slo.burn_rate`` / ``slo.alert_active`` gauges in
+the shared :class:`~repro.obs.metrics.MetricsRegistry`, so alerts ride the
+Prometheus/JSON exporters for free.
+
+Evaluation happens on the request path
+(:meth:`~repro.obs.Observability.record_request`); :meth:`SLO.status` is a
+read-only view for dashboards and debug bundles that never mutates alert
+state — introspection must not perturb the event log it is snapshotting.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+KINDS = ("availability", "latency")
+
+
+@dataclass(frozen=True)
+class BurnRateRule:
+    """Fire when burn rate exceeds ``factor`` in both windows."""
+
+    long_s: float
+    short_s: float
+    factor: float
+
+    def __post_init__(self):
+        if self.short_s <= 0 or self.long_s <= 0:
+            raise ValueError("burn-rate windows must be positive")
+        if self.short_s > self.long_s:
+            raise ValueError("short window must not exceed the long window")
+        if self.factor <= 0:
+            raise ValueError("burn-rate factor must be positive")
+
+    @property
+    def label(self) -> str:
+        return f"{self.long_s:g}s/{self.short_s:g}s"
+
+
+#: Page-worthy fast burn plus a slower ticket-worthy burn, scaled to the
+#: simulated clock (the classic 1h/5m + 6h/30m pair compressed to sim
+#: seconds).  Override per-SLO for benchmark-sized windows.
+DEFAULT_RULES = (
+    BurnRateRule(long_s=60.0, short_s=5.0, factor=14.4),
+    BurnRateRule(long_s=300.0, short_s=25.0, factor=6.0),
+)
+
+
+class _SLOBucket:
+    __slots__ = ("index", "total", "bad")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.total = 0
+        self.bad = 0
+
+
+class SLO:
+    """One objective over the request stream, with burn-rate alert rules."""
+
+    def __init__(
+        self,
+        name: str,
+        objective: float = 0.999,
+        kind: str = "availability",
+        threshold_s: float | None = None,
+        rules: tuple[BurnRateRule, ...] | None = None,
+        clock=None,
+        obs=None,
+    ):
+        if not 0.0 < objective < 1.0:
+            raise ValueError("objective must be strictly between 0 and 1")
+        if kind not in KINDS:
+            raise ValueError(f"unknown SLO kind {kind!r}; use one of {KINDS}")
+        if kind == "latency" and threshold_s is None:
+            raise ValueError("a latency SLO needs threshold_s")
+        self.name = name
+        self.objective = objective
+        self.kind = kind
+        self.threshold_s = threshold_s
+        self.rules = tuple(rules) if rules else DEFAULT_RULES
+        #: The error budget: the bad-request fraction the objective allows.
+        self.budget = 1.0 - objective
+        self.clock = clock or (lambda: 0.0)
+        self.obs = obs
+        # Bucket width resolves the shortest window into >= 5 slices; the
+        # ring is sized to cover the longest window plus the open bucket.
+        shortest = min(rule.short_s for rule in self.rules)
+        longest = max(rule.long_s for rule in self.rules)
+        self.bucket_s = shortest / 5.0
+        self._buckets: deque[_SLOBucket] = deque(
+            maxlen=int(math.ceil(longest / self.bucket_s)) + 1
+        )
+        self._lock = threading.Lock()
+        self.alert_active = False
+        self.fired = 0
+        self.cleared = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, ok: bool, latency_s: float | None = None) -> None:
+        """Count one request against the objective."""
+        bad = not ok
+        if self.kind == "latency" and not bad:
+            bad = latency_s is not None and latency_s > self.threshold_s
+        index = int(self.clock() // self.bucket_s)
+        with self._lock:
+            if not self._buckets or self._buckets[-1].index != index:
+                self._buckets.append(_SLOBucket(index))
+            bucket = self._buckets[-1]
+            bucket.total += 1
+            if bad:
+                bucket.bad += 1
+
+    def _counts(self, window_s: float, now_index: int) -> tuple[int, int]:
+        """(total, bad) inside the window (lock held by caller)."""
+        cutoff = now_index - max(1, int(round(window_s / self.bucket_s)))
+        total = bad = 0
+        for bucket in self._buckets:
+            if bucket.index > cutoff:
+                total += bucket.total
+                bad += bucket.bad
+        return total, bad
+
+    # -- evaluation --------------------------------------------------------
+
+    def _rule_rows(self) -> list[dict]:
+        now_index = int(self.clock() // self.bucket_s)
+        rows = []
+        with self._lock:
+            for rule in self.rules:
+                long_total, long_bad = self._counts(rule.long_s, now_index)
+                short_total, short_bad = self._counts(rule.short_s, now_index)
+                burn_long = (
+                    (long_bad / long_total) / self.budget if long_total else 0.0
+                )
+                burn_short = (
+                    (short_bad / short_total) / self.budget
+                    if short_total
+                    else 0.0
+                )
+                rows.append(
+                    {
+                        "rule": rule.label,
+                        "factor": rule.factor,
+                        "burn_long": burn_long,
+                        "burn_short": burn_short,
+                        "requests": long_total,
+                        "bad": long_bad,
+                        "firing": bool(
+                            long_total
+                            and burn_long >= rule.factor
+                            and burn_short >= rule.factor
+                        ),
+                    }
+                )
+        return rows
+
+    def evaluate(self) -> dict:
+        """Re-check every rule, transition alert state, refresh gauges.
+
+        Called from the request path; transitions emit ``slo.burn`` events
+        stamped with the simulated clock, so an alert's firing time is
+        joinable against breaker trips and fault events.
+        """
+        rows = self._rule_rows()
+        firing = [row for row in rows if row["firing"]]
+        now_s = self.clock()
+        if firing and not self.alert_active:
+            self.alert_active = True
+            self.fired += 1
+            self._emit("firing", firing[0], now_s)
+        elif not firing and self.alert_active:
+            self.alert_active = False
+            self.cleared += 1
+            self._emit("cleared", rows[0] if rows else None, now_s)
+        if self.obs is not None:
+            metrics = self.obs.metrics
+            for row in rows:
+                metrics.set_gauge(
+                    "slo.burn_rate",
+                    row["burn_long"],
+                    slo=self.name,
+                    window=row["rule"].split("/", 1)[0],
+                )
+            metrics.set_gauge(
+                "slo.alert_active",
+                1.0 if self.alert_active else 0.0,
+                slo=self.name,
+            )
+        return self._status_dict(rows)
+
+    def _emit(self, state: str, row: dict | None, now_s: float) -> None:
+        if self.obs is None:
+            return
+        fields = {
+            "slo": self.name,
+            "kind": self.kind,
+            "objective": self.objective,
+            "state": state,
+        }
+        if row is not None:
+            fields.update(
+                rule=row["rule"],
+                factor=row["factor"],
+                burn_long=round(row["burn_long"], 6),
+                burn_short=round(row["burn_short"], 6),
+            )
+        self.obs.emit("slo.burn", sim_s=now_s, **fields)
+
+    def status(self) -> dict:
+        """Read-only view: burn rates plus the *current* alert state.
+
+        Never transitions the alert or emits events — safe to call from
+        dashboards and introspection snapshots.
+        """
+        return self._status_dict(self._rule_rows())
+
+    def _status_dict(self, rows: list[dict]) -> dict:
+        out = {
+            "name": self.name,
+            "kind": self.kind,
+            "objective": self.objective,
+            "alert_active": self.alert_active,
+            "fired": self.fired,
+            "cleared": self.cleared,
+            "rules": rows,
+        }
+        if self.threshold_s is not None:
+            out["threshold_s"] = self.threshold_s
+        return out

@@ -131,6 +131,13 @@ class _NullSpan:
 NULL_SPAN = _NullSpan()
 
 
+def _subtree_error(span: Span) -> bool:
+    """True when this span or any descendant recorded an error."""
+    if span.error is not None:
+        return True
+    return any(_subtree_error(child) for child in span.children)
+
+
 class Tracer:
     """Records span trees for recent global operations.
 
@@ -139,7 +146,12 @@ class Tracer:
     ``max_roots``, oldest evicted first) for :meth:`render` and inspection.
     """
 
-    def __init__(self, enabled: bool = True, max_roots: int = 64):
+    def __init__(
+        self,
+        enabled: bool = True,
+        max_roots: int = 64,
+        sample_rate: float = 1.0,
+    ):
         self.enabled = enabled
         self.roots: deque[Span] = deque(maxlen=max_roots)
         self._lock = threading.Lock()
@@ -149,6 +161,17 @@ class Tracer:
         #: ``obs.spans_dropped`` counter so a truncated trace is never
         #: mistaken for a complete one.
         self.dropped = 0
+        #: Tail-based sampling: the fraction of *uninteresting* root spans
+        #: retained.  The keep/drop decision happens when the root
+        #: completes, so a trace that turned out slow, errored, degraded,
+        #: or re-planned (``error`` set anywhere in the tree, or a
+        #: ``sample_keep`` tag on the root) is **always** kept; the rest
+        #: are admitted at this rate.  1.0 keeps everything (default).
+        self.sample_rate = sample_rate
+        #: Healthy root spans discarded by tail sampling (distinct from
+        #: ``dropped``: sampling is a policy choice, eviction is overflow).
+        self.sampled_out = 0
+        self._sample_debt = 0.0
         #: Optional :class:`~repro.obs.metrics.MetricsRegistry`; set by the
         #: owning :class:`~repro.obs.Observability` handle.
         self.metrics = None
@@ -197,6 +220,11 @@ class Tracer:
             stack.remove(span)
         if span.parent is None:
             with self._lock:
+                if not self._keep_root(span):
+                    self.sampled_out += 1
+                    if self.metrics is not None:
+                        self.metrics.inc("obs.spans_sampled_out")
+                    return
                 if (
                     self.roots.maxlen is not None
                     and len(self.roots) == self.roots.maxlen
@@ -205,6 +233,28 @@ class Tracer:
                     if self.metrics is not None:
                         self.metrics.inc("obs.spans_dropped")
                 self.roots.append(span)
+
+    def _keep_root(self, span: Span) -> bool:
+        """Tail-sampling verdict for a completed root (lock held).
+
+        Interesting traces — any error in the tree, or a ``sample_keep``
+        tag set by instrumented code (slow / degraded / replanned) — are
+        always retained.  The rest pass at ``sample_rate``, via an exact
+        deterministic debt accumulator (no RNG: every ``1/rate``-th
+        healthy root is kept).
+        """
+        rate = self.sample_rate
+        if rate >= 1.0:
+            return True
+        if "sample_keep" in span.tags or _subtree_error(span):
+            return True
+        if rate <= 0.0:
+            return False
+        self._sample_debt += rate
+        if self._sample_debt >= 1.0:
+            self._sample_debt -= 1.0
+            return True
+        return False
 
     # -- inspection --------------------------------------------------------
 
@@ -221,6 +271,8 @@ class Tracer:
         with self._lock:
             self.roots.clear()
             self.dropped = 0
+            self.sampled_out = 0
+            self._sample_debt = 0.0
 
     def render(self, last: int | None = None) -> str:
         """Text dump of the most recent ``last`` root spans (default all)."""
@@ -235,6 +287,11 @@ class Tracer:
             lines.append(
                 f"(trace truncated: {self.dropped} older root spans dropped "
                 f"beyond the {self.roots.maxlen}-root buffer)"
+            )
+        if self.sampled_out:
+            lines.append(
+                f"(tail sampling at rate {self.sample_rate:g}: "
+                f"{self.sampled_out} healthy root spans not retained)"
             )
         for root in roots:
             lines.extend(root.render())

@@ -1,0 +1,209 @@
+"""Windowed metrics: a ring of time buckets on the simulated clock.
+
+The all-time :class:`~repro.obs.metrics.MetricsRegistry` answers "how much,
+ever"; operating a federation needs "how much, *lately*" — rolling QPS,
+error rate, and latency percentiles over the last N simulated seconds.
+:class:`WindowedMetrics` provides that with a fixed ring of per-series
+buckets keyed by the simulated clock (``Network.now_s``), so memory stays
+bounded no matter how long the system runs and no matter how many requests
+a session storm pushes through.
+
+Each bucket keeps exact ``count`` / ``sum`` / ``min`` / ``max`` plus a small
+capped sample list for percentile estimation; buckets older than the window
+fall off the ring.  Reading merges the buckets still inside the requested
+window.  Everything is guarded by one lock (worker fetch threads record
+per-site latencies concurrently with session threads) and becomes an
+immediate return when disabled — the E12/E18 overhead budget applies here
+too.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.obs.metrics import PERCENTILES, MetricKey, _key, percentile
+
+#: Multiplicative hash step for the deterministic in-bucket sample
+#: overwrite (Knuth); keeps replacement spread without an RNG per bucket.
+_SAMPLE_STEP = 2654435761
+
+
+class _Bucket:
+    """Aggregates for one series over one clock-aligned time slice."""
+
+    __slots__ = ("index", "count", "total", "mn", "mx", "samples")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.count = 0
+        self.total = 0.0
+        self.mn: float | None = None
+        self.mx: float | None = None
+        self.samples: list[float] = []
+
+    def add(self, value: float, sample_cap: int) -> None:
+        self.count += 1
+        self.total += value
+        if self.mn is None or value < self.mn:
+            self.mn = value
+        if self.mx is None or value > self.mx:
+            self.mx = value
+        if sample_cap <= 0:
+            return
+        if len(self.samples) < sample_cap:
+            self.samples.append(value)
+        else:
+            # Deterministic overwrite: later observations displace earlier
+            # ones pseudo-uniformly, with no per-bucket RNG state.
+            self.samples[(self.count * _SAMPLE_STEP) % sample_cap] = value
+
+
+class WindowedMetrics:
+    """Rolling counters and latency distributions over recent sim time.
+
+    ``bucket_s`` × ``bucket_count`` is the widest window answerable
+    (:attr:`window_s`); narrower reads pass ``window_s=`` to the readers.
+    The clock defaults to a constant 0.0 (everything lands in one bucket)
+    until :class:`~repro.myriad.MyriadSystem` binds it to the simulated
+    network clock.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        bucket_s: float = 0.5,
+        bucket_count: int = 120,
+        samples_per_bucket: int = 64,
+        clock=None,
+    ):
+        if bucket_s <= 0:
+            raise ValueError("bucket_s must be positive")
+        if bucket_count < 1:
+            raise ValueError("bucket_count must be at least 1")
+        self.enabled = enabled
+        self.bucket_s = bucket_s
+        self.bucket_count = bucket_count
+        self.samples_per_bucket = samples_per_bucket
+        self.clock = clock or (lambda: 0.0)
+        self._lock = threading.Lock()
+        self._series: dict[MetricKey, deque[_Bucket]] = {}
+
+    @property
+    def window_s(self) -> float:
+        """The widest window this ring can answer."""
+        return self.bucket_s * self.bucket_count
+
+    # -- recording ---------------------------------------------------------
+
+    def _bucket(self, key: MetricKey) -> _Bucket:
+        """The current-slice bucket for ``key`` (lock held by caller)."""
+        index = int(self.clock() // self.bucket_s)
+        ring = self._series.get(key)
+        if ring is None:
+            ring = self._series[key] = deque(maxlen=self.bucket_count)
+        if not ring or ring[-1].index != index:
+            ring.append(_Bucket(index))
+        return ring[-1]
+
+    def inc(self, name: str, amount: float = 1.0, **labels: object) -> None:
+        """Count one occurrence (``amount`` rides along as the sum)."""
+        if not self.enabled:
+            return
+        key = _key(name, labels)
+        with self._lock:
+            bucket = self._bucket(key)
+            bucket.count += 1
+            bucket.total += amount
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        """Record one distribution sample (latency, size, ...)."""
+        if not self.enabled:
+            return
+        key = _key(name, labels)
+        with self._lock:
+            self._bucket(key).add(value, self.samples_per_bucket)
+
+    # -- reading -----------------------------------------------------------
+
+    def _window_buckets(
+        self, key: MetricKey, window_s: float | None
+    ) -> list[_Bucket]:
+        """Buckets of ``key`` inside the window (lock held by caller)."""
+        ring = self._series.get(key)
+        if not ring:
+            return []
+        span = self.window_s if window_s is None else window_s
+        width = max(1, int(round(span / self.bucket_s)))
+        cutoff = int(self.clock() // self.bucket_s) - width
+        return [bucket for bucket in ring if bucket.index > cutoff]
+
+    def count(
+        self, name: str, window_s: float | None = None, **labels: object
+    ) -> int:
+        """Events recorded for this series inside the window."""
+        with self._lock:
+            return sum(
+                b.count for b in self._window_buckets(_key(name, labels), window_s)
+            )
+
+    def total(
+        self, name: str, window_s: float | None = None, **labels: object
+    ) -> float:
+        """Summed amounts/values for this series inside the window."""
+        with self._lock:
+            return sum(
+                b.total for b in self._window_buckets(_key(name, labels), window_s)
+            )
+
+    def rate(
+        self, name: str, window_s: float | None = None, **labels: object
+    ) -> float:
+        """Events per simulated second over the window."""
+        span = self.window_s if window_s is None else window_s
+        if span <= 0:
+            return 0.0
+        return self.count(name, window_s=window_s, **labels) / span
+
+    def summary(
+        self, name: str, window_s: float | None = None, **labels: object
+    ) -> dict[str, float] | None:
+        """count/min/max/mean/p50/p95/p99 of the window, or ``None``.
+
+        Percentiles are nearest-rank over the buckets' retained samples
+        (at most ``samples_per_bucket`` per bucket); count, min, max, and
+        mean are exact.
+        """
+        with self._lock:
+            buckets = self._window_buckets(_key(name, labels), window_s)
+            count = sum(b.count for b in buckets)
+            if not count:
+                return None
+            total = sum(b.total for b in buckets)
+            mn = min(b.mn for b in buckets if b.mn is not None)
+            mx = max(b.mx for b in buckets if b.mx is not None)
+            samples = [value for b in buckets for value in b.samples]
+        out = {
+            "count": float(count),
+            "min": mn,
+            "max": mx,
+            "mean": total / count,
+        }
+        for pct in PERCENTILES:
+            out[f"p{pct:g}"] = percentile(samples, pct) if samples else mn
+        return out
+
+    def label_sets(self, name: str) -> list[dict[str, str]]:
+        """Every label combination recorded for ``name``, sorted."""
+        with self._lock:
+            keys = sorted(key for key in self._series if key[0] == name)
+        return [dict(labels) for _, labels in keys]
+
+    def series_count(self) -> int:
+        """Distinct (name, labels) series held (memory-bound checks)."""
+        with self._lock:
+            return len(self._series)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._series.clear()

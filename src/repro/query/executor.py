@@ -70,6 +70,9 @@ class GlobalResult:
     degraded: bool = False
     #: Sites whose fragments are missing from a degraded result.
     missing_sites: list[str] = field(default_factory=list)
+    #: Correlation id of the request that produced this result; stamped on
+    #: every span, event, and network message of the execution.
+    request_id: str | None = None
 
     def __iter__(self):
         return iter(self.rows)
@@ -199,6 +202,7 @@ class GlobalExecutor:
         allow_partial: bool = False,
         skip_sites: set[str] | None = None,
         replanner=None,
+        request_id: str | None = None,
     ) -> GlobalResult:
         """Run one global plan.
 
@@ -260,6 +264,7 @@ class GlobalExecutor:
                             obs,
                             stage_span,
                             use_cache,
+                            request_id,
                         )
                     else:
                         outcomes = [
@@ -275,6 +280,7 @@ class GlobalExecutor:
                                 obs,
                                 stage_span,
                                 use_cache,
+                                request_id=request_id,
                             )
                             for fetch in stage.fetches
                         ]
@@ -316,6 +322,7 @@ class GlobalExecutor:
                     health,
                     obs,
                     trace,
+                    request_id,
                 )
             stage_index += 1
 
@@ -327,7 +334,9 @@ class GlobalExecutor:
             residual_span.tag(rows=len(result.rows))
         if missing:
             obs.metrics.inc("query.degraded")
-            obs.emit("query.degraded", sites=sorted(missing))
+            obs.emit(
+                "query.degraded", sites=sorted(missing), request=request_id
+            )
         return GlobalResult(
             columns=result.columns,
             rows=result.rows,
@@ -337,6 +346,7 @@ class GlobalExecutor:
             fetch_actuals=fetch_actuals,
             degraded=bool(missing),
             missing_sites=sorted(missing),
+            request_id=request_id,
         )
 
     def _health(self):
@@ -360,6 +370,7 @@ class GlobalExecutor:
         trace: MessageTrace,
         timeout: float | None,
         global_id: object | None,
+        request_id: str | None = None,
     ) -> ResultSet:
         """One fetch with bounded retry of transient message loss.
 
@@ -380,7 +391,11 @@ class GlobalExecutor:
                 network.advance(backoff)
             try:
                 return gateway.execute_query(
-                    shipped, trace=trace, timeout=timeout, global_id=global_id
+                    shipped,
+                    trace=trace,
+                    timeout=timeout,
+                    global_id=global_id,
+                    request_id=request_id,
                 )
             except MessageDropped as error:
                 last_error = error
@@ -454,6 +469,7 @@ class GlobalExecutor:
         health,
         obs: Observability,
         trace: MessageTrace,
+        request_id: str | None = None,
     ) -> None:
         """Re-optimize remaining stages if this stage's actuals diverged.
 
@@ -522,6 +538,7 @@ class GlobalExecutor:
                 trigger=trigger,
                 changes=len(notes),
                 sim_s=trace.elapsed_s,
+                request=request_id,
             )
 
     def _site_groups(self, stage: _Stage) -> list[tuple[str, list[Fetch]]]:
@@ -549,6 +566,7 @@ class GlobalExecutor:
         obs: Observability,
         stage_span,
         use_cache: bool,
+        request_id: str | None = None,
     ) -> list[_FetchOutcome]:
         """Run one stage's site groups on the worker pool.
 
@@ -574,6 +592,7 @@ class GlobalExecutor:
                     stage_span,
                     use_cache,
                     capture_errors=True,
+                    request_id=request_id,
                 )
                 outcomes.append(outcome)
                 if outcome.error is not None:
@@ -610,6 +629,7 @@ class GlobalExecutor:
         stage_span,
         use_cache: bool,
         capture_errors: bool = False,
+        request_id: str | None = None,
     ) -> _FetchOutcome:
         """One fetch end to end: degrade, cache lookup, ship, cache store.
 
@@ -664,7 +684,8 @@ class GlobalExecutor:
                 try:
                     with trace.branch(branch_name) as branch:
                         result = self._fetch_with_retry(
-                            fetch, shipped, trace, timeout, global_id
+                            fetch, shipped, trace, timeout, global_id,
+                            request_id=request_id,
                         )
                 except (MessageDropped, CircuitOpenError):
                     if not allow_partial:

@@ -199,10 +199,20 @@ class GlobalQueryProcessor:
         timeout: float | None = None,
         global_id: object | None = None,
         allow_partial: bool = False,
+        request_id: str | None = None,
     ) -> GlobalResult:
         obs = self.obs
+        # Direct callers get a request id minted here; the serving layer
+        # (and the 2PC coordinator's query path) mint earlier and pass it
+        # down, so one id covers the whole statement.
+        if request_id is None:
+            request_id = obs.mint_request_id()
+        threshold = getattr(obs, "slow_query_threshold_s", None)
+        slow = False
         with obs.span(
-            "query.execute", federation=self.federation.name
+            "query.execute",
+            federation=self.federation.name,
+            request=request_id,
         ) as span:
             optimizer_key = optimizer or self.default_optimizer
             chosen = self.optimizers[optimizer_key]
@@ -213,25 +223,53 @@ class GlobalQueryProcessor:
                 else None
             )
             sim_before = trace.elapsed_s if trace is not None else 0.0
-            result = self.executor.execute(
-                plan,
-                trace=trace,
-                timeout=timeout,
-                global_id=global_id,
-                allow_partial=allow_partial,
-                replanner=replanner,
-            )
+            try:
+                result = self.executor.execute(
+                    plan,
+                    trace=trace,
+                    timeout=timeout,
+                    global_id=global_id,
+                    allow_partial=allow_partial,
+                    replanner=replanner,
+                    request_id=request_id,
+                )
+            except BaseException:
+                # The error marks the span, which tail sampling always
+                # keeps; the failure still burns SLO budget.
+                failed_sim = (
+                    trace.elapsed_s - sim_before if trace is not None else 0.0
+                )
+                obs.record_request(
+                    False, failed_sim, federation=self.federation.name
+                )
+                raise
             sim_elapsed = result.trace.elapsed_s - sim_before
             span.set_sim(sim_elapsed)
             span.tag(strategy=plan.strategy, rows=len(result.rows))
+            # Tail-sampling keep reasons must land before the root span
+            # closes (the keep/drop verdict happens at close).
+            slow = threshold is not None and sim_elapsed >= threshold
+            keep = None
+            if result.degraded:
+                keep = "degraded"
+            elif any(
+                getattr(fetch, "replanned", False) for fetch in plan.fetches
+            ):
+                keep = "replanned"
+            elif slow:
+                keep = "slow"
+            if keep is not None:
+                span.tag(sample_keep=keep)
         if self.runtime_stats is not None:
-            self._record_actuals(plan, result)
+            self._record_actuals(plan, result, request_id)
         metrics = obs.metrics
         metrics.inc("query.executed", strategy=plan.strategy)
         metrics.inc("query.rows_fetched", result.fetched_rows)
         metrics.observe("query.sim_elapsed_s", sim_elapsed)
-        threshold = getattr(obs, "slow_query_threshold_s", None)
-        if threshold is not None and sim_elapsed >= threshold:
+        obs.record_request(
+            not result.degraded, sim_elapsed, federation=self.federation.name
+        )
+        if slow:
             obs.emit(
                 "query.slow",
                 sim_s=sim_elapsed,
@@ -241,10 +279,16 @@ class GlobalQueryProcessor:
                 fetches=len(plan.fetches),
                 rows=len(result.rows),
                 threshold_s=threshold,
+                request=request_id,
             )
         return result
 
-    def _record_actuals(self, plan: GlobalPlan, result: GlobalResult) -> None:
+    def _record_actuals(
+        self,
+        plan: GlobalPlan,
+        result: GlobalResult,
+        request_id: str | None = None,
+    ) -> None:
         """Feed EXPLAIN ANALYZE actuals into the runtime-statistics store.
 
         Each executed fetch is recorded under its exact fragment shape
@@ -278,4 +322,5 @@ class GlobalQueryProcessor:
                 federation=self.federation.name,
                 runtime_stats_version=store.version,
                 entries=len(store),
+                request=request_id,
             )

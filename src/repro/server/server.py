@@ -145,11 +145,17 @@ class ClientSession:
             try:
                 if isinstance(statement, (ast.Select, ast.SetOperation)):
                     self.queries += 1
+                    # The serving layer is the request's entry point: mint
+                    # the correlation id here so every span, event, and
+                    # message of this statement carries one stable id.
+                    request_id = self.system.obs.mint_request_id()
                     if self._txn is not None:
                         return self.system.transactional_query(
-                            self._txn, federation, sql
+                            self._txn, federation, sql, request_id=request_id
                         )
-                    return self.system.query(federation, sql)
+                    return self.system.query(
+                        federation, sql, request_id=request_id
+                    )
                 if self._read_only:
                     raise ServerError(
                         f"session {self.session_id}: read-only transaction "

@@ -269,6 +269,7 @@ class GlobalTransactionManager:
         optimizer: str | None = None,
         timeout: float | None = None,
         allow_partial: bool = False,
+        request_id: str | None = None,
     ):
         """Run a federation-level SELECT inside this global transaction.
 
@@ -282,10 +283,16 @@ class GlobalTransactionManager:
         ``missing_sites`` (see :meth:`GlobalExecutor.execute`).
         """
         txn.require_active()
+        obs = processor.obs
+        # This path bypasses processor.execute, so it mints (or inherits)
+        # the request id itself and feeds the request window directly.
+        if request_id is None:
+            request_id = obs.mint_request_id()
         plan = processor.plan(sql, optimizer)
         effective = timeout if timeout is not None else self.query_timeout
         health = self._health()
         skip_sites: set[str] = set()
+        sim_before = txn.trace.elapsed_s
         try:
             for fetch in plan.fetches:
                 site = fetch.site
@@ -304,17 +311,29 @@ class GlobalTransactionManager:
                     if not allow_partial:
                         raise
                     skip_sites.add(site)
-            return processor.executor.execute(
+            result = processor.executor.execute(
                 plan,
                 trace=txn.trace,
                 timeout=effective,
                 global_id=txn.global_id,
                 allow_partial=allow_partial,
                 skip_sites=skip_sites,
+                request_id=request_id,
             )
+            obs.record_request(
+                not result.degraded,
+                txn.trace.elapsed_s - sim_before,
+                federation=processor.federation.name,
+            )
+            return result
         except GatewayTimeout:
             self.timeout_aborts += 1
             self.obs.metrics.inc("txn.timeout_aborts")
+            obs.record_request(
+                False,
+                txn.trace.elapsed_s - sim_before,
+                federation=processor.federation.name,
+            )
             self.abort(txn)
             raise TransactionAborted(
                 f"global transaction {txn.global_id} aborted: a fetch "
@@ -325,9 +344,19 @@ class GlobalTransactionManager:
             # A local branch died under us (local deadlock victim): the
             # global transaction cannot proceed with a dead branch — abort
             # it, as execute() does, instead of leaving it ACTIVE.
+            obs.record_request(
+                False,
+                txn.trace.elapsed_s - sim_before,
+                federation=processor.federation.name,
+            )
             self.abort(txn)
             raise
         except NetworkError as error:
+            obs.record_request(
+                False,
+                txn.trace.elapsed_s - sim_before,
+                federation=processor.federation.name,
+            )
             self.abort(txn)
             raise TransactionAborted(
                 f"global transaction {txn.global_id} aborted: a fetch site "
