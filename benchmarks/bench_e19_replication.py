@@ -1,0 +1,211 @@
+"""E19 — Replication: follower-read scaling and deterministic failover.
+
+MYRIAD's availability story (paper §6 lists replication among the open
+engineering problems) reproduced on the simulated network: every
+component site becomes a Raft-style replica group (``replication_factor``
+replicas, term-based elections on seeded timers, majority-ack log
+replication of autocommit DML, 2PC write-sets, and commit/abort
+decisions).
+
+Two claims are measured:
+
+1. **Reads scale with replicas, writes pay for durability.**  A read-only
+   workload over replica groups serves snapshot SELECTs from bounded-
+   staleness followers (``follower_reads=True``) — per-fragment reads
+   spread round-robin over the group while the per-read cost stays flat.
+   Writes replicate to a majority before acknowledging, so write cost
+   grows with the group size — the table shows both sides.
+
+2. **Leader kills never lose an acknowledged write.**  The replication
+   chaos module kills the group leader at every enumerated protocol point
+   (around prepare/commit log appends, commit-index advancement,
+   mid-election) under ``SEEDS`` seeds, heals, converges, and audits:
+   single leader per term, no committed-then-lost entry, post-heal replica
+   convergence, plus the base 2PC invariants.  Write availability must be
+   total — zero lost writes outside deliberate quorum-loss schedules —
+   and failover latency bounded by the election-timeout envelope.  The
+   invariant report (greppable ``invariants=ok`` / ``failover=ok``) is
+   persisted as the CI artifact ``results/e19_invariant_report.txt``.
+"""
+
+from conftest import RESULTS_DIR, emit
+
+from repro.chaos import (
+    enumerate_replication_points,
+    run_replica_crash,
+    run_replica_sweep,
+)
+from repro.replication import ELECTION_TIMEOUT_S, MAX_ELECTION_ROUNDS
+from repro.workloads import build_bank_sites
+
+SEEDS = range(6)
+READS = 30
+WRITES = 5
+
+REPORT_PATH = RESULTS_DIR / "e19_invariant_report.txt"
+
+
+def _read_write_profile(replicas: int, follower_reads: bool):
+    # Fragment caching off: every read must actually reach the sites, so
+    # the follower-serving share is what the table measures.
+    system = build_bank_sites(
+        3,
+        8,
+        query_timeout=1.0,
+        replication_factor=replicas,
+        follower_reads=follower_reads,
+        fragment_cache=False,
+    )
+    try:
+        read_start = system.network.now_s
+        for _ in range(READS):
+            result = system.query(
+                "bank", "SELECT SUM(balance) FROM accounts"
+            )
+            assert float(result.scalar()) == 3 * 8 * 1000.0
+        read_s = system.network.now_s - read_start
+        served = sum(
+            group.follower_reads
+            for group in system.replica_groups.values()
+        )
+
+        write_start = system.network.now_s
+        messages_before = system.network.total_messages
+        for index in range(WRITES):
+            system.gateways["b0"].execute_update(
+                "UPDATE account SET balance = balance + 1 "
+                f"WHERE acct = {index}",
+                None,
+            )
+        write_s = system.network.now_s - write_start
+        write_msgs = system.network.total_messages - messages_before
+        return {
+            "replicas": replicas,
+            "follower_reads": follower_reads,
+            "reads": READS * 3,  # three fragment fetches per query
+            "read_sim_s": read_s,
+            "reads_per_s": (READS * 3) / read_s if read_s else 0.0,
+            "follower_served": served,
+            "write_sim_s": write_s,
+            "write_msgs_per_op": write_msgs / WRITES,
+        }
+    finally:
+        system.close()
+
+
+def test_e19_replication(benchmark):
+    # -- read scaling / write amplification sweep -----------------------
+    profiles = [
+        _read_write_profile(replicas, follower_reads)
+        for replicas in (1, 2, 3, 5)
+        for follower_reads in (
+            (False, True) if replicas > 1 else (False,)
+        )
+    ]
+    emit(
+        "E19",
+        "replication: follower-read serving and write amplification vs "
+        f"replica count ({READS} federated reads, {WRITES} writes)",
+        [
+            "replicas",
+            "follower_reads",
+            "site_reads",
+            "read_sim_s",
+            "reads_per_sim_s",
+            "follower_served",
+            "write_sim_s",
+            "write_msgs_per_op",
+        ],
+        [
+            (
+                p["replicas"],
+                "on" if p["follower_reads"] else "off",
+                p["reads"],
+                p["read_sim_s"],
+                p["reads_per_s"],
+                p["follower_served"],
+                p["write_sim_s"],
+                p["write_msgs_per_op"],
+            )
+            for p in profiles
+        ],
+    )
+    by_key = {(p["replicas"], p["follower_reads"]): p for p in profiles}
+    # follower reads actually serve from followers once enabled
+    assert by_key[(3, True)]["follower_served"] == READS * 3
+    assert by_key[(3, False)]["follower_served"] == 0
+    # write durability amplifies with the group size...
+    assert (
+        by_key[(5, False)]["write_msgs_per_op"]
+        > by_key[(3, False)]["write_msgs_per_op"]
+        > by_key[(1, False)]["write_msgs_per_op"]
+    )
+    # ...while the per-read cost stays flat as replicas are added
+    assert by_key[(5, True)]["read_sim_s"] <= by_key[(1, False)][
+        "read_sim_s"
+    ] * 1.05
+
+    # -- leader-kill availability sweep ---------------------------------
+    points = enumerate_replication_points()
+    for kind in ("prepare", "commit"):
+        assert f"before_append:{kind}" in points
+        assert f"mid_append:{kind}" in points
+        assert f"before_commit_advance:{kind}" in points
+    assert "mid_election" in points
+
+    report = run_replica_sweep(SEEDS)
+    assert len(report.runs) == len(points) * len(list(SEEDS))
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    REPORT_PATH.write_text(report.render() + "\n")
+
+    # Zero invariant violations, zero lost writes (quorum present).
+    assert report.ok, report.render()
+    assert report.failed_writes == 0, report.render()
+    # Failover latency is bounded by the election-timeout envelope.
+    assert (
+        report.max_failover_latency_s
+        <= MAX_ELECTION_ROUNDS * ELECTION_TIMEOUT_S[1]
+    )
+
+    outcomes = {"committed": 0, "aborted": 0, "unavailable": 0}
+    for run in report.runs:
+        outcomes[run.app_outcome] += 1
+    emit(
+        "E19_FAILOVER",
+        "replication: leader killed at every protocol point "
+        f"({len(points)} points x {len(list(SEEDS))} seeds)",
+        [
+            "runs",
+            "points",
+            "committed",
+            "aborted",
+            "unavailable",
+            "failovers",
+            "max_failover_ms",
+            "lost_writes",
+            "violations",
+        ],
+        [
+            (
+                len(report.runs),
+                len(points),
+                outcomes["committed"],
+                outcomes["aborted"],
+                outcomes["unavailable"],
+                sum(r.failovers for r in report.runs),
+                report.max_failover_latency_s * 1000.0,
+                report.failed_writes,
+                len(report.violations),
+            )
+        ],
+    )
+
+    # Wall-clock one representative schedule: leader killed while the
+    # commit decision replicates (the in-doubt window of the group).
+    benchmark.pedantic(
+        run_replica_crash,
+        args=("mid_append:commit", 0),
+        rounds=3,
+        iterations=1,
+    )

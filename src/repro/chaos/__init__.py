@@ -1,5 +1,6 @@
 """Chaos engineering for the federation: deterministic crash-schedule
-exploration of the 2PC/WAL protocol (experiment E14)."""
+exploration of the 2PC/WAL protocol (experiment E14) and leader-kill
+schedules for the replication layer (experiment E19)."""
 
 from repro.chaos.explorer import (
     ChaosReport,
@@ -10,13 +11,27 @@ from repro.chaos.explorer import (
     run_crash,
     run_sweep,
 )
+from repro.chaos.replication import (
+    ReplicaChaosReport,
+    ReplicaCrashRun,
+    check_replication_invariants,
+    enumerate_replication_points,
+    run_replica_crash,
+    run_replica_sweep,
+)
 
 __all__ = [
     "ChaosReport",
     "CoordinatorCrash",
     "CrashRun",
+    "ReplicaChaosReport",
+    "ReplicaCrashRun",
     "check_invariants",
+    "check_replication_invariants",
     "enumerate_crash_points",
+    "enumerate_replication_points",
     "run_crash",
+    "run_replica_crash",
+    "run_replica_sweep",
     "run_sweep",
 ]

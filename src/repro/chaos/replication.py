@@ -1,0 +1,415 @@
+"""Leader-kill crash-schedule exploration for replica groups.
+
+Extends the 2PC/WAL chaos explorer (:mod:`repro.chaos.explorer`) to the
+replication layer: every enumerated point of the Raft-style protocol —
+around log appends for prepare write-sets and commit decisions, during
+commit-index advancement, mid-election — kills the **current leader** of
+one replica group (network isolation via the fault injector, replica
+state survives) while a two-site bank transfer runs.  After the schedule
+the partition heals, every group re-converges (:meth:`ReplicaGroup.
+catch_up`), participant/coordinator recovery runs, and the audit checks
+the three replication invariants on top of the base 2PC ones:
+
+1. **single leader per term** — no term ever elected two leaders
+   (:attr:`ReplicaGroup.violations` plus the election history)
+2. **no committed-then-lost entry** — every entry that ever reached
+   majority commit is still in the current leader's log at its index
+3. **post-heal convergence** — every replica's applied index reaches the
+   leader's commit index and all replica DBMSes hold identical rows
+
+plus: no branch survives, no orphaned locks/local transactions, the
+pending-delivery list is drained, and account balances are atomic
+against the coordinator's durable decision.
+
+The report's :meth:`ReplicaChaosReport.render` emits the greppable
+``invariants=ok`` / ``failover=ok`` tokens CI keys on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chaos.explorer import ACCOUNTS_PER_SITE, INITIAL_BALANCE, _amount
+from repro.errors import MyriadError, TwoPhaseCommitError
+
+#: Replicas per component site in the chaos workload.
+REPLICATION_FACTOR = 3
+#: The group whose protocol points are instrumented (first write site).
+TARGET_GROUP = "b0"
+
+
+@dataclass
+class ReplicaCrashRun:
+    """One explored schedule: kill the leader at ``point`` under ``seed``."""
+
+    point: str
+    seed: int
+    #: 'committed' | 'aborted' | 'unavailable' (quorum lost mid-flight).
+    app_outcome: str = "unavailable"
+    decision: str = "abort"
+    #: Elections the target group ran during the schedule.
+    failovers: int = 0
+    #: Simulated seconds the last failover took (election timeouts).
+    failover_latency_s: float = 0.0
+    #: True when the schedule deliberately destroyed the majority
+    #: (``mid_election`` kills a second replica): unavailability is then
+    #: the *correct* outcome, not a lost write.
+    quorum_lost: bool = False
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def label(self) -> str:
+        return f"leader-kill@{self.point} seed={self.seed}"
+
+
+@dataclass
+class ReplicaChaosReport:
+    """All leader-kill runs plus the replication-invariant verdict."""
+
+    runs: list[ReplicaCrashRun] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(run.ok for run in self.runs)
+
+    @property
+    def violations(self) -> list[tuple[ReplicaCrashRun, str]]:
+        return [
+            (run, violation)
+            for run in self.runs
+            for violation in run.violations
+        ]
+
+    def points(self) -> list[str]:
+        return sorted({run.point for run in self.runs})
+
+    @property
+    def failed_writes(self) -> int:
+        """Schedules whose transfer was lost outright (no commit, no
+        clean abort) even though a majority survived — the
+        write-availability headline number.  Quorum-loss schedules are
+        excluded: with the majority dead, refusing the write is the
+        correct (and only safe) behaviour."""
+        return sum(
+            1
+            for run in self.runs
+            if run.app_outcome == "unavailable" and not run.quorum_lost
+        )
+
+    @property
+    def max_failover_latency_s(self) -> float:
+        return max(
+            (run.failover_latency_s for run in self.runs), default=0.0
+        )
+
+    def render(self) -> str:
+        """Human-readable invariant report (the CI artifact)."""
+        seeds = sorted({run.seed for run in self.runs})
+        outcomes = {"committed": 0, "aborted": 0, "unavailable": 0}
+        for run in self.runs:
+            outcomes[run.app_outcome] += 1
+        lines = [
+            "MYRIAD replication chaos sweep — leader-kill invariant report",
+            f"runs: {len(self.runs)}  points: {len(self.points())}  "
+            f"seeds: {len(seeds)}"
+            + (f" ({min(seeds)}..{max(seeds)})" if seeds else ""),
+            "",
+            "invariants checked after every leader kill + heal + recovery:",
+            "  1. single leader per term (no split brain)",
+            "  2. no committed-then-lost log entry across failover",
+            "  3. post-heal convergence: all replicas applied to the",
+            "     leader's commit index with identical DBMS contents",
+            "  + the base 2PC audit: atomicity vs the durable decision,",
+            "    no surviving branches, no orphaned locks, deliveries",
+            "    drained",
+            "",
+            f"outcomes: committed={outcomes['committed']} "
+            f"aborted={outcomes['aborted']} "
+            f"unavailable={outcomes['unavailable']} "
+            f"(of which quorum-loss by design: "
+            f"{sum(1 for r in self.runs if r.quorum_lost)})",
+            f"failovers: {sum(r.failovers for r in self.runs)} total, "
+            f"max latency {self.max_failover_latency_s * 1000:.1f} ms "
+            "(simulated)",
+            "",
+        ]
+        for point in self.points():
+            runs = [r for r in self.runs if r.point == point]
+            bad = sum(len(r.violations) for r in runs)
+            lines.append(
+                f"  {point:<32} runs={len(runs):<3} "
+                f"failovers={sum(r.failovers for r in runs):<3} "
+                f"violations={bad}"
+            )
+        lines.append("")
+        lines.append(
+            "invariants=ok" if self.ok else "invariants=VIOLATED"
+        )
+        lines.append(
+            "failover=ok"
+            if self.failed_writes == 0
+            else f"failover=LOSSY ({self.failed_writes} writes lost)"
+        )
+        if self.ok and self.failed_writes == 0:
+            lines.append("RESULT: PASS — zero invariant violations")
+        else:
+            lines.append(
+                f"RESULT: FAIL — {len(self.violations)} invariant "
+                f"violations, {self.failed_writes} lost writes"
+            )
+            for run, violation in self.violations:
+                lines.append(f"  {run.label()}: {violation}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Workload
+# ---------------------------------------------------------------------------
+
+
+def _build_replicated_system(follower_reads: bool = True):
+    from repro.workloads import build_bank_sites
+
+    system = build_bank_sites(
+        3,
+        ACCOUNTS_PER_SITE,
+        query_timeout=1.0,
+        replication_factor=REPLICATION_FACTOR,
+        follower_reads=follower_reads,
+    )
+    system.inject_faults(seed=0)
+    return system
+
+
+def _run_transfer(system, seed: int) -> str:
+    """One two-branch transfer b0 → b1; the application-visible outcome."""
+    amount = _amount(seed)
+    txn = system.begin_transaction()
+    try:
+        txn.execute(
+            "b0",
+            f"UPDATE account SET balance = balance - {amount} WHERE acct = 0",
+        )
+        txn.execute(
+            "b1",
+            "UPDATE account SET balance = balance + "
+            f"{amount} WHERE acct = {ACCOUNTS_PER_SITE}",
+        )
+        txn.commit()
+    except TwoPhaseCommitError:
+        return "aborted"
+    except MyriadError:
+        # Quorum lost mid-flight: the group (hence the site) is down.
+        # Roll the coordinator state back so recovery can resolve it.
+        try:
+            txn.abort()
+        except MyriadError:
+            pass
+        return "unavailable"
+    return "committed"
+
+
+# ---------------------------------------------------------------------------
+# Crash-point enumeration
+# ---------------------------------------------------------------------------
+
+
+def enumerate_replication_points() -> list[str]:
+    """Replication protocol points that fire for the transfer workload.
+
+    ``mid_election`` is appended explicitly: it only fires once a kill has
+    already forced an election, so enumeration alone never reaches it.
+    """
+    system = _build_replicated_system()
+    group = system.replica_groups[TARGET_GROUP]
+    fired: list[str] = []
+    group.chaos_hook = lambda point, **context: fired.append(point)
+    try:
+        _run_transfer(system, seed=0)
+    finally:
+        group.chaos_hook = None
+        system.close()
+    seen: set[str] = set()
+    ordered = [p for p in fired if not (p in seen or seen.add(p))]
+    if "mid_election" not in ordered:
+        ordered.append("mid_election")
+    return ordered
+
+
+# ---------------------------------------------------------------------------
+# Single-schedule execution
+# ---------------------------------------------------------------------------
+
+
+def run_replica_crash(point: str, seed: int) -> ReplicaCrashRun:
+    """Kill the target group's leader at ``point``, heal, audit.
+
+    For ``mid_election`` the leader is pre-crashed (forcing the first
+    routed operation into an election) and the kill strikes a *second*
+    replica mid-campaign — the quorum-loss schedule.
+    """
+    run = ReplicaCrashRun(
+        point=point, seed=seed, quorum_lost=(point == "mid_election")
+    )
+    system = _build_replicated_system()
+    gtm = system.transactions
+    faults = system.network.faults
+    group = system.replica_groups[TARGET_GROUP]
+    tripped: list[str] = []
+
+    def hook(fired_point: str, **context: object) -> None:
+        if fired_point != point or tripped:
+            return
+        tripped.append(fired_point)
+        if point == "mid_election":
+            # Kill one more live replica mid-campaign (quorum loss).
+            for replica in group.replicas:
+                if not faults.is_crashed(replica.site):
+                    faults.crash_site(replica.site)
+                    return
+        else:
+            faults.crash_site(group.leader.site)
+
+    group.chaos_hook = hook
+    if point == "mid_election":
+        faults.crash_site(group.leader.site)
+    try:
+        run.app_outcome = _run_transfer(system, seed)
+    finally:
+        group.chaos_hook = None
+
+    # Heal, converge every group, then run participant recovery (parked
+    # decisions drain against the healed groups).
+    faults.heal()
+    for replica_group in system.replica_groups.values():
+        replica_group.catch_up()
+    gtm.recover_in_doubt()
+    for replica_group in system.replica_groups.values():
+        replica_group.catch_up()
+
+    run.decision = gtm.wal.coordinator_decisions().get("G1", "abort")
+    run.failovers = group.failovers
+    run.failover_latency_s = group.last_failover_s
+    run.violations = check_replication_invariants(
+        system, seed, run.app_outcome
+    )
+    system.close()
+    return run
+
+
+def check_replication_invariants(
+    system, seed: int, app_outcome: str
+) -> list[str]:
+    """The three replication invariants + the base 2PC audit."""
+    violations: list[str] = []
+    gtm = system.transactions
+    decision = gtm.wal.coordinator_decisions().get("G1", "abort")
+
+    for site, group in sorted(system.replica_groups.items()):
+        # 1. Single leader per term.
+        violations.extend(group.violations)
+        leader = group.leader
+
+        # 2. No committed-then-lost entry: everything that ever reached
+        # majority commit is still in the leader's log at its index.
+        for entry in group.committed_history:
+            if (
+                entry.index > len(leader.log)
+                or leader.log[entry.index - 1] != entry
+            ):
+                violations.append(
+                    f"{site}: committed entry {entry.index} "
+                    f"({entry.kind}) lost from the leader's log"
+                )
+
+        # 3. Post-heal convergence: applied indexes and DBMS contents.
+        contents = []
+        for replica in group.replicas:
+            if replica.applied_index < leader.commit_index:
+                violations.append(
+                    f"{site}/{replica.site}: applied "
+                    f"{replica.applied_index} < commit "
+                    f"{leader.commit_index} after heal"
+                )
+            result = replica.gateway.dbms.execute(
+                "SELECT acct, balance FROM account ORDER BY acct"
+            )
+            contents.append(tuple(result.rows))
+        if len(set(contents)) > 1:
+            violations.append(
+                f"{site}: replica DBMS contents diverge after heal"
+            )
+
+        # Base audit: no branch of any kind survives at any replica.
+        for replica in group.replicas:
+            if replica.gateway.prepared_branches():
+                violations.append(
+                    f"{site}/{replica.site}: prepared branch survived"
+                )
+            if replica.gateway.branch_states():
+                violations.append(
+                    f"{site}/{replica.site}: open branch survived"
+                )
+            manager = replica.gateway.dbms.transactions
+            if manager.active_transactions():
+                violations.append(
+                    f"{site}/{replica.site}: local transaction survived"
+                )
+            held = [
+                entry
+                for entry in manager.locks.snapshot()
+                if entry["holders"] or entry["waiters"]
+            ]
+            if held:
+                violations.append(
+                    f"{site}/{replica.site}: orphaned locks {held!r}"
+                )
+
+    if gtm.wal.pending_deliveries():
+        violations.append("durable pending-delivery list not drained")
+
+    # Atomicity vs the durable decision, from the leaders' balances.
+    if app_outcome == "committed" and decision != "commit":
+        violations.append(
+            "app observed COMMITTED but the durable decision is "
+            f"{decision!r}"
+        )
+    amount = _amount(seed)
+
+    def balance(site: str, acct: int) -> float:
+        leader = system.replica_groups[site].leader
+        result = leader.gateway.dbms.execute(
+            f"SELECT balance FROM account WHERE acct = {acct}"
+        )
+        return float(result.rows[0][0])
+
+    b0 = balance("b0", 0)
+    b1 = balance("b1", ACCOUNTS_PER_SITE)
+    if decision == "commit":
+        expected = (INITIAL_BALANCE - amount, INITIAL_BALANCE + amount)
+    else:
+        expected = (INITIAL_BALANCE, INITIAL_BALANCE)
+    if (b0, b1) != expected:
+        violations.append(
+            f"non-atomic outcome: balances {(b0, b1)} != {expected} "
+            f"for decision {decision!r}"
+        )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Sweep
+# ---------------------------------------------------------------------------
+
+
+def run_replica_sweep(seeds) -> ReplicaChaosReport:
+    """Every enumerated replication point × seed, leader-kill schedule."""
+    report = ReplicaChaosReport()
+    points = enumerate_replication_points()
+    for point in points:
+        for seed in seeds:
+            report.runs.append(run_replica_crash(point, seed))
+    return report

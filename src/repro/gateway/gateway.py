@@ -546,6 +546,89 @@ class Gateway:
             self._emit_branch_event(global_id, "ABORTED", trace)
             self.network.send(self.site, from_site, 8, "ack", trace)
 
+    # ------------------------------------------------------------------
+    # Replication hooks (follower-side apply; no network accounting —
+    # the replica group already charged the raft.append messages)
+    # ------------------------------------------------------------------
+
+    def apply_replicated(self, sql_text: str) -> int:
+        """Apply one replicated statement to this replica's DBMS.
+
+        The statement arrives in the export namespace (the leader captured
+        it before its own local rewrite), so each replica re-translates it
+        against its own exports and dialect.  Runs autocommit: the entry is
+        already majority-durable, this replica just catches up.
+        """
+        from repro.sql import parse_statement
+
+        statement = _rewrite_dml(parse_statement(sql_text), self.exports)
+        local_text = to_sql(statement, self.dbms.dialect)
+        result = self.dbms.connect().execute(local_text)
+        written = getattr(statement, "table", None)
+        self._apply_writes({written.lower()} if written else None)
+        self.invalidate_stats()
+        if isinstance(result, ResultSet):  # pragma: no cover - defensive
+            return len(result)
+        return result
+
+    def adopt_branch(
+        self, global_id: object, statements: tuple[str, ...]
+    ) -> None:
+        """Re-create an in-doubt PREPARED branch from its replicated
+        write-set (a newly elected leader materialising a prepare entry its
+        predecessor committed to the group log but never decided)."""
+        with self._mutex:
+            if global_id in self._txn_sessions:
+                raise GatewayError(
+                    f"global transaction {global_id!r} already has a branch "
+                    "here"
+                )
+        from repro.sql import parse_statement
+
+        session = self.dbms.connect()
+        session.begin(global_id=global_id)
+        written: set[str] = set()
+        for sql_text in statements:
+            statement = _rewrite_dml(parse_statement(sql_text), self.exports)
+            session.execute(to_sql(statement, self.dbms.dialect))
+            table = getattr(statement, "table", None)
+            if table is not None:
+                written.add(table.lower())
+        session.prepare()
+        with self._mutex:
+            self._txn_sessions[global_id] = session
+            self._txn_writes[global_id] = written
+        self._emit_branch_event(global_id, "PREPARED", None, adopted=True)
+
+    def resolve_replicated(self, global_id: object, decision: str) -> None:
+        """Resolve a live local branch from a replicated decision entry.
+
+        Used when the replica holding the branch learns the outcome from
+        the group log (it led when the branch ran, or adopted it) rather
+        than from a coordinator message.
+        """
+        with self._mutex:
+            session = self._txn_sessions.pop(global_id, None)
+            writes = self._txn_writes.pop(global_id, set())
+        if session is None:
+            return
+        prepared = (
+            session.txn is not None and session.txn.state.name == "PREPARED"
+        )
+        if decision == "commit":
+            if prepared:
+                session.commit_prepared()
+            else:
+                session.commit()
+            self._apply_writes(writes)
+            self._emit_branch_event(global_id, "COMMITTED", None)
+        else:
+            if prepared:
+                session.rollback_prepared()
+            else:
+                session.rollback()
+            self._emit_branch_event(global_id, "ABORTED", None)
+
     def _emit_branch_event(
         self,
         global_id: object,

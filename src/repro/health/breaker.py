@@ -51,6 +51,9 @@ class SiteHealth:
     probes: int = 0
     opened_at_s: float | None = None
     last_error: str | None = None
+    #: Single-flight HALF_OPEN guard: True while the admitted probe's
+    #: outcome is still pending; every other caller is refused meanwhile.
+    probe_inflight: bool = False
 
     def as_dict(self) -> dict:
         return {
@@ -62,6 +65,7 @@ class SiteHealth:
             "probes": self.probes,
             "opened_at_s": self.opened_at_s,
             "last_error": self.last_error,
+            "probe_inflight": self.probe_inflight,
         }
 
 
@@ -113,6 +117,7 @@ class HealthTracker:
             health.state = BreakerState.CLOSED
             health.opened_at_s = None
             health.last_error = None
+            health.probe_inflight = False
         if reopened:
             self._emit("health.close", site)
 
@@ -123,6 +128,7 @@ class HealthTracker:
             health.failures += 1
             health.consecutive_failures += 1
             health.last_error = reason
+            health.probe_inflight = False
             tripped = False
             if health.state is BreakerState.HALF_OPEN:
                 # The probe failed: back to OPEN, restart the cooldown.
@@ -156,24 +162,37 @@ class HealthTracker:
 
         CLOSED: yes.  OPEN: no, until ``cooldown_s`` simulated seconds
         after the trip — then the breaker moves to HALF_OPEN and this call
-        is admitted as the probe.  HALF_OPEN: yes (probing).  Mutates
+        is admitted as the **single-flight probe**.  HALF_OPEN: no while
+        that probe's outcome is pending — a burst arriving right after the
+        cooldown must not turn into a probe stampede where one slow or
+        failing request re-trips the breaker for all of them.  Mutates
         state; use :meth:`state` / :meth:`snapshot` for pure inspection.
         """
         with self._mutex:
             health = self._site(site)
             if health.state is BreakerState.CLOSED:
                 return True
+            now = self._clock()
             if health.state is BreakerState.OPEN:
                 opened = health.opened_at_s or 0.0
-                if self._clock() - opened < self.cooldown_s:
+                if now - opened < self.cooldown_s:
                     return False
                 health.state = BreakerState.HALF_OPEN
                 health.probes += 1
-                probing = True
-            else:
-                probing = False
-        if probing:
-            self._emit("health.probe", site)
+                health.probe_inflight = True
+                # Reused as the probe admission stamp while HALF_OPEN.
+                health.opened_at_s = now
+            else:  # HALF_OPEN
+                admitted = health.opened_at_s or 0.0
+                if health.probe_inflight and now - admitted < self.cooldown_s:
+                    return False
+                # No probe pending, or the admitted one vanished without
+                # an outcome for a whole cooldown (its caller resolved the
+                # branch without sending): admit a replacement probe.
+                health.probes += 1
+                health.probe_inflight = True
+                health.opened_at_s = now
+        self._emit("health.probe", site)
         return True
 
     def state(self, site: str) -> BreakerState:
@@ -190,9 +209,16 @@ class HealthTracker:
         """
         with self._mutex:
             health = self._sites.get(site)
-            if health is None or health.state is not BreakerState.OPEN:
+            if health is None or health.state is BreakerState.CLOSED:
                 return False
             opened = health.opened_at_s or 0.0
+            if health.state is BreakerState.HALF_OPEN:
+                # Only the in-flight probe may talk; everyone else waits
+                # (until the probe slot goes stale after a cooldown).
+                return (
+                    health.probe_inflight
+                    and self._clock() - opened < self.cooldown_s
+                )
             return self._clock() - opened < self.cooldown_s
 
     # -- snapshots --------------------------------------------------------

@@ -46,6 +46,12 @@ class MyriadSystem:
         replan_threshold: float = 3.0,
         slow_query_threshold_s: float | None = 1.0,
         trace_sample_rate: float = 1.0,
+        replication_factor: int = 1,
+        follower_reads: bool = False,
+        replication_staleness: int = 0,
+        replication_seed: int = 0,
+        retry_jitter: bool = False,
+        jitter_seed: int = 0,
     ):
         self.network = network or Network()
         # One observability handle serves the whole installation; every
@@ -97,9 +103,35 @@ class MyriadSystem:
         #: snapshot reads (autocommit SELECTs take no table locks).  See
         #: README "Serving & MVCC".
         self.mvcc_reads = mvcc_reads
+        #: Replication knobs (experiment E19).  With
+        #: ``replication_factor=1`` (the default) no replica-group
+        #: machinery is constructed at all — behaviour and simulated
+        #: accounting are bit-identical to the unreplicated system.  With
+        #: N > 1, every component built via add_oracle/add_postgres
+        #: becomes a Raft-style group of N replicas; ``follower_reads``
+        #: lets autocommit SELECTs be served by followers within
+        #: ``replication_staleness`` log entries of the leader's commit
+        #: index.  See README "Replication & failover".
+        self.replication_factor = replication_factor
+        self.follower_reads = follower_reads
+        self.replication_staleness = replication_staleness
+        self.replication_seed = replication_seed
+        #: Per-site replica groups (only for sites built with
+        #: ``replication_factor > 1``): site → ReplicaGroup.
+        self.replica_groups: dict[str, object] = {}
+        #: Seeded deterministic jitter on retry backoff (fetches and 2PC
+        #: branch retries), so post-failover retry storms desynchronise.
+        #: Off by default: with the knob off the RNG is never drawn and
+        #: accounting stays bit-identical.
+        self.retry_jitter = retry_jitter
+        self.jitter_seed = jitter_seed
         self._server = None
         self.transactions = GlobalTransactionManager(
-            self.gateways, query_timeout=query_timeout, obs=self.obs
+            self.gateways,
+            query_timeout=query_timeout,
+            obs=self.obs,
+            retry_jitter=retry_jitter,
+            jitter_seed=jitter_seed,
         )
         self._processors: dict[str, GlobalQueryProcessor] = {}
         self._deadlock_monitor = None
@@ -151,6 +183,9 @@ class MyriadSystem:
         self.transactions.wal.flush()
         for dbms in self.components.values():
             dbms.transactions.wal.flush()
+        for gateway in self.gateways.values():
+            for dbms in getattr(gateway, "replica_dbmses", ()):
+                dbms.transactions.wal.flush()
 
     def __enter__(self) -> "MyriadSystem":
         return self
@@ -291,15 +326,56 @@ class MyriadSystem:
         self.gateways[site] = gateway
         return gateway
 
+    def add_replicated(self, dbmses: list[LocalDBMS], site: str):
+        """Register one logical site backed by a replica group.
+
+        ``dbmses[0]`` seeds the initial leader; each replica gets its own
+        gateway under the network site ``{site}#{i}``.  The returned
+        :class:`~repro.replication.ReplicatedGateway` is a drop-in for a
+        plain gateway in :attr:`gateways`.
+        """
+        from repro.replication import ReplicaGroup, ReplicatedGateway
+
+        if site in self.gateways:
+            raise FederationError(f"site {site!r} already registered")
+        inner = [
+            Gateway(dbms, self.network, f"{site}#{index}")
+            for index, dbms in enumerate(dbmses)
+        ]
+        group = ReplicaGroup(
+            site,
+            inner,
+            self.network,
+            seed=self.replication_seed,
+            obs=self.obs,
+        )
+        gateway = ReplicatedGateway(
+            group,
+            follower_reads=self.follower_reads,
+            staleness_bound=self.replication_staleness,
+        )
+        self.components[site] = dbmses[0]
+        self.gateways[site] = gateway
+        self.replica_groups[site] = group
+        return gateway
+
+    def _add_dialect(self, factory, name: str, **kwargs):
+        kwargs.setdefault("mvcc_reads", self.mvcc_reads)
+        if self.replication_factor <= 1:
+            return self.add_component(factory(name, **kwargs))
+        dbmses = [
+            factory(f"{name}#{index}", **kwargs)
+            for index in range(self.replication_factor)
+        ]
+        return self.add_replicated(dbmses, name)
+
     def add_oracle(self, name: str, **kwargs) -> Gateway:
         """Create and register an Oracle-dialect component DBMS."""
-        kwargs.setdefault("mvcc_reads", self.mvcc_reads)
-        return self.add_component(OracleDBMS(name, **kwargs))
+        return self._add_dialect(OracleDBMS, name, **kwargs)
 
     def add_postgres(self, name: str, **kwargs) -> Gateway:
         """Create and register a Postgres-dialect component DBMS."""
-        kwargs.setdefault("mvcc_reads", self.mvcc_reads)
-        return self.add_component(PostgresDBMS(name, **kwargs))
+        return self._add_dialect(PostgresDBMS, name, **kwargs)
 
     def component(self, site: str) -> LocalDBMS:
         try:
@@ -361,6 +437,8 @@ class MyriadSystem:
                 adaptive_feedback=self.adaptive_feedback,
                 adaptive_replan=self.adaptive_replan,
                 replan_threshold=self.replan_threshold,
+                retry_jitter=self.retry_jitter,
+                jitter_seed=self.jitter_seed,
             )
         return self._processors[key]
 

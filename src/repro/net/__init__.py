@@ -10,6 +10,7 @@ from repro.net.sim import (
     MessageRecord,
     MessageTrace,
     Network,
+    RetryJitter,
     estimate_rows_bytes,
     estimate_value_bytes,
 )
@@ -24,6 +25,7 @@ __all__ = [
     "MessageRecord",
     "MessageTrace",
     "Network",
+    "RetryJitter",
     "estimate_rows_bytes",
     "estimate_value_bytes",
 ]

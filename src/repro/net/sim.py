@@ -197,6 +197,26 @@ class MessageTrace:
         )
 
 
+class RetryJitter:
+    """Seeded deterministic jitter for retry backoff.
+
+    Scales each backoff wait by a uniform factor in ``[0.5, 1.5)`` drawn
+    from a seeded RNG, so concurrent retries (and the retry storm after a
+    failover) desynchronise instead of hammering a recovering site in
+    lockstep.  The retry loops hold no reference at all when the knob is
+    off — zero RNG draws, bit-identical accounting.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+        # Concurrent fetch retries draw from worker threads.
+        self._lock = threading.Lock()
+
+    def scale(self, backoff_s: float) -> float:
+        with self._lock:
+            return backoff_s * (0.5 + self._rng.random())
+
+
 class _BranchContext:
     """One open branch: also captures the messages recorded inside it.
 
@@ -280,8 +300,10 @@ class FaultInjector:
       message and nothing else
     - **site crashes** — a crashed site neither sends nor receives until
       :meth:`restart_site`
-    - **partitions** — two site groups that cannot reach each other until
-      :meth:`heal`
+    - **partitions** — site groups that cannot reach each other until
+      :meth:`heal`; :meth:`partition` severs both directions,
+      :meth:`partition_oneway` only one (the classic asymmetric-link
+      topology where A hears B but B never hears A)
 
     Every loss is recorded in :attr:`dropped` and raised to the sender as
     :class:`~repro.errors.MessageDropped`.
@@ -294,6 +316,8 @@ class FaultInjector:
         self._lock = threading.Lock()
         self._rules: list[DropRule] = []
         self._crashed: set[str] = set()
+        #: Directed cuts: messages from the first set to the second are
+        #: lost.  A symmetric partition stores both directions.
         self._partitions: list[tuple[frozenset, frozenset]] = []
         self.dropped: list[DroppedMessage] = []
         #: Optional :class:`repro.obs.Observability` handle; when set (by
@@ -361,11 +385,25 @@ class FaultInjector:
         return site in self._crashed
 
     def partition(self, group_a, group_b) -> None:
+        """Sever both directions between two site groups."""
         self._partitions.append((frozenset(group_a), frozenset(group_b)))
+        self._partitions.append((frozenset(group_b), frozenset(group_a)))
         self._emit(
             "fault.partition",
             group_a=sorted(group_a),
             group_b=sorted(group_b),
+            direction="both",
+        )
+
+    def partition_oneway(self, sources, destinations) -> None:
+        """Sever one direction only: ``sources`` → ``destinations`` is lost,
+        the reverse path still delivers (asymmetric link failure)."""
+        self._partitions.append((frozenset(sources), frozenset(destinations)))
+        self._emit(
+            "fault.partition",
+            group_a=sorted(sources),
+            group_b=sorted(destinations),
+            direction="a->b",
         )
 
     def heal(self) -> None:
@@ -373,7 +411,7 @@ class FaultInjector:
         if self._partitions or self._crashed:
             self._emit(
                 "fault.heal",
-                partitions=len(self._partitions),
+                cuts=len(self._partitions),
                 crashed=sorted(self._crashed),
             )
         self._partitions.clear()
@@ -395,10 +433,8 @@ class FaultInjector:
             for site in (source, destination):
                 if site in self._crashed:
                     return f"site {site!r} is crashed"
-            for group_a, group_b in self._partitions:
-                if (source in group_a and destination in group_b) or (
-                    source in group_b and destination in group_a
-                ):
+            for sources, destinations in self._partitions:
+                if source in sources and destination in destinations:
                     return f"partition between {source!r} and {destination!r}"
             for rule in self._rules:
                 if not rule.matches(source, destination, purpose):
@@ -523,7 +559,10 @@ class Network:
                     # time too.
                     self.now_s += self.link(source, destination).latency_s
                 self.faults.record(source, destination, purpose, reason)
-                if self.health is not None:
+                # Replica-to-replica consensus traffic is exempt from
+                # breaker attribution: _blame would charge the *sender*
+                # (usually the group leader) for a peer's unreachability.
+                if self.health is not None and not purpose.startswith("raft."):
                     self.health.record_failure(
                         self._blame(source, destination), reason=reason
                     )
@@ -552,7 +591,7 @@ class Network:
             self.now_s += cost
         if self.wall_delay_factor > 0:
             time.sleep(cost * self.wall_delay_factor)
-        if self.health is not None:
+        if self.health is not None and not purpose.startswith("raft."):
             self.health.record_success(self._blame(source, destination))
         if self.obs is not None:
             metrics = self.obs.metrics

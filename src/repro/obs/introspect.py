@@ -236,6 +236,12 @@ def federation_stats(system) -> dict:
             }
             for site, gateway in sorted(system.gateways.items())
         },
+        "replication": {
+            site: group.stats()
+            for site, group in sorted(
+                getattr(system, "replica_groups", {}).items()
+            )
+        },
         "windows": _window_stats(obs),
         "slos": [slo.status() for _, slo in sorted(obs.slos.items())],
         "alerts": obs.active_alerts(),
@@ -415,6 +421,25 @@ def render_dashboard(snapshot: dict) -> str:
         "transactions: "
         + " ".join(f"{key}={value}" for key, value in txn.items())
     )
+
+    replication = stats.get("replication") or {}
+    if replication:
+        lines.append("")
+        lines.append("== replication ==")
+        for site, group in sorted(replication.items()):
+            staleness = group.get("staleness") or {}
+            worst = max(staleness.values(), default=0)
+            lines.append(
+                f"group {site}: replicas={group.get('replicas', 0)} "
+                f"leader={group.get('leader', '-')} "
+                f"term={group.get('term', 0)} "
+                f"commit_index={group.get('commit_index', 0)} "
+                f"elections={group.get('elections', 0)} "
+                f"failovers={group.get('failovers', 0)} "
+                f"redirects={group.get('redirects', 0)} "
+                f"follower_reads={group.get('follower_reads', 0)} "
+                f"max_staleness={worst}"
+            )
 
     _render_ops_window(lines, stats)
 

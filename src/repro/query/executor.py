@@ -28,7 +28,7 @@ from repro.errors import (
     MessageDropped,
 )
 from repro.gateway import LOCAL_ROW_COST_S, Gateway
-from repro.net import MessageTrace
+from repro.net import MessageTrace, RetryJitter
 from repro.obs import DISABLED, FetchActual, Observability, obs_of
 from repro.query.localizer import Fetch, GlobalPlan
 from repro.schema.federation import Federation
@@ -145,6 +145,8 @@ class GlobalExecutor:
         obs: Observability | None = None,
         parallel_fetches: int = 4,
         fragment_cache: FragmentCache | None = None,
+        retry_jitter: bool = False,
+        jitter_seed: int = 0,
     ):
         self.federation = federation
         self._obs = obs
@@ -152,6 +154,11 @@ class GlobalExecutor:
         #: up to this many times, with exponential simulated backoff.
         self.fetch_retry_limit = 2
         self.fetch_retry_backoff_s = 0.01
+        #: Seeded deterministic jitter on that backoff: each retry's wait
+        #: is scaled by a uniform factor in [0.5, 1.5) so concurrent
+        #: retries (post-failover storms) desynchronise.  Off by default —
+        #: the RNG is never drawn, accounting stays bit-identical.
+        self.retry_jitter = RetryJitter(jitter_seed) if retry_jitter else None
         #: Max fetch worker threads per stage; <= 1 disables threading.
         self.parallel_fetches = parallel_fetches
         #: Mid-query re-planning trigger: a completed fetch whose actual
@@ -387,6 +394,8 @@ class GlobalExecutor:
             if attempt:
                 self.obs.metrics.inc("query.fetch_retries", site=fetch.site)
                 backoff = self.fetch_retry_backoff_s * 2 ** (attempt - 1)
+                if self.retry_jitter is not None:
+                    backoff = self.retry_jitter.scale(backoff)
                 trace.add_compute(backoff)
                 network.advance(backoff)
             try:
@@ -643,10 +652,14 @@ class GlobalExecutor:
                 outcome.degraded = True
                 outcome.result = self._degraded_fragment(fetch, obs)
                 return outcome
+            # is_blocked (pure), not allow(): the half-open probe slot is
+            # admitted by the gateway's own circuit check on the send path
+            # — consuming it here would double-count one request as two
+            # probes (and starve the single-flight probe).
             if (
                 allow_partial
                 and health is not None
-                and not health.allow(fetch.site)
+                and health.is_blocked(fetch.site)
             ):
                 missing.add(fetch.site)
                 outcome.degraded = True

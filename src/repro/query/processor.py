@@ -48,6 +48,8 @@ class GlobalQueryProcessor:
         adaptive_feedback: bool = False,
         adaptive_replan: bool = False,
         replan_threshold: float = 3.0,
+        retry_jitter: bool = False,
+        jitter_seed: int = 0,
     ):
         self.federation = federation
         self.network = network
@@ -101,6 +103,8 @@ class GlobalQueryProcessor:
             federation,
             parallel_fetches=parallel_fetches,
             fragment_cache=frag_cache,
+            retry_jitter=retry_jitter,
+            jitter_seed=jitter_seed,
         )
         self.executor.replan_threshold = replan_threshold
 

@@ -1,0 +1,33 @@
+"""Raft-style replica groups for MYRIAD component sites.
+
+See :mod:`repro.replication.raft` for the consensus layer and
+:mod:`repro.replication.router` for the gateway-facing wrapper.
+"""
+
+from repro.replication.raft import (
+    ELECTION_TIMEOUT_S,
+    HEARTBEAT_INTERVAL_S,
+    MAX_ELECTION_ROUNDS,
+    LogEntry,
+    Replica,
+    ReplicaGroup,
+)
+from repro.replication.router import (
+    FAILOVER_RETRY_BACKOFF_S,
+    FAILOVER_RETRY_LIMIT,
+    ReplicaRouter,
+    ReplicatedGateway,
+)
+
+__all__ = [
+    "ELECTION_TIMEOUT_S",
+    "FAILOVER_RETRY_BACKOFF_S",
+    "FAILOVER_RETRY_LIMIT",
+    "HEARTBEAT_INTERVAL_S",
+    "MAX_ELECTION_ROUNDS",
+    "LogEntry",
+    "Replica",
+    "ReplicaGroup",
+    "ReplicaRouter",
+    "ReplicatedGateway",
+]

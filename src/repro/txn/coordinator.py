@@ -31,7 +31,7 @@ from repro.errors import (
     TwoPhaseCommitError,
 )
 from repro.gateway import Gateway
-from repro.net import MessageTrace
+from repro.net import MessageTrace, RetryJitter
 from repro.obs import DISABLED, Observability
 from repro.sql import ast
 
@@ -92,6 +92,8 @@ class GlobalTransactionManager:
         decision_retry_limit: int = 3,
         decision_retry_backoff_s: float = 0.05,
         obs: Observability | None = None,
+        retry_jitter: bool = False,
+        jitter_seed: int = 0,
     ):
         self.gateways = gateways
         self.obs = obs or DISABLED
@@ -106,6 +108,10 @@ class GlobalTransactionManager:
         #: message loss only), with the same exponential backoff shape.
         self.branch_retry_limit = 2
         self.branch_retry_backoff_s = 0.02
+        #: Seeded deterministic jitter on branch-retry backoff (see
+        #: :class:`repro.net.RetryJitter`); off by default — no RNG draws,
+        #: bit-identical accounting.
+        self.retry_jitter = RetryJitter(jitter_seed) if retry_jitter else None
         #: Chaos hook: called with a crash-point label at every enumerated
         #: 2PC/WAL protocol step (``before_coord_commit``,
         #: ``before_deliver:<site>``, ...).  The chaos explorer raises
@@ -252,6 +258,8 @@ class GlobalTransactionManager:
             if attempt:
                 self.obs.metrics.inc("txn.branch_retries")
                 backoff = self.branch_retry_backoff_s * 2 ** (attempt - 1)
+                if self.retry_jitter is not None:
+                    backoff = self.retry_jitter.scale(backoff)
                 txn.trace.add_compute(backoff)
                 if network is not None:
                     network.advance(backoff)
@@ -298,10 +306,13 @@ class GlobalTransactionManager:
                 site = fetch.site
                 if site in skip_sites or site in txn.participants:
                     continue
+                # is_blocked (pure), not allow(): consuming the half-open
+                # probe slot here would starve the gateway-side circuit
+                # check that actually sends the probe.
                 if (
                     allow_partial
                     and health is not None
-                    and not health.allow(site)
+                    and health.is_blocked(site)
                 ):
                     skip_sites.add(site)
                     continue

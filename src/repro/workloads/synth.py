@@ -13,6 +13,24 @@ from repro.myriad import MyriadSystem
 from repro.schema import union_merge
 
 
+def _load_site(gateway, ddl: str, insert_sql: str, rows: list) -> None:
+    """Create a table and load rows at a site — on *every* replica.
+
+    With ``replication_factor > 1`` the gateway fronts a replica group;
+    seed data (like DDL) must exist identically at each replica, so the
+    builders generate the row list once (one RNG draw order, bit-identical
+    to the unreplicated build) and load it everywhere.
+    """
+    dbmses = getattr(gateway, "replica_dbmses", None) or [gateway.dbms]
+    for dbms in dbmses:
+        dbms.execute(ddl)
+        session = dbms.connect()
+        session.begin()
+        for row in rows:
+            session.execute(insert_sql, list(row))
+        session.commit()
+
+
 def build_two_site_join(
     left_rows: int,
     right_rows: int,
@@ -45,37 +63,32 @@ def build_two_site_join(
     s1 = system.add_postgres("s1")
     s2 = system.add_oracle("s2")
 
-    s1.dbms.execute(
-        "CREATE TABLE left_t (k INTEGER PRIMARY KEY, flt FLOAT, pad VARCHAR(%d))"
-        % max(payload_width, 1)
-    )
-    s2.dbms.execute(
-        "CREATE TABLE right_t (rid INTEGER PRIMARY KEY, k INTEGER, "
-        "val FLOAT, pad VARCHAR2(%d))" % max(payload_width, 1)
-    )
-
     pad = "x" * payload_width
-    session = s1.dbms.connect()
-    session.begin()
-    for key in range(left_rows):
-        session.execute(
-            "INSERT INTO left_t VALUES (?, ?, ?)", [key, rng.random(), pad]
-        )
-    session.commit()
+    left = [(key, rng.random(), pad) for key in range(left_rows)]
 
-    session = s2.dbms.connect()
-    session.begin()
     matchable = max(int(left_rows), 1)
+    right = []
     for rid in range(right_rows):
         if rng.random() < match_fraction:
             key = rng.randrange(matchable)  # matches a left key
         else:
             key = matchable + rng.randrange(max(right_rows, 1))  # misses
-        session.execute(
-            "INSERT INTO right_t VALUES (?, ?, ?, ?)",
-            [rid, key, rng.random(), pad],
-        )
-    session.commit()
+        right.append((rid, key, rng.random(), pad))
+
+    _load_site(
+        s1,
+        "CREATE TABLE left_t (k INTEGER PRIMARY KEY, flt FLOAT, pad VARCHAR(%d))"
+        % max(payload_width, 1),
+        "INSERT INTO left_t VALUES (?, ?, ?)",
+        left,
+    )
+    _load_site(
+        s2,
+        "CREATE TABLE right_t (rid INTEGER PRIMARY KEY, k INTEGER, "
+        "val FLOAT, pad VARCHAR2(%d))" % max(payload_width, 1),
+        "INSERT INTO right_t VALUES (?, ?, ?, ?)",
+        right,
+    )
 
     s1.export_table("left_t", "left_rel", ["k", "flt", "pad"])
     s2.export_table("right_t", "right_rel", ["rid", "k", "val", "pad"])
@@ -127,19 +140,18 @@ def build_partitioned_sites(
         else:
             gateway = system.add_oracle(site)
             pad_type = f"VARCHAR2({max(payload_width, 1)})"
-        gateway.dbms.execute(
-            f"CREATE TABLE part_t (k INTEGER PRIMARY KEY, grp INTEGER, "
-            f"val FLOAT, pad {pad_type})"
-        )
-        session = gateway.dbms.connect()
-        session.begin()
         base = index * rows_per_site
-        for offset in range(rows_per_site):
-            session.execute(
-                "INSERT INTO part_t VALUES (?, ?, ?, ?)",
-                [base + offset, rng.randrange(16), rng.random(), pad],
-            )
-        session.commit()
+        rows = [
+            (base + offset, rng.randrange(16), rng.random(), pad)
+            for offset in range(rows_per_site)
+        ]
+        _load_site(
+            gateway,
+            f"CREATE TABLE part_t (k INTEGER PRIMARY KEY, grp INTEGER, "
+            f"val FLOAT, pad {pad_type})",
+            "INSERT INTO part_t VALUES (?, ?, ?, ?)",
+            rows,
+        )
         gateway.export_table("part_t", "part", ["k", "grp", "val", "pad"])
         sources.append((site, "part", ["k", "grp", "val", "pad"]))
 
@@ -174,17 +186,15 @@ def build_bank_sites(
             if index % 2 == 0
             else system.add_oracle(site)
         )
-        gateway.dbms.execute(
-            "CREATE TABLE account (acct INTEGER PRIMARY KEY, balance FLOAT)"
+        _load_site(
+            gateway,
+            "CREATE TABLE account (acct INTEGER PRIMARY KEY, balance FLOAT)",
+            "INSERT INTO account VALUES (?, ?)",
+            [
+                (index * accounts_per_site + acct, initial_balance)
+                for acct in range(accounts_per_site)
+            ],
         )
-        session = gateway.dbms.connect()
-        session.begin()
-        for acct in range(accounts_per_site):
-            session.execute(
-                "INSERT INTO account VALUES (?, ?)",
-                [index * accounts_per_site + acct, initial_balance],
-            )
-        session.commit()
         gateway.export_table("account", "account", ["acct", "balance"])
 
     fed = system.create_federation("bank")

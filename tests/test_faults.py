@@ -111,6 +111,32 @@ class TestFaultInjector:
         net.faults.heal()
         assert net.send("a", "b", 10, "query") > 0
 
+    def test_oneway_partition_cuts_a_single_direction(self):
+        # the classic asymmetric link: a hears b, b never hears a
+        net = make_network()
+        net.faults.partition_oneway(["a"], ["b"])
+        with pytest.raises(MessageDropped):
+            net.send("a", "b", 10, "query")
+        assert net.send("b", "a", 10, "query") > 0  # reverse path delivers
+        assert net.send("a", "c", 10, "query") > 0  # other links untouched
+
+    def test_oneway_partitions_compose_into_a_symmetric_cut(self):
+        net = make_network()
+        net.faults.partition_oneway(["a"], ["b"])
+        net.faults.partition_oneway(["b"], ["a"])
+        with pytest.raises(MessageDropped):
+            net.send("a", "b", 10, "query")
+        with pytest.raises(MessageDropped):
+            net.send("b", "a", 10, "query")
+
+    def test_heal_clears_oneway_cuts(self):
+        net = make_network()
+        net.faults.partition_oneway(["a"], ["b", "c"])
+        with pytest.raises(MessageDropped):
+            net.send("a", "c", 10, "query")
+        net.faults.heal()
+        assert net.send("a", "c", 10, "query") > 0
+
     def test_drops_are_accounted(self):
         net = make_network()
         net.faults.drop_next(1, purpose="commit")
@@ -320,3 +346,14 @@ class TestFaultEvents:
         bank.network.faults.restart_site("b1")
         (event,) = bank.events.of_type("fault.restart")
         assert event.fields["site"] == "b1"
+
+    def test_partition_events_carry_the_direction(self, bank):
+        bank.network.faults.partition(["b0"], ["b1"])
+        bank.network.faults.partition_oneway(["b1"], ["b2"])
+        both, oneway = bank.events.of_type("fault.partition")
+        assert both.fields["direction"] == "both"
+        assert oneway.fields["direction"] == "a->b"
+        assert oneway.fields["group_a"] == ["b1"]
+        bank.network.faults.heal()
+        (heal,) = bank.events.of_type("fault.heal")
+        assert heal.fields["cuts"] == 3  # two directed cuts + one one-way

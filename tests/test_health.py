@@ -117,6 +117,64 @@ class TestHealthTracker:
         assert trip.fields["reason"] == "drop"
 
 
+class TestSingleFlightProbe:
+    def test_burst_after_cooldown_admits_exactly_one_probe(self, tracker, clock):
+        for _ in range(3):
+            tracker.record_failure("s")
+        clock.now += 0.25
+        # a concurrent burst arrives right as the cooldown elapses
+        admitted = [tracker.allow("s") for _ in range(8)]
+        assert admitted == [True] + [False] * 7
+        assert tracker.snapshot()["s"]["probes"] == 1
+        assert tracker.snapshot()["s"]["probe_inflight"] is True
+
+    def test_threaded_burst_admits_exactly_one_probe(self, tracker, clock):
+        import threading
+
+        for _ in range(3):
+            tracker.record_failure("s")
+        clock.now += 0.25
+        results = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            results.append(tracker.allow("s"))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert results.count(True) == 1
+
+    def test_blocked_while_probe_pending_reopens_after_outcome(
+        self, tracker, clock
+    ):
+        for _ in range(3):
+            tracker.record_failure("s")
+        clock.now += 0.25
+        assert tracker.allow("s")
+        assert tracker.is_blocked("s")  # everyone else waits on the probe
+        tracker.record_success("s")
+        assert not tracker.is_blocked("s")
+        assert tracker.allow("s")  # breaker closed again
+
+    def test_vanished_probe_is_replaced_after_a_cooldown(self, tracker, clock):
+        # A probe whose caller resolves without ever sending would pin the
+        # breaker HALF_OPEN forever; after a cooldown the slot goes stale
+        # and the next caller takes over as the replacement probe.
+        for _ in range(3):
+            tracker.record_failure("s")
+        clock.now += 0.25
+        assert tracker.allow("s")
+        assert not tracker.allow("s")
+        clock.now += 0.25
+        assert not tracker.is_blocked("s")  # the slot went stale
+        assert tracker.allow("s")  # replacement probe admitted
+        assert tracker.snapshot()["s"]["probes"] == 2
+
+
 class TestNetworkIntegration:
     def _network(self):
         net = Network(faults=FaultInjector(seed=1))
@@ -334,3 +392,67 @@ class TestTransientRetry:
         assert float(result.scalar()) == 12000.0
         assert bank.obs.metrics.counter("txn.branch_retries") >= 1
         txn.commit()
+
+
+class TestRetryJitter:
+    def test_scale_is_seed_deterministic_and_bounded(self):
+        from repro.net import RetryJitter
+
+        draws_a = [RetryJitter(9).scale(0.01) for _ in [0]]
+        jitter = RetryJitter(9)
+        scaled = [jitter.scale(0.01) for _ in range(50)]
+        assert scaled[0] == draws_a[0]
+        assert all(0.005 <= value < 0.015 for value in scaled)
+        again = RetryJitter(9)
+        assert [again.scale(0.01) for _ in range(50)] == scaled
+
+    def _retry_elapsed(self, **kwargs):
+        system = build_bank_sites(3, 4, query_timeout=1.0, **kwargs)
+        system.inject_faults(seed=7)
+        system.network.faults.drop_next(1, purpose="query")
+        before = system.network.now_s
+        system.query("bank", "SELECT SUM(balance) FROM accounts")
+        elapsed = system.network.now_s - before
+        system.close()
+        return elapsed
+
+    def test_off_by_default_and_bit_identical(self):
+        assert self._retry_elapsed() == self._retry_elapsed(
+            retry_jitter=False
+        )
+
+    def test_jitter_perturbs_the_fetch_retry_backoff(self):
+        plain = self._retry_elapsed()
+        jittered = self._retry_elapsed(retry_jitter=True, jitter_seed=3)
+        assert jittered != plain
+        # the jittered wait stays within the [0.5, 1.5) scaling envelope
+        base = self._retry_elapsed() - 0.01  # transfer time sans backoff
+        wait = jittered - base
+        assert 0.005 <= wait < 0.015
+
+    def test_jitter_is_seed_deterministic(self):
+        first = self._retry_elapsed(retry_jitter=True, jitter_seed=3)
+        second = self._retry_elapsed(retry_jitter=True, jitter_seed=3)
+        assert first == second
+
+    def test_branch_retry_backoff_is_jittered_too(self):
+        def branch_elapsed(**kwargs):
+            system = build_bank_sites(3, 4, query_timeout=1.0, **kwargs)
+            system.inject_faults(seed=7)
+            system.network.faults.drop_next(1, purpose="begin")
+            before = system.network.now_s
+            txn = system.begin_transaction()
+            system.transactional_query(
+                txn, "bank", "SELECT SUM(balance) FROM accounts"
+            )
+            txn.commit()
+            elapsed = system.network.now_s - before
+            system.close()
+            return elapsed
+
+        assert branch_elapsed(retry_jitter=True, jitter_seed=5) != (
+            branch_elapsed()
+        )
+        assert branch_elapsed(retry_jitter=True, jitter_seed=5) == (
+            branch_elapsed(retry_jitter=True, jitter_seed=5)
+        )
