@@ -1,0 +1,86 @@
+"""Standalone engine microbenchmark: rows/sec per operator, both paths.
+
+Times seq-scan / filter / hash-join / hash-aggregate on the row-at-a-time
+and the vectorized engine over one seeded table and reports rows/second
+for each.  Also the before/after harness for expression-compilation fixes
+(ordinal resolution is hoisted to operator open; see
+``repro.engine.expressions``): any per-row regression in either path shows
+up directly in the rows/s column.
+
+Run:  PYTHONPATH=src python benchmarks/microbench_engine.py [rows]
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import time
+
+from repro.engine import LocalEngine
+from repro.storage import Catalog
+
+CASES = [
+    ("seq scan", "SELECT grp, val FROM fact"),
+    ("filter", "SELECT id, val FROM fact WHERE val < 0.2 AND grp > 5"),
+    (
+        "hash join",
+        "SELECT d.label, f.val FROM fact f JOIN dim d ON f.grp = d.gid "
+        "WHERE f.val < 0.5",
+    ),
+    (
+        "aggregate",
+        "SELECT grp, COUNT(*), SUM(val), AVG(val), MIN(val), MAX(val) "
+        "FROM fact GROUP BY grp",
+    ),
+]
+
+
+def build_engine(rows: int) -> LocalEngine:
+    engine = LocalEngine(Catalog("micro"))
+    engine.execute(
+        "CREATE TABLE fact (id INTEGER PRIMARY KEY, grp INTEGER, "
+        "val FLOAT, pad VARCHAR(16))"
+    )
+    engine.execute(
+        "CREATE TABLE dim (gid INTEGER PRIMARY KEY, label VARCHAR(12))"
+    )
+    rng = random.Random(20)
+    fact = engine.catalog.get_table("fact")
+    for i in range(rows):
+        fact.insert((i, rng.randrange(64), rng.random(), "x" * 16))
+    dim = engine.catalog.get_table("dim")
+    for g in range(64):
+        dim.insert((g, f"G{g}"))
+    return engine
+
+
+def best_of(engine: LocalEngine, sql: str, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        engine.execute(sql)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main() -> int:
+    rows = int(sys.argv[1]) if len(sys.argv) > 1 else 30_000
+    engine = build_engine(rows)
+    print(f"# engine microbench: {rows} rows, best of 3")
+    print(f"{'operator':<12} {'row rows/s':>14} {'vec rows/s':>14} "
+          f"{'speedup':>8}")
+    for label, sql in CASES:
+        engine.vectorized = False
+        row_s = best_of(engine, sql)
+        engine.vectorized = True
+        vec_s = best_of(engine, sql)
+        engine.vectorized = False
+        print(
+            f"{label:<12} {rows / row_s:>14,.0f} {rows / vec_s:>14,.0f} "
+            f"{row_s / vec_s:>7.2f}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,18 +22,40 @@ from dataclasses import dataclass
 from repro.cache.lru import LRUCache
 
 
-def fragment_digest(sql_text: str) -> str:
-    """Stable digest of one shipped fragment query's SQL text."""
-    return hashlib.sha256(sql_text.encode()).hexdigest()[:24]
+def fragment_digest(sql_text: str, codec: str = "") -> str:
+    """Stable digest of one shipped fragment query's SQL text.
+
+    ``codec`` folds the wire-encoding family into the digest, so entries
+    stored compressed and entries stored raw never shadow each other when
+    the ``wire_compression`` knob is toggled on a live system.
+    """
+    return hashlib.sha256(
+        (sql_text + "\x00" + codec).encode()
+    ).hexdigest()[:24]
 
 
 @dataclass
 class CachedFragment:
-    """One cached shipped fragment: rows plus the version they reflect."""
+    """One cached shipped fragment plus the data version it reflects.
+
+    The payload is either plain ``rows`` or the wire-encoded fragment the
+    gateway shipped (``encoded``) — warm entries then hold compressed
+    bytes and decode on hit.
+    """
 
     columns: list[str]
-    rows: list[tuple]
+    rows: list[tuple] | None
     version: tuple
+    #: :class:`repro.net.codec.EncodedFragment` when stored compressed.
+    encoded: object = None
+
+    def materialize(self) -> list[tuple]:
+        """The fragment's rows (decoding the encoded payload on demand)."""
+        if self.encoded is not None:
+            from repro.net.codec import decode_fragment
+
+            return decode_fragment(self.encoded)
+        return list(self.rows)
 
 
 class FragmentCache:
@@ -43,16 +65,27 @@ class FragmentCache:
         self._lru = LRUCache(capacity)
         #: Entries dropped because their version no longer matched.
         self.stale_drops = 0
+        #: Cumulative raw-vs-stored sizes of compressed entries stored, for
+        #: the ``fragcache.bytes_saved`` metric and dashboard ratios.
+        self.bytes_raw = 0
+        self.bytes_wire = 0
 
     @staticmethod
-    def key(site: str, export: str, sql_text: str) -> tuple[str, str, str]:
-        return (site, export.lower(), fragment_digest(sql_text))
+    def key(
+        site: str, export: str, sql_text: str, codec: str = ""
+    ) -> tuple[str, str, str]:
+        return (site, export.lower(), fragment_digest(sql_text, codec))
 
     def lookup(
-        self, site: str, export: str, sql_text: str, version: tuple
+        self,
+        site: str,
+        export: str,
+        sql_text: str,
+        version: tuple,
+        codec: str = "",
     ) -> CachedFragment | None:
         """A fresh cached fragment, or None (stale entries are evicted)."""
-        key = self.key(site, export, sql_text)
+        key = self.key(site, export, sql_text, codec)
         entry = self._lru.get(key)
         if entry is None:
             return None
@@ -71,19 +104,30 @@ class FragmentCache:
         current_version: tuple,
         columns: list[str],
         rows: list[tuple],
+        encoded: object = None,
+        codec: str = "",
     ) -> bool:
         """Cache one fetched fragment.
 
         The caller captures the export's version *before* shipping the
         fetch; if it changed by the time the rows arrived (a concurrent
         commit), the fragment may already be stale and is not stored.
+        With ``encoded`` (the wire-encoded payload the gateway shipped)
+        the entry holds compressed bytes instead of rows.
         """
         if fetched_at_version != current_version:
             return False
-        self._lru.put(
-            self.key(site, export, sql_text),
-            CachedFragment(list(columns), list(rows), fetched_at_version),
-        )
+        if encoded is not None:
+            entry = CachedFragment(
+                list(columns), None, fetched_at_version, encoded=encoded
+            )
+            self.bytes_raw += encoded.raw_bytes
+            self.bytes_wire += encoded.wire_bytes
+        else:
+            entry = CachedFragment(
+                list(columns), list(rows), fetched_at_version
+            )
+        self._lru.put(self.key(site, export, sql_text, codec), entry)
         return True
 
     def clear(self) -> int:
@@ -96,4 +140,7 @@ class FragmentCache:
     def stats(self) -> dict[str, int]:
         stats = self._lru.stats
         stats["stale_drops"] = self.stale_drops
+        stats["bytes_raw"] = self.bytes_raw
+        stats["bytes_wire"] = self.bytes_wire
+        stats["bytes_saved"] = self.bytes_raw - self.bytes_wire
         return stats

@@ -102,12 +102,16 @@ class LocalEngine:
         functions: dict[str, Callable] | None = None,
         now: Callable[[], datetime.datetime] | None = None,
         mutator: Mutator | None = None,
+        vectorized: bool = False,
     ):
         self.catalog = catalog
         self.planner = LocalPlanner(catalog)
         self.functions = {k.upper(): v for k, v in (functions or {}).items()}
         self._now = now or (lambda: DEFAULT_NOW)
         self.mutator = mutator or Mutator()
+        #: Execute queries batch-at-a-time over columnar blocks
+        #: (:mod:`repro.engine.columnar`) instead of row-at-a-time.
+        self.vectorized = bool(vectorized)
         self._report_local = threading.local()
 
     @property
@@ -200,7 +204,12 @@ class LocalEngine:
             outer_rows=outer_rows,
             snapshot=snapshot,
         )
-        rows = list(plan.rows(ctx))
+        if self.vectorized:
+            from repro.engine.columnar import run_vectorized
+
+            rows = run_vectorized(plan, ctx)
+        else:
+            rows = list(plan.rows(ctx))
         self.last_report = ExecutionReport(ctx.rows_scanned, len(rows))
         return ResultSet([c.name for c in plan.schema], rows)
 

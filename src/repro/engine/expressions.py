@@ -96,12 +96,24 @@ class EvalEnv:
     now: datetime.datetime = DEFAULT_NOW
 
 
+#: Cache marker for unqualified SYSDATE/CURRENT_DATE references that do not
+#: name a real column — they evaluate to the environment clock instead.
+_NOW_COLUMN = ("now",)
+
+
 class ExpressionEvaluator:
-    """Evaluates AST expressions against rows laid out by a :class:`Scope`."""
+    """Evaluates AST expressions against rows laid out by a :class:`Scope`.
+
+    Column ordinals are resolved once per evaluator (one evaluator lives for
+    the whole lifetime of an operator's ``rows()`` call), so the per-row cost
+    of a column reference is a dict hit plus a tuple index — not a linear
+    scan over the scope's columns.
+    """
 
     def __init__(self, scope: Scope, env: EvalEnv | None = None):
         self.scope = scope
         self.env = env or EvalEnv()
+        self._column_cache: dict[tuple[str | None, str], tuple] = {}
 
     def __call__(
         self, expr: ast.Expression, row: tuple, outer: tuple[tuple, ...] = ()
@@ -125,10 +137,21 @@ class ExpressionEvaluator:
         return expr.value
 
     def _eval_column(self, expr: ast.ColumnRef, row, outer) -> object:
-        if expr.table is None and expr.name.upper() in ("SYSDATE", "CURRENT_DATE"):
-            if self.scope.try_resolve(expr.table, expr.name) is None:
-                return self.env.now.date()
-        depth, position = self.scope.resolve(expr.table, expr.name)
+        key = (expr.table, expr.name)
+        loc = self._column_cache.get(key)
+        if loc is None:
+            if (
+                expr.table is None
+                and expr.name.upper() in ("SYSDATE", "CURRENT_DATE")
+                and self.scope.try_resolve(expr.table, expr.name) is None
+            ):
+                loc = _NOW_COLUMN
+            else:
+                loc = self.scope.resolve(expr.table, expr.name)
+            self._column_cache[key] = loc
+        if loc is _NOW_COLUMN:
+            return self.env.now.date()
+        depth, position = loc
         target = row if depth == 0 else outer[depth - 1]
         return target[position]
 
@@ -140,18 +163,10 @@ class ExpressionEvaluator:
     # -- operators --------------------------------------------------------
 
     def _eval_unary(self, expr: ast.UnaryOp, row, outer) -> object:
-        value = self.eval(expr.operand, row, outer)
-        if expr.op == "NOT":
-            return tv_not(_as_bool(value))
-        if value is None:
-            return None
-        if expr.op == "-":
-            _require_number(value, "unary -")
-            return -value
-        if expr.op == "+":
-            _require_number(value, "unary +")
-            return value
-        raise ExecutionError(f"unknown unary operator {expr.op!r}")
+        kernel = UNARY_KERNELS.get(expr.op)
+        if kernel is None:
+            raise ExecutionError(f"unknown unary operator {expr.op!r}")
+        return kernel(self.eval(expr.operand, row, outer))
 
     def _eval_binary(self, expr: ast.BinaryOp, row, outer) -> object:
         op = expr.op
@@ -165,72 +180,13 @@ class ExpressionEvaluator:
             if left is True:
                 return True
             return tv_or(left, _as_bool(self.eval(expr.right, row, outer)))
-
-        left = self.eval(expr.left, row, outer)
-        right = self.eval(expr.right, row, outer)
-
-        if op in ("LIKE", "NOT LIKE"):
-            if left is None or right is None:
-                return None
-            result = _like_match(str(left), str(right))
-            return not result if op == "NOT LIKE" else result
-
-        if left is None or right is None:
-            return None
-
-        if op == "=":
-            return _compare_values(left, right) == 0
-        if op == "<>":
-            return _compare_values(left, right) != 0
-        if op == "<":
-            return _compare_values(left, right) < 0
-        if op == "<=":
-            return _compare_values(left, right) <= 0
-        if op == ">":
-            return _compare_values(left, right) > 0
-        if op == ">=":
-            return _compare_values(left, right) >= 0
-
-        if op == "||":
-            return _varchar(left) + _varchar(right)
-        if op == "+":
-            if isinstance(left, (datetime.date, datetime.datetime)):
-                _require_number(right, "date arithmetic")
-                return left + datetime.timedelta(days=float(right))
-            _require_number(left, op)
-            _require_number(right, op)
-            return _arith(left, right, lambda a, b: a + b)
-        if op == "-":
-            if isinstance(left, (datetime.date, datetime.datetime)):
-                if isinstance(right, (datetime.date, datetime.datetime)):
-                    return (left - right).days
-                _require_number(right, "date arithmetic")
-                return left - datetime.timedelta(days=float(right))
-            _require_number(left, op)
-            _require_number(right, op)
-            return _arith(left, right, lambda a, b: a - b)
-        if op == "*":
-            _require_number(left, op)
-            _require_number(right, op)
-            return _arith(left, right, lambda a, b: a * b)
-        if op == "/":
-            _require_number(left, op)
-            _require_number(right, op)
-            if right == 0:
-                raise ExecutionError("division by zero")
-            if isinstance(left, int) and isinstance(right, int):
-                if left % right == 0:
-                    return left // right
-                return left / right
-            return _arith(left, right, lambda a, b: a / b)
-        if op == "%":
-            _require_number(left, op)
-            _require_number(right, op)
-            if right == 0:
-                raise ExecutionError("division by zero")
-            return _arith(left, right, lambda a, b: a % b)
-
-        raise ExecutionError(f"unknown binary operator {op!r}")
+        kernel = BINARY_KERNELS.get(op)
+        if kernel is None:
+            raise ExecutionError(f"unknown binary operator {op!r}")
+        return kernel(
+            self.eval(expr.left, row, outer),
+            self.eval(expr.right, row, outer),
+        )
 
     # -- predicates -------------------------------------------------------
 
@@ -258,15 +214,7 @@ class ExpressionEvaluator:
         return tv_not(result) if expr.negated else result
 
     def _membership(self, value: object, candidates) -> bool | None:
-        """SQL IN semantics: TRUE on match, NULL if nulls prevent certainty."""
-        saw_null = value is None
-        for candidate in candidates:
-            if candidate is None:
-                saw_null = True
-                continue
-            if value is not None and _compare_values(value, candidate) == 0:
-                return True
-        return None if saw_null else False
+        return membership(value, candidates)
 
     def _eval_in_subquery(self, expr: ast.InSubquery, row, outer) -> object:
         rows = self._run_subquery(expr.query, row, outer)
@@ -443,10 +391,22 @@ def _varchar(value: object) -> str:
     return str(value)
 
 
+def membership(value: object, candidates) -> bool | None:
+    """SQL IN semantics: TRUE on match, NULL if nulls prevent certainty."""
+    saw_null = value is None
+    for candidate in candidates:
+        if candidate is None:
+            saw_null = True
+            continue
+        if value is not None and _compare_values(value, candidate) == 0:
+            return True
+    return None if saw_null else False
+
+
 _LIKE_CACHE: dict[str, re.Pattern] = {}
 
 
-def _like_match(value: str, pattern: str) -> bool:
+def _like_regex(pattern: str) -> re.Pattern:
     compiled = _LIKE_CACHE.get(pattern)
     if compiled is None:
         regex = ["^"]
@@ -462,7 +422,174 @@ def _like_match(value: str, pattern: str) -> bool:
         if len(_LIKE_CACHE) > 1024:
             _LIKE_CACHE.clear()
         _LIKE_CACHE[pattern] = compiled
-    return compiled.match(value) is not None
+    return compiled
+
+
+def _like_match(value: str, pattern: str) -> bool:
+    return _like_regex(pattern).match(value) is not None
+
+
+# ---------------------------------------------------------------------------
+# Scalar kernels
+#
+# One function per operator, None handling included.  Both engines share
+# these: the row evaluator dispatches per AST node, the columnar engine
+# (``repro.engine.columnar``) applies one kernel over a whole column, so
+# operator semantics cannot drift between the two paths.
+# ---------------------------------------------------------------------------
+
+
+def _k_like(left, right):
+    if left is None or right is None:
+        return None
+    return _like_match(str(left), str(right))
+
+
+def _k_not_like(left, right):
+    if left is None or right is None:
+        return None
+    return not _like_match(str(left), str(right))
+
+
+def _k_eq(left, right):
+    if left is None or right is None:
+        return None
+    return _compare_values(left, right) == 0
+
+
+def _k_ne(left, right):
+    if left is None or right is None:
+        return None
+    return _compare_values(left, right) != 0
+
+
+def _k_lt(left, right):
+    if left is None or right is None:
+        return None
+    return _compare_values(left, right) < 0
+
+
+def _k_le(left, right):
+    if left is None or right is None:
+        return None
+    return _compare_values(left, right) <= 0
+
+
+def _k_gt(left, right):
+    if left is None or right is None:
+        return None
+    return _compare_values(left, right) > 0
+
+
+def _k_ge(left, right):
+    if left is None or right is None:
+        return None
+    return _compare_values(left, right) >= 0
+
+
+def _k_concat(left, right):
+    if left is None or right is None:
+        return None
+    return _varchar(left) + _varchar(right)
+
+
+def _k_add(left, right):
+    if left is None or right is None:
+        return None
+    if isinstance(left, (datetime.date, datetime.datetime)):
+        _require_number(right, "date arithmetic")
+        return left + datetime.timedelta(days=float(right))
+    _require_number(left, "+")
+    _require_number(right, "+")
+    return _arith(left, right, lambda a, b: a + b)
+
+
+def _k_sub(left, right):
+    if left is None or right is None:
+        return None
+    if isinstance(left, (datetime.date, datetime.datetime)):
+        if isinstance(right, (datetime.date, datetime.datetime)):
+            return (left - right).days
+        _require_number(right, "date arithmetic")
+        return left - datetime.timedelta(days=float(right))
+    _require_number(left, "-")
+    _require_number(right, "-")
+    return _arith(left, right, lambda a, b: a - b)
+
+
+def _k_mul(left, right):
+    if left is None or right is None:
+        return None
+    _require_number(left, "*")
+    _require_number(right, "*")
+    return _arith(left, right, lambda a, b: a * b)
+
+
+def _k_div(left, right):
+    if left is None or right is None:
+        return None
+    _require_number(left, "/")
+    _require_number(right, "/")
+    if right == 0:
+        raise ExecutionError("division by zero")
+    if isinstance(left, int) and isinstance(right, int):
+        if left % right == 0:
+            return left // right
+        return left / right
+    return _arith(left, right, lambda a, b: a / b)
+
+
+def _k_mod(left, right):
+    if left is None or right is None:
+        return None
+    _require_number(left, "%")
+    _require_number(right, "%")
+    if right == 0:
+        raise ExecutionError("division by zero")
+    return _arith(left, right, lambda a, b: a % b)
+
+
+BINARY_KERNELS: dict[str, Callable[[object, object], object]] = {
+    "LIKE": _k_like,
+    "NOT LIKE": _k_not_like,
+    "=": _k_eq,
+    "<>": _k_ne,
+    "<": _k_lt,
+    "<=": _k_le,
+    ">": _k_gt,
+    ">=": _k_ge,
+    "||": _k_concat,
+    "+": _k_add,
+    "-": _k_sub,
+    "*": _k_mul,
+    "/": _k_div,
+    "%": _k_mod,
+}
+
+
+def _k_not(value):
+    return tv_not(_as_bool(value))
+
+
+def _k_neg(value):
+    if value is None:
+        return None
+    _require_number(value, "unary -")
+    return -value
+
+
+def _k_pos(value):
+    if value is None:
+        return None
+    _require_number(value, "unary +")
+    return value
+
+
+UNARY_KERNELS: dict[str, Callable[[object], object]] = {
+    "NOT": _k_not,
+    "-": _k_neg,
+    "+": _k_pos,
+}
 
 
 # ---------------------------------------------------------------------------

@@ -53,11 +53,18 @@ class Gateway:
         network: Network,
         site: str | None = None,
         default_timeout: float | None = None,
+        wire_compression: bool = False,
     ):
         self.dbms = dbms
         self.network = network
         self.site = site or dbms.name
         self.default_timeout = default_timeout
+        #: When True, shipped fragment results are dictionary/RLE encoded
+        #: before the ``result`` message is accounted: the network charges
+        #: compressed bytes and the encoded payload rides back to the
+        #: federation (``ResultSet.encoded``).  Off ⇒ byte accounting is
+        #: bit-identical to the uncompressed system.
+        self.wire_compression = bool(wire_compression)
         self.exports = ExportSchema(self.site)
         network.add_site(self.site)
         network.add_site(FEDERATION_SITE)
@@ -278,7 +285,20 @@ class Gateway:
             )
             if trace is not None:
                 trace.add_compute(compute_cost)
-            result_bytes = estimate_rows_bytes(result.rows)
+            rows = _normalize_rows(result.rows)
+            encoded = None
+            raw_bytes = None
+            if self.wire_compression:
+                from repro.net.codec import encode_fragment
+
+                # Encode the canonicalised rows — exactly what the
+                # federation receives — and charge compressed bytes.
+                encoded = encode_fragment(result.columns, rows)
+                result_bytes = encoded.wire_bytes
+                if encoded.wire_bytes < encoded.raw_bytes:
+                    raw_bytes = encoded.raw_bytes
+            else:
+                result_bytes = estimate_rows_bytes(result.rows)
             reply_cost = self.network.send(
                 self.site,
                 from_site,
@@ -286,6 +306,7 @@ class Gateway:
                 "result",
                 trace,
                 request_id=request_id,
+                raw_bytes=raw_bytes,
             )
             with self._mutex:
                 self.queries_executed += 1
@@ -306,7 +327,12 @@ class Gateway:
         # Per-site rolling window: the ops console's QPS / p95 per site.
         obs.window.inc("site.requests", site=self.site)
         obs.window.observe("site.latency_s", sim_latency, site=self.site)
-        return ResultSet(result.columns, _normalize_rows(result.rows))
+        shipped = ResultSet(result.columns, rows)
+        if encoded is not None:
+            # The executor reads this for per-fetch raw-vs-wire actuals
+            # and stores the encoded payload in the fragment cache.
+            shipped.encoded = encoded
+        return shipped
 
     def execute_update(
         self,

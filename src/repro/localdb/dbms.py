@@ -44,6 +44,7 @@ class LocalDBMS:
         clock: Callable[[], datetime.datetime] | None = None,
         functions: dict[str, Callable] | None = None,
         mvcc_reads: bool = True,
+        vectorized: bool = False,
     ):
         self.name = name or f"dbms{next(_dbms_counter)}"
         #: When True (default), autocommit SELECTs and ``BEGIN READ ONLY``
@@ -53,10 +54,14 @@ class LocalDBMS:
         self.mvcc_reads = mvcc_reads
         self.catalog = Catalog(self.name)
         self.transactions = LocalTransactionManager(lock_timeout=lock_timeout)
+        # vectorized: SELECTs run batch-at-a-time on the columnar engine
+        # (identical results, same rows_scanned accounting; see
+        # repro.engine.columnar).  Off by default — the E20 baseline.
         self.engine = LocalEngine(
             self.catalog,
             functions=functions,
             now=clock,
+            vectorized=vectorized,
         )
         self._session_counter = itertools.count(1)
         self._mutex = threading.Lock()

@@ -52,6 +52,8 @@ class MyriadSystem:
         replication_seed: int = 0,
         retry_jitter: bool = False,
         jitter_seed: int = 0,
+        vectorized: bool = False,
+        wire_compression: bool = False,
     ):
         self.network = network or Network()
         # One observability handle serves the whole installation; every
@@ -103,6 +105,16 @@ class MyriadSystem:
         #: snapshot reads (autocommit SELECTs take no table locks).  See
         #: README "Serving & MVCC".
         self.mvcc_reads = mvcc_reads
+        #: Columnar-engine knobs (experiment E20).  Both default OFF: with
+        #: them off, execution and simulated accounting are bit-identical
+        #: to the row-at-a-time system.  ``vectorized`` runs every local
+        #: engine (components built via add_oracle/add_postgres plus the
+        #: federation-site residual) batch-at-a-time on the columnar
+        #: engine; ``wire_compression`` dict/RLE-encodes shipped fragments
+        #: so the cost model charges compressed bytes.  See README
+        #: "Columnar engine & wire compression".
+        self.vectorized = vectorized
+        self.wire_compression = wire_compression
         #: Replication knobs (experiment E19).  With
         #: ``replication_factor=1`` (the default) no replica-group
         #: machinery is constructed at all — behaviour and simulated
@@ -321,7 +333,9 @@ class MyriadSystem:
         site = site or dbms.name
         if site in self.gateways:
             raise FederationError(f"site {site!r} already registered")
-        gateway = Gateway(dbms, self.network, site)
+        gateway = Gateway(
+            dbms, self.network, site, wire_compression=self.wire_compression
+        )
         self.components[site] = dbms
         self.gateways[site] = gateway
         return gateway
@@ -339,7 +353,12 @@ class MyriadSystem:
         if site in self.gateways:
             raise FederationError(f"site {site!r} already registered")
         inner = [
-            Gateway(dbms, self.network, f"{site}#{index}")
+            Gateway(
+                dbms,
+                self.network,
+                f"{site}#{index}",
+                wire_compression=self.wire_compression,
+            )
             for index, dbms in enumerate(dbmses)
         ]
         group = ReplicaGroup(
@@ -361,6 +380,7 @@ class MyriadSystem:
 
     def _add_dialect(self, factory, name: str, **kwargs):
         kwargs.setdefault("mvcc_reads", self.mvcc_reads)
+        kwargs.setdefault("vectorized", self.vectorized)
         if self.replication_factor <= 1:
             return self.add_component(factory(name, **kwargs))
         dbmses = [
@@ -439,6 +459,8 @@ class MyriadSystem:
                 replan_threshold=self.replan_threshold,
                 retry_jitter=self.retry_jitter,
                 jitter_seed=self.jitter_seed,
+                vectorized=self.vectorized,
+                wire_compression=self.wire_compression,
             )
         return self._processors[key]
 

@@ -1,5 +1,11 @@
 """Simulated network: message accounting with virtual latency/bandwidth."""
 
+from repro.net.codec import (
+    EncodedColumn,
+    EncodedFragment,
+    decode_fragment,
+    encode_fragment,
+)
 from repro.net.sim import (
     DEFAULT_BANDWIDTH_BYTES_PER_S,
     DEFAULT_LATENCY_S,
@@ -20,6 +26,10 @@ __all__ = [
     "DEFAULT_LATENCY_S",
     "DropRule",
     "DroppedMessage",
+    "EncodedColumn",
+    "EncodedFragment",
+    "decode_fragment",
+    "encode_fragment",
     "FaultInjector",
     "LinkProfile",
     "MessageRecord",

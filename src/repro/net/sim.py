@@ -51,6 +51,9 @@ class MessageRecord:
     #: Request the message belongs to (``req-...``), when the sender was
     #: executing on behalf of one — joins wire traffic to spans/events.
     request_id: str | None = None
+    #: Uncompressed payload size, set only when wire compression shrank
+    #: this message — EXPLAIN ANALYZE renders raw vs wire per fetch.
+    raw_bytes: int | None = None
 
 
 class MessageTrace:
@@ -233,6 +236,16 @@ class _BranchContext:
     @property
     def payload_bytes(self) -> int:
         return sum(record.payload_bytes for record in self.records)
+
+    @property
+    def raw_payload_bytes(self) -> int:
+        """Pre-compression bytes: what this branch *would* have shipped."""
+        return sum(
+            record.raw_bytes
+            if record.raw_bytes is not None
+            else record.payload_bytes
+            for record in self.records
+        )
 
     def __enter__(self):
         with self.trace._lock:
@@ -541,8 +554,15 @@ class Network:
         purpose: str,
         trace: MessageTrace | None = None,
         request_id: str | None = None,
+        raw_bytes: int | None = None,
     ) -> float:
-        """Account one message; returns its virtual cost in seconds."""
+        """Account one message; returns its virtual cost in seconds.
+
+        ``raw_bytes`` is the pre-compression payload size when the sender
+        wire-compressed this message; it is carried on the trace record
+        for observability only — cost and byte accounting always charge
+        ``payload_bytes`` (what actually crosses the link).
+        """
         if source not in self._sites:
             raise NetworkError(f"unknown source site {source!r}")
         if destination not in self._sites:
@@ -606,6 +626,7 @@ class Network:
                     purpose,
                     cost,
                     request_id=request_id,
+                    raw_bytes=raw_bytes,
                 )
             )
         return cost

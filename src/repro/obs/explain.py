@@ -30,6 +30,12 @@ class FetchActual:
     #: True when the fragment came from the federation-site fragment cache
     #: (zero messages crossed the wire for this fetch).
     cached: bool = False
+    #: Pre-compression bytes of this fetch's messages; equals ``bytes``
+    #: unless wire compression shrank the result payload.
+    raw_bytes: int = 0
+    #: Column-encoding summary of the shipped fragment (e.g. ``"dict,rle"``)
+    #: when wire compression encoded it; None otherwise.
+    codec: str | None = None
 
 
 def _fmt_est(value: float | None, unit: str = "") -> str:
@@ -95,8 +101,13 @@ def render_explain_analyze(result) -> str:
                 lines.append("    actual: (not executed)")
             continue
         cached = " cached" if actual.cached else ""
+        wire = ""
+        if actual.raw_bytes > actual.bytes:
+            saved = 100.0 * (1 - actual.bytes / actual.raw_bytes)
+            codec = f" codec={actual.codec}" if actual.codec else ""
+            wire = f" raw={actual.raw_bytes} (-{saved:.0f}%{codec})"
         lines.append(
-            f"    actual: rows={actual.rows} bytes={actual.bytes} "
+            f"    actual: rows={actual.rows} bytes={actual.bytes}{wire} "
             f"time={actual.sim_s * 1000:.3f}ms "
             f"(msgs={actual.messages}, wall={actual.wall_s * 1000:.3f}ms)"
             f"{cached}"

@@ -209,6 +209,16 @@ def _cache_stats(metrics) -> dict:
             "misses": misses,
             "hit_ratio": hits / lookups if lookups else None,
         }
+    # Wire-compression savings of fragments stored encoded (zero with the
+    # wire_compression knob off — the counters are never bumped).
+    bytes_raw = metrics.counter_total("fragcache.bytes_raw")
+    bytes_wire = metrics.counter_total("fragcache.bytes_wire")
+    out["fragcache"]["bytes_raw"] = bytes_raw
+    out["fragcache"]["bytes_wire"] = bytes_wire
+    out["fragcache"]["bytes_saved"] = bytes_raw - bytes_wire
+    out["fragcache"]["compression_ratio"] = (
+        bytes_raw / bytes_wire if bytes_wire else None
+    )
     return out
 
 
@@ -327,9 +337,16 @@ def _render_ops_window(lines: list[str], stats: dict) -> None:
     for name, row in sorted(caches.items()):
         ratio = row.get("hit_ratio")
         ratio_text = f"{ratio * 100:.1f}%" if ratio is not None else "-"
+        codec = ""
+        if row.get("bytes_saved"):
+            codec = (
+                f" wire_saved={row['bytes_saved']:g}B "
+                f"(x{row.get('compression_ratio') or 0:.2f})"
+            )
         lines.append(
             f"cache {name}: hit_ratio={ratio_text} "
             f"(hits={row.get('hits', 0):g} misses={row.get('misses', 0):g})"
+            f"{codec}"
         )
     for site, info in sorted((stats.get("sites") or {}).items()):
         mvcc = info.get("mvcc") or {}

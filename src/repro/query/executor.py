@@ -147,9 +147,16 @@ class GlobalExecutor:
         fragment_cache: FragmentCache | None = None,
         retry_jitter: bool = False,
         jitter_seed: int = 0,
+        vectorized: bool = False,
+        wire_compression: bool = False,
     ):
         self.federation = federation
         self._obs = obs
+        #: Run the federation-site residual query on the columnar engine.
+        self.vectorized = bool(vectorized)
+        #: Gateways ship dict/RLE-encoded fragments; cached fragments keep
+        #: the encoded payload and decode on hit.
+        self.wire_compression = bool(wire_compression)
         #: Transient-loss resilience: each fetch retries dropped messages
         #: up to this many times, with exponential simulated backoff.
         self.fetch_retry_limit = 2
@@ -237,7 +244,9 @@ class GlobalExecutor:
         missing: set[str] = set(skip_sites or ())
         catalog = Catalog(f"federation:{self.federation.name}")
         engine = LocalEngine(
-            catalog, functions=self.federation.functions.as_dict()
+            catalog,
+            functions=self.federation.functions.as_dict(),
+            vectorized=self.vectorized,
         )
         use_cache = self.fragment_cache is not None and global_id is None
 
@@ -669,19 +678,26 @@ class GlobalExecutor:
             gateway = self.gateways[fetch.site]
             shipped_sql: str | None = None
             version_before: tuple | None = None
+            # The codec family is part of the cache key: toggling the knob
+            # on a live federation must never replay entries stored under
+            # the other payload format.
+            cache_codec = "dictrle" if self.wire_compression else ""
             if use_cache:
                 shipped_sql = to_sql(shipped)
                 version_before = gateway.data_version(fetch.export)
                 hit = self.fragment_cache.lookup(
-                    fetch.site, fetch.export, shipped_sql, version_before
+                    fetch.site,
+                    fetch.export,
+                    shipped_sql,
+                    version_before,
+                    codec=cache_codec,
                 )
                 if hit is not None:
                     obs.metrics.inc("fragcache.hit", site=fetch.site)
-                    outcome.result = ResultSet(
-                        list(hit.columns), list(hit.rows)
-                    )
+                    rows = hit.materialize()
+                    outcome.result = ResultSet(list(hit.columns), rows)
                     outcome.actual = FetchActual(
-                        rows=len(hit.rows), cached=True
+                        rows=len(rows), cached=True
                     )
                     return outcome
                 obs.metrics.inc("fragcache.miss", site=fetch.site)
@@ -707,12 +723,15 @@ class GlobalExecutor:
                     outcome.degraded = True
                     outcome.result = self._degraded_fragment(fetch, obs)
                     return outcome
+                encoded = getattr(result, "encoded", None)
                 actual = FetchActual(
                     rows=len(result.rows),
                     bytes=branch.payload_bytes,
                     messages=len(branch.records),
                     sim_s=trace.branch_elapsed(branch_name),
                     wall_s=time.perf_counter() - wall_start,
+                    raw_bytes=branch.raw_payload_bytes,
+                    codec=encoded.codec if encoded is not None else None,
                 )
                 fetch_span.set_sim(actual.sim_s)
                 fetch_span.tag(rows=actual.rows, bytes=actual.bytes)
@@ -720,7 +739,7 @@ class GlobalExecutor:
                 # Degraded fragments never reach this store (they return
                 # above); a version moved by a concurrent commit between
                 # capture and arrival is rejected inside store().
-                self.fragment_cache.store(
+                stored = self.fragment_cache.store(
                     fetch.site,
                     fetch.export,
                     shipped_sql,
@@ -728,7 +747,20 @@ class GlobalExecutor:
                     gateway.data_version(fetch.export),
                     result.columns,
                     result.rows,
+                    encoded=encoded,
+                    codec=cache_codec,
                 )
+                if stored and encoded is not None:
+                    obs.metrics.inc(
+                        "fragcache.bytes_raw", encoded.raw_bytes
+                    )
+                    obs.metrics.inc(
+                        "fragcache.bytes_wire", encoded.wire_bytes
+                    )
+                    obs.metrics.inc(
+                        "fragcache.bytes_saved",
+                        encoded.raw_bytes - encoded.wire_bytes,
+                    )
             outcome.result = result
             outcome.actual = actual
             return outcome

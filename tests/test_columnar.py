@@ -1,0 +1,260 @@
+"""Columnar engine + wire codec tests (experiment E20).
+
+Three layers:
+
+1. **Engine differential** — randomized queries over randomized tables run
+   on both the row-at-a-time and the vectorized engine must produce
+   identical row multisets *and* identical ``rows_scanned`` accounting.
+2. **Codec properties** — dict/RLE encoding round-trips exactly (NULLs,
+   empty fragments, mixed ``True``/``1``/``1.0`` columns) and never
+   charges more than the raw rowset.
+3. **System knobs** — ``vectorized=True`` leaves simulated accounting
+   bit-identical; ``wire_compression=True`` leaves results identical
+   while cutting bytes-on-wire; both compose with the fragment cache.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import LocalEngine
+from repro.net.codec import decode_fragment, encode_fragment
+from repro.net.sim import estimate_rows_bytes
+from repro.storage import Catalog
+from repro.workloads import build_bank_sites
+
+
+# ---------------------------------------------------------------------------
+# Engine differential
+# ---------------------------------------------------------------------------
+
+
+def _build_random_engine(seed: int) -> LocalEngine:
+    rng = random.Random(seed)
+    catalog = Catalog(f"diff{seed}")
+    engine = LocalEngine(catalog)
+    engine.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, grp INTEGER, val FLOAT, "
+        "tag VARCHAR(8))"
+    )
+    engine.execute(
+        "CREATE TABLE d (grp INTEGER PRIMARY KEY, label VARCHAR(8))"
+    )
+    tags = ["aa", "bb", "cc", None]
+    for i in range(rng.randrange(50, 300)):
+        engine.execute(
+            "INSERT INTO t VALUES (?, ?, ?, ?)",
+            [
+                i,
+                rng.randrange(12) if rng.random() > 0.1 else None,
+                round(rng.uniform(-50, 50), 3) if rng.random() > 0.1 else None,
+                rng.choice(tags),
+            ],
+        )
+    for g in range(12):
+        if rng.random() > 0.2:
+            engine.execute(
+                "INSERT INTO d VALUES (?, ?)", [g, rng.choice(tags[:3])]
+            )
+    return engine
+
+
+QUERIES = [
+    "SELECT * FROM t",
+    "SELECT id, val * 2 FROM t WHERE grp > 3 AND val < 20",
+    "SELECT tag, COUNT(*), SUM(val), AVG(val), MIN(id), MAX(id) "
+    "FROM t GROUP BY tag",
+    "SELECT grp, COUNT(DISTINCT tag) FROM t GROUP BY grp HAVING COUNT(*) > 2",
+    "SELECT t.id, d.label FROM t JOIN d ON t.grp = d.grp WHERE t.val > 0",
+    "SELECT t.id, d.label FROM t LEFT JOIN d ON t.grp = d.grp",
+    "SELECT d.grp, COUNT(t.id) FROM d LEFT JOIN t ON t.grp = d.grp "
+    "GROUP BY d.grp",
+    "SELECT CASE WHEN val > 0 THEN 'pos' ELSE 'neg' END, COUNT(*) "
+    "FROM t GROUP BY CASE WHEN val > 0 THEN 'pos' ELSE 'neg' END",
+    "SELECT DISTINCT grp FROM t WHERE tag IN ('aa', 'bb')",
+    "SELECT id FROM t WHERE tag LIKE 'a%' OR val BETWEEN -5 AND 5",
+    "SELECT grp, val FROM t ORDER BY val DESC, id LIMIT 7",
+    "SELECT UPPER(tag), ABS(val) FROM t WHERE tag IS NOT NULL",
+]
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_differential_row_vs_vectorized(seed):
+    engine = _build_random_engine(seed)
+    for sql in QUERIES:
+        engine.vectorized = False
+        row_result = engine.execute(sql)
+        row_scanned = engine.last_report.rows_scanned
+        engine.vectorized = True
+        vec_result = engine.execute(sql)
+        vec_scanned = engine.last_report.rows_scanned
+        engine.vectorized = False
+        assert sorted(
+            row_result.rows, key=repr
+        ) == sorted(vec_result.rows, key=repr), sql
+        assert row_result.columns == vec_result.columns, sql
+        assert row_scanned == vec_scanned, sql
+
+
+def test_vectorized_preserves_order_sensitive_results():
+    engine = _build_random_engine(99)
+    sql = "SELECT id, val FROM t WHERE val IS NOT NULL ORDER BY val, id"
+    engine.vectorized = False
+    expected = engine.execute(sql).rows
+    engine.vectorized = True
+    assert engine.execute(sql).rows == expected
+
+
+# ---------------------------------------------------------------------------
+# Codec properties
+# ---------------------------------------------------------------------------
+
+_value = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+)
+
+
+@given(
+    rows=st.lists(
+        st.tuples(_value, _value, _value), min_size=0, max_size=120
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_codec_round_trip_and_wire_bound(rows):
+    columns = ["a", "b", "c"]
+    fragment = encode_fragment(columns, rows)
+    decoded = decode_fragment(fragment)
+    assert len(decoded) == len(rows)
+    for got, want in zip(decoded, rows):
+        assert len(got) == len(want)
+        for g, w in zip(got, want):
+            assert type(g) is type(w) and g == w
+    # Compressed accounting may never exceed the raw path's.
+    assert fragment.wire_bytes <= fragment.raw_bytes
+    assert fragment.raw_bytes == estimate_rows_bytes(rows)
+
+
+def test_codec_empty_fragment():
+    fragment = encode_fragment(["a"], [])
+    assert fragment.codec == "raw"
+    assert decode_fragment(fragment) == []
+
+
+def test_codec_no_columns():
+    rows = [(), (), ()]
+    fragment = encode_fragment([], rows)
+    assert decode_fragment(fragment) == rows
+
+
+def test_codec_single_value_dictionary():
+    rows = [("constant",)] * 500
+    fragment = encode_fragment(["s"], rows)
+    assert decode_fragment(fragment) == rows
+    # A constant column collapses to one stored value either way.
+    assert fragment.wire_bytes < fragment.raw_bytes / 10
+
+
+def test_codec_nulls_round_trip():
+    rows = [(None, 1), (None, None), (None, 2)] * 40
+    fragment = encode_fragment(["a", "b"], rows)
+    assert decode_fragment(fragment) == rows
+    assert fragment.wire_bytes < fragment.raw_bytes
+
+
+def test_codec_incompressible_falls_back_to_raw():
+    rng = random.Random(4)
+    rows = [
+        ("".join(chr(rng.randrange(33, 127)) for _ in range(24)),)
+        for _ in range(300)
+    ]
+    fragment = encode_fragment(["s"], rows)
+    assert fragment.codec == "raw"
+    assert fragment.wire_bytes == fragment.raw_bytes
+    assert decode_fragment(fragment) == rows
+
+
+def test_codec_true_one_type_strict():
+    # True == 1 == 1.0 in Python; the codec must not collapse them.
+    rows = [(True,), (1,), (1.0,), (True,), (1,)] * 30
+    fragment = encode_fragment(["x"], rows)
+    decoded = decode_fragment(fragment)
+    for got, want in zip(decoded, rows):
+        assert type(got[0]) is type(want[0])
+
+
+# ---------------------------------------------------------------------------
+# System knobs
+# ---------------------------------------------------------------------------
+
+_SCAN = "SELECT acct, balance FROM accounts WHERE balance >= 0"
+_AGG = "SELECT COUNT(*), SUM(balance) FROM accounts"
+
+
+def _run_bank(**knobs):
+    system = build_bank_sites(3, 120, **knobs)
+    with system:
+        scan = system.query("bank", _SCAN)
+        agg = system.query("bank", _AGG)
+        return {
+            "scan_rows": sorted(scan.rows),
+            "agg_rows": agg.rows,
+            "scan_bytes": scan.bytes_shipped,
+            "scan_sim": scan.elapsed_s,
+            "messages": scan.trace.message_count,
+        }
+
+
+def test_knobs_off_bit_identical():
+    default = _run_bank()
+    explicit = _run_bank(vectorized=False, wire_compression=False)
+    assert default == explicit
+
+
+def test_vectorized_same_results_and_accounting():
+    base = _run_bank()
+    vec = _run_bank(vectorized=True)
+    assert vec == base  # rows AND simulated accounting identical
+
+
+def test_wire_compression_cuts_bytes():
+    base = _run_bank()
+    comp = _run_bank(wire_compression=True)
+    assert comp["scan_rows"] == base["scan_rows"]
+    assert comp["agg_rows"] == base["agg_rows"]
+    assert comp["messages"] == base["messages"]
+    # ISSUE acceptance: >= 30% fewer simulated bytes on the bank scan.
+    assert comp["scan_bytes"] <= base["scan_bytes"] * 0.7
+
+
+def test_wire_compression_explain_shows_codec():
+    system = build_bank_sites(2, 80, wire_compression=True)
+    with system:
+        report = system.query("bank", _SCAN).explain_analyze()
+    assert "raw=" in report and "codec=" in report
+
+
+def test_wire_compression_fragment_cache_round_trip():
+    system = build_bank_sites(2, 80, wire_compression=True)
+    with system:
+        cold = system.query("bank", _SCAN)
+        warm = system.query("bank", _SCAN)
+        assert sorted(warm.rows) == sorted(cold.rows)
+        assert warm.bytes_shipped == 0  # served from the fragment cache
+        stats = system.federation_stats()["caches"]["fragcache"]
+        assert stats["bytes_saved"] > 0
+        assert stats["compression_ratio"] > 1.0
+
+
+def test_fragment_cache_key_isolated_per_codec():
+    from repro.cache.fragments import FragmentCache
+
+    cache = FragmentCache()
+    raw_key = cache.key("s", "e", "SELECT 1")
+    codec_key = cache.key("s", "e", "SELECT 1", codec="dictrle")
+    assert raw_key != codec_key
